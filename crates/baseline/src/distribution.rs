@@ -1,0 +1,142 @@
+//! Load-distribution statistics (Figure 9's measurements).
+//!
+//! The paper argues that the orthogonality of wavelet subspaces spreads
+//! skewed data across the network "without any explicit data
+//! redistribution". Quantifying that needs concentration measures over
+//! per-node load vectors; this module provides the standard ones (used by
+//! the Figure 9 binary and the load-balance example).
+
+/// Summary statistics of a per-node load vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionStats {
+    /// Nodes with non-zero load.
+    pub nonempty: usize,
+    /// Total load.
+    pub total: u64,
+    /// Largest single-node load.
+    pub max: u64,
+    /// Share of the total held by the most-loaded 10% of nodes.
+    pub top10_share: f64,
+    /// Gini coefficient (0 = perfectly even, → 1 = all on one node).
+    pub gini: f64,
+}
+
+/// Compute [`DistributionStats`] for a load vector.
+///
+/// A zero-total vector yields zeroed statistics.
+pub fn distribution_stats(load: &[u64]) -> DistributionStats {
+    let n = load.len();
+    assert!(n > 0, "empty load vector");
+    let total: u64 = load.iter().sum();
+    let nonempty = load.iter().filter(|&&x| x > 0).count();
+    let max = load.iter().copied().max().unwrap_or(0);
+    if total == 0 {
+        return DistributionStats {
+            nonempty: 0,
+            total: 0,
+            max: 0,
+            top10_share: 0.0,
+            gini: 0.0,
+        };
+    }
+    let mut sorted: Vec<u64> = load.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top_n = (n / 10).max(1);
+    let top10_share = sorted.iter().take(top_n).sum::<u64>() as f64 / total as f64;
+    // Gini over the ascending-sorted vector.
+    sorted.reverse();
+    let mut weighted = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        weighted += (i as f64 + 1.0) * x as f64;
+    }
+    let gini = (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64;
+    DistributionStats {
+        nonempty,
+        total,
+        max,
+        top10_share,
+        gini,
+    }
+}
+
+/// Element-wise sum of several load vectors (all same length) — the
+/// combined per-device load across Hyper-M's overlays.
+pub fn combine_loads(loads: &[Vec<u64>]) -> Vec<u64> {
+    assert!(!loads.is_empty(), "no load vectors");
+    let n = loads[0].len();
+    let mut out = vec![0u64; n];
+    for load in loads {
+        assert_eq!(load.len(), n, "load vector length mismatch");
+        for (o, &x) in out.iter_mut().zip(load) {
+            *o += x;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_load_has_zero_gini() {
+        let s = distribution_stats(&[5; 20]);
+        assert_eq!(s.nonempty, 20);
+        assert_eq!(s.total, 100);
+        assert!(s.gini.abs() < 1e-12);
+        assert!((s.top10_share - 0.1).abs() < 1e-12); // top 2 of 20 hold 10%
+    }
+
+    #[test]
+    fn concentrated_load_has_high_gini() {
+        let mut load = vec![0u64; 100];
+        load[0] = 1000;
+        let s = distribution_stats(&load);
+        assert_eq!(s.nonempty, 1);
+        assert_eq!(s.max, 1000);
+        assert!(s.gini > 0.98, "gini {}", s.gini);
+        assert_eq!(s.top10_share, 1.0);
+    }
+
+    #[test]
+    fn gini_orders_by_concentration() {
+        let even = distribution_stats(&[10, 10, 10, 10]);
+        let tilted = distribution_stats(&[25, 10, 3, 2]);
+        let extreme = distribution_stats(&[40, 0, 0, 0]);
+        assert!(even.gini < tilted.gini);
+        assert!(tilted.gini < extreme.gini);
+    }
+
+    #[test]
+    fn empty_total_is_zeroed() {
+        let s = distribution_stats(&[0, 0, 0]);
+        assert_eq!(s.nonempty, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn combine_sums_elementwise() {
+        let combined = combine_loads(&[vec![1, 0, 2], vec![0, 3, 1]]);
+        assert_eq!(combined, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn combining_disjoint_loads_lowers_gini() {
+        // Two overlays each concentrated on different nodes: the combined
+        // per-device view is flatter — the Figure 9 effect in miniature.
+        let a = vec![10, 0, 0, 0];
+        let b = vec![0, 10, 0, 0];
+        let c = vec![0, 0, 10, 0];
+        let d = vec![0, 0, 0, 10];
+        let single = distribution_stats(&a);
+        let combined = distribution_stats(&combine_loads(&[a.clone(), b, c, d]));
+        assert!(combined.gini < single.gini);
+        assert_eq!(combined.gini, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty load vector")]
+    fn empty_vector_rejected() {
+        distribution_stats(&[]);
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's comparison systems and evaluation ground truth.
+//!
+//! Hyper-M is evaluated against three reference points, all reproduced
+//! here:
+//!
+//! * [`flat`] — "a centralized flat file system that indexes the data using
+//!   the original vectors" (Section 6): an exact linear-scan index whose
+//!   range/k-nn answers define precision and recall;
+//! * [`canitem`] — conventional CAN dissemination, publishing **every data
+//!   item individually**: in the original 512-d key space, and in the
+//!   paper's illustrative 2-d CAN that indexes only two dimensions
+//!   (Section 5.2, Figure 8);
+//! * [`metrics`] — precision/recall arithmetic shared by the experiment
+//!   binaries;
+//! * [`distribution`] — load-concentration statistics (Gini, top-decile
+//!   share) behind the Figure 9 analysis.
+
+#![warn(missing_docs)]
+
+pub mod canitem;
+pub mod distribution;
+pub mod flat;
+pub mod metrics;
+
+pub use canitem::{insert_all_items, PerItemCanConfig, PerItemCanReport};
+pub use distribution::{combine_loads, distribution_stats, DistributionStats};
+pub use flat::FlatIndex;
+pub use metrics::{precision_recall, PrecisionRecall};

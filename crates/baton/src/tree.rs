@@ -1,0 +1,451 @@
+//! The balanced tree structure and its O(log N) routing.
+//!
+//! Every peer is one tree node (BATON stores data at internal nodes too).
+//! The simulation builds the final balanced shape directly as a *complete*
+//! binary tree in heap order — the shape BATON's join protocol converges to
+//! level by level — and assigns one-dimensional key ranges by **in-order
+//! position**, so the in-order adjacent links exactly chain the key space.
+//!
+//! Links per node, as in the BATON paper:
+//! * parent / left child / right child;
+//! * `adj_prev` / `adj_next` — the in-order neighbours (key-space chain);
+//! * left/right **routing tables**: the same-level nodes at horizontal
+//!   distance `2^j`, the fingers that make routing logarithmic.
+
+use crate::zorder::ZOrder;
+use hyperm_sim::{NodeId, OpStats};
+
+/// Overlay construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatonConfig {
+    /// Dimensionality of the application key space (mapped to 1-d by
+    /// Z-order).
+    pub dim: usize,
+    /// Seed for the simulated join-cost accounting.
+    pub seed: u64,
+    /// Safety cap on routing steps.
+    pub max_route_hops: u64,
+}
+
+impl BatonConfig {
+    /// Defaults for a `dim`-dimensional key space.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            seed: 0,
+            max_route_hops: 4096,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One BATON node.
+#[derive(Debug, Clone)]
+pub struct BatonNode {
+    /// Node id (heap index in the complete tree).
+    pub id: NodeId,
+    /// Tree level (root = 0).
+    pub level: u32,
+    /// Position within the level (0-based).
+    pub pos: u64,
+    /// Parent link (None for the root).
+    pub parent: Option<NodeId>,
+    /// Left child.
+    pub left: Option<NodeId>,
+    /// Right child.
+    pub right: Option<NodeId>,
+    /// In-order predecessor (key-space left neighbour).
+    pub adj_prev: Option<NodeId>,
+    /// In-order successor (key-space right neighbour).
+    pub adj_next: Option<NodeId>,
+    /// Same-level fingers at `pos − 2^j`.
+    pub left_table: Vec<NodeId>,
+    /// Same-level fingers at `pos + 2^j`.
+    pub right_table: Vec<NodeId>,
+    /// Managed key range `[lo, hi)` of the 1-d (Z-mapped) space.
+    pub range: (f64, f64),
+    /// Local object store (owned objects and replicas).
+    pub store: Vec<hyperm_can::StoredObject>,
+}
+
+impl BatonNode {
+    /// Whether this node's range contains the 1-d key.
+    pub fn contains(&self, key: f64) -> bool {
+        key >= self.range.0 && (key < self.range.1 || (self.range.1 >= 1.0 && key <= 1.0))
+    }
+
+    /// Distance from a 1-d key to this node's range (0 when inside).
+    pub fn range_dist(&self, key: f64) -> f64 {
+        if self.contains(key) {
+            0.0
+        } else if key < self.range.0 {
+            self.range.0 - key
+        } else {
+            key - self.range.1
+        }
+    }
+}
+
+/// A complete BATON overlay.
+#[derive(Debug, Clone)]
+pub struct BatonOverlay {
+    config: BatonConfig,
+    nodes: Vec<BatonNode>,
+    pub(crate) zorder: ZOrder,
+    bootstrap_stats: OpStats,
+    pub(crate) next_object_id: u64,
+}
+
+impl BatonOverlay {
+    /// Build a balanced overlay of `n` nodes.
+    pub fn bootstrap(config: BatonConfig, n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        let zorder = ZOrder::new(config.dim);
+
+        // Heap-ordered complete tree; in-order rank determines key ranges.
+        let mut inorder: Vec<usize> = Vec::with_capacity(n);
+        inorder_walk(0, n, &mut inorder);
+        let mut rank_of = vec![0usize; n];
+        for (rank, &id) in inorder.iter().enumerate() {
+            rank_of[id] = rank;
+        }
+
+        let mut nodes: Vec<BatonNode> = (0..n)
+            .map(|i| {
+                let level = usize::BITS - 1 - (i + 1).leading_zeros();
+                let pos = (i + 1) as u64 - (1u64 << level);
+                let rank = rank_of[i];
+                let lo = rank as f64 / n as f64;
+                let hi = (rank + 1) as f64 / n as f64;
+                BatonNode {
+                    id: NodeId(i),
+                    level,
+                    pos,
+                    parent: if i == 0 {
+                        None
+                    } else {
+                        Some(NodeId((i - 1) / 2))
+                    },
+                    left: (2 * i + 1 < n).then(|| NodeId(2 * i + 1)),
+                    right: (2 * i + 2 < n).then(|| NodeId(2 * i + 2)),
+                    adj_prev: (rank > 0).then(|| NodeId(inorder[rank - 1])),
+                    adj_next: (rank + 1 < n).then(|| NodeId(inorder[rank + 1])),
+                    left_table: Vec::new(),
+                    right_table: Vec::new(),
+                    // hi of the last rank is exactly 1.0 (closed there).
+                    range: (lo, if rank + 1 == n { 1.0 } else { hi }),
+                    store: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Routing tables: same-level nodes at horizontal distance 2^j. In a
+        // complete tree, the node at (level, pos) has heap index
+        // 2^level − 1 + pos.
+        for node in nodes.iter_mut() {
+            let level = node.level;
+            let pos = node.pos;
+            let base = (1u64 << level) - 1;
+            let mut j = 0u32;
+            while 1u64 << j <= pos {
+                let other = base + pos - (1u64 << j);
+                node.left_table.push(NodeId(other as usize));
+                j += 1;
+            }
+            let mut j = 0u32;
+            loop {
+                let step = 1u64 << j;
+                let other_pos = pos + step;
+                let other = base + other_pos;
+                if other_pos >= (1u64 << level) || other as usize >= n {
+                    break;
+                }
+                node.right_table.push(NodeId(other as usize));
+                j += 1;
+            }
+        }
+
+        let mut overlay = BatonOverlay {
+            config,
+            nodes,
+            zorder,
+            bootstrap_stats: OpStats::zero(),
+            next_object_id: 0,
+        };
+        // Simulated join accounting: each node (after the root) would have
+        // routed a join request to its position; measure that on the final
+        // topology from a deterministic entry point.
+        let mut joins = OpStats::zero();
+        for i in 1..n {
+            let key = 0.5 * (overlay.nodes[i].range.0 + overlay.nodes[i].range.1);
+            let (_, stats) = overlay.route_1d(NodeId(i % (i.max(1))), key, 64);
+            joins += stats;
+        }
+        overlay.bootstrap_stats = joins;
+        overlay
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay is empty (never true post-bootstrap).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Application key-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &BatonNode {
+        &self.nodes[id.0]
+    }
+
+    /// Mutably borrow a node (ops module).
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut BatonNode {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterate over nodes.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = &BatonNode> {
+        self.nodes.iter()
+    }
+
+    /// Simulated join cost of the whole population.
+    pub fn bootstrap_stats(&self) -> OpStats {
+        self.bootstrap_stats
+    }
+
+    /// Ground-truth owner of a 1-d key (direct scan; tests only).
+    pub fn owner_of_1d(&self, key: f64) -> NodeId {
+        self.nodes
+            .iter()
+            .find(|nd| nd.contains(key))
+            .map(|nd| nd.id)
+            .expect("ranges tile [0,1]")
+    }
+
+    /// Route a message toward the owner of 1-d key `key`.
+    ///
+    /// Greedy over BATON's link set (parent, children, adjacents, and the
+    /// exponential same-level fingers): always forward to the link whose
+    /// range is strictly closest to the key. Fingers make this O(log N).
+    pub fn route_1d(&self, from: NodeId, key: f64, msg_bytes: u64) -> (NodeId, OpStats) {
+        assert!((0.0..=1.0).contains(&key), "key {key} outside [0,1]");
+        let mut current = from;
+        let mut stats = OpStats::zero();
+        for _ in 0..self.config.max_route_hops {
+            let node = &self.nodes[current.0];
+            if node.contains(key) {
+                return (current, stats);
+            }
+            let cur_dist = node.range_dist(key);
+            let mut best: Option<(f64, NodeId)> = None;
+            let links = node
+                .parent
+                .iter()
+                .chain(node.left.iter())
+                .chain(node.right.iter())
+                .chain(node.adj_prev.iter())
+                .chain(node.adj_next.iter())
+                .chain(node.left_table.iter())
+                .chain(node.right_table.iter());
+            for &link in links {
+                // A link that *contains* the key always wins — this also
+                // resolves the boundary case where the key sits exactly on
+                // a range edge (distance 0 to two nodes, only one owning).
+                let ln = &self.nodes[link.0];
+                let d = if ln.contains(key) {
+                    -1.0
+                } else {
+                    ln.range_dist(key)
+                };
+                let better = match best {
+                    None => d < cur_dist,
+                    Some((bd, bid)) => {
+                        d < bd - 1e-18 || (d <= bd + 1e-18 && link < bid && d < cur_dist)
+                    }
+                };
+                if better {
+                    best = Some((d, link));
+                }
+            }
+            let Some((_, next)) = best else {
+                // The adjacent link always makes progress, so this cannot
+                // happen on a well-formed tree.
+                unreachable!("BATON routing stuck at {current} for key {key}");
+            };
+            stats += OpStats::one_hop(msg_bytes);
+            current = next;
+        }
+        panic!(
+            "routing exceeded {} hops — broken tree",
+            self.config.max_route_hops
+        );
+    }
+
+    /// Encode an application-space point to its 1-d key.
+    pub fn encode(&self, point: &[f64]) -> f64 {
+        self.zorder.encode(point)
+    }
+
+    /// Stored objects per node.
+    pub fn store_sizes(&self) -> Vec<usize> {
+        self.nodes.iter().map(|nd| nd.store.len()).collect()
+    }
+
+    /// Summarised item mass per node (replicas multiply-counted).
+    pub fn stored_items_per_node(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|nd| nd.store.iter().map(|o| o.payload.items as u64).sum())
+            .collect()
+    }
+
+    /// Structural invariants (ranges tile, adjacency chains the key space,
+    /// tables point to the right positions). Test support.
+    pub fn check_invariants(&self) {
+        let n = self.nodes.len();
+        let total: f64 = self.nodes.iter().map(|nd| nd.range.1 - nd.range.0).sum();
+        assert!((total - 1.0).abs() < 1e-9, "ranges do not tile: {total}");
+        for nd in &self.nodes {
+            if let Some(next) = nd.adj_next {
+                assert!(
+                    (self.nodes[next.0].range.0 - nd.range.1).abs() < 1e-12,
+                    "adjacency gap at {}",
+                    nd.id
+                );
+                assert_eq!(
+                    self.nodes[next.0].adj_prev,
+                    Some(nd.id),
+                    "asymmetric adjacency"
+                );
+            }
+            for (j, &f) in nd.left_table.iter().enumerate() {
+                let other = &self.nodes[f.0];
+                assert_eq!(other.level, nd.level);
+                assert_eq!(other.pos, nd.pos - (1u64 << j));
+            }
+            for (j, &f) in nd.right_table.iter().enumerate() {
+                let other = &self.nodes[f.0];
+                assert_eq!(other.level, nd.level);
+                assert_eq!(other.pos, nd.pos + (1u64 << j));
+            }
+        }
+        // Exactly one node contains any sample key.
+        for i in 0..32 {
+            let key = (i as f64 + 0.5) / 32.0;
+            let owners = self.nodes.iter().filter(|nd| nd.contains(key)).count();
+            assert_eq!(owners, 1, "key {key} owned by {owners} nodes");
+        }
+        let _ = n;
+    }
+}
+
+/// In-order walk of the complete binary tree with `n` heap-indexed nodes.
+fn inorder_walk(root: usize, n: usize, out: &mut Vec<usize>) {
+    if root >= n {
+        return;
+    }
+    inorder_walk(2 * root + 1, n, out);
+    out.push(root);
+    inorder_walk(2 * root + 2, n, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bootstrap_invariants_many_sizes() {
+        for n in [1usize, 2, 3, 7, 8, 31, 32, 33, 100] {
+            let overlay = BatonOverlay::bootstrap(BatonConfig::new(2), n);
+            overlay.check_invariants();
+            assert_eq!(overlay.len(), n);
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner() {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(1), 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let key: f64 = rng.gen();
+            let from = NodeId(rng.gen_range(0..64));
+            let (owner, stats) = overlay.route_1d(from, key, 1);
+            assert_eq!(owner, overlay.owner_of_1d(key));
+            assert!(stats.hops <= 64);
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic() {
+        // Average hops should grow like log n, not n: compare 32 vs 512.
+        let avg_hops = |n: usize| {
+            let overlay = BatonOverlay::bootstrap(BatonConfig::new(1), n);
+            let mut rng = StdRng::seed_from_u64(2);
+            let trials = 400;
+            let total: u64 = (0..trials)
+                .map(|_| {
+                    let key: f64 = rng.gen();
+                    let from = NodeId(rng.gen_range(0..n));
+                    overlay.route_1d(from, key, 1).1.hops
+                })
+                .sum();
+            total as f64 / trials as f64
+        };
+        let small = avg_hops(32);
+        let large = avg_hops(512);
+        // 16× more nodes: hops must grow far less than 16× (log-ish).
+        assert!(large < small * 4.0, "small {small}, large {large}");
+        assert!(
+            large < 2.0 * (512f64).log2(),
+            "large {large} not logarithmic"
+        );
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(3), 1);
+        let (owner, stats) = overlay.route_1d(NodeId(0), 0.73, 1);
+        assert_eq!(owner, NodeId(0));
+        assert_eq!(stats.hops, 0);
+    }
+
+    #[test]
+    fn adjacency_chains_whole_key_space() {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(2), 25);
+        // Walk the chain from the leftmost node; must visit all 25 in
+        // increasing range order.
+        let mut current = overlay.nodes().find(|nd| nd.adj_prev.is_none()).unwrap().id;
+        let mut visited = 1;
+        let mut last_hi = overlay.node(current).range.1;
+        assert_eq!(overlay.node(current).range.0, 0.0);
+        while let Some(next) = overlay.node(current).adj_next {
+            current = next;
+            visited += 1;
+            assert!((overlay.node(current).range.0 - last_hi).abs() < 1e-12);
+            last_hi = overlay.node(current).range.1;
+        }
+        assert_eq!(visited, 25);
+        assert!((last_hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_join_costs_are_logarithmic_per_node() {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(1), 256);
+        let per_join = overlay.bootstrap_stats().hops as f64 / 255.0;
+        assert!(per_join < 2.5 * (256f64).log2(), "per-join hops {per_join}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Morton (Z-order) curve mapping `[0,1)^d → [0,1)`.
+//!
+//! BATON indexes a one-dimensional key range; Hyper-M's wavelet subspaces
+//! are 1–8 dimensional. The Morton curve linearises them while preserving
+//! the property that matters for correctness: **domination monotonicity** —
+//! if `a ≤ b` coordinate-wise then `z(a) ≤ z(b)`. Hence for any box
+//! `[lo, hi]` and any point `p` inside it, `z(lo) ≤ z(p) ≤ z(hi)`, so a
+//! contiguous 1-d range query over `[z(lo), z(hi)]` retrieves a superset of
+//! the box's contents (never a miss; extra candidates are filtered by the
+//! exact d-dimensional geometry).
+
+/// A Morton mapper for a fixed dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZOrder {
+    dim: usize,
+    bits_per_dim: u32,
+}
+
+impl ZOrder {
+    /// Total Morton bits used (bounded so the code fits an `u64`).
+    const TOTAL_BITS: u32 = 60;
+
+    /// A mapper for `dim`-dimensional keys (1 ≤ dim ≤ 16).
+    pub fn new(dim: usize) -> Self {
+        assert!(
+            (1..=16).contains(&dim),
+            "dimension {dim} out of range 1..=16"
+        );
+        Self {
+            dim,
+            bits_per_dim: Self::TOTAL_BITS / dim as u32,
+        }
+    }
+
+    /// Dimensionality of the input space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Grid resolution per dimension (`2^bits_per_dim` cells).
+    pub fn cells_per_dim(&self) -> u64 {
+        1u64 << self.bits_per_dim
+    }
+
+    /// Map a point of `[0,1)^d` to a Morton code, normalised into `[0,1)`.
+    pub fn encode(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        let cells = self.cells_per_dim();
+        let mut code: u64 = 0;
+        // Interleave bits: bit b of dimension k lands at position
+        // b*dim + k (LSB-first), giving the classic Morton layout.
+        for (k, &x) in point.iter().enumerate() {
+            let cell = ((x.clamp(0.0, 1.0 - 1e-12) * cells as f64) as u64).min(cells - 1);
+            for b in 0..self.bits_per_dim {
+                let bit = (cell >> b) & 1;
+                code |= bit << (b as usize * self.dim + k);
+            }
+        }
+        let total_bits = self.bits_per_dim as usize * self.dim;
+        code as f64 / (1u64 << total_bits) as f64
+    }
+
+    /// The Z-interval `[z(lo_corner), z(hi_corner)]` of an axis-aligned box
+    /// (clamped to the unit cube). Every point of the box maps inside it.
+    pub fn interval_of_box(&self, lo: &[f64], hi: &[f64]) -> (f64, f64) {
+        assert_eq!(lo.len(), self.dim, "box dimension mismatch");
+        assert_eq!(hi.len(), self.dim, "box dimension mismatch");
+        let z_lo = self.encode(lo);
+        // The hi corner cell's *upper* edge bounds the interval: add one
+        // cell's worth of code to stay conservative at cell granularity.
+        let z_hi = self.encode(hi);
+        let total_bits = self.bits_per_dim as usize * self.dim;
+        let cell_code = self.dim as f64 / (1u64 << total_bits) as f64;
+        (
+            z_lo,
+            (z_hi + cell_code * 2f64.powi(self.dim as i32)).min(1.0),
+        )
+    }
+
+    /// The Z-interval covering a ball `(centre, radius)`.
+    pub fn interval_of_sphere(&self, centre: &[f64], radius: f64) -> (f64, f64) {
+        assert!(radius >= 0.0, "negative radius");
+        let lo: Vec<f64> = centre.iter().map(|c| (c - radius).max(0.0)).collect();
+        let hi: Vec<f64> = centre
+            .iter()
+            .map(|c| (c + radius).min(1.0 - 1e-12))
+            .collect();
+        self.interval_of_box(&lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn one_dimensional_is_identity_up_to_quantisation() {
+        let z = ZOrder::new(1);
+        for x in [0.0, 0.25, 0.5, 0.93] {
+            assert!((z.encode(&[x]) - x).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn encode_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in 1..=8usize {
+            let z = ZOrder::new(dim);
+            for _ in 0..100 {
+                let p: Vec<f64> = (0..dim).map(|_| rng.gen()).collect();
+                let c = z.encode(&p);
+                assert!((0.0..1.0).contains(&c), "code {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn domination_monotonicity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for dim in [2usize, 3, 4, 8] {
+            let z = ZOrder::new(dim);
+            for _ in 0..200 {
+                let a: Vec<f64> = (0..dim).map(|_| rng.gen()).collect();
+                let b: Vec<f64> = a
+                    .iter()
+                    .map(|&x| (x + rng.gen::<f64>() * (1.0 - x)).min(1.0 - 1e-9))
+                    .collect();
+                assert!(z.encode(&a) <= z.encode(&b) + 1e-15, "domination violated");
+            }
+        }
+    }
+
+    #[test]
+    fn points_in_box_map_into_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dim in [2usize, 4] {
+            let z = ZOrder::new(dim);
+            for _ in 0..50 {
+                let lo: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * 0.5).collect();
+                let hi: Vec<f64> = lo.iter().map(|&l| l + rng.gen::<f64>() * 0.4).collect();
+                let (zl, zh) = z.interval_of_box(&lo, &hi);
+                for _ in 0..50 {
+                    let p: Vec<f64> = lo
+                        .iter()
+                        .zip(&hi)
+                        .map(|(&l, &h)| l + rng.gen::<f64>() * (h - l))
+                        .collect();
+                    let c = z.encode(&p);
+                    assert!(c >= zl - 1e-15 && c <= zh + 1e-15, "point escaped interval");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_interval_covers_sphere_points() {
+        let z = ZOrder::new(3);
+        let centre = [0.4, 0.6, 0.5];
+        let r = 0.1;
+        let (zl, zh) = z.interval_of_sphere(&centre, r);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            // Random point in the ball.
+            let mut off: Vec<f64> = (0..3).map(|_| rng.gen::<f64>() - 0.5).collect();
+            let n: f64 = off.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let len = r * rng.gen::<f64>();
+            for o in off.iter_mut() {
+                *o = *o / n * len;
+            }
+            let p: Vec<f64> = centre
+                .iter()
+                .zip(&off)
+                .map(|(c, o)| (c + o).clamp(0.0, 0.999999))
+                .collect();
+            let c = z.encode(&p);
+            assert!(c >= zl - 1e-15 && c <= zh + 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dimension_limit_enforced() {
+        ZOrder::new(17);
+    }
+}

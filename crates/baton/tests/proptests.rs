@@ -1,0 +1,53 @@
+//! Property-based tests for the BATON overlay invariants.
+
+use hyperm_baton::{BatonConfig, BatonOverlay};
+use hyperm_can::ObjectRef;
+use hyperm_sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tree is structurally sound for any population size.
+    #[test]
+    fn invariants_hold(n in 1usize..200, dim in 1usize..6) {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(dim), n);
+        overlay.check_invariants();
+    }
+
+    /// Routing reaches the true owner from any start node for any key.
+    #[test]
+    fn routing_correct(n in 1usize..128, key in 0.0..1.0f64, from in any::<prop::sample::Index>()) {
+        let overlay = BatonOverlay::bootstrap(BatonConfig::new(1), n);
+        let start = NodeId(from.index(n));
+        let (owner, stats) = overlay.route_1d(start, key, 1);
+        prop_assert_eq!(owner, overlay.owner_of_1d(key));
+        prop_assert!(stats.hops <= n as u64);
+    }
+
+    /// Sphere replication + range query are complete: any inserted sphere
+    /// intersecting the query ball is found.
+    #[test]
+    fn range_completeness(
+        n in 2usize..64,
+        cx in 0.0..1.0f64,
+        cy in 0.0..1.0f64,
+        r in 0.0..0.4f64,
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+        qr in 0.0..0.4f64,
+    ) {
+        let mut overlay = BatonOverlay::bootstrap(BatonConfig::new(2), n);
+        overlay.insert_sphere(
+            NodeId(0),
+            vec![cx, cy],
+            r,
+            ObjectRef { peer: 0, tag: 0, items: 1 },
+            true,
+        );
+        let res = overlay.range_query(NodeId(n / 2), &[qx, qy], qr);
+        let d = ((cx - qx).powi(2) + (cy - qy).powi(2)).sqrt();
+        let should = d <= r + qr + 1e-12;
+        prop_assert_eq!(!res.matches.is_empty(), should, "d = {}, r+qr = {}", d, r + qr);
+    }
+}

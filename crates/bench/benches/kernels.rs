@@ -1,0 +1,231 @@
+//! Criterion micro-benchmarks for Hyper-M's hot kernels.
+//!
+//! These complement the figure binaries (which measure simulated message
+//! counts): here we measure the *wall-clock* cost of the algorithmic
+//! pieces a real device would execute — DWT decomposition, per-level
+//! k-means, sphere-intersection scoring, the Eq. 8 radius solver, CAN
+//! routing and the end-to-end build/query paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperm_baton::{BatonConfig, BatonOverlay};
+use hyperm_can::{CanConfig, CanOverlay, ObjectRef};
+use hyperm_cluster::kmeans::kmeans;
+use hyperm_cluster::{Dataset, KMeansConfig};
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions};
+use hyperm_datagen::{generate_markov, MarkovConfig};
+use hyperm_geometry::{intersection_fraction, solve_epsilon_for_k, ClusterView};
+use hyperm_sim::NodeId;
+use hyperm_wavelet::{decompose, Normalization};
+use std::hint::black_box;
+
+fn bench_dwt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwt_decompose");
+    for dim in [64usize, 512] {
+        let v: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &v, |b, v| {
+            b.iter(|| decompose(black_box(v), Normalization::PaperAverage).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_peer_level");
+    group.sample_size(20);
+    // A peer's level view: 1000 items in low-dimensional subspaces.
+    for dim in [1usize, 4] {
+        let data = generate_markov(&MarkovConfig {
+            count: 1000,
+            dim: 64,
+            max_step_cap: 0.05,
+            seed: 1,
+        });
+        let mut view = Dataset::new(dim);
+        for row in data.rows() {
+            view.push_row(&row[..dim]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &view, |b, view| {
+            b.iter(|| kmeans(black_box(view), &KMeansConfig::new(10).with_seed(2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    c.bench_function("intersection_fraction_d4", |b| {
+        b.iter(|| {
+            intersection_fraction(
+                black_box(4),
+                black_box(0.3),
+                black_box(0.25),
+                black_box(0.4),
+            )
+        })
+    });
+    let clusters: Vec<ClusterView> = (0..50)
+        .map(|i| ClusterView {
+            centre_dist: 0.1 + i as f64 * 0.02,
+            radius: 0.05 + (i % 7) as f64 * 0.01,
+            items: 20.0,
+        })
+        .collect();
+    c.bench_function("solve_epsilon_for_k", |b| {
+        b.iter(|| solve_epsilon_for_k(black_box(4), black_box(&clusters), black_box(100.0), 1e-6))
+    });
+}
+
+fn bench_can(c: &mut Criterion) {
+    let overlay = CanOverlay::bootstrap(CanConfig::new(2).with_seed(3), 100);
+    c.bench_function("can_route_100n_2d", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            let x = (i >> 11) as f64 / (1u64 << 53) as f64;
+            let y = ((i.wrapping_mul(31)) >> 11) as f64 / (1u64 << 53) as f64;
+            overlay.route(NodeId((i % 100) as usize), black_box(&[x, y]), 64)
+        })
+    });
+    c.bench_function("can_insert_sphere_100n_2d", |b| {
+        b.iter_batched(
+            || overlay.clone(),
+            |mut ov| {
+                ov.insert_sphere(
+                    NodeId(0),
+                    vec![0.4, 0.6],
+                    0.05,
+                    ObjectRef {
+                        peer: 0,
+                        tag: 0,
+                        items: 10,
+                    },
+                    true,
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_alternative_substrates(c: &mut Criterion) {
+    let baton = BatonOverlay::bootstrap(BatonConfig::new(1), 100);
+    c.bench_function("baton_route_100n_1d", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            let key = (i >> 11) as f64 / (1u64 << 53) as f64;
+            baton.route_1d(hyperm_sim::NodeId((i % 100) as usize), black_box(key), 64)
+        })
+    });
+    let vbi = hyperm_vbi::VbiOverlay::bootstrap(hyperm_vbi::VbiConfig::new(2), 100);
+    c.bench_function("vbi_route_100n_2d", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E3779B97F4A7C15);
+            let x = (i >> 11) as f64 / (1u64 << 53) as f64;
+            let y = ((i.wrapping_mul(31)) >> 11) as f64 / (1u64 << 53) as f64;
+            vbi.route_point(
+                hyperm_sim::NodeId((i % 100) as usize),
+                black_box(&[x, y]),
+                64,
+            )
+        })
+    });
+}
+
+fn bench_local_index(c: &mut Criterion) {
+    use hyperm_cluster::KdTree;
+    let data = generate_markov(&MarkovConfig {
+        count: 2000,
+        dim: 64,
+        max_step_cap: 0.05,
+        seed: 9,
+    });
+    let tree = KdTree::build(&data);
+    let q: Vec<f64> = data.row(17).to_vec();
+    c.bench_function("local_knn_kdtree_2000x64", |b| {
+        b.iter(|| tree.knn(&data, black_box(&q), 10))
+    });
+    c.bench_function("local_knn_linear_2000x64", |b| {
+        b.iter(|| {
+            let mut all: Vec<(usize, f64)> = data
+                .rows()
+                .enumerate()
+                .map(|(i, row)| {
+                    let d: f64 = row
+                        .iter()
+                        .zip(&q)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    (i, d)
+                })
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            all.truncate(10);
+            all
+        })
+    });
+}
+
+fn bench_wavelet_variants(c: &mut Criterion) {
+    let v: Vec<f64> = (0..512).map(|i| (i as f64 * 0.11).sin()).collect();
+    c.bench_function("cdf53_decompose_512", |b| {
+        b.iter(|| hyperm_wavelet::cdf53_decompose(black_box(&v)))
+    });
+    c.bench_function("d4_decompose_512", |b| {
+        b.iter(|| hyperm_wavelet::d4_decompose(black_box(&v)))
+    });
+    let img = hyperm_wavelet::Image::from_flat(
+        (0..32 * 32).map(|i| (i % 17) as f64 / 17.0).collect(),
+        32,
+        32,
+    );
+    c.bench_function("dwt2_pyramid_32x32_l3", |b| {
+        b.iter(|| hyperm_wavelet::dwt2_pyramid(black_box(&img), 3, Normalization::PaperAverage))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperm_end_to_end");
+    group.sample_size(10);
+    let data = generate_markov(&MarkovConfig {
+        count: 2000,
+        dim: 64,
+        max_step_cap: 0.05,
+        seed: 5,
+    });
+    let peers: Vec<Dataset> = (0..20)
+        .map(|p| data.select(&(p * 100..(p + 1) * 100).collect::<Vec<_>>()))
+        .collect();
+    let cfg = HypermConfig::new(64)
+        .with_levels(4)
+        .with_clusters_per_peer(10)
+        .with_seed(7);
+
+    group.bench_function("build_20peers_x100items_64d", |b| {
+        b.iter(|| HypermNetwork::build(black_box(peers.clone()), cfg.clone()).unwrap())
+    });
+
+    let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+    let q = peers[3].row(0).to_vec();
+    group.bench_function("range_query", |b| {
+        b.iter(|| net.range_query(0, black_box(&q), 0.2, None))
+    });
+    group.bench_function("knn_query_k10", |b| {
+        b.iter(|| net.knn_query(0, black_box(&q), 10, KnnOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dwt,
+    bench_kmeans,
+    bench_geometry,
+    bench_can,
+    bench_alternative_substrates,
+    bench_local_index,
+    bench_wavelet_variants,
+    bench_end_to_end
+);
+criterion_main!(benches);

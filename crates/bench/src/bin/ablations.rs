@@ -1,0 +1,114 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. score aggregation policy (min — the paper's — vs avg vs max);
+//! 2. wavelet normalisation (paper average vs orthonormal);
+//! 3. k-means initialisation (k-means++ vs Forgy) on retrieval quality.
+//!
+//! Each section reports k-nn retrieved-set precision/recall and the
+//! message cost per query.
+
+use hyperm_bench::{f1, f3, print_table, RetrievalWorkload, Scale};
+use hyperm_core::{EvalHarness, HypermConfig, HypermNetwork, KnnOptions, ScorePolicy};
+use hyperm_wavelet::Normalization;
+
+fn eval(net: &HypermNetwork, queries: &[Vec<f64>], k: usize) -> (f64, f64, f64) {
+    let harness = EvalHarness::new(net);
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    let mut msgs = 0.0;
+    for q in queries {
+        let e = harness.eval_knn(net, 0, q, k, KnnOptions::default());
+        precision += e.retrieved.precision;
+        recall += e.retrieved.recall;
+        msgs += e.stats.messages as f64;
+    }
+    let n = queries.len() as f64;
+    (precision / n, recall / n, msgs / n)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = RetrievalWorkload::at(scale);
+    println!("Ablations ({} nodes, scale {scale:?})", w.nodes);
+    let peers = w.build_peers(91);
+    let k = 20;
+
+    // 1. Score policy.
+    let mut rows = Vec::new();
+    let mut queries = None;
+    for (name, policy) in [
+        ("min (paper)", ScorePolicy::Min),
+        ("avg", ScorePolicy::Avg),
+        ("max", ScorePolicy::Max),
+    ] {
+        let cfg = HypermConfig::new(64)
+            .with_levels(4)
+            .with_clusters_per_peer(10)
+            .with_seed(93)
+            .with_score_policy(policy);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        let qs = queries
+            .get_or_insert_with(|| EvalHarness::new(&net).sample_queries(&net, 20, 19))
+            .clone();
+        let (p, r, m) = eval(&net, &qs, k);
+        rows.push(vec![name.into(), f3(p), f3(r), f1(m)]);
+    }
+    print_table(
+        "score aggregation policy",
+        &["policy", "precision", "recall", "msgs/query"],
+        &rows,
+    );
+
+    // 2. Wavelet normalisation.
+    let mut rows = Vec::new();
+    for (name, norm) in [
+        ("paper average", Normalization::PaperAverage),
+        ("orthonormal", Normalization::Orthonormal),
+    ] {
+        let mut cfg = HypermConfig::new(64)
+            .with_levels(4)
+            .with_clusters_per_peer(10)
+            .with_seed(95);
+        cfg.normalization = norm;
+        let (net, report) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        let qs = queries.as_ref().unwrap().clone();
+        let (p, r, m) = eval(&net, &qs, k);
+        rows.push(vec![
+            name.into(),
+            f3(p),
+            f3(r),
+            f1(m),
+            f3(report.avg_hops_per_item()),
+        ]);
+    }
+    print_table(
+        "wavelet normalisation",
+        &[
+            "convention",
+            "precision",
+            "recall",
+            "msgs/query",
+            "insert hops/item",
+        ],
+        &rows,
+    );
+
+    // 3. k-means iteration budget (summarisation quality vs cost).
+    let mut rows = Vec::new();
+    for iters in [2usize, 10, 50] {
+        let mut cfg = HypermConfig::new(64)
+            .with_levels(4)
+            .with_clusters_per_peer(10)
+            .with_seed(97);
+        cfg.kmeans_max_iter = iters;
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        let qs = queries.as_ref().unwrap().clone();
+        let (p, r, m) = eval(&net, &qs, k);
+        rows.push(vec![iters.to_string(), f3(p), f3(r), f1(m)]);
+    }
+    print_table(
+        "k-means iteration budget",
+        &["max iterations", "precision", "recall", "msgs/query"],
+        &rows,
+    );
+}

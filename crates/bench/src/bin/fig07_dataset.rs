@@ -1,0 +1,74 @@
+//! Figure 7: the synthetic Markov dataset.
+//!
+//! Prints summary statistics of the generated corpus and a few sample
+//! vectors (downsampled coordinate series) so the wavy shapes of the
+//! paper's Figure 7b can be eyeballed.
+
+use hyperm_bench::{f3, print_table, DisseminationWorkload, Scale};
+use hyperm_datagen::{generate_markov, MarkovConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = DisseminationWorkload::at(scale);
+    let total = w.nodes * w.items_per_node;
+    println!(
+        "Figure 7 — synthetic Markov dataset ({total} x {}-d, scale {scale:?})",
+        w.dim
+    );
+
+    let data = generate_markov(&MarkovConfig {
+        count: total,
+        dim: w.dim,
+        max_step_cap: 0.05,
+        seed: 42,
+    });
+
+    // Global statistics.
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut jumps = 0.0f64;
+    let mut jump_count = 0u64;
+    for row in data.rows() {
+        for &x in row {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        for w2 in row.windows(2) {
+            jumps += (w2[1] - w2[0]).abs();
+            jump_count += 1;
+        }
+    }
+    let mean = sum / (total * w.dim) as f64;
+    print_table(
+        "corpus statistics",
+        &["vectors", "dim", "min", "max", "mean", "mean |x_{i+1}-x_i|"],
+        &[vec![
+            total.to_string(),
+            w.dim.to_string(),
+            f3(min),
+            f3(max),
+            f3(mean),
+            f3(jumps / jump_count as f64),
+        ]],
+    );
+
+    // Sample series, downsampled to 16 points per vector.
+    let step = w.dim / 16;
+    let rows: Vec<Vec<String>> = (0..4)
+        .map(|v| {
+            let mut cells = vec![format!("v{v}")];
+            cells.extend((0..16).map(|i| f3(data.row(v * 7)[i * step])));
+            cells
+        })
+        .collect();
+    let mut headers = vec!["vector"];
+    let labels: Vec<String> = (0..16).map(|i| format!("x{}", i * step)).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    print_table(
+        "sample vectors (downsampled, cf. Figure 7b)",
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 8a: cluster replication overhead.
+//!
+//! "Figure 8a shows the average number of hops for different cluster sizes.
+//! As expected, if the clustering is finer, the number of hops approaches
+//! the no-replication standard" — finer clusters (more clusters per peer)
+//! have smaller radii, overlap fewer CAN zones, and replicate less.
+//!
+//! Series printed: average hops per *cluster insertion* with replication,
+//! without replication, and the replication factor (replicas per cluster).
+
+use hyperm_bench::{f1, f3, print_table, DisseminationWorkload, Scale};
+use hyperm_core::{HypermConfig, HypermNetwork};
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = DisseminationWorkload::at(scale);
+    println!(
+        "Figure 8a — replication overhead ({} nodes x {} items, {}-d, scale {scale:?})",
+        w.nodes, w.items_per_node, w.dim
+    );
+    let peers = w.build_peers(7);
+
+    let cluster_counts = [5usize, 10, 20, 50, 100];
+    let mut rows = Vec::new();
+    for &k in &cluster_counts {
+        let base = HypermConfig::new(w.dim)
+            .with_levels(4)
+            .with_clusters_per_peer(k)
+            .with_seed(3);
+        let (_, with_rep) =
+            HypermNetwork::build(peers.clone(), base.clone().with_replication(true)).unwrap();
+        let (_, no_rep) =
+            HypermNetwork::build(peers.clone(), base.with_replication(false)).unwrap();
+        rows.push(vec![
+            k.to_string(),
+            f3(with_rep.insertion.hops as f64 / with_rep.clusters_published as f64),
+            f3(no_rep.insertion.hops as f64 / no_rep.clusters_published as f64),
+            f3(with_rep.replicas as f64 / with_rep.clusters_published as f64),
+            f1(with_rep.insertion.hops as f64),
+            f1(no_rep.insertion.hops as f64),
+        ]);
+    }
+    print_table(
+        "avg hops per cluster insertion vs clusters per peer",
+        &[
+            "clusters/peer",
+            "hops/cluster (replication)",
+            "hops/cluster (no replication)",
+            "replicas/cluster",
+            "total hops (rep)",
+            "total hops (no rep)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): with finer clustering (more clusters/peer), the\n\
+         replication column approaches the no-replication standard."
+    );
+}

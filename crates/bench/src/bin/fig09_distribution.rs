@@ -1,0 +1,112 @@
+//! Figure 9: data distribution among nodes under skewed data.
+//!
+//! "The CAN overlay of the dimensionality of the original dataset performs
+//! among the worst, having most of the data on a very small number of
+//! nodes. The absolute worst case … occurs with the usage of only the
+//! approximation level. However, as detail levels are added, the nodes used
+//! turn out to be from different parts of the overlay due to the
+//! orthogonality of the spaces."
+//!
+//! For skewed corpora (2–5 dense clusters) we report, per overlay, how
+//! concentrated the stored summaries' item mass is (non-empty nodes, share
+//! of the top 10% of nodes, Gini coefficient), plus the paper's headline
+//! number: the average count of peers holding data across all overlays.
+
+use hyperm_baseline::{distribution_stats, insert_all_items, PerItemCanConfig};
+use hyperm_bench::{f3, print_table, Scale};
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork};
+use hyperm_datagen::{generate_skewed, SkewedConfig};
+
+fn occupancy_stats(items_per_node: &[u64]) -> (usize, f64, f64) {
+    let s = distribution_stats(items_per_node);
+    (s.nonempty, s.top10_share, s.gini)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 100usize;
+    let dim = 512usize;
+    let count = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 20_000,
+    };
+    println!("Figure 9 — data distribution under skew ({nodes} nodes, {dim}-d, {count} items, scale {scale:?})");
+
+    for blobs in 2..=5usize {
+        let corpus = generate_skewed(&SkewedConfig {
+            blobs,
+            count,
+            dim,
+            spread: 0.02,
+            seed: 21,
+        });
+        // Deal items round-robin onto peers (skew is in the data, not the
+        // peer assignment).
+        let mut peers: Vec<Dataset> = (0..nodes).map(|_| Dataset::new(dim)).collect();
+        for (i, row) in corpus.data.rows().enumerate() {
+            peers[i % nodes].push_row(row);
+        }
+
+        // Hyper-M with 4 levels.
+        let cfg = HypermConfig::new(dim)
+            .with_levels(4)
+            .with_clusters_per_peer(10)
+            .with_seed(23);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+
+        // Per-item CAN in the original space, for the "original" line.
+        let can_full = insert_all_items(&peers, &PerItemCanConfig::full_dim(nodes, dim, 23));
+
+        let mut rows = Vec::new();
+        let (ne, top10, gini) = occupancy_stats(&can_full.overlay.stored_items_per_node());
+        rows.push(vec![
+            "original 512-d (per item)".into(),
+            ne.to_string(),
+            f3(top10),
+            f3(gini),
+        ]);
+        let mut nonempty_sum = 0usize;
+        let mut combined = vec![0u64; nodes];
+        for l in 0..net.levels() {
+            let occ = net.overlay(l).stored_items_per_node();
+            for (c, o) in combined.iter_mut().zip(&occ) {
+                *c += o;
+            }
+            let (ne, top10, gini) = occupancy_stats(&occ);
+            nonempty_sum += ne;
+            let label = match net.subspace(l) {
+                hyperm_wavelet::Subspace::Approx => "Hyper-M: A (approx only)".to_string(),
+                hyperm_wavelet::Subspace::Detail(d) => format!("Hyper-M: D_{d}"),
+            };
+            rows.push(vec![label, ne.to_string(), f3(top10), f3(gini)]);
+        }
+        // The paper's headline effect: each overlay loads *different*
+        // devices (orthogonal subspaces place the same data independently),
+        // so the per-device load summed across all levels is far better
+        // spread than any single space.
+        let (ne, top10, gini) = occupancy_stats(&combined);
+        rows.push(vec![
+            "Hyper-M: all levels combined (per device)".into(),
+            ne.to_string(),
+            f3(top10),
+            f3(gini),
+        ]);
+        rows.push(vec![
+            "Hyper-M: avg peers holding data (per level)".into(),
+            format!("{:.1}", nonempty_sum as f64 / net.levels() as f64),
+            String::new(),
+            String::new(),
+        ]);
+        print_table(
+            &format!("{blobs} dense clusters"),
+            &["overlay", "non-empty nodes", "top-10% share", "Gini"],
+            &rows,
+        );
+    }
+    println!(
+        "\nExpected shape (paper): the original-space overlay and the approximation-only\n\
+         overlay concentrate data on few nodes (high Gini); adding detail levels\n\
+         spreads load because the wavelet subspaces are orthogonal."
+    );
+}

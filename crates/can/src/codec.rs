@@ -1,0 +1,285 @@
+//! Binary wire codec for overlay messages.
+//!
+//! The simulators charge byte costs per message; this module makes those
+//! costs *real* by defining the actual on-wire encoding of the two payload
+//! types that cross the network — published cluster objects and range
+//! queries — instead of an analytic size formula. All sizes reported by
+//! [`StoredObject::wire_bytes`] equal the encoder's output length exactly
+//! (asserted by tests), so the simulated byte counts are what a real
+//! deployment would transmit.
+//!
+//! Layout (little-endian, fixed width — these are small records, varints
+//! would save ≤ 10% at the cost of branchy decode on battery devices):
+//!
+//! ```text
+//! object:  id u64 | dim u16 | centre f64×dim | radius f64 | peer u64 | tag u64 | items u32
+//! query:   dim u16 | centre f64×dim | radius f64
+//! ```
+
+use crate::ops::{ObjectRef, StoredObject};
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the record did.
+    Truncated {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The buffer is longer than one record.
+    TrailingBytes(usize),
+    /// A floating-point field decoded to NaN/∞ or a count overflowed.
+    CorruptField(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, got } => {
+                write!(f, "truncated record: needed {needed} bytes, got {got}")
+            }
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+            CodecError::CorruptField(name) => write!(f, "corrupt field {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated {
+                needed: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, field: &'static str) -> Result<f64, CodecError> {
+        let v = f64::from_le_bytes(self.take(8)?.try_into().unwrap());
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(CodecError::CorruptField(field))
+        }
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+/// Encoded length of an object record with `dim` centre coordinates.
+pub fn object_wire_len(dim: usize) -> usize {
+    8 + 2 + 8 * dim + 8 + 8 + 8 + 4
+}
+
+/// Encoded length of a query record with `dim` centre coordinates.
+pub fn query_wire_len(dim: usize) -> usize {
+    2 + 8 * dim + 8
+}
+
+/// Encode a stored object for transmission.
+pub fn encode_object(obj: &StoredObject) -> Vec<u8> {
+    let dim = obj.centre.len();
+    assert!(
+        dim <= u16::MAX as usize,
+        "dimension too large for wire format"
+    );
+    let mut out = Vec::with_capacity(object_wire_len(dim));
+    out.extend_from_slice(&obj.id.to_le_bytes());
+    out.extend_from_slice(&(dim as u16).to_le_bytes());
+    for &x in &obj.centre {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.extend_from_slice(&obj.radius.to_le_bytes());
+    out.extend_from_slice(&(obj.payload.peer as u64).to_le_bytes());
+    out.extend_from_slice(&obj.payload.tag.to_le_bytes());
+    out.extend_from_slice(&obj.payload.items.to_le_bytes());
+    debug_assert_eq!(out.len(), object_wire_len(dim));
+    out
+}
+
+/// Decode one object record.
+pub fn decode_object(buf: &[u8]) -> Result<StoredObject, CodecError> {
+    let mut r = Reader::new(buf);
+    let id = r.u64()?;
+    let dim = r.u16()? as usize;
+    let mut centre = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        centre.push(r.f64("centre")?);
+    }
+    let radius = r.f64("radius")?;
+    if radius < 0.0 {
+        return Err(CodecError::CorruptField("radius"));
+    }
+    let peer = r.u64()? as usize;
+    let tag = r.u64()?;
+    let items = r.u32()?;
+    r.finish()?;
+    Ok(StoredObject {
+        id,
+        centre,
+        radius,
+        payload: ObjectRef { peer, tag, items },
+    })
+}
+
+/// Encode a range-query record.
+pub fn encode_query(centre: &[f64], radius: f64) -> Vec<u8> {
+    assert!(
+        centre.len() <= u16::MAX as usize,
+        "dimension too large for wire format"
+    );
+    let mut out = Vec::with_capacity(query_wire_len(centre.len()));
+    out.extend_from_slice(&(centre.len() as u16).to_le_bytes());
+    for &x in centre {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.extend_from_slice(&radius.to_le_bytes());
+    out
+}
+
+/// Decode one range-query record into `(centre, radius)`.
+pub fn decode_query(buf: &[u8]) -> Result<(Vec<f64>, f64), CodecError> {
+    let mut r = Reader::new(buf);
+    let dim = r.u16()? as usize;
+    let mut centre = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        centre.push(r.f64("centre")?);
+    }
+    let radius = r.f64("radius")?;
+    if radius < 0.0 {
+        return Err(CodecError::CorruptField("radius"));
+    }
+    r.finish()?;
+    Ok((centre, radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(dim: usize) -> StoredObject {
+        StoredObject {
+            id: 0xDEAD_BEEF,
+            centre: (0..dim).map(|i| i as f64 * 0.125 - 1.0).collect(),
+            radius: 0.375,
+            payload: ObjectRef {
+                peer: 42,
+                tag: 7,
+                items: 1234,
+            },
+        }
+    }
+
+    #[test]
+    fn object_roundtrip_many_dims() {
+        for dim in [1usize, 2, 4, 8, 64, 512] {
+            let o = obj(dim);
+            let bytes = encode_object(&o);
+            assert_eq!(bytes.len(), object_wire_len(dim));
+            assert_eq!(bytes.len() as u64, o.wire_bytes());
+            let back = decode_object(&bytes).unwrap();
+            assert_eq!(back, o);
+        }
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let centre = vec![0.1, 0.9, 0.5];
+        let bytes = encode_query(&centre, 0.25);
+        assert_eq!(bytes.len(), query_wire_len(3));
+        let (c, r) = decode_query(&bytes).unwrap();
+        assert_eq!(c, centre);
+        assert_eq!(r, 0.25);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let bytes = encode_object(&obj(4));
+        for cut in 0..bytes.len() {
+            let err = decode_object(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_object(&obj(2));
+        bytes.push(0);
+        assert_eq!(
+            decode_object(&bytes).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn corrupt_floats_rejected() {
+        let mut bytes = encode_object(&obj(2));
+        // Overwrite the first centre coordinate with NaN.
+        bytes[10..18].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            decode_object(&bytes).unwrap_err(),
+            CodecError::CorruptField("centre")
+        );
+        // Negative radius.
+        let mut bytes = encode_object(&obj(2));
+        let radius_off = 8 + 2 + 16;
+        bytes[radius_off..radius_off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(
+            decode_object(&bytes).unwrap_err(),
+            CodecError::CorruptField("radius")
+        );
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics() {
+        // Deterministic pseudo-random buffers of many lengths.
+        let mut state = 0x1234_5678u64;
+        for len in 0..200 {
+            let buf: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = decode_object(&buf);
+            let _ = decode_query(&buf);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Mapping between application data space and the CAN key space.
+//!
+//! CAN keys live in `[0,1)^d`. Hyper-M publishes wavelet-subspace vectors
+//! whose coordinate ranges depend on the data; a [`KeyMap`] performs the
+//! affine translation using *configured* (not measured) bounds, because in
+//! the distributed setting no peer can see global statistics — the bounds
+//! are part of the shared network configuration, exactly like the hash
+//! function of a DHT.
+//!
+//! The map also supports *projection*: indexing only the first `key_dim`
+//! coordinates of higher-dimensional data. The paper's 2-d CAN baseline
+//! ("we implemented 2-dimensional CAN for the 512-dimensional dataset by
+//! indexing in only 2 dimensions") is expressed this way. Projection is a
+//! contraction, so converting a data-space radius with [`KeyMap::to_key_radius`]
+//! remains conservative: a key-space ball of the converted radius contains
+//! the projection of the data-space ball.
+
+/// Affine data-space → key-space transform with optional projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyMap {
+    lo: Vec<f64>,
+    inv_extent: Vec<f64>,
+    /// Largest `1/extent` across key dimensions — used for conservative
+    /// radius conversion.
+    max_inv_extent: f64,
+}
+
+impl KeyMap {
+    /// A map for `key_dim` key dimensions where every data coordinate is
+    /// expected in `[lo, hi]`.
+    pub fn uniform(key_dim: usize, lo: f64, hi: f64) -> Self {
+        assert!(key_dim > 0, "key dimension must be positive");
+        assert!(lo < hi, "invalid bounds {lo}..{hi}");
+        Self::from_bounds(vec![lo; key_dim], vec![hi; key_dim])
+    }
+
+    /// A map with per-dimension bounds; `lo.len()` is the key dimension.
+    pub fn from_bounds(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(!lo.is_empty(), "key dimension must be positive");
+        let inv_extent: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(l, h)| {
+                assert!(l < h, "invalid bounds {l}..{h}");
+                1.0 / (h - l)
+            })
+            .collect();
+        let max_inv_extent = inv_extent.iter().fold(0.0f64, |a, &b| a.max(b));
+        Self {
+            lo,
+            inv_extent,
+            max_inv_extent,
+        }
+    }
+
+    /// Number of key dimensions.
+    pub fn key_dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Map a data point to a key. Data with more coordinates than the key
+    /// dimension is projected onto its first `key_dim` coordinates; fewer
+    /// is an error. Out-of-bounds coordinates are clamped into `[0, 1)`.
+    pub fn to_key(&self, data: &[f64]) -> Vec<f64> {
+        assert!(
+            data.len() >= self.key_dim(),
+            "data dimension {} below key dimension {}",
+            data.len(),
+            self.key_dim()
+        );
+        self.lo
+            .iter()
+            .zip(&self.inv_extent)
+            .zip(data)
+            .map(|((l, inv), &x)| ((x - l) * inv).clamp(0.0, ONE_MINUS_EPS))
+            .collect()
+    }
+
+    /// Conservatively convert a data-space radius to key space: scaled by
+    /// the largest per-dimension `1/extent`, so the key-space ball always
+    /// covers the image of the data-space ball (no false dismissals).
+    pub fn to_key_radius(&self, r: f64) -> f64 {
+        assert!(r >= 0.0, "negative radius {r}");
+        r * self.max_inv_extent
+    }
+
+    /// Map a key back to the data subspace (inverse affine; lossy for
+    /// projected dimensions, which simply do not appear).
+    pub fn to_data(&self, key: &[f64]) -> Vec<f64> {
+        assert_eq!(key.len(), self.key_dim(), "key dimension mismatch");
+        self.lo
+            .iter()
+            .zip(&self.inv_extent)
+            .zip(key)
+            .map(|((l, inv), &k)| l + k / inv)
+            .collect()
+    }
+}
+
+/// Largest representable key coordinate below 1.0 (keys live in `[0,1)`).
+const ONE_MINUS_EPS: f64 = 1.0 - 1e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_roundtrip() {
+        let m = KeyMap::uniform(3, -2.0, 2.0);
+        let key = m.to_key(&[-2.0, 0.0, 1.0]);
+        assert!((key[0] - 0.0).abs() < 1e-9);
+        assert!((key[1] - 0.5).abs() < 1e-9);
+        assert!((key[2] - 0.75).abs() < 1e-9);
+        let back = m.to_data(&key);
+        for (a, b) in back.iter().zip(&[-2.0, 0.0, 1.0]) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_bounds() {
+        let m = KeyMap::uniform(1, 0.0, 1.0);
+        assert_eq!(m.to_key(&[-5.0])[0], 0.0);
+        assert!(m.to_key(&[7.0])[0] < 1.0);
+    }
+
+    #[test]
+    fn projection_takes_leading_coordinates() {
+        let m = KeyMap::uniform(2, 0.0, 10.0);
+        let key = m.to_key(&[5.0, 2.5, 99.0, 99.0]);
+        assert_eq!(key.len(), 2);
+        assert!((key[0] - 0.5).abs() < 1e-9);
+        assert!((key[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radius_conversion_is_conservative() {
+        let m = KeyMap::from_bounds(vec![0.0, 0.0], vec![10.0, 2.0]);
+        // Tightest dimension has extent 2 → factor 1/2.
+        assert!((m.to_key_radius(1.0) - 0.5).abs() < 1e-12);
+        // Any pair of points within data distance r maps within key
+        // distance to_key_radius(r)·√? — check empirically on the axes.
+        let a = m.to_key(&[5.0, 1.0]);
+        let b = m.to_key(&[5.0, 1.0 + 1.0]); // distance 1 along tight axis
+        let dk: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dk <= m.to_key_radius(1.0) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "below key dimension")]
+    fn too_few_coordinates_rejected() {
+        KeyMap::uniform(4, 0.0, 1.0).to_key(&[0.5, 0.5]);
+    }
+}

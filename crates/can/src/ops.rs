@@ -1,0 +1,434 @@
+//! Object operations: insertion with replication, lookups and flooding
+//! range queries.
+//!
+//! Hyper-M's published objects are cluster *spheres*, and "a problem
+//! specific to CAN when used to index non-zero sized objects is the
+//! possibility that the area of the object overlaps more than one region"
+//! (Section 5, Figure 6). A sphere is therefore **replicated** into every
+//! zone it overlaps, by flooding outward from its centroid's owner; range
+//! queries symmetrically flood every zone overlapping the query ball.
+//! Both floods are costed as idealised multicast trees: one message per
+//! newly reached node (real gossip would add duplicate-suppression traffic,
+//! which affects constants, not shapes).
+
+use crate::overlay::CanOverlay;
+use hyperm_sim::{NodeId, OpStats};
+use std::collections::VecDeque;
+
+/// What a stored object points back to: the peer that published it and an
+/// opaque tag (e.g. which of the peer's clusters it is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectRef {
+    /// Publishing peer (application-level id, not the CAN node id).
+    pub peer: usize,
+    /// Publisher-chosen tag (cluster index, item index, …).
+    pub tag: u64,
+    /// Number of data items this object summarises (`items_c` of Eq. 1).
+    pub items: u32,
+}
+
+/// An object stored in a CAN node's local store (possibly a replica).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredObject {
+    /// Globally unique object id (assigned at insertion; replicas share it).
+    pub id: u64,
+    /// Key-space centre.
+    pub centre: Vec<f64>,
+    /// Key-space radius (0 for point objects).
+    pub radius: f64,
+    /// Back-reference to the publisher.
+    pub payload: ObjectRef,
+}
+
+impl StoredObject {
+    /// Exact wire size of this object's binary encoding (see
+    /// [`crate::codec`]).
+    pub fn wire_bytes(&self) -> u64 {
+        crate::codec::object_wire_len(self.centre.len()) as u64
+    }
+}
+
+/// Result of a sphere/point insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertOutcome {
+    /// Owner of the object's centre.
+    pub owner: NodeId,
+    /// Nodes storing the object (1 = no replication happened/needed).
+    pub replicas: usize,
+    /// Total message cost (routing + replication fan-out).
+    pub stats: OpStats,
+    /// Critical-path length in rounds: routing hops + replication-flood
+    /// depth (flood messages at the same depth travel in parallel).
+    pub rounds: u64,
+}
+
+/// Result of a range query.
+#[derive(Debug, Clone)]
+pub struct RangeOutcome {
+    /// Matching objects, deduplicated by object id.
+    pub matches: Vec<StoredObject>,
+    /// Overlay nodes visited by the flood.
+    pub nodes_visited: usize,
+    /// Total message cost (routing + flood + responses).
+    pub stats: OpStats,
+}
+
+/// Size of a range-query packet: centre + radius + header.
+fn query_bytes(dim: usize) -> u64 {
+    8 * (dim as u64 + 1) + 16
+}
+
+impl CanOverlay {
+    /// Insert a sphere object whose centre/radius are already in key space.
+    ///
+    /// Routes from `from` to the centre's owner, then (if `replicate`)
+    /// floods replicas into every zone the sphere overlaps. With
+    /// `replicate = false` only the owner stores it — the paper's
+    /// "no-replication standard" baseline of Figure 8a.
+    pub fn insert_sphere(
+        &mut self,
+        from: NodeId,
+        centre: Vec<f64>,
+        radius: f64,
+        payload: ObjectRef,
+        replicate: bool,
+    ) -> InsertOutcome {
+        assert_eq!(centre.len(), self.dim(), "centre dimension mismatch");
+        assert!(radius >= 0.0, "negative radius {radius}");
+        let id = self.next_object_id;
+        self.next_object_id += 1;
+        let obj = StoredObject {
+            id,
+            centre,
+            radius,
+            payload,
+        };
+        let bytes = obj.wire_bytes();
+
+        let (owner, mut stats) = self.route(from, &obj.centre, bytes);
+        let route_hops = stats.hops;
+
+        let mut replicas = 0usize;
+        let mut flood_depth = 0u64;
+        if replicate && radius > 0.0 {
+            // BFS flood over zones overlapping the sphere; the queue holds
+            // (node, depth) so the critical path is the max depth reached.
+            let mut visited = vec![false; self.len()];
+            let mut queue = VecDeque::new();
+            visited[owner.0] = true;
+            queue.push_back((owner, 0u64));
+            while let Some((n, depth)) = queue.pop_front() {
+                flood_depth = flood_depth.max(depth);
+                self.node_mut(n).store.push(obj.clone());
+                replicas += 1;
+                let neighbours = self.node(n).neighbours.clone();
+                for nb in neighbours {
+                    if !visited[nb.0]
+                        && self
+                            .node(nb)
+                            .zone
+                            .intersects_sphere(&obj.centre, obj.radius)
+                    {
+                        visited[nb.0] = true;
+                        stats += OpStats::one_hop(bytes);
+                        queue.push_back((nb, depth + 1));
+                    }
+                }
+            }
+        } else {
+            self.node_mut(owner).store.push(obj);
+            replicas = 1;
+        }
+        InsertOutcome {
+            owner,
+            replicas,
+            stats,
+            rounds: route_hops + flood_depth,
+        }
+    }
+
+    /// Insert a zero-sized (point) object.
+    pub fn insert_point(
+        &mut self,
+        from: NodeId,
+        point: Vec<f64>,
+        payload: ObjectRef,
+    ) -> InsertOutcome {
+        self.insert_sphere(from, point, 0.0, payload, false)
+    }
+
+    /// Remove every stored object (all replicas, all versions) published by
+    /// `peer` under `tag` — the invalidation step of a summary re-publish.
+    ///
+    /// Cost model: one invalidation message per removed replica (the
+    /// publisher re-floods the same tree that placed them).
+    pub fn remove_objects(&mut self, peer: usize, tag: u64) -> (usize, OpStats) {
+        let mut removed = 0usize;
+        for node in self.nodes_mut() {
+            let before = node.store.len();
+            node.store
+                .retain(|o| !(o.payload.peer == peer && o.payload.tag == tag));
+            removed += before - node.store.len();
+        }
+        let stats = OpStats {
+            hops: removed as u64,
+            messages: removed as u64,
+            bytes: removed as u64 * 24,
+        };
+        (removed, stats)
+    }
+
+    /// Route to the owner of `point` and return the stored objects whose
+    /// spheres contain it (the overlay half of a Hyper-M *point query*).
+    ///
+    /// Replication guarantees completeness: any sphere containing `point`
+    /// overlaps the zone containing `point`, so a replica lives at the
+    /// owner.
+    pub fn point_lookup(&self, from: NodeId, point: &[f64]) -> (Vec<StoredObject>, OpStats) {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        let (owner, mut stats) = self.route(from, point, query_bytes(self.dim()));
+        let matches: Vec<StoredObject> = self
+            .node(owner)
+            .store
+            .iter()
+            .filter(|o| {
+                let d: f64 = o
+                    .centre
+                    .iter()
+                    .zip(point)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                d <= o.radius + 1e-12
+            })
+            .cloned()
+            .collect();
+        // One response message carrying the matches.
+        let resp_bytes: u64 = matches
+            .iter()
+            .map(StoredObject::wire_bytes)
+            .sum::<u64>()
+            .max(16);
+        stats += OpStats::one_hop(resp_bytes);
+        (matches, stats)
+    }
+
+    /// Flooding range query: find every stored object whose sphere
+    /// intersects the query ball `(centre, radius)` (key space).
+    ///
+    /// Routes to the centre's owner, floods every node whose zone overlaps
+    /// the query ball, and collects intersecting objects (deduplicated by
+    /// id). Thanks to replication this visits exactly the zones that can
+    /// hold a match, so the result is complete — the overlay-level
+    /// precondition for Theorem 4.1's no-false-dismissal guarantee.
+    pub fn range_query(&self, from: NodeId, centre: &[f64], radius: f64) -> RangeOutcome {
+        assert_eq!(centre.len(), self.dim(), "centre dimension mismatch");
+        assert!(radius >= 0.0, "negative radius {radius}");
+        let qb = query_bytes(self.dim());
+        let (owner, mut stats) = self.route(from, centre, qb);
+
+        let mut visited = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        visited[owner.0] = true;
+        queue.push_back(owner);
+        let mut seen_ids = std::collections::HashSet::new();
+        let mut matches = Vec::new();
+        let mut nodes_visited = 0usize;
+        let mut resp_bytes = 0u64;
+
+        while let Some(n) = queue.pop_front() {
+            nodes_visited += 1;
+            let node = self.node(n);
+            let mut local_bytes = 0u64;
+            for obj in &node.store {
+                let d: f64 = obj
+                    .centre
+                    .iter()
+                    .zip(centre)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                if d <= obj.radius + radius + 1e-12 && seen_ids.insert(obj.id) {
+                    local_bytes += obj.wire_bytes();
+                    matches.push(obj.clone());
+                }
+            }
+            resp_bytes += local_bytes.max(16); // every visited node replies
+            for &nb in &node.neighbours {
+                if !visited[nb.0] && self.node(nb).zone.intersects_sphere(centre, radius) {
+                    visited[nb.0] = true;
+                    stats += OpStats::one_hop(qb);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // Response messages: one per visited node (idealised direct reply).
+        stats += OpStats {
+            hops: nodes_visited as u64,
+            messages: nodes_visited as u64,
+            bytes: resp_bytes,
+        };
+        RangeOutcome {
+            matches,
+            nodes_visited,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::CanConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn overlay_2d(n: usize, seed: u64) -> CanOverlay {
+        CanOverlay::bootstrap(CanConfig::new(2).with_seed(seed), n)
+    }
+
+    fn payload(peer: usize) -> ObjectRef {
+        ObjectRef {
+            peer,
+            tag: 0,
+            items: 1,
+        }
+    }
+
+    #[test]
+    fn point_insert_lands_at_owner() {
+        let mut overlay = overlay_2d(16, 1);
+        let out = overlay.insert_point(NodeId(0), vec![0.7, 0.2], payload(3));
+        assert_eq!(out.replicas, 1);
+        assert_eq!(out.owner, overlay.owner_of(&[0.7, 0.2]));
+        assert_eq!(overlay.node(out.owner).store.len(), 1);
+    }
+
+    #[test]
+    fn sphere_replicates_into_overlapping_zones() {
+        let mut overlay = overlay_2d(32, 2);
+        // A big sphere overlapping many zones.
+        let out = overlay.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.3, payload(1), true);
+        assert!(
+            out.replicas > 1,
+            "expected replication, got {}",
+            out.replicas
+        );
+        // Exactly the overlapping zones hold a replica.
+        for node in overlay.nodes() {
+            let should = node.zone.intersects_sphere(&[0.5, 0.5], 0.3);
+            let has = node.store.iter().any(|o| o.id == 0);
+            assert_eq!(should, has, "node {} replica mismatch", node.id);
+        }
+    }
+
+    #[test]
+    fn no_replication_mode_stores_once() {
+        let mut overlay = overlay_2d(32, 3);
+        let out = overlay.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.3, payload(1), false);
+        assert_eq!(out.replicas, 1);
+        let total: usize = overlay.store_sizes().iter().sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn smaller_spheres_replicate_less() {
+        let mut a = overlay_2d(64, 4);
+        let mut b = a.clone();
+        let big = a.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.25, payload(1), true);
+        let small = b.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.02, payload(1), true);
+        assert!(small.replicas <= big.replicas);
+        assert!(small.stats.hops <= big.stats.hops);
+    }
+
+    #[test]
+    fn point_lookup_finds_covering_spheres() {
+        let mut overlay = overlay_2d(32, 5);
+        overlay.insert_sphere(NodeId(0), vec![0.3, 0.3], 0.15, payload(1), true);
+        overlay.insert_sphere(NodeId(0), vec![0.8, 0.8], 0.05, payload(2), true);
+        let (hits, _) = overlay.point_lookup(NodeId(1), &[0.35, 0.3]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].payload.peer, 1);
+        let (hits, _) = overlay.point_lookup(NodeId(1), &[0.5, 0.5]);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn range_query_is_complete_versus_linear_scan() {
+        let mut overlay = overlay_2d(48, 6);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut truth: Vec<(u64, Vec<f64>, f64)> = Vec::new();
+        for i in 0..200 {
+            let centre = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            let radius = rng.gen::<f64>() * 0.08;
+            let out = overlay.insert_sphere(NodeId(0), centre.clone(), radius, payload(i), true);
+            truth.push((out.replicas as u64, centre, radius));
+        }
+        for _ in 0..30 {
+            let q = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let qr = rng.gen::<f64>() * 0.2;
+            let res = overlay.range_query(NodeId(2), &q, qr);
+            let expected: usize = truth
+                .iter()
+                .filter(|(_, c, r)| {
+                    let d = ((c[0] - q[0]).powi(2) + (c[1] - q[1]).powi(2)).sqrt();
+                    d <= r + qr + 1e-12
+                })
+                .count();
+            assert_eq!(res.matches.len(), expected, "query {q:?} r={qr}");
+        }
+    }
+
+    #[test]
+    fn range_query_dedupes_replicas() {
+        let mut overlay = overlay_2d(32, 7);
+        overlay.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.4, payload(1), true);
+        let res = overlay.range_query(NodeId(0), &[0.5, 0.5], 0.5);
+        assert_eq!(res.matches.len(), 1);
+        assert!(res.nodes_visited > 1);
+    }
+
+    #[test]
+    fn zero_radius_query_checks_only_owner_zone() {
+        let mut overlay = overlay_2d(32, 8);
+        overlay.insert_point(NodeId(0), vec![0.2, 0.2], payload(1));
+        let res = overlay.range_query(NodeId(3), &[0.2, 0.2], 0.0);
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.nodes_visited, 1);
+    }
+
+    #[test]
+    fn insert_costs_are_recorded() {
+        let mut overlay = overlay_2d(64, 9);
+        let out = overlay.insert_sphere(NodeId(5), vec![0.9, 0.1], 0.05, payload(1), true);
+        // At least the routing hops must carry object-sized messages.
+        assert!(out.stats.bytes >= out.stats.messages * 16);
+        assert_eq!(out.stats.hops, out.stats.messages);
+    }
+
+    #[test]
+    fn objects_survive_topology_changes() {
+        // Insert first, then let new nodes join: replicas must follow the
+        // splits so queries stay complete.
+        let mut overlay = overlay_2d(8, 10);
+        overlay.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.2, payload(1), true);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..24 {
+            let point = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            overlay.join(NodeId(rng.gen_range(0..overlay.len())), &point);
+        }
+        overlay.check_invariants();
+        let res = overlay.range_query(NodeId(1), &[0.5, 0.5], 0.1);
+        assert_eq!(res.matches.len(), 1);
+        // Every zone overlapping the sphere still has its replica.
+        for node in overlay.nodes() {
+            if node.zone.intersects_sphere(&[0.5, 0.5], 0.2) {
+                assert!(
+                    node.store.iter().any(|o| o.id == 0),
+                    "replica missing at {} after splits",
+                    node.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! CAN zones: axis-aligned boxes tiling the unit key space.
+//!
+//! Zones are produced by recursive halving of `[0,1)^d`, so they never wrap
+//! around the torus themselves — but *distances* used for routing are torus
+//! distances (CAN's key space is a d-torus). Object-overlap tests, in
+//! contrast, use plain Euclidean geometry: application data spaces do not
+//! wrap, and Hyper-M's no-false-dismissal argument is stated in Euclidean
+//! terms. Both distance flavours are provided.
+
+/// Per-coordinate distance from `x` to the interval `[lo, hi]` on the unit
+/// circle (torus wrap).
+#[inline]
+fn circ_interval_dist(x: f64, lo: f64, hi: f64) -> f64 {
+    if (lo..=hi).contains(&x) {
+        return 0.0;
+    }
+    let d_lo = circ_dist(x, lo);
+    let d_hi = circ_dist(x, hi);
+    d_lo.min(d_hi)
+}
+
+/// Distance between two points on the unit circle.
+#[inline]
+fn circ_dist(a: f64, b: f64) -> f64 {
+    let d = (a - b).abs();
+    d.min(1.0 - d)
+}
+
+/// An axis-aligned zone `∏ [lo_i, hi_i)` of the unit key space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Zone {
+    /// The whole unit key space in `dim` dimensions.
+    pub fn whole(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self {
+            lo: vec![0.0; dim],
+            hi: vec![1.0; dim],
+        }
+    }
+
+    /// Construct from explicit bounds.
+    pub fn from_bounds(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+        assert!(!lo.is_empty(), "dimension must be positive");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l < h, "degenerate zone: {l} >= {h}");
+        }
+        Self { lo, hi }
+    }
+
+    /// Dimensionality of the key space.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Zone volume (product of extents).
+    pub fn volume(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
+    }
+
+    /// Geometric centre of the zone.
+    pub fn centre(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Whether the zone contains `point` (half-open box semantics, with the
+    /// upper face closed only at the key-space boundary 1.0).
+    pub fn contains(&self, point: &[f64]) -> bool {
+        debug_assert_eq!(point.len(), self.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(point)
+            .all(|((l, h), &x)| x >= *l && (x < *h || (*h == 1.0 && x <= 1.0)))
+    }
+
+    /// Index of the longest dimension (ties → lowest index); CAN splits
+    /// along it to keep zones squarish.
+    pub fn longest_dim(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_len = self.hi[0] - self.lo[0];
+        for i in 1..self.dim() {
+            let len = self.hi[i] - self.lo[i];
+            if len > best_len + 1e-15 {
+                best = i;
+                best_len = len;
+            }
+        }
+        best
+    }
+
+    /// Split in half along `dim`; returns (lower half, upper half).
+    pub fn split(&self, dim: usize) -> (Zone, Zone) {
+        assert!(dim < self.dim(), "split dimension out of range");
+        let mid = 0.5 * (self.lo[dim] + self.hi[dim]);
+        let mut lo_half = self.clone();
+        let mut hi_half = self.clone();
+        lo_half.hi[dim] = mid;
+        hi_half.lo[dim] = mid;
+        (lo_half, hi_half)
+    }
+
+    /// Torus distance from `point` to this zone (0 if inside) — the routing
+    /// metric of CAN.
+    pub fn torus_dist(&self, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.dim());
+        let mut acc = 0.0;
+        for ((l, h), &x) in self.lo.iter().zip(&self.hi).zip(point) {
+            let d = circ_interval_dist(x, *l, *h);
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Euclidean (non-wrapping) distance from `point` to this zone.
+    pub fn euclid_dist(&self, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.dim());
+        let mut acc = 0.0;
+        for ((l, h), &x) in self.lo.iter().zip(&self.hi).zip(point) {
+            let d = if x < *l {
+                l - x
+            } else if x > *h {
+                x - h
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Whether a Euclidean ball `(centre, radius)` overlaps this zone — the
+    /// replication test of the paper's Figure 6.
+    pub fn intersects_sphere(&self, centre: &[f64], radius: f64) -> bool {
+        self.euclid_dist(centre) <= radius
+    }
+
+    /// Whether two zones abut: they share a (d−1)-dimensional face,
+    /// including across the torus seam — CAN's neighbour relation.
+    pub fn is_neighbour(&self, other: &Zone) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        let mut touching_dims = 0usize;
+        for i in 0..self.dim() {
+            let (al, ah) = (self.lo[i], self.hi[i]);
+            let (bl, bh) = (other.lo[i], other.hi[i]);
+            // Overlap length of the two intervals (non-wrapping boxes).
+            let overlap = ah.min(bh) - al.max(bl);
+            if overlap > 1e-12 {
+                continue; // proper overlap in this dimension
+            }
+            // Abutting directly, or across the 0/1 seam.
+            let abuts = (ah - bl).abs() < 1e-12
+                || (bh - al).abs() < 1e-12
+                || (ah >= 1.0 - 1e-12 && bl <= 1e-12)
+                || (bh >= 1.0 - 1e-12 && al <= 1e-12);
+            if abuts {
+                touching_dims += 1;
+            } else {
+                return false; // separated in this dimension
+            }
+        }
+        touching_dims == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_zone_basics() {
+        let z = Zone::whole(3);
+        assert_eq!(z.dim(), 3);
+        assert_eq!(z.volume(), 1.0);
+        assert_eq!(z.centre(), vec![0.5, 0.5, 0.5]);
+        assert!(z.contains(&[0.0, 0.5, 0.999]));
+        assert!(z.contains(&[1.0, 1.0, 1.0])); // closed at the space boundary
+    }
+
+    #[test]
+    fn split_halves_volume() {
+        let z = Zone::whole(2);
+        let (a, b) = z.split(0);
+        assert_eq!(a.volume(), 0.5);
+        assert_eq!(b.volume(), 0.5);
+        assert!(a.contains(&[0.25, 0.5]));
+        assert!(!a.contains(&[0.75, 0.5]));
+        assert!(b.contains(&[0.75, 0.5]));
+        // Shared face makes them neighbours.
+        assert!(a.is_neighbour(&b));
+    }
+
+    #[test]
+    fn longest_dim_after_splits() {
+        let z = Zone::whole(2);
+        let (a, _) = z.split(0); // extent x = 0.5, y = 1.0
+        assert_eq!(a.longest_dim(), 1);
+        let (c, _) = a.split(1); // now square again: ties → dim 0
+        assert_eq!(c.longest_dim(), 0);
+    }
+
+    #[test]
+    fn torus_distance_wraps() {
+        let z = Zone::from_bounds(vec![0.0, 0.0], vec![0.1, 1.0]);
+        // Point at x = 0.95: direct distance 0.85, wrapped 0.05.
+        let d = z.torus_dist(&[0.95, 0.5]);
+        assert!((d - 0.05).abs() < 1e-12, "d = {d}");
+        // Euclidean does not wrap.
+        assert!((z.euclid_dist(&[0.95, 0.5]) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_zero_inside() {
+        let z = Zone::from_bounds(vec![0.2], vec![0.6]);
+        assert_eq!(z.torus_dist(&[0.3]), 0.0);
+        assert_eq!(z.euclid_dist(&[0.6]), 0.0);
+    }
+
+    #[test]
+    fn sphere_overlap() {
+        let z = Zone::from_bounds(vec![0.5, 0.5], vec![1.0, 1.0]);
+        assert!(z.intersects_sphere(&[0.4, 0.4], 0.2)); // corner distance √2·0.1 ≈ 0.141
+        assert!(!z.intersects_sphere(&[0.4, 0.4], 0.1));
+        assert!(z.intersects_sphere(&[0.7, 0.7], 0.0)); // centre inside
+    }
+
+    #[test]
+    fn neighbour_relation() {
+        let z = Zone::whole(2);
+        let (left, right) = z.split(0);
+        let (left_bot, left_top) = left.split(1);
+        assert!(left_bot.is_neighbour(&left_top));
+        assert!(left_bot.is_neighbour(&right)); // shares the x=0.5 face segment
+        assert!(left_top.is_neighbour(&right));
+        // A zone is not its own neighbour (overlaps in every dim).
+        assert!(!right.is_neighbour(&right));
+    }
+
+    #[test]
+    fn corner_touch_is_not_neighbour() {
+        let a = Zone::from_bounds(vec![0.0, 0.0], vec![0.5, 0.5]);
+        let b = Zone::from_bounds(vec![0.5, 0.5], vec![1.0, 1.0]);
+        // They abut in both dimensions (touch only at a corner).
+        assert!(!a.is_neighbour(&b));
+    }
+
+    #[test]
+    fn neighbours_across_torus_seam() {
+        let a = Zone::from_bounds(vec![0.0, 0.0], vec![0.25, 1.0]);
+        let b = Zone::from_bounds(vec![0.75, 0.0], vec![1.0, 1.0]);
+        assert!(a.is_neighbour(&b)); // wrap in x, overlap in y
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate zone")]
+    fn degenerate_zone_rejected() {
+        Zone::from_bounds(vec![0.5], vec![0.5]);
+    }
+}

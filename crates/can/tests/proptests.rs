@@ -1,0 +1,68 @@
+//! Property-based tests for the CAN overlay invariants.
+
+use hyperm_can::{CanConfig, CanOverlay, ObjectRef};
+use hyperm_sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Zones always tile the key space and neighbour lists stay correct,
+    /// for any dimension/size/seed.
+    #[test]
+    fn bootstrap_invariants(dim in 1usize..6, n in 1usize..48, seed in any::<u64>()) {
+        let overlay = CanOverlay::bootstrap(CanConfig::new(dim).with_seed(seed), n);
+        overlay.check_invariants();
+    }
+
+    /// Greedy routing always reaches the true owner.
+    #[test]
+    fn routing_is_correct(
+        dim in 1usize..5,
+        n in 2usize..40,
+        seed in any::<u64>(),
+        coords in prop::collection::vec(0.0..1.0f64, 5),
+        from in any::<prop::sample::Index>(),
+    ) {
+        let overlay = CanOverlay::bootstrap(CanConfig::new(dim).with_seed(seed), n);
+        let target = &coords[..dim];
+        let start = NodeId(from.index(overlay.len()));
+        let (owner, stats) = overlay.route(start, target, 1);
+        prop_assert_eq!(owner, overlay.owner_of(target));
+        prop_assert!(stats.hops <= n as u64);
+    }
+
+    /// Replication places a sphere in exactly the zones it overlaps, and a
+    /// range query over any ball finds it iff the balls intersect.
+    #[test]
+    fn replication_matches_geometry(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        cx in 0.0..1.0f64,
+        cy in 0.0..1.0f64,
+        r in 0.0..0.5f64,
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+        qr in 0.0..0.5f64,
+    ) {
+        let mut overlay = CanOverlay::bootstrap(CanConfig::new(2).with_seed(seed), n);
+        let out = overlay.insert_sphere(
+            NodeId(0),
+            vec![cx, cy],
+            r,
+            ObjectRef { peer: 0, tag: 0, items: 1 },
+            true,
+        );
+        let expected: usize = overlay
+            .nodes()
+            .filter(|node| node.zone.intersects_sphere(&[cx, cy], r))
+            .count();
+        prop_assert_eq!(out.replicas, expected.max(1));
+
+        let res = overlay.range_query(NodeId(0), &[qx, qy], qr);
+        let d = ((cx - qx).powi(2) + (cy - qy).powi(2)).sqrt();
+        let should_match = d <= r + qr + 1e-12;
+        prop_assert_eq!(!res.matches.is_empty(), should_match,
+            "d={} r+qr={}", d, r + qr);
+    }
+}

@@ -1,0 +1,345 @@
+//! A static kd-tree for peers' local scans.
+//!
+//! Phase 2 of every Hyper-M query ends with contacted peers answering
+//! *exactly* from their local collections. A linear scan is fine for the
+//! paper's ~200 items/peer, but the motivating scenario talks about
+//! thousands of items on a device; this kd-tree gives the standard
+//! `O(log n)`-ish local range/k-nn answers.
+//!
+//! The tree stores only a permutation of row indices and split metadata —
+//! the caller passes the (unchanged) dataset to every query, so the items
+//! are never duplicated in memory. Rows appended after the build are simply
+//! not covered; the peer layer scans that small delta linearly (classic
+//! main-index + delta-buffer pattern).
+
+use crate::dataset::Dataset;
+use hyperm_geometry::vecmath::sq_dist;
+
+/// Leaf bucket size (linear scan below this).
+const LEAF_SIZE: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Range into the permutation array.
+        start: usize,
+        end: usize,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        /// Children node indices.
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A static kd-tree over the first `indexed_len` rows of a dataset.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    perm: Vec<u32>,
+    nodes: Vec<Node>,
+    indexed_len: usize,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Build over all current rows of `data`.
+    pub fn build(data: &Dataset) -> KdTree {
+        let n = data.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        if n > 0 {
+            build_node(data, &mut perm, 0, n, &mut nodes);
+        }
+        KdTree {
+            perm,
+            nodes,
+            indexed_len: n,
+            dim: data.dim(),
+        }
+    }
+
+    /// Number of rows covered by the index.
+    pub fn indexed_len(&self) -> usize {
+        self.indexed_len
+    }
+
+    /// Indices of indexed rows within `eps` of `q` (inclusive), unordered.
+    ///
+    /// `data` must be the dataset the tree was built over (rows may have
+    /// been appended since; they are ignored here).
+    pub fn range(&self, data: &Dataset, q: &[f64], eps: f64) -> Vec<usize> {
+        assert!(data.len() >= self.indexed_len, "dataset shrank since build");
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        assert!(eps >= 0.0, "negative radius");
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let e2 = eps * eps + 1e-12;
+        let mut stack = vec![(0usize, 0.0f64)]; // (node, sq distance bound to its region)
+        while let Some((ni, bound)) = stack.pop() {
+            if bound > e2 {
+                continue;
+            }
+            match self.nodes[ni] {
+                Node::Leaf { start, end } => {
+                    for &row in &self.perm[start..end] {
+                        if sq_dist(data.row(row as usize), q) <= e2 {
+                            out.push(row as usize);
+                        }
+                    }
+                }
+                Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
+                    let delta = q[dim] - value;
+                    // The near child keeps the current bound; the far child
+                    // must additionally cross the splitting plane.
+                    let far_bound = bound.max(delta * delta);
+                    if delta <= 0.0 {
+                        stack.push((left, bound));
+                        stack.push((right, far_bound));
+                    } else {
+                        stack.push((right, bound));
+                        stack.push((left, far_bound));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` indexed rows nearest to `q`, closest first (ties by index).
+    pub fn knn(&self, data: &Dataset, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert!(data.len() >= self.indexed_len, "dataset shrank since build");
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        // Bounded max-heap of the current best k (max squared distance on top).
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let mut worst = f64::INFINITY;
+        let push = |d2: f64, idx: usize, best: &mut Vec<(f64, usize)>| {
+            best.push((d2, idx));
+            best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            if best.len() > k {
+                best.pop();
+            }
+            if best.len() == k {
+                best[k - 1].0
+            } else {
+                f64::INFINITY
+            }
+        };
+        let mut stack = vec![(0usize, 0.0f64)];
+        while let Some((ni, bound)) = stack.pop() {
+            if bound > worst {
+                continue;
+            }
+            match self.nodes[ni] {
+                Node::Leaf { start, end } => {
+                    for &row in &self.perm[start..end] {
+                        let d2 = sq_dist(data.row(row as usize), q);
+                        if d2 < worst || best.len() < k {
+                            worst = push(d2, row as usize, &mut best);
+                        }
+                    }
+                }
+                Node::Split {
+                    dim,
+                    value,
+                    left,
+                    right,
+                } => {
+                    let delta = q[dim] - value;
+                    let far_bound = bound.max(delta * delta);
+                    if delta <= 0.0 {
+                        stack.push((right, far_bound));
+                        stack.push((left, bound));
+                    } else {
+                        stack.push((left, far_bound));
+                        stack.push((right, bound));
+                    }
+                }
+            }
+        }
+        best.into_iter().map(|(d2, i)| (i, d2.sqrt())).collect()
+    }
+}
+
+/// Recursively build; returns the node index.
+fn build_node(
+    data: &Dataset,
+    perm: &mut [u32],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let idx = nodes.len();
+    let count = end - start;
+    if count <= LEAF_SIZE {
+        nodes.push(Node::Leaf { start, end });
+        return idx;
+    }
+    // Split on the widest dimension of this subset at the median.
+    let dim = widest_dim(data, &perm[..], start, end);
+    let mid = start + count / 2;
+    // Select the median by the chosen coordinate.
+    perm[start..end].select_nth_unstable_by((count / 2).saturating_sub(0), |&a, &b| {
+        data.row(a as usize)[dim]
+            .partial_cmp(&data.row(b as usize)[dim])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let value = data.row(perm[mid] as usize)[dim];
+    nodes.push(Node::Split {
+        dim,
+        value,
+        left: 0,
+        right: 0,
+    });
+    let left = build_node(data, perm, start, mid, nodes);
+    let right = build_node(data, perm, mid, end, nodes);
+    if let Node::Split {
+        left: l, right: r, ..
+    } = &mut nodes[idx]
+    {
+        *l = left;
+        *r = right;
+    }
+    idx
+}
+
+fn widest_dim(data: &Dataset, perm: &[u32], start: usize, end: usize) -> usize {
+    let d = data.dim();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for &row in &perm[start..end] {
+        for (j, &x) in data.row(row as usize).iter().enumerate() {
+            if x < lo[j] {
+                lo[j] = x;
+            }
+            if x > hi[j] {
+                hi[j] = x;
+            }
+        }
+    }
+    (0..d)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        let mut row = vec![0.0; dim];
+        for _ in 0..n {
+            for x in row.iter_mut() {
+                *x = rng.gen();
+            }
+            ds.push_row(&row);
+        }
+        ds
+    }
+
+    fn linear_range(data: &Dataset, q: &[f64], eps: f64) -> Vec<usize> {
+        let e2 = eps * eps + 1e-12;
+        data.rows()
+            .enumerate()
+            .filter_map(|(i, r)| (sq_dist(r, q) <= e2).then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_linear_scan() {
+        let data = random_data(500, 8, 1);
+        let tree = KdTree::build(&data);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..8).map(|_| rng.gen()).collect();
+            let eps = rng.gen::<f64>() * 0.8;
+            let mut got = tree.range(&data, &q, eps);
+            got.sort_unstable();
+            let mut truth = linear_range(&data, &q, eps);
+            truth.sort_unstable();
+            assert_eq!(got, truth, "q {q:?} eps {eps}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let data = random_data(400, 6, 3);
+        let tree = KdTree::build(&data);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..6).map(|_| rng.gen()).collect();
+            let k = rng.gen_range(1..20);
+            let got = tree.knn(&data, &q, k);
+            // Linear truth.
+            let mut all: Vec<(usize, f64)> = data
+                .rows()
+                .enumerate()
+                .map(|(i, r)| (i, sq_dist(r, &q).sqrt()))
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            assert_eq!(got.len(), all.len());
+            for (g, t) in got.iter().zip(&all) {
+                assert_eq!(g.0, t.0, "k={k}");
+                assert!((g.1 - t.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_degenerate_inputs() {
+        let empty = Dataset::new(3);
+        let tree = KdTree::build(&empty);
+        assert!(tree.range(&empty, &[0.0, 0.0, 0.0], 1.0).is_empty());
+        assert!(tree.knn(&empty, &[0.0, 0.0, 0.0], 5).is_empty());
+
+        let one = Dataset::from_rows(&[[0.5, 0.5]]);
+        let tree = KdTree::build(&one);
+        assert_eq!(tree.knn(&one, &[0.0, 0.0], 3), vec![(0, 0.5f64.hypot(0.5))]);
+        assert_eq!(tree.range(&one, &[0.5, 0.5], 0.0), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let data = Dataset::from_rows(&[[1.0, 1.0]; 50]);
+        let tree = KdTree::build(&data);
+        assert_eq!(tree.range(&data, &[1.0, 1.0], 0.1).len(), 50);
+        assert_eq!(tree.knn(&data, &[0.0, 0.0], 7).len(), 7);
+    }
+
+    #[test]
+    fn appended_rows_are_ignored_by_design() {
+        let mut data = random_data(100, 4, 5);
+        let tree = KdTree::build(&data);
+        data.push_row(&[0.5, 0.5, 0.5, 0.5]);
+        let got = tree.range(&data, &[0.5, 0.5, 0.5, 0.5], 1e-9);
+        assert!(
+            got.iter().all(|&i| i < 100),
+            "delta row leaked into index results"
+        );
+        assert_eq!(tree.indexed_len(), 100);
+    }
+
+    #[test]
+    fn knn_zero_k() {
+        let data = random_data(10, 2, 6);
+        let tree = KdTree::build(&data);
+        assert!(tree.knn(&data, &[0.5, 0.5], 0).is_empty());
+    }
+}

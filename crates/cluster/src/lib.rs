@@ -1,0 +1,38 @@
+//! Clustering for Hyper-M (ICDE 2007).
+//!
+//! Hyper-M summarises each peer's data by running k-means *independently in
+//! every wavelet subspace* (step *i2* of the paper's Figure 2) and publishing
+//! only the resulting **cluster spheres** — centroid, radius and item count —
+//! into the overlay. The paper picks k-means for its invariance to
+//! translations and orthogonal transformations and because its output maps
+//! directly onto the sphere representation of Section 3.1.
+//!
+//! * [`dataset`] — a flat row-major `f64` matrix, the in-memory format for
+//!   all feature vectors in the workspace;
+//! * [`kmeans`] — Lloyd's algorithm with Forgy or k-means++ seeding,
+//!   convergence/tolerance control and empty-cluster repair;
+//! * [`minibatch`] — a mini-batch k-means variant for peers with large local
+//!   collections (extension; the paper cites speed-oriented k-means
+//!   extensions [18, 19] as related work);
+//! * [`sphere`] — the `ClusterSphere` summary (Section 3.1) and helpers to
+//!   derive sphere sets from a clustering;
+//! * [`quality`] — cohesion, separation, their ratio (the "goodness" measure
+//!   plotted in Figure 11), SSE and silhouette scores;
+//! * [`kdtree`] — a static kd-tree for the peers' exact local scans
+//!   (main-index + delta-buffer; the paper's phase-2 retrieval).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod kdtree;
+pub mod kmeans;
+pub mod minibatch;
+pub mod quality;
+pub mod sphere;
+
+pub use dataset::Dataset;
+pub use kdtree::KdTree;
+pub use kmeans::{InitMethod, KMeansConfig, KMeansResult};
+pub use minibatch::{minibatch_kmeans, MiniBatchConfig};
+pub use quality::{cohesion, quality_ratio, separation, silhouette_sampled, sse, ClusterQuality};
+pub use sphere::{spheres_from_clustering, ClusterSphere};

@@ -1,0 +1,158 @@
+//! Mini-batch k-means (extension).
+//!
+//! The paper's peers hold 200–1000 items, where full Lloyd iterations are
+//! cheap; but Hyper-M's pitch is "hundreds and even thousands of data items
+//! stored on small devices", so this crate also ships the standard
+//! mini-batch variant (Sculley 2010 style) for peers with much larger
+//! collections: each step samples a batch, assigns it, and moves centroids
+//! with per-centre learning rates `1/n_c`.
+
+use crate::dataset::Dataset;
+use crate::kmeans::{nearest_centroid, InitMethod, KMeansConfig, KMeansResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a mini-batch k-means run.
+#[derive(Debug, Clone)]
+pub struct MiniBatchConfig {
+    /// Shared k-means parameters (`k`, seed, init).
+    pub base: KMeansConfig,
+    /// Items sampled per step.
+    pub batch_size: usize,
+    /// Number of batch steps.
+    pub steps: usize,
+}
+
+impl MiniBatchConfig {
+    /// Defaults: batch of 64, 200 steps.
+    pub fn new(k: usize) -> Self {
+        Self {
+            base: KMeansConfig::new(k),
+            batch_size: 64,
+            steps: 200,
+        }
+    }
+}
+
+/// Run mini-batch k-means; the returned [`KMeansResult`] has the same shape
+/// as the exact algorithm's so downstream code (sphere derivation, quality
+/// metrics) is agnostic to which variant produced it.
+pub fn minibatch_kmeans(data: &Dataset, config: &MiniBatchConfig) -> KMeansResult {
+    assert!(config.base.k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let n = data.len();
+    let k = config.base.k.min(n);
+    let mut rng = StdRng::seed_from_u64(config.base.seed);
+
+    // Seed with k distinct random rows (Forgy) or k-means++ on a sample.
+    let mut centroids = match config.base.init {
+        InitMethod::Forgy | InitMethod::PlusPlus => {
+            // k-means++ over the full data would defeat the purpose for huge
+            // n; a random 10·k sample is the usual compromise.
+            let sample: Vec<usize> = (0..(10 * k).min(n)).map(|_| rng.gen_range(0..n)).collect();
+            let sub = data.select(&sample);
+            let seeded = crate::kmeans::kmeans(
+                &sub,
+                &KMeansConfig {
+                    k,
+                    max_iter: 1,
+                    ..config.base.clone()
+                },
+            );
+            seeded.centroids
+        }
+    };
+    let k = centroids.len();
+
+    let mut counts = vec![0usize; k];
+    for _ in 0..config.steps {
+        for _ in 0..config.batch_size {
+            let i = rng.gen_range(0..n);
+            let row = data.row(i);
+            let (c, _) = nearest_centroid(row, &centroids);
+            counts[c] += 1;
+            let eta = 1.0 / counts[c] as f64;
+            let cent = centroids.row_mut(c);
+            for (cx, &x) in cent.iter_mut().zip(row) {
+                *cx += eta * (x - *cx);
+            }
+        }
+    }
+
+    // Final full assignment pass.
+    let mut assignment = vec![0u32; n];
+    let mut inertia = 0.0;
+    for (i, row) in data.rows().enumerate() {
+        let (c, d2) = nearest_centroid(row, &centroids);
+        assignment[i] = c as u32;
+        inertia += d2;
+    }
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+        iterations: config.steps,
+        converged: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    fn blobs(seed: u64, per_blob: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centres = [[0.0, 0.0], [20.0, 0.0], [0.0, 20.0], [20.0, 20.0]];
+        let mut ds = Dataset::new(2);
+        for c in &centres {
+            for _ in 0..per_blob {
+                ds.push_row(&[
+                    c[0] + rng.gen_range(-1.0..1.0),
+                    c[1] + rng.gen_range(-1.0..1.0),
+                ]);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn minibatch_close_to_exact_on_blobs() {
+        let ds = blobs(1, 250);
+        let exact = kmeans(&ds, &KMeansConfig::new(4).with_seed(2));
+        let mb = minibatch_kmeans(
+            &ds,
+            &MiniBatchConfig {
+                base: KMeansConfig::new(4).with_seed(2),
+                batch_size: 64,
+                steps: 100,
+            },
+        );
+        // Mini-batch inertia within 2x of the exact optimum on easy data.
+        assert!(
+            mb.inertia < exact.inertia * 2.0,
+            "{} vs {}",
+            mb.inertia,
+            exact.inertia
+        );
+        assert_eq!(mb.k(), 4);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = blobs(2, 100);
+        let cfg = MiniBatchConfig::new(4);
+        let a = minibatch_kmeans(&ds, &cfg);
+        let b = minibatch_kmeans(&ds, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn handles_tiny_datasets() {
+        let ds = Dataset::from_rows(&[[0.0], [1.0], [2.0]]);
+        let res = minibatch_kmeans(&ds, &MiniBatchConfig::new(5));
+        assert!(res.k() <= 3);
+        assert_eq!(res.assignment.len(), 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! Clustering quality metrics: cohesion, separation and their ratio.
+//!
+//! Figure 11 of the paper plots "the proportion between cohesion and
+//! separation" per wavelet vector space: *"Cohesion is the average distance
+//! of elements within the same cluster and separation measures the average
+//! distance between the centroids of different clusters."* A **lower**
+//! cohesion/separation ratio means tighter, better-separated clusters.
+//!
+//! SSE and a sampled silhouette score are included as standard companions
+//! for the ablation benches.
+
+use crate::dataset::Dataset;
+use crate::kmeans::KMeansResult;
+use hyperm_geometry::vecmath::{dist, sq_dist};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Bundle of quality metrics for one clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQuality {
+    /// Average distance from an item to its own centroid.
+    pub cohesion: f64,
+    /// Average pairwise distance between distinct centroids.
+    pub separation: f64,
+    /// `cohesion / separation` — Figure 11's y-axis (lower is better).
+    pub ratio: f64,
+    /// Sum of squared errors (k-means objective).
+    pub sse: f64,
+}
+
+/// Average distance of items to their assigned centroid.
+pub fn cohesion(data: &Dataset, result: &KMeansResult) -> f64 {
+    assert_eq!(
+        data.len(),
+        result.assignment.len(),
+        "assignment length mismatch"
+    );
+    if data.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = data
+        .rows()
+        .zip(&result.assignment)
+        .map(|(row, &c)| dist(row, result.centroids.row(c as usize)))
+        .sum();
+    total / data.len() as f64
+}
+
+/// Average pairwise distance between distinct centroids.
+///
+/// Returns 0 when there are fewer than two clusters (the ratio is then
+/// undefined; [`quality_ratio`] reports infinity).
+pub fn separation(result: &KMeansResult) -> f64 {
+    let k = result.k();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in i + 1..k {
+            total += dist(result.centroids.row(i), result.centroids.row(j));
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Sum of squared distances of items to their assigned centroid.
+pub fn sse(data: &Dataset, result: &KMeansResult) -> f64 {
+    data.rows()
+        .zip(&result.assignment)
+        .map(|(row, &c)| sq_dist(row, result.centroids.row(c as usize)))
+        .sum()
+}
+
+/// The cohesion/separation ratio plus its constituents.
+pub fn quality_ratio(data: &Dataset, result: &KMeansResult) -> ClusterQuality {
+    let coh = cohesion(data, result);
+    let sep = separation(result);
+    let ratio = if sep > 0.0 { coh / sep } else { f64::INFINITY };
+    ClusterQuality {
+        cohesion: coh,
+        separation: sep,
+        ratio,
+        sse: sse(data, result),
+    }
+}
+
+/// Mean silhouette coefficient over a random sample of at most
+/// `max_samples` items (exact silhouette is O(n²)).
+///
+/// Values near 1 indicate well-separated clusters, near 0 overlapping ones,
+/// negative values misassigned items. Returns 0 for degenerate clusterings
+/// (single cluster or singleton data).
+pub fn silhouette_sampled(
+    data: &Dataset,
+    result: &KMeansResult,
+    max_samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = data.len();
+    if n < 2 || result.k() < 2 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    if n > max_samples {
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(max_samples);
+    }
+    let sizes = result.cluster_sizes();
+    let mut acc = 0.0;
+    let mut counted = 0usize;
+    for &i in &idx {
+        let own = result.assignment[i] as usize;
+        if sizes[own] < 2 {
+            continue; // silhouette undefined for singletons
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; result.k()];
+        for (j, row) in data.rows().enumerate() {
+            if j == i {
+                continue;
+            }
+            sums[result.assignment[j] as usize] += dist(data.row(i), row);
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..result.k())
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            acc += (b - a) / a.max(b);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        acc / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+    use rand::Rng;
+
+    fn blobs(spread: f64, gap: f64, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(2);
+        for b in 0..3 {
+            for _ in 0..25 {
+                ds.push_row(&[
+                    b as f64 * gap + rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn tight_clusters_beat_loose_clusters() {
+        let tight = blobs(0.2, 10.0, 1);
+        let loose = blobs(2.0, 10.0, 1);
+        let cfg = KMeansConfig::new(3).with_seed(5);
+        let qt = quality_ratio(&tight, &kmeans(&tight, &cfg));
+        let ql = quality_ratio(&loose, &kmeans(&loose, &cfg));
+        assert!(qt.ratio < ql.ratio, "{} !< {}", qt.ratio, ql.ratio);
+        assert!(qt.cohesion < ql.cohesion);
+    }
+
+    #[test]
+    fn separation_scales_with_gap() {
+        let near = blobs(0.2, 4.0, 2);
+        let far = blobs(0.2, 40.0, 2);
+        let cfg = KMeansConfig::new(3).with_seed(5);
+        assert!(separation(&kmeans(&far, &cfg)) > separation(&kmeans(&near, &cfg)));
+    }
+
+    #[test]
+    fn single_cluster_ratio_is_infinite() {
+        let ds = blobs(0.2, 10.0, 3);
+        let q = quality_ratio(&ds, &kmeans(&ds, &KMeansConfig::new(1)));
+        assert!(q.ratio.is_infinite());
+        assert_eq!(q.separation, 0.0);
+    }
+
+    #[test]
+    fn sse_matches_inertia() {
+        let ds = blobs(0.5, 8.0, 4);
+        let res = kmeans(&ds, &KMeansConfig::new(3).with_seed(1));
+        assert!((sse(&ds, &res) - res.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let ds = blobs(0.2, 20.0, 5);
+        let res = kmeans(&ds, &KMeansConfig::new(3).with_seed(2));
+        let s = silhouette_sampled(&ds, &res, 1000, 0);
+        assert!(s > 0.8, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_overclustered_blob() {
+        // One blob split into 3 clusters → poor silhouette.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ds = Dataset::new(2);
+        for _ in 0..60 {
+            ds.push_row(&[rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+        }
+        let res = kmeans(&ds, &KMeansConfig::new(3).with_seed(2));
+        let s = silhouette_sampled(&ds, &res, 1000, 0);
+        assert!(s < 0.6, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_sampling_is_deterministic() {
+        let ds = blobs(0.4, 10.0, 7);
+        let res = kmeans(&ds, &KMeansConfig::new(3).with_seed(2));
+        let a = silhouette_sampled(&ds, &res, 20, 9);
+        let b = silhouette_sampled(&ds, &res, 20, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ds = Dataset::from_rows(&[[1.0, 2.0]]);
+        let res = kmeans(&ds, &KMeansConfig::new(1));
+        assert_eq!(silhouette_sampled(&ds, &res, 10, 0), 0.0);
+        assert_eq!(cohesion(&ds, &res), 0.0);
+    }
+}

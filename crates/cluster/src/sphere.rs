@@ -1,0 +1,160 @@
+//! Cluster-sphere summaries (Section 3.1 of the paper).
+//!
+//! "Each representative cluster is described by a centroid and a radius,
+//! along with a count of the data items in the cluster. The count is used
+//! for estimating the relevance of a peer with respect to a query."
+//!
+//! These spheres are the *only* thing a Hyper-M peer publishes into the
+//! overlay — the items themselves stay local, which is where the insertion
+//! speed-up and the copyright/bandwidth benefits come from.
+
+use crate::dataset::Dataset;
+use crate::kmeans::KMeansResult;
+use hyperm_geometry::vecmath::{dist, sq_dist};
+
+/// A published summary: the smallest ball around a centroid that covers all
+/// member items, plus the member count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSphere {
+    /// Cluster centroid in the (sub)space the clustering ran in.
+    pub centroid: Vec<f64>,
+    /// Max distance from the centroid to any member item.
+    pub radius: f64,
+    /// Number of items summarised (`items_c` in Eq. 1).
+    pub items: usize,
+}
+
+impl ClusterSphere {
+    /// Dimensionality of the space the sphere lives in.
+    pub fn dim(&self) -> usize {
+        self.centroid.len()
+    }
+
+    /// Whether `point` lies inside (or on) the sphere.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        sq_dist(&self.centroid, point) <= self.radius * self.radius + 1e-12
+    }
+
+    /// Distance from the sphere centre to `point`.
+    pub fn centre_dist(&self, point: &[f64]) -> f64 {
+        dist(&self.centroid, point)
+    }
+
+    /// Grow the sphere so it also covers `point`, incrementing the count.
+    ///
+    /// Used by the post-creation insertion policies of Fig. 10c: a new item
+    /// can be absorbed into its nearest existing cluster without
+    /// republishing (stale count) or with a republish (fresh radius).
+    pub fn absorb(&mut self, point: &[f64]) {
+        let d = self.centre_dist(point);
+        if d > self.radius {
+            self.radius = d;
+        }
+        self.items += 1;
+    }
+
+    /// Approximate wire size of this summary in bytes: `dim` f64
+    /// coordinates + radius + a 4-byte count.
+    pub fn wire_bytes(&self) -> usize {
+        8 * (self.dim() + 1) + 4
+    }
+}
+
+/// Derive the published sphere set from a k-means result over `data`.
+///
+/// The radius of each sphere is the distance to its farthest member (so the
+/// sphere provably covers the cluster — required for the no-false-dismissal
+/// guarantee of Theorem 4.1); singleton-free empty clusters are skipped.
+pub fn spheres_from_clustering(data: &Dataset, result: &KMeansResult) -> Vec<ClusterSphere> {
+    let k = result.k();
+    let mut radius2 = vec![0.0f64; k];
+    let mut items = vec![0usize; k];
+    for (i, row) in data.rows().enumerate() {
+        let c = result.assignment[i] as usize;
+        let d2 = sq_dist(row, result.centroids.row(c));
+        if d2 > radius2[c] {
+            radius2[c] = d2;
+        }
+        items[c] += 1;
+    }
+    (0..k)
+        .filter(|&c| items[c] > 0)
+        .map(|c| ClusterSphere {
+            centroid: result.centroids.row(c).to_vec(),
+            radius: radius2[c].sqrt(),
+            items: items[c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    #[test]
+    fn spheres_cover_their_members() {
+        let rows: Vec<[f64; 2]> = (0..40)
+            .map(|i| {
+                let blob = if i < 20 { 0.0 } else { 8.0 };
+                [blob + (i % 5) as f64 * 0.1, blob - (i % 3) as f64 * 0.1]
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows);
+        let res = kmeans(&ds, &KMeansConfig::new(2).with_seed(1));
+        let spheres = spheres_from_clustering(&ds, &res);
+        assert_eq!(spheres.len(), 2);
+        assert_eq!(spheres.iter().map(|s| s.items).sum::<usize>(), 40);
+        for (i, row) in ds.rows().enumerate() {
+            let c = res.assignment[i] as usize;
+            // Sphere index = order of non-empty clusters = cluster id here.
+            assert!(spheres[c].contains(row), "row {i} escapes its sphere");
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_has_zero_radius() {
+        let ds = Dataset::from_rows(&[[1.0, 1.0]]);
+        let res = kmeans(&ds, &KMeansConfig::new(1));
+        let spheres = spheres_from_clustering(&ds, &res);
+        assert_eq!(spheres[0].radius, 0.0);
+        assert_eq!(spheres[0].items, 1);
+    }
+
+    #[test]
+    fn contains_and_centre_dist() {
+        let s = ClusterSphere {
+            centroid: vec![0.0, 0.0],
+            radius: 5.0,
+            items: 10,
+        };
+        assert!(s.contains(&[3.0, 4.0]));
+        assert!(!s.contains(&[3.1, 4.1]));
+        assert_eq!(s.centre_dist(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn absorb_grows_radius_and_count() {
+        let mut s = ClusterSphere {
+            centroid: vec![0.0],
+            radius: 1.0,
+            items: 3,
+        };
+        s.absorb(&[0.5]); // inside: radius unchanged
+        assert_eq!(s.radius, 1.0);
+        assert_eq!(s.items, 4);
+        s.absorb(&[2.0]); // outside: radius grows
+        assert_eq!(s.radius, 2.0);
+        assert_eq!(s.items, 5);
+    }
+
+    #[test]
+    fn wire_size() {
+        let s = ClusterSphere {
+            centroid: vec![0.0; 16],
+            radius: 1.0,
+            items: 3,
+        };
+        assert_eq!(s.wire_bytes(), 8 * 17 + 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the clustering invariants Hyper-M relies on.
+
+use hyperm_cluster::kmeans::kmeans;
+use hyperm_cluster::{spheres_from_clustering, Dataset, KMeansConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random dataset of 1..60 rows in 1..6 dimensions.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..6, 1usize..60).prop_flat_map(|(dim, rows)| {
+        prop::collection::vec(-50.0..50.0f64, dim * rows)
+            .prop_map(move |flat| Dataset::from_flat(flat, dim))
+    })
+}
+
+proptest! {
+    /// Every point is assigned to its nearest centroid after convergence.
+    #[test]
+    fn assignment_is_voronoi(ds in dataset(), k in 1usize..8, seed in any::<u64>()) {
+        let res = kmeans(&ds, &KMeansConfig::new(k).with_seed(seed));
+        for (i, row) in ds.rows().enumerate() {
+            let own = res.assignment[i] as usize;
+            let own_d2: f64 = row.iter().zip(res.centroids.row(own))
+                .map(|(a, b)| (a - b) * (a - b)).sum();
+            for c in 0..res.k() {
+                let d2: f64 = row.iter().zip(res.centroids.row(c))
+                    .map(|(a, b)| (a - b) * (a - b)).sum();
+                prop_assert!(own_d2 <= d2 + 1e-9, "row {i} prefers cluster {c}");
+            }
+        }
+    }
+
+    /// Cluster sizes sum to n and every cluster the algorithm reports is
+    /// non-empty.
+    #[test]
+    fn sizes_partition_data(ds in dataset(), k in 1usize..8, seed in any::<u64>()) {
+        let res = kmeans(&ds, &KMeansConfig::new(k).with_seed(seed));
+        let sizes = res.cluster_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), ds.len());
+    }
+
+    /// Published spheres cover all their members and counts add to n —
+    /// the precondition of the no-false-dismissal theorem.
+    #[test]
+    fn spheres_cover_members(ds in dataset(), k in 1usize..8, seed in any::<u64>()) {
+        let res = kmeans(&ds, &KMeansConfig::new(k).with_seed(seed));
+        let spheres = spheres_from_clustering(&ds, &res);
+        prop_assert_eq!(spheres.iter().map(|s| s.items).sum::<usize>(), ds.len());
+        // Every row is inside at least one sphere (its own cluster's).
+        for row in ds.rows() {
+            prop_assert!(spheres.iter().any(|s| s.contains(row)));
+        }
+    }
+
+    /// k-means inertia never exceeds the 1-means (grand centroid) inertia.
+    #[test]
+    fn inertia_upper_bound(ds in dataset(), k in 2usize..8, seed in any::<u64>()) {
+        let base = kmeans(&ds, &KMeansConfig::new(1).with_seed(seed)).inertia;
+        let multi = kmeans(&ds, &KMeansConfig::new(k).with_seed(seed)).inertia;
+        prop_assert!(multi <= base + 1e-6, "{multi} > {base}");
+    }
+
+    /// Translating the data translates the centroids (the invariance the
+    /// paper cites as a reason to choose k-means).
+    #[test]
+    fn translation_invariance(ds in dataset(), shift in -20.0..20.0f64, seed in any::<u64>()) {
+        let cfg = KMeansConfig::new(3).with_seed(seed);
+        let res_a = kmeans(&ds, &cfg);
+        let mut moved = ds.clone();
+        for i in 0..moved.len() {
+            for x in moved.row_mut(i) {
+                *x += shift;
+            }
+        }
+        let res_b = kmeans(&moved, &cfg);
+        prop_assert_eq!(&res_a.assignment, &res_b.assignment);
+        for c in 0..res_a.k() {
+            for (x, y) in res_a.centroids.row(c).iter().zip(res_b.centroids.row(c)) {
+                prop_assert!((x + shift - y).abs() < 1e-6, "{x} + {shift} vs {y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Peer failure (churn) modelling.
+//!
+//! The paper's scenario is a short-lived network with "limited mobility" —
+//! but devices still leave early: someone walks out of the conference room
+//! with their phone. This module models the *fail-stop* case: a failed
+//! peer stops answering direct fetches, while its previously published
+//! summaries linger in the overlay (they were replicated onto other
+//! devices' zones, so lookups still route — the candidate just never
+//! responds).
+//!
+//! Two recall notions follow, both exercised by the `churn_failures`
+//! experiment binary:
+//! * against **all** data: recall degrades roughly with the failed fraction
+//!   (those items are physically gone — no protocol can recover them);
+//! * against **alive** data: Hyper-M's no-false-dismissal property is
+//!   unaffected — everything still reachable is still found.
+//!
+//! Failed peers keep their overlay *routing* duties in this model: CAN
+//! zone takeover / BATON tree repair are orthogonal maintenance protocols
+//! from the substrate papers, out of scope here exactly as in the paper.
+
+use crate::network::HypermNetwork;
+
+impl HypermNetwork {
+    /// Mark a peer as failed: it stops answering direct item fetches.
+    pub fn fail_peer(&mut self, peer: usize) {
+        assert!(peer < self.len(), "no such peer {peer}");
+        self.failed_mut()[peer] = true;
+    }
+
+    /// Bring a failed peer back (its local data was never lost, merely
+    /// unreachable).
+    pub fn revive_peer(&mut self, peer: usize) {
+        assert!(peer < self.len(), "no such peer {peer}");
+        self.failed_mut()[peer] = false;
+    }
+
+    /// Whether a peer currently answers fetches.
+    pub fn is_alive(&self, peer: usize) -> bool {
+        !self.failed()[peer]
+    }
+
+    /// Number of currently alive peers.
+    pub fn alive_count(&self) -> usize {
+        self.failed().iter().filter(|&&f| !f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::HypermConfig;
+    use crate::network::HypermNetwork;
+    use crate::query::knn::KnnOptions;
+    use hyperm_cluster::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(seed: u64) -> HypermNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peers: Vec<Dataset> = (0..8)
+            .map(|_| {
+                let c: f64 = rng.gen::<f64>() * 0.5;
+                let mut ds = Dataset::new(8);
+                let mut row = [0.0f64; 8];
+                for _ in 0..25 {
+                    for x in row.iter_mut() {
+                        *x = (c + rng.gen::<f64>() * 0.3).clamp(0.0, 1.0);
+                    }
+                    ds.push_row(&row);
+                }
+                ds
+            })
+            .collect();
+        let cfg = HypermConfig::new(8)
+            .with_levels(3)
+            .with_clusters_per_peer(3)
+            .with_seed(seed);
+        HypermNetwork::build(peers, cfg).unwrap().0
+    }
+
+    #[test]
+    fn failed_peers_stop_answering() {
+        let mut net = build(1);
+        let q = net.peer(3).items.row(0).to_vec();
+        let before = net.range_query(0, &q, 0.05, None);
+        assert!(before.items.iter().any(|&(p, _)| p == 3));
+        net.fail_peer(3);
+        assert!(!net.is_alive(3));
+        assert_eq!(net.alive_count(), 7);
+        let after = net.range_query(0, &q, 0.05, None);
+        assert!(
+            after.items.iter().all(|&(p, _)| p != 3),
+            "failed peer answered"
+        );
+    }
+
+    #[test]
+    fn revival_restores_answers() {
+        let mut net = build(2);
+        let q = net.peer(5).items.row(2).to_vec();
+        net.fail_peer(5);
+        assert!(net.range_query(0, &q, 0.01, None).items.is_empty());
+        net.revive_peer(5);
+        assert!(net.range_query(0, &q, 0.01, None).items.contains(&(5, 2)));
+    }
+
+    #[test]
+    fn alive_data_still_fully_found() {
+        let mut net = build(3);
+        net.fail_peer(0);
+        net.fail_peer(4);
+        // Ground truth over alive peers only.
+        let q = net.peer(2).items.row(0).to_vec();
+        let eps = 0.3;
+        let mut alive_truth = Vec::new();
+        for p in 0..net.len() {
+            if !net.is_alive(p) {
+                continue;
+            }
+            for i in net.peer(p).local_range(&q, eps) {
+                alive_truth.push((p, i));
+            }
+        }
+        let res = net.range_query(1, &q, eps, None);
+        let got: std::collections::HashSet<_> = res.items.iter().copied().collect();
+        for t in &alive_truth {
+            assert!(got.contains(t), "alive item {t:?} missed under churn");
+        }
+        assert_eq!(got.len(), alive_truth.len());
+    }
+
+    #[test]
+    fn knn_and_point_skip_failed_peers() {
+        let mut net = build(4);
+        let q = net.peer(6).items.row(0).to_vec();
+        net.fail_peer(6);
+        let res = net.knn_query(0, &q, 5, KnnOptions::default());
+        assert!(res.topk.iter().all(|&((p, _), _)| p != 6));
+        let pt = net.point_query(0, &q);
+        assert!(pt.matches.is_empty());
+    }
+}

@@ -1,0 +1,498 @@
+//! The Hyper-M network: N peers, one CAN overlay per wavelet subspace.
+//!
+//! [`HypermNetwork::build`] performs the paper's Figure-2 insertion
+//! pipeline for every peer: summarisation (offline, parallelised across
+//! peers with scoped threads) followed by publication of each cluster
+//! sphere into its subspace's overlay. Costs are tracked per level and per
+//! peer; the **makespan** (max per-peer cumulative hops) is the paper's
+//! "parallel execution" view of dissemination time, while total hops is its
+//! Figure-8 metric.
+
+use crate::config::HypermConfig;
+use crate::overlay::Overlay;
+use crate::peer::Peer;
+use crate::HypermError;
+use hyperm_can::{KeyMap, ObjectRef};
+use hyperm_cluster::Dataset;
+use hyperm_sim::{NodeId, OpStats, Scheduler};
+use hyperm_wavelet::{decompose, radius_contraction, Decomposition, Subspace};
+
+/// Cost report of a network build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildReport {
+    /// Total publication cost across all levels (excludes overlay
+    /// bootstrap, reported separately).
+    pub insertion: OpStats,
+    /// Publication cost per level.
+    pub per_level: Vec<OpStats>,
+    /// One-off overlay construction cost (node joins), all levels.
+    pub bootstrap: OpStats,
+    /// Cluster spheres published.
+    pub clusters_published: u64,
+    /// Total replicas stored (≥ clusters when replication is on).
+    pub replicas: u64,
+    /// Total data items summarised.
+    pub items_total: u64,
+    /// Parallel makespan: the maximum cumulative insertion hops any single
+    /// peer pays (peers publish concurrently, their own inserts serially).
+    pub makespan_hops: u64,
+    /// Parallel makespan in *rounds*, from a discrete-event simulation in
+    /// which each peer publishes its clusters back-to-back while all peers
+    /// run concurrently, and replication floods fan out one depth level per
+    /// round (tighter than `makespan_hops`, which serialises the floods).
+    pub makespan_rounds: u64,
+}
+
+impl BuildReport {
+    /// The paper's Figure-8 y-axis: average insertion hops **per data
+    /// item** — "some values … are smaller than 1 because we are averaging
+    /// over the number of items on a peer, but insert only cluster
+    /// centroids".
+    pub fn avg_hops_per_item(&self) -> f64 {
+        if self.items_total == 0 {
+            0.0
+        } else {
+            self.insertion.hops as f64 / self.items_total as f64
+        }
+    }
+}
+
+/// A built Hyper-M network.
+#[derive(Debug, Clone)]
+pub struct HypermNetwork {
+    /// The configuration the network was built with.
+    pub config: HypermConfig,
+    peers: Vec<Peer>,
+    overlays: Vec<Overlay>,
+    keymaps: Vec<KeyMap>,
+    subspaces: Vec<Subspace>,
+    contractions: Vec<f64>,
+    /// Fail-stop flags, one per peer (see the `churn` module).
+    failed: Vec<bool>,
+}
+
+impl HypermNetwork {
+    /// Build a network from per-peer collections.
+    pub fn build(
+        peers_data: Vec<Dataset>,
+        config: HypermConfig,
+    ) -> Result<(Self, BuildReport), HypermError> {
+        if peers_data.is_empty() {
+            return Err(HypermError::NoPeers);
+        }
+        if !config.data_dim.is_power_of_two() || config.data_dim == 0 {
+            return Err(HypermError::BadDimension(config.data_dim));
+        }
+        if config.levels == 0 || config.levels > config.max_levels() {
+            return Err(HypermError::TooManyLevels {
+                requested: config.levels,
+                max: config.max_levels(),
+            });
+        }
+        for (i, p) in peers_data.iter().enumerate() {
+            if p.is_empty() || p.dim() != config.data_dim {
+                return Err(HypermError::DimensionMismatch {
+                    peer: i,
+                    got: p.dim(),
+                    expected: config.data_dim,
+                });
+            }
+        }
+
+        // ---- Offline phase: summarise every peer (parallel). ----
+        let peers = summarize_all(peers_data, &config);
+
+        // ---- Overlay construction (one CAN per subspace). ----
+        let subspaces = config.subspaces();
+        let n = peers.len();
+        let mut overlays = Vec::with_capacity(subspaces.len());
+        let mut keymaps = Vec::with_capacity(subspaces.len());
+        let mut contractions = Vec::with_capacity(subspaces.len());
+        let mut bootstrap = OpStats::zero();
+        for (l, &s) in subspaces.iter().enumerate() {
+            let dim = config.can_dim(s);
+            let overlay = Overlay::bootstrap(
+                config.overlay_backend,
+                dim,
+                config.seed.wrapping_add(l as u64 + 1),
+                n,
+            );
+            bootstrap += overlay.bootstrap_stats();
+            let (lo, hi) = config.subspace_bounds(s);
+            keymaps.push(KeyMap::uniform(dim, lo, hi));
+            contractions.push(radius_contraction(config.data_dim, s, config.normalization));
+            overlays.push(overlay);
+        }
+
+        // ---- Publication phase (step i3). ----
+        let mut per_level = vec![OpStats::zero(); subspaces.len()];
+        let mut per_peer_hops = vec![0u64; n];
+        let mut per_peer_insert_rounds: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut clusters_published = 0u64;
+        let mut replicas = 0u64;
+        for peer in &peers {
+            for (l, summary) in peer.summaries.iter().enumerate() {
+                for (c, sphere) in summary.iter().enumerate() {
+                    let key = keymaps[l].to_key(&sphere.centroid);
+                    let key_radius = keymaps[l].to_key_radius(sphere.radius);
+                    let out = overlays[l].insert_sphere(
+                        NodeId(peer.id),
+                        key,
+                        key_radius,
+                        ObjectRef {
+                            peer: peer.id,
+                            tag: c as u64,
+                            items: sphere.items as u32,
+                        },
+                        config.replicate,
+                    );
+                    per_level[l] += out.stats;
+                    per_peer_hops[peer.id] += out.stats.hops;
+                    per_peer_insert_rounds[peer.id].push(out.rounds);
+                    clusters_published += 1;
+                    replicas += out.replicas as u64;
+                }
+            }
+        }
+
+        let insertion: OpStats = per_level.iter().copied().sum();
+        let items_total = peers.iter().map(|p| p.len() as u64).sum();
+        let makespan_hops = per_peer_hops.iter().copied().max().unwrap_or(0);
+        let makespan_rounds = simulate_parallel_publication(&per_peer_insert_rounds);
+        let report = BuildReport {
+            insertion,
+            per_level,
+            bootstrap,
+            clusters_published,
+            replicas,
+            items_total,
+            makespan_hops,
+            makespan_rounds,
+        };
+        let failed = vec![false; n];
+        Ok((
+            HypermNetwork {
+                config,
+                peers,
+                overlays,
+                keymaps,
+                subspaces,
+                contractions,
+                failed,
+            },
+            report,
+        ))
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the network has no peers (never true post-build).
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Borrow a peer.
+    pub fn peer(&self, id: usize) -> &Peer {
+        &self.peers[id]
+    }
+
+    /// Mutably borrow a peer (used by maintenance).
+    pub(crate) fn peer_mut(&mut self, id: usize) -> &mut Peer {
+        &mut self.peers[id]
+    }
+
+    /// Fail-stop flags (churn module).
+    pub(crate) fn failed(&self) -> &[bool] {
+        &self.failed
+    }
+
+    /// Mutable fail-stop flags (churn module).
+    pub(crate) fn failed_mut(&mut self) -> &mut [bool] {
+        &mut self.failed
+    }
+
+    /// Append a freshly summarised peer (live join module).
+    pub(crate) fn push_peer(&mut self, peer: Peer) {
+        assert_eq!(peer.id, self.peers.len(), "peer ids must stay dense");
+        self.peers.push(peer);
+        self.failed.push(false);
+    }
+
+    /// Iterate over peers.
+    pub fn peers(&self) -> impl ExactSizeIterator<Item = &Peer> {
+        self.peers.iter()
+    }
+
+    /// Number of published levels.
+    pub fn levels(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// The subspace of a level.
+    pub fn subspace(&self, level: usize) -> Subspace {
+        self.subspaces[level]
+    }
+
+    /// Borrow a level's overlay.
+    pub fn overlay(&self, level: usize) -> &Overlay {
+        &self.overlays[level]
+    }
+
+    /// Mutably borrow a level's overlay (used by maintenance).
+    pub(crate) fn overlay_mut(&mut self, level: usize) -> &mut Overlay {
+        &mut self.overlays[level]
+    }
+
+    /// Borrow a level's key map.
+    pub fn keymap(&self, level: usize) -> &KeyMap {
+        &self.keymaps[level]
+    }
+
+    /// Theorem-3.1 radius divisor of a level.
+    pub fn contraction(&self, level: usize) -> f64 {
+        self.contractions[level]
+    }
+
+    /// Decompose a query vector once for all levels.
+    pub fn decompose_query(&self, q: &[f64]) -> Decomposition {
+        assert_eq!(q.len(), self.config.data_dim, "query dimension mismatch");
+        decompose(q, self.config.normalization).expect("power-of-two dim")
+    }
+
+    /// The query's coefficients in a level's subspace, as a key-space point.
+    pub fn query_key(&self, dec: &Decomposition, level: usize) -> Vec<f64> {
+        let coeffs = dec.subspace(self.subspaces[level]).expect("level exists");
+        self.keymaps[level].to_key(coeffs)
+    }
+
+    /// An original-space radius translated into a level's key space:
+    /// contracted per Theorem 3.1, then affinely scaled by the key map.
+    pub fn query_key_radius(&self, eps: f64, level: usize) -> f64 {
+        self.keymaps[level].to_key_radius(eps / self.contractions[level])
+    }
+}
+
+/// Replay the publication schedule on the discrete-event scheduler: every
+/// peer fires its first insert at t = 0 and chains the next one when the
+/// previous completes (`rounds` ticks later), emulating the paper's
+/// "parallel execution is simulated by emptying the queue". The returned
+/// makespan is the time the last insert completes.
+fn simulate_parallel_publication(per_peer_rounds: &[Vec<u64>]) -> u64 {
+    // Payload: (peer, index of the insert that just *completed*).
+    let mut sched: Scheduler<(usize, usize)> = Scheduler::new();
+    let mut makespan = 0u64;
+    for (peer, rounds) in per_peer_rounds.iter().enumerate() {
+        if let Some(&first) = rounds.first() {
+            // An insert of zero rounds (local store only) completes at t=0.
+            sched.schedule_in(first, NodeId(peer), (peer, 0));
+        }
+    }
+    let end = sched.run(u64::MAX, |sched, ev| {
+        let (peer, idx) = ev.payload;
+        if let Some(&next) = per_peer_rounds[peer].get(idx + 1) {
+            sched.schedule_in(next, NodeId(peer), (peer, idx + 1));
+        }
+    });
+    makespan = makespan.max(end.0);
+    makespan
+}
+
+/// Summarise all peers, in parallel when the corpus is large enough to pay
+/// for thread startup.
+fn summarize_all(peers_data: Vec<Dataset>, config: &HypermConfig) -> Vec<Peer> {
+    let total_items: usize = peers_data.iter().map(Dataset::len).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || total_items < 2_000 || peers_data.len() < 2 {
+        return peers_data
+            .into_iter()
+            .enumerate()
+            .map(|(id, items)| Peer::summarize(id, items, config))
+            .collect();
+    }
+    // Scoped threads: deal peers round-robin, collect by index.
+    let indexed: Vec<(usize, Dataset)> = peers_data.into_iter().enumerate().collect();
+    let chunks: Vec<Vec<(usize, Dataset)>> = {
+        let mut cs: Vec<Vec<(usize, Dataset)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, item) in indexed.into_iter().enumerate() {
+            cs[i % threads].push(item);
+        }
+        cs
+    };
+    let mut out: Vec<Option<Peer>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(id, items)| Peer::summarize(id, items, config))
+                        .collect::<Vec<Peer>>()
+                })
+            })
+            .collect();
+        let n: usize = 0;
+        let mut collected: Vec<Peer> = Vec::new();
+        for h in handles {
+            collected.extend(h.join().expect("summarisation thread panicked"));
+        }
+        let _ = n;
+        out = {
+            let mut slots: Vec<Option<Peer>> = (0..collected.len()).map(|_| None).collect();
+            for p in collected {
+                let id = p.id;
+                slots[id] = Some(p);
+            }
+            slots
+        };
+    })
+    .expect("crossbeam scope");
+    out.into_iter()
+        .map(|p| p.expect("every peer summarised"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn peers_data(n_peers: usize, items: usize, dim: usize, seed: u64) -> Vec<Dataset> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_peers)
+            .map(|_| {
+                let mut ds = Dataset::new(dim);
+                let mut row = vec![0.0; dim];
+                for _ in 0..items {
+                    for x in row.iter_mut() {
+                        *x = rng.gen();
+                    }
+                    ds.push_row(&row);
+                }
+                ds
+            })
+            .collect()
+    }
+
+    fn config() -> HypermConfig {
+        HypermConfig::new(16)
+            .with_levels(3)
+            .with_clusters_per_peer(4)
+            .with_seed(1)
+    }
+
+    #[test]
+    fn build_produces_consistent_network() {
+        let (net, report) = HypermNetwork::build(peers_data(8, 30, 16, 1), config()).unwrap();
+        assert_eq!(net.len(), 8);
+        assert_eq!(net.levels(), 3);
+        assert_eq!(report.items_total, 240);
+        // ≤ 4 clusters × 3 levels × 8 peers.
+        assert!(report.clusters_published <= 96);
+        assert!(report.clusters_published >= 24);
+        assert!(report.replicas >= report.clusters_published);
+        for l in 0..3 {
+            assert_eq!(net.overlay(l).len(), 8);
+            net.overlay(l).check_invariants();
+        }
+    }
+
+    #[test]
+    fn summaries_land_in_overlays() {
+        let (net, report) = HypermNetwork::build(peers_data(6, 20, 16, 2), config()).unwrap();
+        let stored: u64 = (0..net.levels())
+            .map(|l| net.overlay(l).store_sizes().iter().sum::<usize>() as u64)
+            .sum();
+        assert_eq!(stored, report.replicas);
+    }
+
+    #[test]
+    fn insertion_cost_scales_with_clusters_not_items() {
+        let few_items = HypermNetwork::build(peers_data(6, 20, 16, 3), config())
+            .unwrap()
+            .1;
+        let many_items = HypermNetwork::build(peers_data(6, 200, 16, 3), config())
+            .unwrap()
+            .1;
+        // Ten times the items, same cluster count → per-item hops drop ~10×.
+        assert!(
+            many_items.avg_hops_per_item() < few_items.avg_hops_per_item() / 4.0,
+            "{} vs {}",
+            many_items.avg_hops_per_item(),
+            few_items.avg_hops_per_item()
+        );
+    }
+
+    #[test]
+    fn makespan_bounded_by_total() {
+        let (_, report) = HypermNetwork::build(peers_data(8, 25, 16, 4), config()).unwrap();
+        assert!(report.makespan_hops <= report.insertion.hops);
+        assert!(report.makespan_hops * 8 >= report.insertion.hops);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = HypermNetwork::build(peers_data(5, 15, 16, 5), config())
+            .unwrap()
+            .1;
+        let b = HypermNetwork::build(peers_data(5, 15, 16, 5), config())
+            .unwrap()
+            .1;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_translation_helpers() {
+        let (net, _) = HypermNetwork::build(peers_data(4, 10, 16, 6), config()).unwrap();
+        let q = vec![0.5; 16];
+        let dec = net.decompose_query(&q);
+        for l in 0..net.levels() {
+            let key = net.query_key(&dec, l);
+            assert_eq!(key.len(), net.overlay(l).dim());
+            assert!(key.iter().all(|&x| (0.0..1.0).contains(&x)));
+            // Radius shrinks per Theorem 3.1 (levels here have contraction
+            // √16=4 or lower) before the affine map rescales it.
+            assert!(net.query_key_radius(0.4, l) > 0.0);
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        assert_eq!(
+            HypermNetwork::build(vec![], config()).unwrap_err(),
+            HypermError::NoPeers
+        );
+        let bad_levels = config().with_levels(9); // 16-d supports max 5
+        assert!(matches!(
+            HypermNetwork::build(peers_data(2, 5, 16, 7), bad_levels).unwrap_err(),
+            HypermError::TooManyLevels { .. }
+        ));
+        let cfg24 = HypermConfig::new(24);
+        assert!(matches!(
+            HypermNetwork::build(peers_data(2, 5, 24, 8), cfg24).unwrap_err(),
+            HypermError::BadDimension(24)
+        ));
+        let mismatched = peers_data(2, 5, 8, 9);
+        assert!(matches!(
+            HypermNetwork::build(mismatched, config()).unwrap_err(),
+            HypermError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn parallel_and_serial_summarisation_agree() {
+        // Over the 2k-item threshold the parallel path kicks in; the result
+        // must be identical to the serial path (same seeds per peer).
+        let data = peers_data(8, 300, 16, 10); // 2400 items total
+        let (net_par, _) = HypermNetwork::build(data.clone(), config()).unwrap();
+        // Force serial by building tiny slices and comparing one peer.
+        let serial_peer = Peer::summarize(3, data[3].clone(), &config());
+        assert_eq!(net_par.peer(3).summaries, serial_peer.summaries);
+    }
+}

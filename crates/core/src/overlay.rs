@@ -1,0 +1,202 @@
+//! Overlay-substrate abstraction.
+//!
+//! The paper: "Our method has been designed independent of the underlying
+//! peer-to-peer overlays, and it could be implemented on top of BATON,
+//! VBI-tree, CAN or any peer-to-peer overlays … so long as they can
+//! support multi-dimensional indexing." This module delivers that
+//! independence: every per-subspace overlay is an [`Overlay`] — either a
+//! CAN ([`hyperm_can::CanOverlay`]), a BATON tree with Z-order key mapping
+//! ([`hyperm_baton::BatonOverlay`]), or a VBI-tree
+//! ([`hyperm_vbi::VbiOverlay`]) — selected by [`OverlayBackend`] in the
+//! network configuration. All three overlays the paper names are therefore
+//! actually runnable.
+
+use hyperm_baton::{BatonConfig, BatonOverlay};
+use hyperm_can::{CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
+use hyperm_sim::{NodeId, OpStats};
+use hyperm_vbi::{VbiConfig, VbiOverlay};
+
+/// Which overlay substrate to build per wavelet subspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlayBackend {
+    /// Content-Addressable Network (the paper's evaluation substrate).
+    #[default]
+    Can,
+    /// BATON balanced tree over a Z-order linearisation of the subspace.
+    Baton,
+    /// VBI-tree: a virtual binary index over a kd-partition of the subspace.
+    Vbi,
+}
+
+/// A per-subspace overlay of either substrate.
+#[derive(Debug, Clone)]
+pub enum Overlay {
+    /// CAN substrate.
+    Can(CanOverlay),
+    /// BATON substrate.
+    Baton(BatonOverlay),
+    /// VBI-tree substrate.
+    Vbi(VbiOverlay),
+}
+
+impl Overlay {
+    /// Bootstrap an overlay of `n` nodes over a `dim`-dimensional key box.
+    pub fn bootstrap(backend: OverlayBackend, dim: usize, seed: u64, n: usize) -> Overlay {
+        match backend {
+            OverlayBackend::Can => Overlay::Can(CanOverlay::bootstrap(
+                CanConfig::new(dim).with_seed(seed),
+                n,
+            )),
+            OverlayBackend::Baton => Overlay::Baton(BatonOverlay::bootstrap(
+                BatonConfig::new(dim).with_seed(seed),
+                n,
+            )),
+            OverlayBackend::Vbi => Overlay::Vbi(VbiOverlay::bootstrap(
+                VbiConfig::new(dim).with_seed(seed),
+                n,
+            )),
+        }
+    }
+
+    /// Key-space dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            Overlay::Can(o) => o.dim(),
+            Overlay::Baton(o) => o.dim(),
+            Overlay::Vbi(o) => o.dim(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        match self {
+            Overlay::Can(o) => o.len(),
+            Overlay::Baton(o) => o.len(),
+            Overlay::Vbi(o) => o.len(),
+        }
+    }
+
+    /// Whether the overlay has no nodes (never true post-bootstrap).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Construction (join) cost.
+    pub fn bootstrap_stats(&self) -> OpStats {
+        match self {
+            Overlay::Can(o) => o.bootstrap_stats(),
+            Overlay::Baton(o) => o.bootstrap_stats(),
+            Overlay::Vbi(o) => o.bootstrap_stats(),
+        }
+    }
+
+    /// Insert a sphere object (see the substrate docs for replication
+    /// semantics).
+    pub fn insert_sphere(
+        &mut self,
+        from: NodeId,
+        centre: Vec<f64>,
+        radius: f64,
+        payload: ObjectRef,
+        replicate: bool,
+    ) -> InsertOutcome {
+        match self {
+            Overlay::Can(o) => o.insert_sphere(from, centre, radius, payload, replicate),
+            Overlay::Baton(o) => o.insert_sphere(from, centre, radius, payload, replicate),
+            Overlay::Vbi(o) => o.insert_sphere(from, centre, radius, payload, replicate),
+        }
+    }
+
+    /// Flooding range query.
+    pub fn range_query(&self, from: NodeId, centre: &[f64], radius: f64) -> RangeOutcome {
+        match self {
+            Overlay::Can(o) => o.range_query(from, centre, radius),
+            Overlay::Baton(o) => o.range_query(from, centre, radius),
+            Overlay::Vbi(o) => o.range_query(from, centre, radius),
+        }
+    }
+
+    /// Point lookup: stored spheres containing the point.
+    pub fn point_lookup(&self, from: NodeId, point: &[f64]) -> (Vec<StoredObject>, OpStats) {
+        match self {
+            Overlay::Can(o) => o.point_lookup(from, point),
+            Overlay::Baton(o) => o.point_lookup(from, point),
+            Overlay::Vbi(o) => o.point_lookup(from, point),
+        }
+    }
+
+    /// Remove all replicas/versions of the object `peer` published under
+    /// `tag` (summary invalidation); returns (removed, cost).
+    pub fn remove_objects(&mut self, peer: usize, tag: u64) -> (usize, OpStats) {
+        match self {
+            Overlay::Can(o) => o.remove_objects(peer, tag),
+            Overlay::Baton(o) => o.remove_objects(peer, tag),
+            Overlay::Vbi(o) => o.remove_objects(peer, tag),
+        }
+    }
+
+    /// Stored objects per node (replicas counted everywhere).
+    pub fn store_sizes(&self) -> Vec<usize> {
+        match self {
+            Overlay::Can(o) => o.store_sizes(),
+            Overlay::Baton(o) => o.store_sizes(),
+            Overlay::Vbi(o) => o.store_sizes(),
+        }
+    }
+
+    /// Summarised item mass per node.
+    pub fn stored_items_per_node(&self) -> Vec<u64> {
+        match self {
+            Overlay::Can(o) => o.stored_items_per_node(),
+            Overlay::Baton(o) => o.stored_items_per_node(),
+            Overlay::Vbi(o) => o.stored_items_per_node(),
+        }
+    }
+
+    /// Structural invariant checks (test support).
+    pub fn check_invariants(&self) {
+        match self {
+            Overlay::Can(o) => o.check_invariants(),
+            Overlay::Baton(o) => o.check_invariants(),
+            Overlay::Vbi(o) => o.check_invariants(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_bootstrap_and_answer() {
+        for backend in [
+            OverlayBackend::Can,
+            OverlayBackend::Baton,
+            OverlayBackend::Vbi,
+        ] {
+            let mut overlay = Overlay::bootstrap(backend, 2, 1, 16);
+            assert_eq!(overlay.len(), 16);
+            assert_eq!(overlay.dim(), 2);
+            overlay.check_invariants();
+            let out = overlay.insert_sphere(
+                NodeId(0),
+                vec![0.4, 0.6],
+                0.1,
+                ObjectRef {
+                    peer: 3,
+                    tag: 0,
+                    items: 7,
+                },
+                true,
+            );
+            assert!(out.replicas >= 1);
+            let res = overlay.range_query(NodeId(1), &[0.42, 0.6], 0.05);
+            assert_eq!(res.matches.len(), 1, "{backend:?}");
+            assert_eq!(res.matches[0].payload.peer, 3);
+            let (hits, _) = overlay.point_lookup(NodeId(2), &[0.45, 0.6]);
+            assert_eq!(hits.len(), 1, "{backend:?}");
+            let total_mass: u64 = overlay.stored_items_per_node().iter().sum();
+            assert!(total_mass >= 7);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! A Hyper-M peer: local items, their wavelet views, and the published
+//! cluster summaries.
+//!
+//! Step *i1*/*i2* of the paper's Figure 2 happen here: every local item is
+//! decomposed with the DWT ("this process could be done offline, and it
+//! does not add to the overall time complexity"), the coefficients of each
+//! published subspace are collected into a per-level dataset, and k-means
+//! summarises each level into `K_p` cluster spheres.
+
+use crate::config::HypermConfig;
+use hyperm_cluster::kmeans::kmeans;
+use hyperm_cluster::{spheres_from_clustering, ClusterSphere, Dataset, KMeansConfig, KdTree};
+use hyperm_geometry::vecmath::sq_dist;
+use hyperm_wavelet::decompose;
+
+/// One device and its local collection.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Peer index (also its CAN node id in every overlay).
+    pub id: usize,
+    /// Original-space items (rows).
+    pub items: Dataset,
+    /// Per published subspace: the items' coefficients in that subspace
+    /// (row i ↔ item i).
+    pub level_views: Vec<Dataset>,
+    /// Per published subspace: the cluster-sphere summaries (step *i2*).
+    pub summaries: Vec<Vec<ClusterSphere>>,
+    /// kd-tree over the items present at summarisation time; items appended
+    /// later (maintenance inserts) live past `index.indexed_len()` and are
+    /// scanned linearly (main-index + delta-buffer).
+    index: KdTree,
+}
+
+impl Peer {
+    /// Decompose and summarise `items` according to `config`.
+    ///
+    /// The k-means seed is derived from `(config.seed, id, level)` so the
+    /// whole network build is reproducible while peers stay decorrelated.
+    pub fn summarize(id: usize, items: Dataset, config: &HypermConfig) -> Peer {
+        assert!(!items.is_empty(), "peer {id} has no items");
+        assert_eq!(items.dim(), config.data_dim, "peer {id} dimension mismatch");
+        let subspaces = config.subspaces();
+
+        // Decompose every item once; scatter coefficients into per-level
+        // datasets.
+        let mut level_views: Vec<Dataset> = subspaces
+            .iter()
+            .map(|s| Dataset::with_capacity(s.dim(), items.len()))
+            .collect();
+        for row in items.rows() {
+            let dec = decompose(row, config.normalization).expect("power-of-two dim");
+            for (view, &s) in level_views.iter_mut().zip(&subspaces) {
+                view.push_row(dec.subspace(s).expect("subspace exists"));
+            }
+        }
+
+        // Cluster each level independently.
+        let summaries: Vec<Vec<ClusterSphere>> = level_views
+            .iter()
+            .enumerate()
+            .map(|(l, view)| {
+                let cfg = KMeansConfig {
+                    k: config.clusters_per_peer,
+                    max_iter: config.kmeans_max_iter,
+                    tol: 1e-9,
+                    init: Default::default(),
+                    seed: config
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((id as u64) << 20)
+                        .wrapping_add(l as u64),
+                };
+                let result = kmeans(view, &cfg);
+                spheres_from_clustering(view, &result)
+            })
+            .collect();
+
+        let index = KdTree::build(&items);
+        Peer {
+            id,
+            items,
+            level_views,
+            summaries,
+            index,
+        }
+    }
+
+    /// Number of local items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the peer holds no items (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Exact local range scan in the **original** space: indices of items
+    /// within `eps` of `q`. This is the "retrieve the actual data items"
+    /// step (s3) — precision is 100% because the peer filters by true
+    /// distance. Indexed items go through the kd-tree; the post-build delta
+    /// is scanned linearly.
+    pub fn local_range(&self, q: &[f64], eps: f64) -> Vec<usize> {
+        let mut out = self.index.range(&self.items, q, eps);
+        let e2 = eps * eps;
+        for i in self.index.indexed_len()..self.items.len() {
+            if sq_dist(self.items.row(i), q) <= e2 + 1e-12 {
+                out.push(i);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Exact local k-nn in the original space: `(local index, distance)`
+    /// pairs, closest first (kd-tree over the indexed prefix merged with a
+    /// linear scan of the delta).
+    pub fn local_knn(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut all = self.index.knn(&self.items, q, k);
+        for i in self.index.indexed_len()..self.items.len() {
+            all.push((i, sq_dist(self.items.row(i), q).sqrt()));
+        }
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Exact-match local lookup.
+    pub fn local_point(&self, q: &[f64]) -> Option<usize> {
+        self.items.rows().position(|row| sq_dist(row, q) < 1e-18)
+    }
+
+    /// Total wire bytes of all published summaries (what dissemination
+    /// actually transfers, vs. `8·dim·len` for the raw items).
+    pub fn summary_bytes(&self) -> u64 {
+        self.summaries
+            .iter()
+            .flatten()
+            .map(|s| s.wire_bytes() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn items(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(dim);
+        let mut row = vec![0.0; dim];
+        for _ in 0..n {
+            for x in row.iter_mut() {
+                *x = rng.gen();
+            }
+            ds.push_row(&row);
+        }
+        ds
+    }
+
+    fn config() -> HypermConfig {
+        HypermConfig::new(16)
+            .with_levels(3)
+            .with_clusters_per_peer(4)
+    }
+
+    #[test]
+    fn summarize_produces_per_level_structures() {
+        let peer = Peer::summarize(0, items(50, 16, 1), &config());
+        assert_eq!(peer.level_views.len(), 3);
+        assert_eq!(peer.summaries.len(), 3);
+        assert_eq!(peer.level_views[0].dim(), 1); // A
+        assert_eq!(peer.level_views[1].dim(), 1); // D0
+        assert_eq!(peer.level_views[2].dim(), 2); // D1
+        for (views, summary) in peer.level_views.iter().zip(&peer.summaries) {
+            assert_eq!(views.len(), 50);
+            assert!(summary.len() <= 4);
+            assert_eq!(summary.iter().map(|s| s.items).sum::<usize>(), 50);
+        }
+    }
+
+    #[test]
+    fn summaries_cover_their_level_views() {
+        let peer = Peer::summarize(3, items(40, 16, 2), &config());
+        for (view, summary) in peer.level_views.iter().zip(&peer.summaries) {
+            for row in view.rows() {
+                assert!(
+                    summary.iter().any(|s| s.contains(row)),
+                    "coefficient row escapes all spheres"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_queries_are_exact() {
+        let ds = Dataset::from_rows(&[[0.0; 16], [0.5; 16], [1.0; 16]]);
+        let peer = Peer::summarize(0, ds, &config());
+        let q = [0.0f64; 16];
+        assert_eq!(peer.local_range(&q, 0.1), vec![0]);
+        assert_eq!(peer.local_range(&q, 2.1), vec![0, 1]);
+        let knn = peer.local_knn(&q, 2);
+        assert_eq!(knn[0].0, 0);
+        assert_eq!(knn[1].0, 1);
+        assert_eq!(peer.local_point(&[0.5; 16]), Some(1));
+        assert_eq!(peer.local_point(&[0.4; 16]), None);
+    }
+
+    #[test]
+    fn summaries_are_much_smaller_than_items() {
+        let peer = Peer::summarize(0, items(500, 16, 3), &config());
+        let raw_bytes = 8 * 16 * 500u64;
+        assert!(
+            peer.summary_bytes() * 10 < raw_bytes,
+            "{} vs {}",
+            peer.summary_bytes(),
+            raw_bytes
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Peer::summarize(7, items(30, 16, 4), &config());
+        let b = Peer::summarize(7, items(30, 16, 4), &config());
+        assert_eq!(a.summaries, b.summaries);
+    }
+}

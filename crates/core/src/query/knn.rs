@@ -1,0 +1,290 @@
+//! k-nearest-neighbour queries — the Figure-5 heuristic.
+//!
+//! The summaries cannot say exactly where the k closest items live, so the
+//! paper estimates, per level, the range-query radius ε whose *expected*
+//! retrieval is k items (Eq. 8, inverted numerically), merges the per-level
+//! results into peer scores, picks the top `P` peers whose cumulative score
+//! covers k, and requests from each a share proportional to its score:
+//!
+//! ```text
+//! no_items_p = C · k · score_p / Σ_top-P score      (Figure 5, step 8)
+//! ```
+//!
+//! `C` trades bandwidth for recall (the paper reports +14.51% recall,
+//! −21.05% precision going from C = 1 to 1.5).
+//!
+//! One departure from the paper, documented in DESIGN.md: Eq. 8 needs "the
+//! number of all reachable clusters", which a centralized solver would just
+//! read off. Distributedly we *discover* the clusters with an expanding-ring
+//! overlay query (doubling radius until enough summarised items are in
+//! view), then run the estimation on what was found.
+
+use crate::network::HypermNetwork;
+use crate::query::direct_fetch_cost;
+use crate::score::{aggregate, level_scores, peers_to_cover, PeerScore};
+use hyperm_geometry::vecmath::dist;
+use hyperm_geometry::{solve_epsilon_for_k, ClusterView};
+use hyperm_sim::{NodeId, OpStats};
+
+/// Tuning of the k-nn heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnOptions {
+    /// The `C` knob of Figure 5 (reasonable values 1–2 per the paper).
+    pub c: f64,
+    /// Optional hard cap on peers contacted.
+    pub peer_budget: Option<usize>,
+    /// Initial expanding-ring radius as a fraction of the key-space
+    /// diagonal (the ring doubles until enough clusters are in view).
+    pub probe_start: f64,
+}
+
+impl Default for KnnOptions {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            peer_budget: None,
+            probe_start: 0.05,
+        }
+    }
+}
+
+impl KnnOptions {
+    /// Builder-style `C` override.
+    pub fn with_c(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "C must be positive");
+        self.c = c;
+        self
+    }
+}
+
+/// Outcome of a k-nn query.
+#[derive(Debug, Clone)]
+pub struct KnnResult {
+    /// Every item fetched from the contacted peers, sorted by true
+    /// distance — the paper's *retrieved set* (size ≈ C·k), the basis of
+    /// its precision numbers.
+    pub retrieved: Vec<((usize, usize), f64)>,
+    /// The best k of [`KnnResult::retrieved`] — the final answer.
+    pub topk: Vec<((usize, usize), f64)>,
+    /// Per-level estimated radii (key space), for diagnostics.
+    pub epsilons: Vec<f64>,
+    /// Peers ranked by aggregated score.
+    pub ranked: Vec<PeerScore>,
+    /// Peers actually contacted (`P`).
+    pub peers_contacted: usize,
+    /// Total message cost.
+    pub stats: OpStats,
+}
+
+impl HypermNetwork {
+    /// Retrieve the `k` items nearest to `q` (original space), following
+    /// the retrieveKnn algorithm of Figure 5.
+    pub fn knn_query(&self, from_peer: usize, q: &[f64], k: usize, opts: KnnOptions) -> KnnResult {
+        assert!(k > 0, "k must be positive");
+        let dec = self.decompose_query(q);
+        let mut stats = OpStats::zero();
+        let mut per_level = Vec::with_capacity(self.levels());
+        let mut epsilons = Vec::with_capacity(self.levels());
+
+        for l in 0..self.levels() {
+            let key = self.query_key(&dec, l);
+            let dim = self.overlay(l).dim() as u32;
+            let diag = (dim as f64).sqrt();
+
+            // Step 2 (adapted): discover candidate clusters by expanding
+            // ring, then invert Eq. 8 on them.
+            let mut probe = (opts.probe_start * diag).max(1e-6);
+            let mut clusters;
+            loop {
+                let out = self.overlay(l).range_query(NodeId(from_peer), &key, probe);
+                stats += out.stats;
+                let in_view: f64 = out.matches.iter().map(|o| o.payload.items as f64).sum();
+                clusters = out.matches;
+                if in_view >= 2.0 * k as f64 || probe >= diag {
+                    break;
+                }
+                probe *= 2.0;
+            }
+            let views: Vec<ClusterView> = clusters
+                .iter()
+                .map(|o| ClusterView {
+                    centre_dist: dist(&o.centre, &key),
+                    radius: o.radius,
+                    items: o.payload.items as f64,
+                })
+                .collect();
+            let eps_l = solve_epsilon_for_k(dim, &views, k as f64, 1e-6);
+            epsilons.push(eps_l);
+
+            // Step 3: the level's range query at the estimated radius.
+            let out = self.overlay(l).range_query(NodeId(from_peer), &key, eps_l);
+            stats += out.stats;
+            per_level.push(level_scores(&out.matches, &key, eps_l, dim));
+        }
+
+        // Step 4: merge returned results.
+        let ranked = aggregate(&per_level, self.config.score_policy);
+
+        // Steps 5–6: P = peers whose cumulative score covers k.
+        let mut p = peers_to_cover(&ranked, k as f64);
+        if p == 0 && !ranked.is_empty() {
+            p = 1;
+        }
+        if let Some(budget) = opts.peer_budget {
+            p = p.min(budget);
+        }
+        let selected = &ranked[..p.min(ranked.len())];
+        let sum: f64 = selected.iter().map(|s| s.score).sum();
+
+        // Steps 7–9: request a proportional share from each selected peer.
+        let mut retrieved: Vec<((usize, usize), f64)> = Vec::new();
+        let q_bytes = 8 * (q.len() as u64 + 1) + 16;
+        for ps in selected {
+            if !self.is_alive(ps.peer) {
+                stats += OpStats {
+                    hops: 1,
+                    messages: 1,
+                    bytes: q_bytes,
+                };
+                continue;
+            }
+            let share = if sum > 0.0 {
+                ps.score / sum
+            } else {
+                1.0 / selected.len() as f64
+            };
+            let want = ((opts.c * k as f64 * share).ceil() as usize).max(1);
+            let local = self.peer(ps.peer).local_knn(q, want);
+            let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
+            stats += direct_fetch_cost(q_bytes, resp_bytes);
+            retrieved.extend(local.into_iter().map(|(i, d)| ((ps.peer, i), d)));
+        }
+
+        // Step 10: sort and cut.
+        retrieved.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let topk = retrieved.iter().take(k).cloned().collect();
+        let peers_contacted = selected.len();
+        KnnResult {
+            retrieved,
+            topk,
+            epsilons,
+            ranked,
+            peers_contacted,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HypermConfig;
+    use hyperm_baseline::{precision_recall, FlatIndex};
+    use hyperm_cluster::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(seed: u64, peers_n: usize, items: usize) -> (HypermNetwork, Vec<Dataset>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peers: Vec<Dataset> = (0..peers_n)
+            .map(|_| {
+                let centre: f64 = rng.gen::<f64>() * 0.6;
+                let mut ds = Dataset::new(16);
+                let mut row = [0.0f64; 16];
+                for _ in 0..items {
+                    for x in row.iter_mut() {
+                        *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                    }
+                    ds.push_row(&row);
+                }
+                ds
+            })
+            .collect();
+        let cfg = HypermConfig::new(16)
+            .with_levels(4)
+            .with_clusters_per_peer(5)
+            .with_seed(seed);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        (net, peers)
+    }
+
+    #[test]
+    fn returns_k_items_sorted() {
+        let (net, peers) = build(1, 8, 40);
+        let q = peers[2].row(5).to_vec();
+        let res = net.knn_query(0, &q, 10, KnnOptions::default());
+        assert_eq!(res.topk.len(), 10);
+        for w in res.topk.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(res.retrieved.len() >= res.topk.len());
+        assert!(res.peers_contacted >= 1);
+        assert_eq!(res.epsilons.len(), net.levels());
+    }
+
+    #[test]
+    fn self_query_finds_the_item_itself() {
+        let (net, peers) = build(2, 8, 40);
+        let q = peers[4].row(0).to_vec();
+        let res = net.knn_query(4, &q, 5, KnnOptions::default());
+        assert_eq!(res.topk[0].0, (4, 0));
+        assert!(res.topk[0].1 < 1e-9);
+    }
+
+    #[test]
+    fn recall_is_reasonable_on_clustered_data() {
+        let (net, peers) = build(3, 10, 50);
+        let flat = FlatIndex::from_peers(&peers);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total_recall = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let p = rng.gen_range(0..peers.len());
+            let i = rng.gen_range(0..peers[p].len());
+            let q = peers[p].row(i).to_vec();
+            let k = 10;
+            let truth: Vec<(usize, usize)> =
+                flat.knn(&q, k).into_iter().map(|(id, _)| id).collect();
+            let res = net.knn_query(0, &q, k, KnnOptions::default());
+            let got: Vec<(usize, usize)> = res.topk.iter().map(|&(id, _)| id).collect();
+            total_recall += precision_recall(&got, &truth).recall;
+        }
+        let avg = total_recall / trials as f64;
+        // The paper reports ≈50–60% balanced precision/recall; on this easy
+        // synthetic workload we expect at least that.
+        assert!(avg > 0.45, "avg recall {avg}");
+    }
+
+    #[test]
+    fn larger_c_retrieves_more_items() {
+        let (net, peers) = build(4, 8, 40);
+        let q = peers[1].row(3).to_vec();
+        let res1 = net.knn_query(0, &q, 10, KnnOptions::default().with_c(1.0));
+        let res2 = net.knn_query(0, &q, 10, KnnOptions::default().with_c(2.0));
+        assert!(res2.retrieved.len() >= res1.retrieved.len());
+    }
+
+    #[test]
+    fn peer_budget_caps_contacts() {
+        let (net, peers) = build(5, 8, 40);
+        let q = peers[0].row(0).to_vec();
+        let res = net.knn_query(
+            0,
+            &q,
+            20,
+            KnnOptions {
+                peer_budget: Some(2),
+                ..Default::default()
+            },
+        );
+        assert!(res.peers_contacted <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (net, peers) = build(6, 4, 20);
+        let q = peers[0].row(0).to_vec();
+        net.knn_query(0, &q, 0, KnnOptions::default());
+    }
+}

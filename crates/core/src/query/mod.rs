@@ -1,0 +1,32 @@
+//! Query processing (Section 4 of the paper).
+//!
+//! All three query types share the two-phase structure of Figure 3:
+//!
+//! 1. **Peer selection** — translate the query into every published wavelet
+//!    subspace, run an overlay lookup there, score peers with Eq. 1 and
+//!    aggregate across levels;
+//! 2. **Item retrieval** — contact the selected peers directly and let them
+//!    answer exactly from their local collections (which is why precision
+//!    of range queries is always 100%).
+//!
+//! * [`range`] — ε-range queries, no false dismissals (Theorem 4.1);
+//! * [`knn`] — the Figure-5 heuristic with the Eq. 8 radius estimation and
+//!   the `C` precision/recall knob;
+//! * [`point`] — exact-match lookups.
+
+pub mod knn;
+pub mod point;
+pub mod range;
+
+use hyperm_sim::OpStats;
+
+/// Cost of contacting a peer directly (request + response), in overlay
+/// message terms: the paper's phase-2 retrieval bypasses the overlay, so we
+/// charge one hop each way.
+pub(crate) fn direct_fetch_cost(query_bytes: u64, response_bytes: u64) -> OpStats {
+    OpStats {
+        hops: 2,
+        messages: 2,
+        bytes: query_bytes + response_bytes,
+    }
+}

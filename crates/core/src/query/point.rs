@@ -1,0 +1,162 @@
+//! Point (exact-match) queries.
+//!
+//! "Point queries are straight forward" (Section 4): the query vector is
+//! decomposed, each overlay routes to the owner of the corresponding
+//! subspace key, and any cluster sphere *containing* the key marks its peer
+//! as a candidate. A peer holding the exact item has that item inside one
+//! of its cluster spheres at every level (spheres cover their members), so
+//! the min-policy candidate set always contains the true holder — then a
+//! direct exact-match request settles it.
+
+use crate::config::ScorePolicy;
+use crate::network::HypermNetwork;
+use crate::query::direct_fetch_cost;
+use hyperm_sim::{NodeId, OpStats};
+use std::collections::HashMap;
+
+/// Outcome of a point query.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Peers holding an exact copy, with the local index of the match.
+    pub matches: Vec<(usize, usize)>,
+    /// Candidate peers after aggregation (diagnostics).
+    pub candidates: Vec<usize>,
+    /// Total message cost.
+    pub stats: OpStats,
+}
+
+impl HypermNetwork {
+    /// Find every peer holding an item exactly equal to `q`.
+    pub fn point_query(&self, from_peer: usize, q: &[f64]) -> PointResult {
+        let dec = self.decompose_query(q);
+        let mut stats = OpStats::zero();
+
+        // Candidate = sphere containment per level, folded like scores.
+        let mut per_level: Vec<HashMap<usize, f64>> = Vec::with_capacity(self.levels());
+        for l in 0..self.levels() {
+            let key = self.query_key(&dec, l);
+            let (hits, op) = self.overlay(l).point_lookup(NodeId(from_peer), &key);
+            stats += op;
+            let mut level: HashMap<usize, f64> = HashMap::new();
+            for obj in hits {
+                *level.entry(obj.payload.peer).or_insert(0.0) += obj.payload.items as f64;
+            }
+            per_level.push(level);
+        }
+        let ranked = crate::score::aggregate(&per_level, self.config.score_policy);
+        let candidates: Vec<usize> = ranked.iter().map(|p| p.peer).collect();
+
+        // Direct exact-match probes.
+        let q_bytes = 8 * (q.len() as u64 + 1) + 16;
+        let mut matches = Vec::new();
+        for &peer in &candidates {
+            if !self.is_alive(peer) {
+                stats += OpStats {
+                    hops: 1,
+                    messages: 1,
+                    bytes: q_bytes,
+                };
+                continue;
+            }
+            stats += direct_fetch_cost(q_bytes, 24);
+            if let Some(idx) = self.peer(peer).local_point(q) {
+                matches.push((peer, idx));
+            }
+        }
+        PointResult {
+            matches,
+            candidates,
+            stats,
+        }
+    }
+}
+
+// Re-export for the doc-comment path used in lib.rs.
+#[allow(unused_imports)]
+use ScorePolicy as _;
+
+#[cfg(test)]
+mod tests {
+    use crate::config::HypermConfig;
+    use crate::network::HypermNetwork;
+    use hyperm_cluster::Dataset;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build(seed: u64) -> (HypermNetwork, Vec<Dataset>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let peers: Vec<Dataset> = (0..6)
+            .map(|_| {
+                let mut ds = Dataset::new(8);
+                let mut row = [0.0f64; 8];
+                for _ in 0..30 {
+                    for x in row.iter_mut() {
+                        *x = rng.gen();
+                    }
+                    ds.push_row(&row);
+                }
+                ds
+            })
+            .collect();
+        let cfg = HypermConfig::new(8)
+            .with_levels(3)
+            .with_clusters_per_peer(4)
+            .with_seed(seed);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        (net, peers)
+    }
+
+    #[test]
+    fn finds_existing_items() {
+        let (net, peers) = build(1);
+        for (p, i) in [(0usize, 0usize), (3, 10), (5, 29)] {
+            let q = peers[p].row(i).to_vec();
+            let res = net.point_query(1, &q);
+            assert!(res.matches.contains(&(p, i)), "missed exact item ({p},{i})");
+        }
+    }
+
+    #[test]
+    fn absent_items_return_empty() {
+        let (net, _) = build(2);
+        let q = vec![0.123456789; 8];
+        let res = net.point_query(0, &q);
+        assert!(res.matches.is_empty());
+    }
+
+    #[test]
+    fn duplicated_items_found_on_all_holders() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shared: Vec<f64> = (0..8).map(|_| rng.gen()).collect();
+        let peers: Vec<Dataset> = (0..4)
+            .map(|_| {
+                let mut ds = Dataset::new(8);
+                ds.push_row(&shared);
+                for _ in 0..10 {
+                    let row: Vec<f64> = (0..8).map(|_| rng.gen()).collect();
+                    ds.push_row(&row);
+                }
+                ds
+            })
+            .collect();
+        let cfg = HypermConfig::new(8)
+            .with_levels(3)
+            .with_clusters_per_peer(3)
+            .with_seed(4);
+        let (net, _) = HypermNetwork::build(peers, cfg).unwrap();
+        let res = net.point_query(0, &shared);
+        let holders: std::collections::HashSet<usize> =
+            res.matches.iter().map(|&(p, _)| p).collect();
+        assert_eq!(holders.len(), 4, "all four holders should be found");
+    }
+
+    #[test]
+    fn candidates_superset_of_matches() {
+        let (net, peers) = build(5);
+        let q = peers[2].row(2).to_vec();
+        let res = net.point_query(0, &q);
+        for (p, _) in &res.matches {
+            assert!(res.candidates.contains(p));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Peer relevance scoring (Section 3.2, Eq. 1).
+//!
+//! ```text
+//! Score_l(p) = Σ_c  Vol(sphere_c ∩ sphere_q)/Vol(sphere_c) · items_c
+//! ```
+//!
+//! computed per level from the cluster spheres an overlay range query
+//! returned, then folded across levels with the configured
+//! [`ScorePolicy`]. The paper uses the **minimum**: "it has the desirable
+//! property of pruning many candidate peers" and (Section 4.1) yields no
+//! false dismissals for range queries — a peer holding a true answer has a
+//! positive score at *every* level, so its minimum stays positive.
+
+use crate::config::ScorePolicy;
+use hyperm_can::StoredObject;
+use hyperm_geometry::intersection_fraction;
+use hyperm_geometry::vecmath::dist;
+use std::collections::HashMap;
+
+/// A peer and its aggregated relevance score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerScore {
+    /// Peer index.
+    pub peer: usize,
+    /// Aggregated score (expected number of relevant items, Eq. 1 units).
+    pub score: f64,
+}
+
+/// Eq. 1 for one level: fold the matched cluster spheres into per-peer
+/// scores. `q_key`/`eps_key` are the query centre and radius in the
+/// level's key space; `dim` is that key space's dimensionality.
+pub fn level_scores(
+    matches: &[StoredObject],
+    q_key: &[f64],
+    eps_key: f64,
+    dim: u32,
+) -> HashMap<usize, f64> {
+    let mut scores: HashMap<usize, f64> = HashMap::new();
+    for obj in matches {
+        let b = dist(&obj.centre, q_key);
+        // A zero-radius query degenerates to containment: the volume
+        // fraction is 0 but a cluster holding the point is fully relevant.
+        let frac = if eps_key == 0.0 {
+            if b <= obj.radius + 1e-12 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            intersection_fraction(dim, obj.radius.max(0.0), eps_key, b)
+        };
+        if frac > 0.0 {
+            *scores.entry(obj.payload.peer).or_insert(0.0) += frac * obj.payload.items as f64;
+        }
+    }
+    scores
+}
+
+/// Fold per-level score maps into one ranked list.
+///
+/// With [`ScorePolicy::Min`], a peer must appear with positive score at
+/// **every** level to survive (absence ⇒ score 0 ⇒ pruned). `Avg`/`Max`
+/// treat missing levels as 0 but do not prune.
+pub fn aggregate(levels: &[HashMap<usize, f64>], policy: ScorePolicy) -> Vec<PeerScore> {
+    if levels.is_empty() {
+        return Vec::new();
+    }
+    // Union of peers seen at any level.
+    let mut all_peers: Vec<usize> = levels.iter().flat_map(|m| m.keys().copied()).collect();
+    all_peers.sort_unstable();
+    all_peers.dedup();
+
+    let mut out = Vec::with_capacity(all_peers.len());
+    for peer in all_peers {
+        let per_level: Vec<f64> = levels
+            .iter()
+            .map(|m| m.get(&peer).copied().unwrap_or(0.0))
+            .collect();
+        let score = match policy {
+            ScorePolicy::Min => per_level.iter().copied().fold(f64::INFINITY, f64::min),
+            ScorePolicy::Avg => per_level.iter().sum::<f64>() / per_level.len() as f64,
+            ScorePolicy::Max => per_level.iter().copied().fold(0.0, f64::max),
+        };
+        if score > 0.0 && score.is_finite() {
+            out.push(PeerScore { peer, score });
+        }
+    }
+    // Highest score first; ties by peer id for determinism.
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.peer.cmp(&b.peer))
+    });
+    out
+}
+
+/// The number of top peers whose cumulative score reaches `target`
+/// (at least 1 when any peer scored). This is how the k-nn algorithm picks
+/// `P` in Figure 5 (steps 4–6).
+pub fn peers_to_cover(ranked: &[PeerScore], target: f64) -> usize {
+    if ranked.is_empty() {
+        return 0;
+    }
+    let mut acc = 0.0;
+    for (i, ps) in ranked.iter().enumerate() {
+        acc += ps.score;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    ranked.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperm_can::ObjectRef;
+
+    fn obj(peer: usize, centre: Vec<f64>, radius: f64, items: u32) -> StoredObject {
+        StoredObject {
+            id: 0,
+            centre,
+            radius,
+            payload: ObjectRef {
+                peer,
+                tag: 0,
+                items,
+            },
+        }
+    }
+
+    #[test]
+    fn level_scores_weight_by_overlap_and_count() {
+        let q = [0.5, 0.5];
+        let matches = vec![
+            obj(1, vec![0.5, 0.5], 0.1, 100), // cluster inside query → full weight
+            obj(2, vec![0.9, 0.5], 0.1, 100), // far → zero
+        ];
+        let scores = level_scores(&matches, &q, 0.25, 2);
+        assert!((scores[&1] - 100.0).abs() < 1e-9);
+        assert!(!scores.contains_key(&2));
+    }
+
+    #[test]
+    fn min_policy_prunes_missing_levels() {
+        let l0: HashMap<usize, f64> = [(1, 10.0), (2, 5.0)].into_iter().collect();
+        let l1: HashMap<usize, f64> = [(1, 4.0)].into_iter().collect(); // peer 2 absent
+        let ranked = aggregate(&[l0.clone(), l1.clone()], ScorePolicy::Min);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(
+            ranked[0],
+            PeerScore {
+                peer: 1,
+                score: 4.0
+            }
+        );
+        // Avg keeps peer 2 with halved score.
+        let ranked = aggregate(&[l0.clone(), l1.clone()], ScorePolicy::Avg);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].peer, 1);
+        assert!((ranked[1].score - 2.5).abs() < 1e-12);
+        // Max is the most permissive.
+        let ranked = aggregate(&[l0, l1], ScorePolicy::Max);
+        assert_eq!(ranked[0].score, 10.0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let l: HashMap<usize, f64> = [(3, 1.0), (1, 1.0), (2, 1.0)].into_iter().collect();
+        let ranked = aggregate(&[l], ScorePolicy::Min);
+        let ids: Vec<usize> = ranked.iter().map(|p| p.peer).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peers_to_cover_counts_cumulative() {
+        let ranked = vec![
+            PeerScore {
+                peer: 0,
+                score: 5.0,
+            },
+            PeerScore {
+                peer: 1,
+                score: 3.0,
+            },
+            PeerScore {
+                peer: 2,
+                score: 1.0,
+            },
+        ];
+        assert_eq!(peers_to_cover(&ranked, 4.0), 1);
+        assert_eq!(peers_to_cover(&ranked, 7.0), 2);
+        assert_eq!(peers_to_cover(&ranked, 100.0), 3);
+        assert_eq!(peers_to_cover(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn empty_levels_produce_empty_ranking() {
+        assert!(aggregate(&[], ScorePolicy::Min).is_empty());
+        let empty: HashMap<usize, f64> = HashMap::new();
+        assert!(aggregate(&[empty], ScorePolicy::Min).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Overlay-independence: the Hyper-M guarantees hold identically on the
+//! CAN and BATON substrates (the paper's Section-5 claim).
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, OverlayBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn peers(seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..10)
+        .map(|_| {
+            let centre: f64 = rng.gen::<f64>() * 0.5;
+            let mut ds = Dataset::new(16);
+            let mut row = [0.0f64; 16];
+            for _ in 0..40 {
+                for x in row.iter_mut() {
+                    *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+fn build(backend: OverlayBackend, seed: u64) -> HypermNetwork {
+    let cfg = HypermConfig::new(16)
+        .with_levels(4)
+        .with_clusters_per_peer(5)
+        .with_seed(seed)
+        .with_backend(backend);
+    HypermNetwork::build(peers(seed), cfg).unwrap().0
+}
+
+#[test]
+fn no_false_dismissals_on_both_backends() {
+    for backend in [
+        OverlayBackend::Can,
+        OverlayBackend::Baton,
+        OverlayBackend::Vbi,
+    ] {
+        let net = build(backend, 1);
+        let data = peers(1);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..15 {
+            let p = rng.gen_range(0..data.len());
+            let i = rng.gen_range(0..data[p].len());
+            let q = data[p].row(i).to_vec();
+            let eps = 0.25;
+            // Exact truth by linear scan.
+            let mut truth = Vec::new();
+            for (pp, ds) in data.iter().enumerate() {
+                for (ii, row) in ds.rows().enumerate() {
+                    let d: f64 = row
+                        .iter()
+                        .zip(&q)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    if d <= eps + 1e-12 {
+                        truth.push((pp, ii));
+                    }
+                }
+            }
+            let res = net.range_query(0, &q, eps, None);
+            let got: std::collections::HashSet<_> = res.items.iter().copied().collect();
+            for t in &truth {
+                assert!(got.contains(t), "{backend:?}: missed {t:?}");
+            }
+            assert_eq!(got.len(), truth.len(), "{backend:?}: extra items retrieved");
+        }
+    }
+}
+
+#[test]
+fn identical_answers_across_backends() {
+    // Retrieval answers (not costs) must match exactly: the substrate only
+    // changes routing, never the candidate geometry.
+    let can = build(OverlayBackend::Can, 2);
+    let baton = build(OverlayBackend::Baton, 2);
+    let vbi = build(OverlayBackend::Vbi, 2);
+    let data = peers(2);
+    for t in 0..10 {
+        let q = data[t % data.len()].row(t).to_vec();
+        let mut a = can.range_query(0, &q, 0.2, None).items;
+        let mut b = baton.range_query(0, &q, 0.2, None).items;
+        let mut c = vbi.range_query(0, &q, 0.2, None).items;
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, b, "range answers diverge (baton) at query {t}");
+        assert_eq!(a, c, "range answers diverge (vbi) at query {t}");
+        let pa = can.point_query(0, &q).matches;
+        let pb = baton.point_query(0, &q).matches;
+        let pc = vbi.point_query(0, &q).matches;
+        assert_eq!(pa, pb, "point answers diverge (baton) at query {t}");
+        assert_eq!(pa, pc, "point answers diverge (vbi) at query {t}");
+    }
+}
+
+#[test]
+fn knn_works_on_baton() {
+    let net = build(OverlayBackend::Baton, 3);
+    let data = peers(3);
+    let q = data[4].row(0).to_vec();
+    let res = net.knn_query(0, &q, 8, KnnOptions::default());
+    assert_eq!(res.topk.len(), 8);
+    assert_eq!(res.topk[0].0, (4, 0), "self item must be the nearest");
+}
+
+#[test]
+fn baton_build_reports_costs() {
+    let cfg = HypermConfig::new(16)
+        .with_levels(3)
+        .with_clusters_per_peer(4)
+        .with_backend(OverlayBackend::Baton);
+    let (net, report) = HypermNetwork::build(peers(4), cfg).unwrap();
+    assert!(report.insertion.hops > 0);
+    assert!(report.bootstrap.hops > 0);
+    for l in 0..net.levels() {
+        net.overlay(l).check_invariants();
+    }
+}

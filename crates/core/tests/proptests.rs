@@ -1,0 +1,123 @@
+//! Full-stack property tests: the Hyper-M guarantees under randomly drawn
+//! configurations (network size, levels, cluster counts, backends, seeds).
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, OverlayBackend};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_peers(n_peers: usize, items: usize, dim: usize, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_peers)
+        .map(|_| {
+            let centre: f64 = rng.gen::<f64>() * 0.6;
+            let mut ds = Dataset::new(dim);
+            let mut row = vec![0.0f64; dim];
+            for _ in 0..items {
+                for x in row.iter_mut() {
+                    *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No false dismissals for range queries under any configuration.
+    #[test]
+    fn range_no_false_dismissals(
+        n_peers in 2usize..12,
+        items in 5usize..30,
+        levels in 1usize..5,
+        clusters in 1usize..8,
+        backend_sel in 0u8..3,
+        seed in any::<u64>(),
+        eps in 0.05..0.6f64,
+    ) {
+        let dim = 16usize;
+        let peers = random_peers(n_peers, items, dim, seed);
+        let backend = match backend_sel {
+            0 => OverlayBackend::Can,
+            1 => OverlayBackend::Baton,
+            _ => OverlayBackend::Vbi,
+        };
+        let cfg = HypermConfig::new(dim)
+            .with_levels(levels)
+            .with_clusters_per_peer(clusters)
+            .with_seed(seed)
+            .with_backend(backend);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+
+        // Query at a random held-in item.
+        let qp = (seed as usize) % n_peers;
+        let qi = (seed as usize / 7) % items;
+        let q = peers[qp].row(qi).to_vec();
+
+        // Linear-scan truth.
+        let mut truth = Vec::new();
+        for (p, ds) in peers.iter().enumerate() {
+            for (i, row) in ds.rows().enumerate() {
+                let d: f64 = row.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                if d <= eps + 1e-12 {
+                    truth.push((p, i));
+                }
+            }
+        }
+        let res = net.range_query(0, &q, eps, None);
+        let got: std::collections::HashSet<_> = res.items.iter().copied().collect();
+        for t in &truth {
+            prop_assert!(got.contains(t), "missed {t:?} (backend {backend:?})");
+        }
+        prop_assert_eq!(got.len(), truth.len(), "extra items retrieved");
+    }
+
+    /// k-nn always returns k sorted items containing the query itself when
+    /// the query is a held-in item.
+    #[test]
+    fn knn_sanity(
+        n_peers in 2usize..10,
+        items in 8usize..25,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let peers = random_peers(n_peers, items, 16, seed);
+        let cfg = HypermConfig::new(16).with_levels(3).with_clusters_per_peer(4).with_seed(seed);
+        let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        let qp = (seed as usize) % n_peers;
+        let q = peers[qp].row(0).to_vec();
+        let res = net.knn_query(0, &q, k, KnnOptions::default());
+        prop_assert_eq!(res.topk.len(), k.min(n_peers * items));
+        for w in res.topk.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "not sorted");
+        }
+        prop_assert_eq!(res.topk[0].1, 0.0, "the query item itself must rank first");
+    }
+
+    /// The build report is internally consistent.
+    #[test]
+    fn build_report_consistency(
+        n_peers in 1usize..10,
+        items in 3usize..20,
+        levels in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let peers = random_peers(n_peers, items, 16, seed);
+        let cfg = HypermConfig::new(16).with_levels(levels).with_clusters_per_peer(3).with_seed(seed);
+        let (net, report) = HypermNetwork::build(peers, cfg).unwrap();
+        prop_assert_eq!(report.items_total, (n_peers * items) as u64);
+        prop_assert_eq!(report.per_level.len(), levels);
+        let sum: u64 = report.per_level.iter().map(|s| s.hops).sum();
+        prop_assert_eq!(sum, report.insertion.hops);
+        prop_assert!(report.makespan_hops <= report.insertion.hops);
+        prop_assert!(report.makespan_rounds <= report.makespan_hops.max(1));
+        prop_assert!(report.replicas >= report.clusters_published);
+        for l in 0..net.levels() {
+            net.overlay(l).check_invariants();
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Distribution of a global dataset onto peers (Section 5.1).
+//!
+//! "The data was subsequently clustered using k-means in the original vector
+//! space and then each cluster was redistributed among 8 to 10 nodes. This
+//! method simulates user behavior in the sense that each user commonly has
+//! a limited set of interests, thus maintaining items belonging to a subset
+//! of all the classes."
+//!
+//! The global clustering is a workload-preparation step (the paper did it
+//! offline); for large corpora the mini-batch variant keeps it fast.
+
+use hyperm_cluster::kmeans::kmeans;
+use hyperm_cluster::{minibatch_kmeans, Dataset, KMeansConfig, MiniBatchConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for peer distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributeConfig {
+    /// Number of peers in the network.
+    pub peers: usize,
+    /// Number of interest classes to carve the corpus into.
+    pub classes: usize,
+    /// Each class is spread over a random number of peers in this range
+    /// (inclusive); the paper uses 8–10.
+    pub peers_per_class: (usize, usize),
+    /// Use mini-batch k-means for the global clustering (recommended for
+    /// ≥ 10k items).
+    pub minibatch: bool,
+    /// RNG seed (also seeds the clustering).
+    pub seed: u64,
+}
+
+impl Default for DistributeConfig {
+    fn default() -> Self {
+        Self {
+            peers: 100,
+            classes: 25,
+            peers_per_class: (8, 10),
+            minibatch: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Cluster `data` into interest classes and deal each class's items onto a
+/// small random set of peers. Returns one local dataset per peer (some may
+/// be empty if `peers` is large relative to `classes × peers_per_class`).
+pub fn distribute_by_clusters(data: &Dataset, config: &DistributeConfig) -> Vec<Dataset> {
+    assert!(config.peers > 0, "need at least one peer");
+    assert!(config.classes > 0, "need at least one class");
+    let (lo, hi) = config.peers_per_class;
+    assert!(
+        lo >= 1 && lo <= hi,
+        "invalid peers_per_class range {lo}..={hi}"
+    );
+    assert!(!data.is_empty(), "cannot distribute an empty dataset");
+
+    let assignment = if config.minibatch {
+        minibatch_kmeans(
+            data,
+            &MiniBatchConfig {
+                base: KMeansConfig::new(config.classes).with_seed(config.seed),
+                batch_size: 256,
+                steps: 150,
+            },
+        )
+        .assignment
+    } else {
+        kmeans(
+            data,
+            &KMeansConfig::new(config.classes).with_seed(config.seed),
+        )
+        .assignment
+    };
+    let n_classes = assignment.iter().copied().max().unwrap_or(0) as usize + 1;
+
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37_79b9));
+    let mut peers: Vec<Dataset> = (0..config.peers)
+        .map(|_| Dataset::new(data.dim()))
+        .collect();
+    let mut peer_ids: Vec<usize> = (0..config.peers).collect();
+
+    // For each class: choose its host peers, then deal items round-robin.
+    let mut class_hosts: Vec<Vec<usize>> = Vec::with_capacity(n_classes);
+    for _ in 0..n_classes {
+        let span = rng.gen_range(lo..=hi).min(config.peers);
+        peer_ids.shuffle(&mut rng);
+        class_hosts.push(peer_ids[..span].to_vec());
+    }
+    let mut dealt = vec![0usize; n_classes];
+    for (i, &class) in assignment.iter().enumerate() {
+        let hosts = &class_hosts[class as usize];
+        let peer = hosts[dealt[class as usize] % hosts.len()];
+        dealt[class as usize] += 1;
+        peers[peer].push_row(data.row(i));
+    }
+    peers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::markov::{generate_markov, MarkovConfig};
+
+    fn small_config(peers: usize, classes: usize, seed: u64) -> DistributeConfig {
+        DistributeConfig {
+            peers,
+            classes,
+            peers_per_class: (3, 4),
+            minibatch: false,
+            seed,
+        }
+    }
+
+    #[test]
+    fn every_item_lands_on_exactly_one_peer() {
+        let data = generate_markov(&MarkovConfig::small(300, 32, 1));
+        let peers = distribute_by_clusters(&data, &small_config(20, 5, 2));
+        assert_eq!(peers.len(), 20);
+        let total: usize = peers.iter().map(Dataset::len).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn classes_span_the_requested_peer_range() {
+        let data = generate_markov(&MarkovConfig::small(500, 16, 3));
+        let cfg = small_config(30, 4, 4);
+        let peers = distribute_by_clusters(&data, &cfg);
+        // With 4 classes × ≤4 peers each, at most 16 peers are non-empty.
+        let nonempty = peers.iter().filter(|p| !p.is_empty()).count();
+        assert!(nonempty <= 16, "nonempty {nonempty}");
+        assert!(nonempty >= 3, "nonempty {nonempty}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = generate_markov(&MarkovConfig::small(200, 16, 5));
+        let a = distribute_by_clusters(&data, &small_config(10, 3, 6));
+        let b = distribute_by_clusters(&data, &small_config(10, 3, 6));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn minibatch_path_works() {
+        let data = generate_markov(&MarkovConfig::small(400, 16, 7));
+        let cfg = DistributeConfig {
+            peers: 10,
+            classes: 4,
+            peers_per_class: (2, 3),
+            minibatch: true,
+            seed: 8,
+        };
+        let peers = distribute_by_clusters(&data, &cfg);
+        assert_eq!(peers.iter().map(Dataset::len).sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn single_peer_gets_everything() {
+        let data = generate_markov(&MarkovConfig::small(50, 8, 9));
+        let cfg = DistributeConfig {
+            peers: 1,
+            classes: 3,
+            peers_per_class: (8, 10),
+            minibatch: false,
+            seed: 1,
+        };
+        let peers = distribute_by_clusters(&data, &cfg);
+        assert_eq!(peers[0].len(), 50);
+    }
+}

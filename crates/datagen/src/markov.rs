@@ -1,0 +1,181 @@
+//! The paper's two-state Markov-process vector generator (Figure 7).
+//!
+//! Each 512-dimensional vector is a "time series" over its coordinates,
+//! produced by a Markov chain with states *Increasing* and *Decreasing*:
+//!
+//! * `p1 ~ U(0, 0.5)` — probability of switching out of the current state
+//!   from *Increasing*;
+//! * `p2 = p1 + x`, `x ~ U(−0.05, 0.05)` — switching probability from
+//!   *Decreasing* (the paper ties the two probabilities together so chains
+//!   are roughly balanced);
+//! * "The starting value, the initial state, the increase/decrease step, as
+//!   well as the maximum step value were all chosen randomly."
+//!
+//! Values are kept in `[0, 1]` by reflecting at the boundaries (a walk that
+//! hits 1 starts decreasing), which matches the bounded wavy shapes of the
+//! paper's Figure 7b sample.
+
+use hyperm_cluster::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Markov generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovConfig {
+    /// Number of vectors to generate.
+    pub count: usize,
+    /// Vector dimensionality (the paper uses 512).
+    pub dim: usize,
+    /// Upper bound for the per-vector maximum step (the paper leaves the
+    /// scale unspecified; 0.05 of the value range gives Figure-7-like waves).
+    pub max_step_cap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        Self {
+            count: 100_000,
+            dim: 512,
+            max_step_cap: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+impl MarkovConfig {
+    /// A small configuration for tests and quick runs.
+    pub fn small(count: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            count,
+            dim,
+            max_step_cap: 0.05,
+            seed,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Increasing,
+    Decreasing,
+}
+
+/// Generate `config.count` Markov-process vectors in `[0,1]^dim`.
+pub fn generate_markov(config: &MarkovConfig) -> Dataset {
+    assert!(
+        config.dim > 0 && config.count > 0,
+        "empty generation request"
+    );
+    assert!(config.max_step_cap > 0.0, "max step cap must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ds = Dataset::with_capacity(config.dim, config.count);
+    let mut row = vec![0.0f64; config.dim];
+    for _ in 0..config.count {
+        // Per-vector chain parameters, exactly as described in Sec. 5.1.
+        let p1: f64 = rng.gen_range(0.0..0.5);
+        let p2: f64 = (p1 + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
+        let max_step: f64 = rng.gen_range(f64::EPSILON..config.max_step_cap);
+        let mut value: f64 = rng.gen();
+        let mut state = if rng.gen::<bool>() {
+            State::Increasing
+        } else {
+            State::Decreasing
+        };
+        for x in row.iter_mut() {
+            let step = rng.gen_range(0.0..max_step);
+            value += match state {
+                State::Increasing => step,
+                State::Decreasing => -step,
+            };
+            // Reflect at the [0,1] boundaries.
+            if value > 1.0 {
+                value = 2.0 - value;
+                state = State::Decreasing;
+            } else if value < 0.0 {
+                value = -value;
+                state = State::Increasing;
+            }
+            *x = value;
+            // State transition.
+            let switch_p = match state {
+                State::Increasing => p1,
+                State::Decreasing => p2,
+            };
+            if rng.gen::<f64>() < switch_p {
+                state = match state {
+                    State::Increasing => State::Decreasing,
+                    State::Decreasing => State::Increasing,
+                };
+            }
+        }
+        ds.push_row(&row);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = generate_markov(&MarkovConfig::small(50, 128, 1));
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.dim(), 128);
+    }
+
+    #[test]
+    fn values_stay_in_unit_interval() {
+        let ds = generate_markov(&MarkovConfig::small(100, 64, 2));
+        for row in ds.rows() {
+            for &x in row {
+                assert!((0.0..=1.0).contains(&x), "value {x} escaped [0,1]");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_markov(&MarkovConfig::small(10, 32, 7));
+        let b = generate_markov(&MarkovConfig::small(10, 32, 7));
+        assert_eq!(a, b);
+        let c = generate_markov(&MarkovConfig::small(10, 32, 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn consecutive_coordinates_are_correlated() {
+        // The walk moves by ≤ max_step per coordinate, so |x_{i+1} − x_i|
+        // is small — the property that makes wavelet approximations good.
+        let ds = generate_markov(&MarkovConfig::small(50, 256, 3));
+        let mut max_jump = 0.0f64;
+        for row in ds.rows() {
+            for w in row.windows(2) {
+                max_jump = max_jump.max((w[1] - w[0]).abs());
+            }
+        }
+        assert!(max_jump <= 0.05 + 1e-12, "jump {max_jump}");
+    }
+
+    #[test]
+    fn vectors_are_diverse() {
+        // Different vectors should differ substantially (different chains).
+        let ds = generate_markov(&MarkovConfig::small(20, 128, 4));
+        let mut min_dist = f64::INFINITY;
+        for i in 0..ds.len() {
+            for j in i + 1..ds.len() {
+                let d: f64 = ds
+                    .row(i)
+                    .iter()
+                    .zip(ds.row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                min_dist = min_dist.min(d);
+            }
+        }
+        assert!(min_dist > 0.1, "two chains nearly identical: {min_dist}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Deliberately skewed datasets (Section 5.3, Figure 9).
+//!
+//! "To further prove this observation, we intentionally skew our data …
+//! We cluster our original data and select only a fixed number of clusters
+//! (two to five in our experiments)." The effect under study is load
+//! distribution: data concentrated in a handful of dense blobs lands on
+//! very few CAN nodes in the original space, while the orthogonal wavelet
+//! subspaces spread it out.
+
+use crate::LabeledDataset;
+use hyperm_cluster::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the skewed generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedConfig {
+    /// Number of dense blobs (the paper uses 2–5).
+    pub blobs: usize,
+    /// Total items, split evenly across blobs.
+    pub count: usize,
+    /// Dimensionality (power of two for the DWT).
+    pub dim: usize,
+    /// Standard deviation of the within-blob jitter, relative to the unit
+    /// data range (small ⇒ highly skewed).
+    pub spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkewedConfig {
+    fn default() -> Self {
+        Self {
+            blobs: 3,
+            count: 10_000,
+            dim: 512,
+            spread: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+impl SkewedConfig {
+    /// A small configuration for tests and quick runs.
+    pub fn small(blobs: usize, count: usize, dim: usize, seed: u64) -> Self {
+        Self {
+            blobs,
+            count,
+            dim,
+            spread: 0.02,
+            seed,
+        }
+    }
+}
+
+/// Generate `count` items concentrated in `blobs` dense clusters in
+/// `[0,1]^dim`; labels identify the blob.
+pub fn generate_skewed(config: &SkewedConfig) -> LabeledDataset {
+    assert!(
+        config.blobs > 0 && config.count > 0,
+        "empty generation request"
+    );
+    assert!(config.dim > 0, "dimension must be positive");
+    assert!(config.spread >= 0.0, "negative spread");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Blob centres drawn away from the boundary so jitter stays in range.
+    let centres: Vec<Vec<f64>> = (0..config.blobs)
+        .map(|_| (0..config.dim).map(|_| rng.gen_range(0.2..0.8)).collect())
+        .collect();
+    let mut data = Dataset::with_capacity(config.dim, config.count);
+    let mut labels = Vec::with_capacity(config.count);
+    let mut row = vec![0.0f64; config.dim];
+    for i in 0..config.count {
+        let blob = i % config.blobs;
+        for (x, c) in row.iter_mut().zip(&centres[blob]) {
+            // Uniform jitter of width ±2·spread (cheap, bounded).
+            *x = (c + rng.gen_range(-2.0..2.0) * config.spread).clamp(0.0, 1.0);
+        }
+        data.push_row(&row);
+        labels.push(blob as u32);
+    }
+    LabeledDataset { data, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_labels() {
+        let got = generate_skewed(&SkewedConfig::small(3, 30, 16, 1));
+        assert_eq!(got.len(), 30);
+        assert_eq!(got.data.dim(), 16);
+        // Round-robin labels: 10 per blob.
+        for b in 0..3u32 {
+            assert_eq!(got.labels.iter().filter(|&&l| l == b).count(), 10);
+        }
+    }
+
+    #[test]
+    fn blobs_are_tight_and_separated() {
+        let got = generate_skewed(&SkewedConfig::small(2, 40, 32, 2));
+        // Within-blob distances much smaller than cross-blob distances.
+        let d = |i: usize, j: usize| -> f64 {
+            got.data
+                .row(i)
+                .iter()
+                .zip(got.data.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let within = d(0, 2); // both blob 0
+        let cross = d(0, 1); // blob 0 vs blob 1
+        assert!(within * 3.0 < cross, "within {within}, cross {cross}");
+    }
+
+    #[test]
+    fn values_in_unit_cube() {
+        let got = generate_skewed(&SkewedConfig::small(5, 100, 8, 3));
+        for row in got.data.rows() {
+            assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_skewed(&SkewedConfig::small(4, 20, 8, 9));
+        let b = generate_skewed(&SkewedConfig::small(4, 20, 8, 9));
+        assert_eq!(a, b);
+    }
+}

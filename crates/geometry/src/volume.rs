@@ -1,0 +1,109 @@
+//! Exact d-ball volumes.
+//!
+//! `V_d(r) = π^{d/2} / Γ(d/2 + 1) · r^d`. Hyper-M works in spaces of up to
+//! 512 dimensions where `V_d` under- and over-flows `f64` spectacularly
+//! (e.g. `V_512(1) ≈ 10^{-505}`), so everything is computed in log space and
+//! only *ratios* of volumes are ever materialised by callers.
+
+use crate::special::ln_gamma;
+
+/// Natural log of the unit d-ball volume `ln V_d(1)`.
+pub fn ln_unit_ball_volume(d: u32) -> f64 {
+    let d = d as f64;
+    0.5 * d * std::f64::consts::PI.ln() - ln_gamma(0.5 * d + 1.0)
+}
+
+/// Unit d-ball volume `V_d(1)`. Underflows to 0 for very large `d`; use
+/// [`ln_unit_ball_volume`] when ratios are needed.
+pub fn unit_ball_volume(d: u32) -> f64 {
+    ln_unit_ball_volume(d).exp()
+}
+
+/// Natural log of the d-ball volume of radius `r`.
+///
+/// Returns `-inf` for `r == 0`.
+pub fn ln_ball_volume(d: u32, r: f64) -> f64 {
+    assert!(r >= 0.0, "negative radius {r}");
+    ln_unit_ball_volume(d) + d as f64 * r.ln()
+}
+
+/// d-ball volume of radius `r` (may under/overflow for extreme `d`, `r`).
+pub fn ball_volume(d: u32, r: f64) -> f64 {
+    if r == 0.0 {
+        return 0.0;
+    }
+    ln_ball_volume(d, r).exp()
+}
+
+/// Ratio `V_d(r1) / V_d(r2) = (r1/r2)^d`, computed stably.
+pub fn volume_ratio(d: u32, r1: f64, r2: f64) -> f64 {
+    assert!(r2 > 0.0, "zero denominator radius");
+    assert!(r1 >= 0.0, "negative radius {r1}");
+    (r1 / r2).powi(d as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn low_dimensional_volumes_match_closed_forms() {
+        close(unit_ball_volume(1), 2.0, 1e-13); // segment [-1,1]
+        close(unit_ball_volume(2), PI, 1e-13); // disk
+        close(unit_ball_volume(3), 4.0 / 3.0 * PI, 1e-13);
+        close(unit_ball_volume(4), PI * PI / 2.0, 1e-13);
+        close(unit_ball_volume(5), 8.0 * PI * PI / 15.0, 1e-13);
+    }
+
+    #[test]
+    fn scaled_volumes() {
+        close(ball_volume(3, 2.0), 4.0 / 3.0 * PI * 8.0, 1e-13);
+        close(ball_volume(2, 0.5), PI * 0.25, 1e-13);
+        assert_eq!(ball_volume(7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn volume_peaks_at_dimension_five() {
+        // Famous fact: unit-ball volume is maximal at d = 5 (among integers).
+        let v: Vec<f64> = (1..=10).map(unit_ball_volume).collect();
+        let argmax = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
+            + 1;
+        assert_eq!(argmax, 5);
+    }
+
+    #[test]
+    fn log_volume_is_finite_in_high_dimensions() {
+        let ln_v = ln_unit_ball_volume(512);
+        assert!(ln_v.is_finite());
+        assert!(ln_v < -800.0); // vanishingly small, as expected
+                                // And the plain value underflows gracefully.
+        assert_eq!(unit_ball_volume(512), 0.0);
+    }
+
+    #[test]
+    fn ratio_is_stable_where_direct_computation_is_not() {
+        // (r1/r2)^d with r1=0.9, r2=1.0, d=512.
+        let direct = volume_ratio(512, 0.9, 1.0);
+        close(direct, 0.9f64.powi(512), 1e-12);
+        assert!(direct > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative radius")]
+    fn negative_radius_panics() {
+        ball_volume(3, -1.0);
+    }
+}

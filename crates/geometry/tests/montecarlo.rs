@@ -1,0 +1,107 @@
+//! Monte-Carlo validation of the analytic sphere geometry.
+//!
+//! The paper's Eq. 7 (as printed) contains typos, so the implementation's
+//! correctness is anchored here: we sample points uniformly from the data
+//! ball with the Gaussian-direction method and compare the empirical covered
+//! fraction against [`hyperm_geometry::intersection_fraction`].
+
+use hyperm_geometry::{cap_fraction, intersection_fraction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample a point uniformly from the d-ball of radius `r` centred at origin.
+fn sample_in_ball(rng: &mut StdRng, d: usize, r: f64) -> Vec<f64> {
+    // Gaussian direction + radius ~ U^{1/d} · r.
+    let mut v: Vec<f64> = (0..d).map(|_| sample_standard_normal(rng)).collect();
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let radius = r * rng.gen::<f64>().powf(1.0 / d as f64);
+    for x in v.iter_mut() {
+        *x = *x / norm * radius;
+    }
+    v
+}
+
+/// Box–Muller standard normal (avoids a rand_distr dependency).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn empirical_fraction(d: usize, r: f64, eps: f64, b: f64, n: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..n {
+        let p = sample_in_ball(&mut rng, d, r);
+        // Query centre at (b, 0, 0, …).
+        let mut sq = (p[0] - b) * (p[0] - b);
+        for x in &p[1..] {
+            sq += x * x;
+        }
+        if sq <= eps * eps {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[test]
+fn lens_fraction_matches_monte_carlo_low_dims() {
+    let n = 200_000;
+    for (i, &(d, r, eps, b)) in [
+        (2u32, 1.0, 0.8, 1.2),
+        (3, 1.0, 1.0, 1.0),
+        (4, 2.0, 1.0, 2.2),
+        (5, 1.0, 0.5, 0.9),
+        (6, 1.5, 1.5, 1.1),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let analytic = intersection_fraction(d, r, eps, b);
+        let empirical = empirical_fraction(d as usize, r, eps, b, n, 42 + i as u64);
+        let tol = 4.0 * (analytic.max(0.01) / n as f64).sqrt(); // ~4σ binomial
+        assert!(
+            (analytic - empirical).abs() <= tol,
+            "d={d} r={r} eps={eps} b={b}: analytic {analytic} vs empirical {empirical} (tol {tol})"
+        );
+    }
+}
+
+#[test]
+fn containment_cases_match_monte_carlo() {
+    let n = 100_000;
+    // Query ball entirely inside data ball: fraction = (eps/r)^d.
+    let analytic = intersection_fraction(3, 2.0, 0.5, 0.3);
+    let empirical = empirical_fraction(3, 2.0, 0.5, 0.3, n, 7);
+    assert!(
+        (analytic - empirical).abs() < 0.01,
+        "{analytic} vs {empirical}"
+    );
+    // Data ball entirely inside query ball: fraction = 1.
+    let empirical = empirical_fraction(3, 0.5, 2.0, 0.3, n, 8);
+    assert!(empirical > 0.999);
+}
+
+#[test]
+fn cap_fraction_matches_monte_carlo() {
+    // A cap of half-angle α is the set {x : x·e₁ ≥ r cos α}.
+    let n = 200_000;
+    let mut rng = StdRng::seed_from_u64(99);
+    for &(d, alpha) in &[(2u32, 1.0f64), (3, 0.7), (5, 1.9), (8, 1.4)] {
+        let thresh = alpha.cos();
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let p = sample_in_ball(&mut rng, d as usize, 1.0);
+            if p[0] >= thresh {
+                hits += 1;
+            }
+        }
+        let empirical = hits as f64 / n as f64;
+        let analytic = cap_fraction(d, alpha);
+        assert!(
+            (analytic - empirical).abs() < 0.006,
+            "d={d} alpha={alpha}: {analytic} vs {empirical}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the geometric invariants Hyper-M relies on.
+
+use hyperm_geometry::solve::expected_items;
+use hyperm_geometry::{
+    cap_fraction, cap_fraction_beta, intersection_fraction, solve_epsilon_for_k, ClusterView,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cap fractions are always valid probabilities, whatever d and α.
+    #[test]
+    fn cap_fraction_in_unit_interval(d in 1u32..200, alpha in 0.0..std::f64::consts::PI) {
+        let f = cap_fraction(d, alpha);
+        prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+    }
+
+    /// Complementary caps tile the ball: F(α) + F(π − α) = 1.
+    #[test]
+    fn cap_complement_identity(d in 1u32..100, alpha in 0.0..std::f64::consts::PI) {
+        let f = cap_fraction(d, alpha) + cap_fraction(d, std::f64::consts::PI - alpha);
+        prop_assert!((f - 1.0).abs() < 1e-9, "sum = {f}");
+    }
+
+    /// The two independent cap evaluations agree everywhere.
+    #[test]
+    fn cap_beta_agreement(d in 1u32..64, alpha in 0.0..std::f64::consts::PI) {
+        let a = cap_fraction(d, alpha);
+        let b = cap_fraction_beta(d, alpha);
+        prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    /// Intersection fractions are valid probabilities for arbitrary configs.
+    #[test]
+    fn intersection_fraction_valid(
+        d in 1u32..64,
+        r in 1e-3..10.0f64,
+        eps in 0.0..10.0f64,
+        b in 0.0..25.0f64,
+    ) {
+        let f = intersection_fraction(d, r, eps, b);
+        prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+    }
+
+    /// Moving the query closer never decreases the covered fraction.
+    #[test]
+    fn intersection_monotone_in_distance(
+        d in 1u32..32,
+        r in 1e-2..5.0f64,
+        eps in 1e-2..5.0f64,
+        b1 in 0.0..12.0f64,
+        delta in 0.0..5.0f64,
+    ) {
+        let near = intersection_fraction(d, r, eps, b1);
+        let far = intersection_fraction(d, r, eps, b1 + delta);
+        prop_assert!(far <= near + 1e-10, "near {near} far {far}");
+    }
+
+    /// Growing the query never decreases the covered fraction.
+    #[test]
+    fn intersection_monotone_in_radius(
+        d in 1u32..32,
+        r in 1e-2..5.0f64,
+        eps in 1e-2..5.0f64,
+        grow in 0.0..5.0f64,
+        b in 0.0..12.0f64,
+    ) {
+        let small = intersection_fraction(d, r, eps, b);
+        let large = intersection_fraction(d, r, eps + grow, b);
+        prop_assert!(large >= small - 1e-10, "small {small} large {large}");
+    }
+
+    /// The solved ε really produces ≈ k expected items whenever k is
+    /// attainable.
+    #[test]
+    fn solved_epsilon_achieves_target(
+        d in 1u32..16,
+        dist1 in 0.0..4.0f64,
+        dist2 in 0.0..4.0f64,
+        r1 in 0.05..2.0f64,
+        r2 in 0.05..2.0f64,
+        n1 in 1.0..200.0f64,
+        n2 in 1.0..200.0f64,
+        frac in 0.05..0.95f64,
+    ) {
+        let clusters = [
+            ClusterView { centre_dist: dist1, radius: r1, items: n1 },
+            ClusterView { centre_dist: dist2, radius: r2, items: n2 },
+        ];
+        let k = frac * (n1 + n2);
+        let eps = solve_epsilon_for_k(d, &clusters, k, 1e-10);
+        let got = expected_items(d, &clusters, eps);
+        // In high dimensions the curve g(ε) can be a quasi-step at f64
+        // resolution (cap concentration), so the solver may land on either
+        // side of the jump. The correct property is that the returned ε
+        // *brackets* the target: g just below ε is ≤ k and g just above is
+        // ≥ k (all up to small tolerances).
+        let nudge = 1e-7 * (1.0 + eps);
+        let below = expected_items(d, &clusters, (eps - nudge).max(0.0));
+        let above = expected_items(d, &clusters, eps + nudge);
+        let tol = 1e-2 * k.max(1.0);
+        prop_assert!(
+            (got - k).abs() <= tol || (below <= k + tol && above >= k - tol),
+            "k = {k}, got = {got}, eps = {eps}, below = {below}, above = {above}"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Event queue and round-based scheduler.
+//!
+//! Events are ordered by `(time, sequence)`: equal-time events fire in the
+//! order they were scheduled, which makes whole-network simulations
+//! reproducible. The round-based driver models the paper's "parallel
+//! execution is simulated by emptying the queue": one round = one overlay
+//! hop of every in-flight message, so the round count at which the queue
+//! drains is the parallel makespan.
+
+use crate::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in discrete ticks (one tick = one overlay hop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The time `delta` ticks later.
+    pub fn after(self, delta: u64) -> SimTime {
+        SimTime(self.0 + delta)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A scheduled event: deliver `payload` to `target` at `time`.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Receiving node.
+    pub target: NodeId,
+    /// Application payload.
+    pub payload: P,
+    seq: u64,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Event<P> {}
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of events.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Event<P>>,
+    next_seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule delivery of `payload` to `target` at absolute `time`.
+    pub fn push(&mut self, time: SimTime, target: NodeId, payload: P) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            target,
+            payload,
+            seq,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The simulation driver: an event queue plus a clock.
+///
+/// Handlers receive `(&mut Scheduler, Event)` and may schedule follow-up
+/// events; [`Scheduler::run`] drives to quiescence.
+#[derive(Debug)]
+pub struct Scheduler<P> {
+    queue: EventQueue<P>,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<P> Default for Scheduler<P> {
+    fn default() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime(0),
+            delivered: 0,
+        }
+    }
+}
+
+impl<P> Scheduler<P> {
+    /// A scheduler starting at time 0 with an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedule `payload` for `target` after `delay` ticks (1 tick = 1 hop).
+    pub fn schedule_in(&mut self, delay: u64, target: NodeId, payload: P) {
+        self.queue.push(self.now.after(delay), target, payload);
+    }
+
+    /// Schedule at an absolute time (must not be in the past).
+    pub fn schedule_at(&mut self, time: SimTime, target: NodeId, payload: P) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.queue.push(time, target, payload);
+    }
+
+    /// Run until the queue drains or `max_events` deliveries happened.
+    ///
+    /// Returns the makespan: the time of the last delivered event.
+    pub fn run<F: FnMut(&mut Scheduler<P>, Event<P>)>(
+        &mut self,
+        max_events: u64,
+        mut handler: F,
+    ) -> SimTime {
+        let mut budget = max_events;
+        while let Some(ev) = self.queue.pop() {
+            self.now = ev.time;
+            self.delivered += 1;
+            // Temporarily move the event out so the handler can reschedule.
+            handler(self, ev);
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), NodeId(0), "late");
+        q.push(SimTime(1), NodeId(1), "early-a");
+        q.push(SimTime(1), NodeId(2), "early-b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().payload, "early-a");
+        assert_eq!(q.pop().unwrap().payload, "early-b");
+        assert_eq!(q.pop().unwrap().payload, "late");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3), NodeId(0), ());
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_advances_clock_and_counts() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_in(2, NodeId(0), 1);
+        s.schedule_in(5, NodeId(0), 2);
+        let mut seen = Vec::new();
+        let end = s.run(u64::MAX, |_, ev| seen.push((ev.time, ev.payload)));
+        assert_eq!(seen, vec![(SimTime(2), 1), (SimTime(5), 2)]);
+        assert_eq!(end, SimTime(5));
+        assert_eq!(s.delivered(), 2);
+    }
+
+    #[test]
+    fn handlers_can_chain_messages() {
+        // A "message" hops 4 times: each delivery schedules the next hop one
+        // tick later. Makespan must be 4.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_in(1, NodeId(0), 4);
+        let end = s.run(u64::MAX, |s, ev| {
+            if ev.payload > 1 {
+                s.schedule_in(1, NodeId(0), ev.payload - 1);
+            }
+        });
+        assert_eq!(end, SimTime(4));
+        assert_eq!(s.delivered(), 4);
+    }
+
+    #[test]
+    fn parallel_messages_share_rounds() {
+        // Ten independent 3-hop messages started together: makespan 3,
+        // deliveries 30 — the "parallel execution" semantics of the paper.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for _ in 0..10 {
+            s.schedule_in(1, NodeId(0), 3);
+        }
+        let end = s.run(u64::MAX, |s, ev| {
+            if ev.payload > 1 {
+                s.schedule_in(1, NodeId(0), ev.payload - 1);
+            }
+        });
+        assert_eq!(end, SimTime(3));
+        assert_eq!(s.delivered(), 30);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(1, NodeId(0), ());
+        let _ = s.run(100, |s, _| s.schedule_in(1, NodeId(0), ())); // infinite chain
+        assert_eq!(s.delivered(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_in(5, NodeId(0), ());
+        s.run(u64::MAX, |s, _| s.schedule_at(SimTime(1), NodeId(0), ()));
+    }
+}

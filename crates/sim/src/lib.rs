@@ -1,0 +1,45 @@
+//! Discrete-event network simulation substrate for Hyper-M (ICDE 2007).
+//!
+//! The paper evaluates Hyper-M on a home-grown Java simulator: *"We
+//! implemented CAN … and simulated the parallel behavior of a peer-to-peer
+//! network with a scheduler class and an event queue. Every message generated
+//! in the network is sent to the event queue. Periodically, parallel
+//! execution is simulated by emptying the queue."* This crate is the Rust
+//! equivalent of that substrate, plus the two things the paper motivates but
+//! never quantifies — the MANET radio underlay and an energy model:
+//!
+//! * [`event`] — a deterministic event queue (time + FIFO tie-break) and the
+//!   round-based scheduler that emulates parallel execution: every message
+//!   in flight advances one overlay hop per round, so the number of rounds
+//!   to drain the queue is the *makespan* of a parallel insertion;
+//! * [`stats`] — cheap atomic counters for messages/bytes and per-operation
+//!   `OpStats` records (hops are the paper's primary metric);
+//! * [`energy`] — per-byte/per-message radio energy accounting with
+//!   Bluetooth-class constants, used to substantiate the "energy efficient"
+//!   claim of the abstract;
+//! * [`underlay`] — a static unit-disk random-geometric-graph MANET: overlay
+//!   hops are translated into physical radio hops via BFS path lengths, with
+//!   an optional random-waypoint mobility stepper as an extension.
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod event;
+pub mod stats;
+pub mod underlay;
+
+pub use energy::EnergyModel;
+pub use event::{Event, EventQueue, Scheduler, SimTime};
+pub use stats::{NetStats, OpStats};
+pub use underlay::{Underlay, UnderlayConfig};
+
+/// Identifier of a simulated node. Nodes are dense indices into the
+/// overlay/underlay tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}

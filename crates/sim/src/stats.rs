@@ -1,0 +1,198 @@
+//! Message/hop/byte accounting.
+//!
+//! The paper's dissemination experiments (Figure 8) report *average hops per
+//! item insertion*; each overlay hop is one radio message. [`OpStats`] is
+//! the per-operation record returned by CAN operations, [`NetStats`] the
+//! thread-safe whole-network accumulator used when many peers insert in
+//! parallel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cost record of one overlay operation (insert, lookup, query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStats {
+    /// Overlay hops taken (greedy routing steps + replication fan-out).
+    pub hops: u64,
+    /// Messages sent (≥ hops; a flooding step sends several).
+    pub messages: u64,
+    /// Payload bytes moved across all messages.
+    pub bytes: u64,
+}
+
+impl OpStats {
+    /// A zero record.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Record of a single message of `bytes` traveling one hop.
+    pub fn one_hop(bytes: u64) -> Self {
+        Self {
+            hops: 1,
+            messages: 1,
+            bytes,
+        }
+    }
+}
+
+impl std::ops::Add for OpStats {
+    type Output = OpStats;
+    fn add(self, rhs: OpStats) -> OpStats {
+        OpStats {
+            hops: self.hops + rhs.hops,
+            messages: self.messages + rhs.messages,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpStats {
+    fn add_assign(&mut self, rhs: OpStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for OpStats {
+    fn sum<I: Iterator<Item = OpStats>>(iter: I) -> OpStats {
+        iter.fold(OpStats::zero(), |a, b| a + b)
+    }
+}
+
+/// Thread-safe whole-network counters (relaxed atomics — counters only).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    hops: AtomicU64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    operations: AtomicU64,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one operation's record into the totals.
+    pub fn record(&self, op: OpStats) {
+        self.hops.fetch_add(op.hops, Ordering::Relaxed);
+        self.messages.fetch_add(op.messages, Ordering::Relaxed);
+        self.bytes.fetch_add(op.bytes, Ordering::Relaxed);
+        self.operations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the totals as a plain [`OpStats`].
+    pub fn totals(&self) -> OpStats {
+        OpStats {
+            hops: self.hops.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of operations recorded.
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// Average hops per recorded operation (0 when nothing recorded).
+    pub fn avg_hops(&self) -> f64 {
+        let ops = self.operations();
+        if ops == 0 {
+            0.0
+        } else {
+            self.totals().hops as f64 / ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stats_arithmetic() {
+        let a = OpStats {
+            hops: 2,
+            messages: 3,
+            bytes: 100,
+        };
+        let b = OpStats::one_hop(50);
+        let c = a + b;
+        assert_eq!(
+            c,
+            OpStats {
+                hops: 3,
+                messages: 4,
+                bytes: 150
+            }
+        );
+        let sum: OpStats = [a, b, c].into_iter().sum();
+        assert_eq!(sum.hops, 6);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut a = OpStats::zero();
+        a += OpStats::one_hop(10);
+        a += OpStats::one_hop(20);
+        assert_eq!(
+            a,
+            OpStats {
+                hops: 2,
+                messages: 2,
+                bytes: 30
+            }
+        );
+    }
+
+    #[test]
+    fn net_stats_accumulates() {
+        let stats = NetStats::new();
+        stats.record(OpStats {
+            hops: 4,
+            messages: 5,
+            bytes: 64,
+        });
+        stats.record(OpStats {
+            hops: 2,
+            messages: 2,
+            bytes: 32,
+        });
+        assert_eq!(
+            stats.totals(),
+            OpStats {
+                hops: 6,
+                messages: 7,
+                bytes: 96
+            }
+        );
+        assert_eq!(stats.operations(), 2);
+        assert_eq!(stats.avg_hops(), 3.0);
+    }
+
+    #[test]
+    fn avg_hops_empty() {
+        assert_eq!(NetStats::new().avg_hops(), 0.0);
+    }
+
+    #[test]
+    fn net_stats_is_thread_safe() {
+        let stats = std::sync::Arc::new(NetStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = stats.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(OpStats::one_hop(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.operations(), 8000);
+        assert_eq!(stats.totals().hops, 8000);
+    }
+}

@@ -1,0 +1,485 @@
+//! The virtual binary index tree: kd-partition, managers, up/down routing.
+
+use hyperm_can::Zone;
+use hyperm_sim::{NodeId, OpStats};
+
+/// Overlay construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VbiConfig {
+    /// Key-space dimensionality.
+    pub dim: usize,
+    /// Seed (reserved for future randomised builds; the kd split is
+    /// deterministic).
+    pub seed: u64,
+    /// Safety cap on routing steps.
+    pub max_route_hops: u64,
+}
+
+impl VbiConfig {
+    /// Defaults for a `dim`-dimensional key space.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            seed: 0,
+            max_route_hops: 4096,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What a tree node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VbiNodeKind {
+    /// A virtual routing node with two children (tree indices).
+    Internal {
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+    /// A data node owned by one peer.
+    Leaf {
+        /// The owning peer.
+        peer: NodeId,
+    },
+}
+
+/// One node of the virtual tree.
+#[derive(Debug, Clone)]
+pub struct VbiNode {
+    /// Parent tree index (`None` for the root).
+    pub parent: Option<usize>,
+    /// The region this node covers.
+    pub region: Zone,
+    /// Leaf or internal.
+    pub kind: VbiNodeKind,
+    /// The peer managing this node (for internal nodes: the peer of the
+    /// leftmost descendant leaf, as in VBI's adjacency-based assignment).
+    pub manager: NodeId,
+}
+
+/// A complete VBI overlay.
+#[derive(Debug, Clone)]
+pub struct VbiOverlay {
+    config: VbiConfig,
+    tree: Vec<VbiNode>,
+    leaf_of_peer: Vec<usize>,
+    pub(crate) stores: Vec<Vec<hyperm_can::StoredObject>>,
+    bootstrap_stats: OpStats,
+    pub(crate) next_object_id: u64,
+}
+
+impl VbiOverlay {
+    /// Build an overlay of `n` peers over `[0,1)^dim`.
+    pub fn bootstrap(config: VbiConfig, n: usize) -> Self {
+        assert!(n > 0, "need at least one peer");
+        assert!(config.dim > 0, "dimension must be positive");
+        let mut tree: Vec<VbiNode> = Vec::with_capacity(2 * n - 1);
+        let mut leaf_of_peer = vec![usize::MAX; n];
+        let root_region = Zone::whole(config.dim);
+        let mut next_peer = 0usize;
+        build_subtree(
+            root_region,
+            n,
+            None,
+            0,
+            &mut tree,
+            &mut leaf_of_peer,
+            &mut next_peer,
+        );
+        assert_eq!(next_peer, n, "all peers placed");
+
+        let mut overlay = VbiOverlay {
+            config,
+            tree,
+            leaf_of_peer,
+            stores: vec![Vec::new(); n],
+            bootstrap_stats: OpStats::zero(),
+            next_object_id: 0,
+        };
+        // Simulated join accounting on the final topology: each peer after
+        // the first routes a join request to its leaf's region centre.
+        let mut joins = OpStats::zero();
+        for p in 1..n {
+            let centre = overlay.tree[overlay.leaf_of_peer[p]].region.centre();
+            let (_, stats) = overlay.route_point(NodeId(p % p.max(1)), &centre, 64);
+            joins += stats;
+        }
+        overlay.bootstrap_stats = joins;
+        overlay
+    }
+
+    /// Number of peers (= leaves).
+    pub fn len(&self) -> usize {
+        self.leaf_of_peer.len()
+    }
+
+    /// Whether the overlay has no peers (never true post-bootstrap).
+    pub fn is_empty(&self) -> bool {
+        self.leaf_of_peer.is_empty()
+    }
+
+    /// Key-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Simulated construction cost.
+    pub fn bootstrap_stats(&self) -> OpStats {
+        self.bootstrap_stats
+    }
+
+    /// Borrow a tree node.
+    pub fn node(&self, idx: usize) -> &VbiNode {
+        &self.tree[idx]
+    }
+
+    /// Number of tree nodes (`2·peers − 1`).
+    pub fn tree_len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Tree index of a peer's leaf.
+    pub fn leaf_of(&self, peer: NodeId) -> usize {
+        self.leaf_of_peer[peer.0]
+    }
+
+    /// Ground-truth owner of a point (region scan; tests only).
+    pub fn owner_of(&self, point: &[f64]) -> NodeId {
+        self.tree
+            .iter()
+            .find_map(|nd| match nd.kind {
+                VbiNodeKind::Leaf { peer } if nd.region.contains(point) => Some(peer),
+                _ => None,
+            })
+            .expect("leaf regions tile the space")
+    }
+
+    /// Route from `from`'s leaf to the leaf containing `point`, upside-down:
+    /// ascend to the lowest ancestor covering the point, then descend.
+    ///
+    /// A hop is charged whenever consecutive tree nodes have different
+    /// managers (edges within one peer's managed path are free).
+    pub fn route_point(&self, from: NodeId, point: &[f64], msg_bytes: u64) -> (NodeId, OpStats) {
+        assert_eq!(point.len(), self.config.dim, "point dimension mismatch");
+        let mut stats = OpStats::zero();
+        let mut idx = self.leaf_of_peer[from.0];
+        let mut steps = 0u64;
+        // Ascend.
+        while !self.tree[idx].region.contains(point) {
+            let parent = self.tree[idx].parent.expect("root covers everything");
+            self.charge_edge(idx, parent, msg_bytes, &mut stats);
+            idx = parent;
+            steps += 1;
+            assert!(
+                steps <= self.config.max_route_hops,
+                "routing ascent too long"
+            );
+        }
+        // Descend.
+        loop {
+            match self.tree[idx].kind {
+                VbiNodeKind::Leaf { peer } => return (peer, stats),
+                VbiNodeKind::Internal { left, right } => {
+                    let next = if self.tree[left].region.contains(point) {
+                        left
+                    } else {
+                        right
+                    };
+                    debug_assert!(self.tree[next].region.contains(point));
+                    self.charge_edge(idx, next, msg_bytes, &mut stats);
+                    idx = next;
+                    steps += 1;
+                    assert!(
+                        steps <= self.config.max_route_hops,
+                        "routing descent too long"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Charge one tree-edge traversal (free if both ends share a manager).
+    pub(crate) fn charge_edge(&self, a: usize, b: usize, msg_bytes: u64, stats: &mut OpStats) {
+        if self.tree[a].manager != self.tree[b].manager {
+            *stats += OpStats::one_hop(msg_bytes);
+        }
+    }
+
+    /// Tree indices of every leaf whose region intersects the ball, found
+    /// by root descent; also returns the message cost of the traversal.
+    pub(crate) fn leaves_intersecting(
+        &self,
+        start_leaf: usize,
+        centre: &[f64],
+        radius: f64,
+        msg_bytes: u64,
+    ) -> (Vec<usize>, OpStats) {
+        let mut stats = OpStats::zero();
+        // Ascend from the start leaf to the lowest ancestor whose region
+        // contains the ball's clipped bounding box.
+        let lo: Vec<f64> = centre.iter().map(|c| (c - radius).max(0.0)).collect();
+        let hi: Vec<f64> = centre.iter().map(|c| (c + radius).min(1.0)).collect();
+        let mut idx = start_leaf;
+        while !region_contains_box(&self.tree[idx].region, &lo, &hi) {
+            let Some(parent) = self.tree[idx].parent else {
+                break;
+            };
+            self.charge_edge(idx, parent, msg_bytes, &mut stats);
+            idx = parent;
+        }
+        // Descend into intersecting subtrees.
+        let mut leaves = Vec::new();
+        let mut stack = vec![idx];
+        while let Some(cur) = stack.pop() {
+            match self.tree[cur].kind {
+                VbiNodeKind::Leaf { .. } => leaves.push(cur),
+                VbiNodeKind::Internal { left, right } => {
+                    for child in [left, right] {
+                        if self.tree[child].region.intersects_sphere(centre, radius) {
+                            self.charge_edge(cur, child, msg_bytes, &mut stats);
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        (leaves, stats)
+    }
+
+    /// Stored objects per peer.
+    pub fn store_sizes(&self) -> Vec<usize> {
+        self.stores.iter().map(Vec::len).collect()
+    }
+
+    /// Summarised item mass per peer.
+    pub fn stored_items_per_node(&self) -> Vec<u64> {
+        self.stores
+            .iter()
+            .map(|s| s.iter().map(|o| o.payload.items as u64).sum())
+            .collect()
+    }
+
+    /// Structural invariants: leaf regions tile the space, parents cover
+    /// children, managers follow the leftmost-leaf rule.
+    pub fn check_invariants(&self) {
+        let total: f64 = self
+            .tree
+            .iter()
+            .filter(|nd| matches!(nd.kind, VbiNodeKind::Leaf { .. }))
+            .map(|nd| nd.region.volume())
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "leaf regions do not tile: {total}"
+        );
+        for (i, nd) in self.tree.iter().enumerate() {
+            if let VbiNodeKind::Internal { left, right } = nd.kind {
+                assert_eq!(self.tree[left].parent, Some(i));
+                assert_eq!(self.tree[right].parent, Some(i));
+                // Parent region = union of children (volumes add up).
+                let v = self.tree[left].region.volume() + self.tree[right].region.volume();
+                assert!(
+                    (v - nd.region.volume()).abs() < 1e-12,
+                    "child volumes mismatch"
+                );
+                // Manager = left child's manager (leftmost-leaf rule).
+                assert_eq!(
+                    nd.manager, self.tree[left].manager,
+                    "manager rule broken at {i}"
+                );
+            }
+        }
+        // Unique ownership of sample points.
+        for i in 0..16 {
+            let point: Vec<f64> = (0..self.config.dim)
+                .map(|d| ((i * 7 + d * 3) % 16) as f64 / 16.0 + 0.01)
+                .collect();
+            let owners = self
+                .tree
+                .iter()
+                .filter(|nd| {
+                    matches!(nd.kind, VbiNodeKind::Leaf { .. }) && nd.region.contains(&point)
+                })
+                .count();
+            assert_eq!(owners, 1, "point {point:?} owned by {owners} leaves");
+        }
+    }
+}
+
+/// Whether `region` contains the whole box `[lo, hi]`.
+fn region_contains_box(region: &Zone, lo: &[f64], hi: &[f64]) -> bool {
+    region
+        .lo()
+        .iter()
+        .zip(region.hi())
+        .zip(lo.iter().zip(hi))
+        .all(|((rl, rh), (&bl, &bh))| *rl <= bl + 1e-12 && *rh >= bh - 1e-12)
+}
+
+/// Recursively split `region` into `n` leaf regions; returns the subtree's
+/// root index. Peers are assigned to leaves in in-order sequence.
+fn build_subtree(
+    region: Zone,
+    n: usize,
+    parent: Option<usize>,
+    _depth: usize,
+    tree: &mut Vec<VbiNode>,
+    leaf_of_peer: &mut [usize],
+    next_peer: &mut usize,
+) -> usize {
+    let idx = tree.len();
+    if n == 1 {
+        let peer = NodeId(*next_peer);
+        *next_peer += 1;
+        leaf_of_peer[peer.0] = idx;
+        tree.push(VbiNode {
+            parent,
+            region,
+            kind: VbiNodeKind::Leaf { peer },
+            manager: peer,
+        });
+        return idx;
+    }
+    // Split the widest dimension so each side's volume is proportional to
+    // its leaf count (keeps per-peer regions equal-sized).
+    let n_left = n.div_ceil(2);
+    let dim = region.longest_dim();
+    let (lo, hi) = (region.lo()[dim], region.hi()[dim]);
+    let split = lo + (hi - lo) * n_left as f64 / n as f64;
+    let mut left_hi = region.hi().to_vec();
+    left_hi[dim] = split;
+    let mut right_lo = region.lo().to_vec();
+    right_lo[dim] = split;
+    let left_region = Zone::from_bounds(region.lo().to_vec(), left_hi);
+    let right_region = Zone::from_bounds(right_lo, region.hi().to_vec());
+
+    // Placeholder; children fill in below, then we patch.
+    tree.push(VbiNode {
+        parent,
+        region,
+        kind: VbiNodeKind::Internal { left: 0, right: 0 },
+        manager: NodeId(usize::MAX),
+    });
+    let left = build_subtree(
+        left_region,
+        n_left,
+        Some(idx),
+        _depth + 1,
+        tree,
+        leaf_of_peer,
+        next_peer,
+    );
+    let right = build_subtree(
+        right_region,
+        n - n_left,
+        Some(idx),
+        _depth + 1,
+        tree,
+        leaf_of_peer,
+        next_peer,
+    );
+    tree[idx].kind = VbiNodeKind::Internal { left, right };
+    tree[idx].manager = tree[left].manager;
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bootstrap_invariants_many_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 17, 64, 100] {
+            for dim in [1usize, 2, 4] {
+                let overlay = VbiOverlay::bootstrap(VbiConfig::new(dim), n);
+                overlay.check_invariants();
+                assert_eq!(overlay.len(), n);
+                assert_eq!(overlay.tree_len(), 2 * n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner() {
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(2), 40);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let point = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            let from = NodeId(rng.gen_range(0..40));
+            let (owner, stats) = overlay.route_point(from, &point, 1);
+            assert_eq!(owner, overlay.owner_of(&point));
+            assert!(stats.hops <= 40);
+        }
+    }
+
+    #[test]
+    fn routing_is_logarithmic() {
+        let avg_hops = |n: usize| {
+            let overlay = VbiOverlay::bootstrap(VbiConfig::new(2), n);
+            let mut rng = StdRng::seed_from_u64(2);
+            let trials = 300;
+            let total: u64 = (0..trials)
+                .map(|_| {
+                    let point = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+                    overlay
+                        .route_point(NodeId(rng.gen_range(0..n)), &point, 1)
+                        .1
+                        .hops
+                })
+                .sum();
+            total as f64 / trials as f64
+        };
+        let small = avg_hops(32);
+        let large = avg_hops(512);
+        assert!(large < small * 4.0, "small {small}, large {large}");
+        assert!(
+            large < 2.5 * (512f64).log2(),
+            "large {large} not logarithmic"
+        );
+    }
+
+    #[test]
+    fn manager_paths_make_many_edges_free() {
+        // Total hops of a route must be well below the tree-path length
+        // because each peer manages a whole root-ward chain.
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(2), 64);
+        let (_, stats) = overlay.route_point(NodeId(0), &[0.99, 0.99], 1);
+        // Tree depth is ~6; full up+down would be ~12 edges, but manager
+        // sharing must save several.
+        assert!(stats.hops < 12, "hops {}", stats.hops);
+    }
+
+    #[test]
+    fn leaves_intersecting_matches_geometry() {
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(2), 32);
+        let centre = [0.4, 0.6];
+        let radius = 0.15;
+        let (leaves, _) =
+            overlay.leaves_intersecting(overlay.leaf_of(NodeId(5)), &centre, radius, 1);
+        for (i, nd) in overlay.tree.iter().enumerate() {
+            if let VbiNodeKind::Leaf { .. } = nd.kind {
+                assert_eq!(
+                    nd.region.intersects_sphere(&centre, radius),
+                    leaves.contains(&i),
+                    "leaf {i} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(3), 1);
+        let (owner, stats) = overlay.route_point(NodeId(0), &[0.5, 0.5, 0.5], 1);
+        assert_eq!(owner, NodeId(0));
+        assert_eq!(stats.hops, 0);
+    }
+}

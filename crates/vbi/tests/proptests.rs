@@ -1,0 +1,57 @@
+//! Property-based tests for the VBI-tree overlay invariants.
+
+use hyperm_can::ObjectRef;
+use hyperm_sim::NodeId;
+use hyperm_vbi::{VbiConfig, VbiOverlay};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural invariants hold for any size and dimension.
+    #[test]
+    fn invariants_hold(n in 1usize..150, dim in 1usize..6) {
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(dim), n);
+        overlay.check_invariants();
+    }
+
+    /// Routing always lands at the true owner.
+    #[test]
+    fn routing_correct(
+        n in 1usize..100,
+        coords in prop::collection::vec(0.0..1.0f64, 3),
+        from in any::<prop::sample::Index>(),
+    ) {
+        let overlay = VbiOverlay::bootstrap(VbiConfig::new(3), n);
+        let start = NodeId(from.index(n));
+        let (owner, stats) = overlay.route_point(start, &coords, 1);
+        prop_assert_eq!(owner, overlay.owner_of(&coords));
+        prop_assert!(stats.hops <= 2 * n as u64);
+    }
+
+    /// Replication + range queries are complete for any sphere pair.
+    #[test]
+    fn range_completeness(
+        n in 2usize..48,
+        cx in 0.0..1.0f64,
+        cy in 0.0..1.0f64,
+        r in 0.0..0.4f64,
+        qx in 0.0..1.0f64,
+        qy in 0.0..1.0f64,
+        qr in 0.0..0.4f64,
+        from in any::<prop::sample::Index>(),
+    ) {
+        let mut overlay = VbiOverlay::bootstrap(VbiConfig::new(2), n);
+        overlay.insert_sphere(
+            NodeId(0),
+            vec![cx, cy],
+            r,
+            ObjectRef { peer: 0, tag: 0, items: 1 },
+            true,
+        );
+        let res = overlay.range_query(NodeId(from.index(n)), &[qx, qy], qr);
+        let d = ((cx - qx).powi(2) + (cy - qy).powi(2)).sqrt();
+        let should = d <= r + qr + 1e-12;
+        prop_assert_eq!(!res.matches.is_empty(), should, "d = {}, r+qr = {}", d, r + qr);
+    }
+}

@@ -1,0 +1,285 @@
+//! CDF 5/3 (LeGall) biorthogonal wavelet via the lifting scheme.
+//!
+//! The paper motivates wavelets partly through image codecs: "for image
+//! files, existing codecs already use the wavelet transform to compress
+//! data \[JPEG2000\]". JPEG2000's lossless path uses exactly this filter, so
+//! a Hyper-M device whose photos are already JPEG2000-coded could derive
+//! its subspace coefficients straight from the codestream. The lifting
+//! implementation is the standard two-step scheme with symmetric boundary
+//! extension:
+//!
+//! ```text
+//! predict:  d_i = x_{2i+1} − (x_{2i} + x_{2i+2}) / 2
+//! update:   a_i = x_{2i}   + (d_{i−1} + d_i) / 4
+//! ```
+//!
+//! Unlike Haar/D4 this filter is biorthogonal (not energy preserving), so
+//! Theorem 3.1's contraction constant does not apply verbatim — the module
+//! exposes [`cdf53_frame_bounds`], an empirically validated operator-norm
+//! bound usable for conservative radius scaling.
+
+/// One CDF 5/3 analysis step: `(approximation, detail)`, each half length.
+///
+/// `input.len()` must be even and ≥ 2; symmetric (mirror) extension handles
+/// the boundaries.
+pub fn cdf53_step(input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = input.len();
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "cdf53_step needs even length >= 2, got {n}"
+    );
+    let half = n / 2;
+    // Mirror access: x[-1] = x[1], x[n] = x[n-2].
+    let x = |i: isize| -> f64 {
+        let idx = if i < 0 {
+            (-i) as usize
+        } else if i as usize >= n {
+            2 * (n - 1) - i as usize
+        } else {
+            i as usize
+        };
+        input[idx]
+    };
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let odd = x(2 * i as isize + 1);
+        detail.push(odd - 0.5 * (x(2 * i as isize) + x(2 * i as isize + 2)));
+    }
+    let d = |i: isize| -> f64 {
+        let idx = if i < 0 {
+            (-i - 1) as usize
+        } else if i as usize >= half {
+            2 * half - 1 - i as usize
+        } else {
+            i as usize
+        };
+        detail[idx.min(half - 1)]
+    };
+    let mut approx = Vec::with_capacity(half);
+    for i in 0..half {
+        approx.push(x(2 * i as isize) + 0.25 * (d(i as isize - 1) + d(i as isize)));
+    }
+    (approx, detail)
+}
+
+/// Inverse of [`cdf53_step`].
+pub fn cdf53_inverse_step(approx: &[f64], detail: &[f64]) -> Vec<f64> {
+    let half = approx.len();
+    assert_eq!(half, detail.len(), "approx/detail length mismatch");
+    assert!(half >= 1, "empty input");
+    let d = |i: isize| -> f64 {
+        let idx = if i < 0 {
+            (-i - 1) as usize
+        } else if i as usize >= half {
+            2 * half - 1 - i as usize
+        } else {
+            i as usize
+        };
+        detail[idx.min(half - 1)]
+    };
+    // Undo update: even samples.
+    let mut even = Vec::with_capacity(half);
+    for (i, &a) in approx.iter().enumerate() {
+        even.push(a - 0.25 * (d(i as isize - 1) + d(i as isize)));
+    }
+    // Undo predict: odd samples (mirror on the evens).
+    let e = |i: isize| -> f64 {
+        let idx = if i as usize >= half {
+            2 * half - 1 - i as usize
+        } else {
+            i as usize
+        };
+        even[idx.min(half - 1)]
+    };
+    let mut out = Vec::with_capacity(2 * half);
+    for i in 0..half {
+        out.push(even[i]);
+        out.push(detail[i] + 0.5 * (e(i as isize) + e(i as isize + 1)));
+    }
+    out
+}
+
+/// Multi-level CDF 5/3 decomposition down to a length-1 approximation;
+/// details ordered coarse → fine like [`crate::decomposition::Decomposition`].
+pub fn cdf53_decompose(v: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert!(
+        v.len().is_power_of_two() && !v.is_empty(),
+        "need power-of-two length"
+    );
+    let mut current = v.to_vec();
+    let mut details = Vec::new();
+    while current.len() >= 2 {
+        let (a, d) = cdf53_step(&current);
+        details.push(d);
+        current = a;
+    }
+    details.reverse();
+    (current, details)
+}
+
+/// Inverse of [`cdf53_decompose`].
+pub fn cdf53_reconstruct(approx: &[f64], details: &[Vec<f64>]) -> Vec<f64> {
+    let mut current = approx.to_vec();
+    for d in details {
+        current = cdf53_inverse_step(&current, d);
+    }
+    current
+}
+
+/// Empirical frame bounds of one CDF 5/3 analysis step: `(lower, upper)`
+/// factors such that `lower·‖x‖ ≤ ‖(a,d)‖ ≤ upper·‖x‖` for all inputs of
+/// the given (even) length.
+///
+/// Computed by power iteration on `WᵀW`; useful for conservative radius
+/// scaling when publishing CDF-5/3 summaries.
+pub fn cdf53_frame_bounds(n: usize) -> (f64, f64) {
+    assert!(n >= 2 && n.is_multiple_of(2), "need even length >= 2");
+    // Materialise the analysis operator W column by column (n is a vector
+    // length here, so the O(n²) matrix is tiny), then power-iterate
+    // WᵀW for σ_max and (W⁻¹)ᵀW⁻¹ for 1/σ_min.
+    let w_matrix: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let (a, d) = cdf53_step(&e);
+            let mut col = a;
+            col.extend(d);
+            col
+        })
+        .collect(); // w_matrix[j] = W·e_j (the j-th column)
+    let w_inv: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            cdf53_inverse_step(&e[..n / 2], &e[n / 2..])
+        })
+        .collect();
+
+    let spectral_norm = |cols: &[Vec<f64>]| -> f64 {
+        let apply = |v: &[f64]| -> Vec<f64> {
+            // y = M v where cols[j] is column j.
+            let mut y = vec![0.0; n];
+            for (j, col) in cols.iter().enumerate() {
+                for (yi, &c) in y.iter_mut().zip(col) {
+                    *yi += c * v[j];
+                }
+            }
+            y
+        };
+        let apply_t = |v: &[f64]| -> Vec<f64> {
+            // y = Mᵀ v: y_j = col_j · v.
+            cols.iter()
+                .map(|col| col.iter().zip(v).map(|(a, b)| a * b).sum())
+                .collect()
+        };
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let mut x: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 97) as f64 / 97.0 - 0.5)
+            .collect();
+        let mut sigma = 0.0;
+        for _ in 0..300 {
+            let y = apply(&x);
+            let z = apply_t(&y);
+            let nz = norm(&z);
+            if nz == 0.0 {
+                break;
+            }
+            sigma = (norm(&y).powi(2) / norm(&x).powi(2)).sqrt();
+            for (xi, zi) in x.iter_mut().zip(&z) {
+                *xi = zi / nz;
+            }
+        }
+        sigma
+    };
+    let upper = spectral_norm(&w_matrix);
+    let lower = 1.0 / spectral_norm(&w_inv).max(1e-12);
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_all(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?}\nvs\n{b:?}");
+        }
+    }
+
+    #[test]
+    fn step_roundtrip() {
+        let v: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64 - 1.0).collect();
+        let (a, d) = cdf53_step(&v);
+        close_all(&cdf53_inverse_step(&a, &d), &v, 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_many_lengths() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let (a, d) = cdf53_step(&v);
+            close_all(&cdf53_inverse_step(&a, &d), &v, 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_signal_zero_detail_and_preserved_mean() {
+        let (a, d) = cdf53_step(&[4.0; 16]);
+        for &x in &d {
+            assert!(x.abs() < 1e-12);
+        }
+        for &x in &a {
+            assert!((x - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_signal_zero_detail_in_interior() {
+        // 5/3 has two vanishing moments in the analysis high-pass.
+        let v: Vec<f64> = (0..32).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let (_, d) = cdf53_step(&v);
+        for &x in &d[..d.len() - 1] {
+            assert!(x.abs() < 1e-10, "interior detail {x}");
+        }
+    }
+
+    #[test]
+    fn full_decomposition_roundtrip() {
+        let v: Vec<f64> = (0..128).map(|i| ((i * i) % 23) as f64 * 0.1).collect();
+        let (a, details) = cdf53_decompose(&v);
+        assert_eq!(a.len(), 1);
+        assert_eq!(details.len(), 7);
+        close_all(&cdf53_reconstruct(&a, &details), &v, 1e-9);
+    }
+
+    #[test]
+    fn frame_bounds_bracket_observed_norm_ratios() {
+        let n = 32;
+        let (lower, upper) = cdf53_frame_bounds(n);
+        assert!(lower > 0.0 && upper >= lower);
+        // Validate against random inputs.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for _ in 0..100 {
+            let v: Vec<f64> = (0..n).map(|_| next()).collect();
+            let (a, d) = cdf53_step(&v);
+            let in_norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let out_norm: f64 = a.iter().chain(&d).map(|x| x * x).sum::<f64>().sqrt();
+            let ratio = out_norm / in_norm;
+            assert!(
+                ratio <= upper * 1.05 && ratio >= lower * 0.95,
+                "ratio {ratio} outside [{lower}, {upper}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_rejected() {
+        cdf53_step(&[1.0, 2.0, 3.0]);
+    }
+}

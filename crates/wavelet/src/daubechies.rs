@@ -1,0 +1,167 @@
+//! Daubechies-4 wavelet transform with periodic boundary handling.
+//!
+//! The paper proves Theorem 3.1 for Haar "due to ease of proof" and notes
+//! that "similar, though more laborious proofs can be done for other
+//! wavelets". D4 is the smallest Daubechies wavelet with a vanishing moment
+//! beyond the mean (it annihilates linear trends), making it the natural
+//! second family for the ablation benches.
+//!
+//! The filter is orthonormal, so the per-level sphere contraction factor is
+//! exactly 1 — the same radius law as orthonormal Haar.
+
+/// Daubechies-4 low-pass (scaling) filter coefficients.
+const H: [f64; 4] = [
+    0.482_962_913_144_690_2,   // (1+√3)/(4√2)
+    0.836_516_303_737_469,     // (3+√3)/(4√2)
+    0.224_143_868_042_013_4,   // (3−√3)/(4√2)
+    -0.129_409_522_550_921_44, // (1−√3)/(4√2)
+];
+
+/// High-pass (wavelet) filter: `g_k = (−1)^k h_{3−k}`.
+const G: [f64; 4] = [H[3], -H[2], H[1], -H[0]];
+
+/// One D4 analysis step over a periodic signal of even length `n ≥ 4`:
+/// returns `(approximation, detail)` of length `n/2` each.
+pub fn d4_step(input: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = input.len();
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "d4_step needs even length >= 4, got {n}"
+    );
+    let half = n / 2;
+    let mut approx = Vec::with_capacity(half);
+    let mut detail = Vec::with_capacity(half);
+    for i in 0..half {
+        let mut a = 0.0;
+        let mut d = 0.0;
+        for k in 0..4 {
+            let idx = (2 * i + k) % n;
+            a += H[k] * input[idx];
+            d += G[k] * input[idx];
+        }
+        approx.push(a);
+        detail.push(d);
+    }
+    (approx, detail)
+}
+
+/// Inverse of [`d4_step`].
+pub fn d4_inverse_step(approx: &[f64], detail: &[f64]) -> Vec<f64> {
+    assert_eq!(approx.len(), detail.len(), "approx/detail length mismatch");
+    let half = approx.len();
+    let n = half * 2;
+    assert!(n >= 4, "d4_inverse_step needs output length >= 4");
+    let mut out = vec![0.0; n];
+    // Transpose of the (orthogonal) analysis operator.
+    for i in 0..half {
+        for k in 0..4 {
+            let idx = (2 * i + k) % n;
+            out[idx] += H[k] * approx[i] + G[k] * detail[i];
+        }
+    }
+    out
+}
+
+/// Multi-level D4 decomposition: repeatedly split the approximation until
+/// its length drops below 4 (D4 cannot go all the way to length 1 with this
+/// periodic scheme). Returns `(final_approx, details)` with `details[0]`
+/// the *coarsest* detail, matching [`crate::decomposition::Decomposition`]
+/// ordering.
+pub fn d4_decompose(v: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert!(
+        v.len().is_power_of_two() && v.len() >= 4,
+        "need power-of-two length >= 4"
+    );
+    let mut current = v.to_vec();
+    let mut details_fine_to_coarse = Vec::new();
+    while current.len() >= 4 {
+        let (a, d) = d4_step(&current);
+        details_fine_to_coarse.push(d);
+        current = a;
+    }
+    details_fine_to_coarse.reverse();
+    (current, details_fine_to_coarse)
+}
+
+/// Inverse of [`d4_decompose`].
+pub fn d4_reconstruct(approx: &[f64], details: &[Vec<f64>]) -> Vec<f64> {
+    let mut current = approx.to_vec();
+    for d in details {
+        current = d4_inverse_step(&current, d);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_all(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?}\nvs\n{b:?}");
+        }
+    }
+
+    #[test]
+    fn filter_is_orthonormal() {
+        let h_norm: f64 = H.iter().map(|x| x * x).sum();
+        assert!((h_norm - 1.0).abs() < 1e-12);
+        // Double-shift orthogonality: Σ h_k h_{k+2} = 0.
+        let shift: f64 = H[0] * H[2] + H[1] * H[3];
+        assert!(shift.abs() < 1e-12);
+        // h ⟂ g.
+        let dot: f64 = H.iter().zip(&G).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_roundtrip() {
+        let v: Vec<f64> = (0..16).map(|i| ((i * 13) % 7) as f64 - 2.0).collect();
+        let (a, d) = d4_step(&v);
+        close_all(&d4_inverse_step(&a, &d), &v, 1e-10);
+    }
+
+    #[test]
+    fn step_preserves_energy() {
+        let v: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos()).collect();
+        let (a, d) = d4_step(&v);
+        let e_in: f64 = v.iter().map(|x| x * x).sum();
+        let e_out: f64 = a.iter().chain(&d).map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_detail() {
+        let (_, d) = d4_step(&[2.0; 16]);
+        for x in d {
+            assert!(x.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_trend_has_zero_detail() {
+        // D4 has two vanishing moments; a periodic signal is only linear
+        // away from the wrap-around, so check interior coefficients.
+        let v: Vec<f64> = (0..32).map(|i| 3.0 + 0.5 * i as f64).collect();
+        let (_, d) = d4_step(&v);
+        for &x in &d[..d.len() - 2] {
+            assert!(x.abs() < 1e-10, "interior detail {x}");
+        }
+    }
+
+    #[test]
+    fn full_decomposition_roundtrip() {
+        let v: Vec<f64> = (0..64).map(|i| ((i * i) % 17) as f64 * 0.25).collect();
+        let (a, details) = d4_decompose(&v);
+        assert_eq!(a.len(), 2); // stops below length 4
+        assert_eq!(details.len(), 5); // 64→32→16→8→4→2
+        close_all(&d4_reconstruct(&a, &details), &v, 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "even length >= 4")]
+    fn short_input_rejected() {
+        d4_step(&[1.0, 2.0]);
+    }
+}

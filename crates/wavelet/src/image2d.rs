@@ -1,0 +1,281 @@
+//! Separable 2-D Haar transform for image-like data.
+//!
+//! The paper's scenario is photo sharing; devices would extract features
+//! from images whose codecs "already use the wavelet transform". This
+//! module provides the standard separable 2-D DWT (one Haar step along
+//! rows, then along columns) producing the classic LL/LH/HL/HH quadrant
+//! layout, plus a multi-level pyramid on the LL band — enough to derive
+//! wavelet-domain feature vectors straight from raster data.
+
+use crate::haar::{haar_inverse_step, haar_step, Normalization};
+
+/// A row-major 2-D image of `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Create from a row-major buffer.
+    pub fn from_flat(data: Vec<f64>, width: usize, height: usize) -> Self {
+        assert_eq!(data.len(), width * height, "buffer/shape mismatch");
+        assert!(width > 0 && height > 0, "degenerate image");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sample at `(x, y)`.
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable sample at `(x, y)`.
+    pub fn at_mut(&mut self, x: usize, y: usize) -> &mut f64 {
+        &mut self.data[y * self.width + x]
+    }
+
+    /// The flat buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// One 2-D analysis step: quadrants `(LL, LH, HL, HH)`, each half size.
+///
+/// Width and height must be even.
+pub fn dwt2_step(img: &Image, norm: Normalization) -> (Image, Image, Image, Image) {
+    let (w, h) = (img.width, img.height);
+    assert!(
+        w % 2 == 0 && h % 2 == 0 && w >= 2 && h >= 2,
+        "even dimensions required, got {w}x{h}"
+    );
+    // Rows first.
+    let mut row_lo = Image::from_flat(vec![0.0; w / 2 * h], w / 2, h);
+    let mut row_hi = Image::from_flat(vec![0.0; w / 2 * h], w / 2, h);
+    let mut a = Vec::new();
+    let mut d = Vec::new();
+    for y in 0..h {
+        a.clear();
+        d.clear();
+        haar_step(&img.data[y * w..(y + 1) * w], norm, &mut a, &mut d);
+        for x in 0..w / 2 {
+            *row_lo.at_mut(x, y) = a[x];
+            *row_hi.at_mut(x, y) = d[x];
+        }
+    }
+    // Columns second.
+    let col_split = |src: &Image| -> (Image, Image) {
+        let (sw, sh) = (src.width, src.height);
+        let mut lo = Image::from_flat(vec![0.0; sw * sh / 2], sw, sh / 2);
+        let mut hi = Image::from_flat(vec![0.0; sw * sh / 2], sw, sh / 2);
+        let mut col = vec![0.0; sh];
+        let mut a = Vec::new();
+        let mut d = Vec::new();
+        for x in 0..sw {
+            for (y, c) in col.iter_mut().enumerate() {
+                *c = src.at(x, y);
+            }
+            a.clear();
+            d.clear();
+            haar_step(&col, norm, &mut a, &mut d);
+            for y in 0..sh / 2 {
+                *lo.at_mut(x, y) = a[y];
+                *hi.at_mut(x, y) = d[y];
+            }
+        }
+        (lo, hi)
+    };
+    let (ll, lh) = col_split(&row_lo);
+    let (hl, hh) = col_split(&row_hi);
+    (ll, lh, hl, hh)
+}
+
+/// Inverse of [`dwt2_step`].
+pub fn dwt2_inverse_step(
+    ll: &Image,
+    lh: &Image,
+    hl: &Image,
+    hh: &Image,
+    norm: Normalization,
+) -> Image {
+    let (qw, qh) = (ll.width, ll.height);
+    for q in [lh, hl, hh] {
+        assert_eq!((q.width, q.height), (qw, qh), "quadrant shape mismatch");
+    }
+    // Columns first (undo the second analysis pass).
+    let col_merge = |lo: &Image, hi: &Image| -> Image {
+        let mut out = Image::from_flat(vec![0.0; qw * qh * 2], qw, qh * 2);
+        let mut a = vec![0.0; qh];
+        let mut d = vec![0.0; qh];
+        for x in 0..qw {
+            for y in 0..qh {
+                a[y] = lo.at(x, y);
+                d[y] = hi.at(x, y);
+            }
+            let col = haar_inverse_step(&a, &d, norm);
+            for (y, &v) in col.iter().enumerate() {
+                *out.at_mut(x, y) = v;
+            }
+        }
+        out
+    };
+    let row_lo = col_merge(ll, lh);
+    let row_hi = col_merge(hl, hh);
+    // Rows second.
+    let (w2, h) = (qw, qh * 2);
+    let mut out = Image::from_flat(vec![0.0; w2 * 2 * h], w2 * 2, h);
+    let mut a = vec![0.0; w2];
+    let mut d = vec![0.0; w2];
+    for y in 0..h {
+        for x in 0..w2 {
+            a[x] = row_lo.at(x, y);
+            d[x] = row_hi.at(x, y);
+        }
+        let row = haar_inverse_step(&a, &d, norm);
+        for (x, &v) in row.iter().enumerate() {
+            *out.at_mut(x, y) = v;
+        }
+    }
+    out
+}
+
+/// Multi-level pyramid: repeatedly decompose the LL band.
+///
+/// Returns the final LL plus per-level `(LH, HL, HH)` triples, coarse →
+/// fine.
+pub fn dwt2_pyramid(
+    img: &Image,
+    levels: usize,
+    norm: Normalization,
+) -> (Image, Vec<(Image, Image, Image)>) {
+    assert!(levels >= 1, "need at least one level");
+    let mut current = img.clone();
+    let mut bands = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        let (ll, lh, hl, hh) = dwt2_step(&current, norm);
+        bands.push((lh, hl, hh));
+        current = ll;
+    }
+    bands.reverse();
+    (current, bands)
+}
+
+/// Inverse of [`dwt2_pyramid`].
+pub fn dwt2_pyramid_inverse(
+    ll: &Image,
+    bands: &[(Image, Image, Image)],
+    norm: Normalization,
+) -> Image {
+    let mut current = ll.clone();
+    for (lh, hl, hh) in bands {
+        current = dwt2_inverse_step(&current, lh, hl, hh, norm);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: usize, h: usize) -> Image {
+        let data: Vec<f64> = (0..w * h)
+            .map(|i| ((i * 31 + 7) % 13) as f64 - 6.0 + (i as f64 * 0.01))
+            .collect();
+        Image::from_flat(data, w, h)
+    }
+
+    fn close_imgs(a: &Image, b: &Image, tol: f64) {
+        assert_eq!((a.width(), a.height()), (b.width(), b.height()));
+        for (x, y) in a.as_flat().iter().zip(b.as_flat()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn step_roundtrip_both_conventions() {
+        let img = test_image(8, 6);
+        for norm in [Normalization::PaperAverage, Normalization::Orthonormal] {
+            let (ll, lh, hl, hh) = dwt2_step(&img, norm);
+            assert_eq!((ll.width(), ll.height()), (4, 3));
+            let back = dwt2_inverse_step(&ll, &lh, &hl, &hh, norm);
+            close_imgs(&back, &img, 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_image_concentrates_in_ll() {
+        let img = Image::from_flat(vec![3.0; 64], 8, 8);
+        let (ll, lh, hl, hh) = dwt2_step(&img, Normalization::PaperAverage);
+        for &v in ll.as_flat() {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+        for band in [lh, hl, hh] {
+            for &v in band.as_flat() {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_edge_appears_in_lh() {
+        // Rows 0..3 are 0, rows 3..8 are 1: a horizontal edge that crosses
+        // a Haar pair boundary → vertical-detail band (LH here: low-pass
+        // rows, high-pass columns). (An edge at y = 4 would be pair-aligned
+        // and produce *zero* detail — a classic Haar blind spot.)
+        let mut img = Image::from_flat(vec![0.0; 64], 8, 8);
+        for y in 3..8 {
+            for x in 0..8 {
+                *img.at_mut(x, y) = 1.0;
+            }
+        }
+        let (_, lh, hl, _) = dwt2_step(&img, Normalization::PaperAverage);
+        let lh_energy: f64 = lh.as_flat().iter().map(|v| v * v).sum();
+        let hl_energy: f64 = hl.as_flat().iter().map(|v| v * v).sum();
+        assert!(lh_energy > 0.1, "edge missing from LH: {lh_energy}");
+        assert!(hl_energy < 1e-12, "edge leaked into HL: {hl_energy}");
+    }
+
+    #[test]
+    fn orthonormal_preserves_energy_2d() {
+        let img = test_image(16, 16);
+        let (ll, lh, hl, hh) = dwt2_step(&img, Normalization::Orthonormal);
+        let e_in: f64 = img.as_flat().iter().map(|v| v * v).sum();
+        let e_out: f64 = [&ll, &lh, &hl, &hh]
+            .iter()
+            .flat_map(|b| b.as_flat())
+            .map(|v| v * v)
+            .sum();
+        assert!((e_in - e_out).abs() < 1e-9 * (1.0 + e_in));
+    }
+
+    #[test]
+    fn pyramid_roundtrip() {
+        let img = test_image(32, 32);
+        let (ll, bands) = dwt2_pyramid(&img, 3, Normalization::PaperAverage);
+        assert_eq!((ll.width(), ll.height()), (4, 4));
+        assert_eq!(bands.len(), 3);
+        let back = dwt2_pyramid_inverse(&ll, &bands, Normalization::PaperAverage);
+        close_imgs(&back, &img, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_dimensions_rejected() {
+        dwt2_step(&test_image(7, 8), Normalization::PaperAverage);
+    }
+}

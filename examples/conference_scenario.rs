@@ -1,0 +1,116 @@
+//! The paper's motivating scenario: a conference session.
+//!
+//! Fifty researchers sit in a room for ninety minutes. Each carries a
+//! device with a few hundred photos (color histograms). They want to search
+//! each other's collections *now* — publishing every photo into a DHT would
+//! eat the whole session; Hyper-M publishes summaries instead.
+//!
+//! ```sh
+//! cargo run --release --example conference_scenario
+//! ```
+
+use hyperm::baseline::{insert_all_items, PerItemCanConfig};
+use hyperm::datagen::{distribute_by_clusters, generate_aloi_like, AloiConfig, DistributeConfig};
+use hyperm::sim::{Underlay, UnderlayConfig};
+use hyperm::{Dataset, EnergyModel, EvalHarness, HypermConfig, HypermNetwork, KnnOptions, OpStats};
+
+fn main() {
+    let attendees = 50usize;
+
+    // --- Photo collections: object histograms over 64 hue bins. ---
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 60,
+        views_per_class: 80,
+        bins: 64,
+        view_jitter: 0.15,
+        seed: 1,
+    });
+    println!(
+        "conference: {attendees} attendees, {} photos total",
+        corpus.len()
+    );
+    let mut peers: Vec<Dataset> = distribute_by_clusters(
+        &corpus.data,
+        &DistributeConfig {
+            peers: attendees,
+            classes: 60,
+            peers_per_class: (3, 6),
+            minibatch: true,
+            seed: 2,
+        },
+    );
+    // Nobody shows up empty-handed.
+    for p in peers.iter_mut() {
+        if p.is_empty() {
+            p.push_row(corpus.data.row(0));
+        }
+    }
+
+    // --- The room: a 20×20 m hall, Bluetooth-class radios. ---
+    let underlay = Underlay::random(UnderlayConfig {
+        nodes: attendees,
+        arena_side: 20.0,
+        radio_range: 10.0,
+        seed: 3,
+    });
+    let stretch = underlay.mean_path_hops();
+    let energy = EnergyModel::bluetooth_class2();
+    println!("room: mean radio path {stretch:.2} hops\n");
+
+    // --- Option A: publish every photo (conventional CAN). ---
+    let per_item = insert_all_items(&peers, &PerItemCanConfig::full_dim(attendees, 64, 4));
+    // --- Option B: Hyper-M. ---
+    let config = HypermConfig::new(64)
+        .with_levels(4)
+        .with_clusters_per_peer(10)
+        .with_seed(5);
+    let (net, report) = HypermNetwork::build(peers, config).expect("build");
+
+    let joules = |s: OpStats| {
+        let phys = OpStats {
+            hops: (s.hops as f64 * stretch) as u64,
+            messages: (s.messages as f64 * stretch) as u64,
+            bytes: (s.bytes as f64 * stretch) as u64,
+        };
+        energy.op_joules(phys)
+    };
+    println!("setup cost comparison:");
+    println!(
+        "  per-photo CAN : {:>8} msgs, {:>9.1} KiB, {:>7.2} J, makespan {:>6} hops",
+        per_item.totals.messages,
+        per_item.totals.bytes as f64 / 1024.0,
+        joules(per_item.totals),
+        per_item.totals.hops
+    );
+    println!(
+        "  Hyper-M       : {:>8} msgs, {:>9.1} KiB, {:>7.2} J, makespan {:>6} hops",
+        report.insertion.messages,
+        report.insertion.bytes as f64 / 1024.0,
+        joules(report.insertion),
+        report.makespan_hops
+    );
+    println!(
+        "  → {:.0}× fewer bytes on air, {:.0}× less energy, {:.0}× shorter makespan\n",
+        per_item.totals.bytes as f64 / report.insertion.bytes.max(1) as f64,
+        joules(per_item.totals) / joules(report.insertion).max(1e-9),
+        per_item.totals.hops as f64 / report.makespan_hops.max(1) as f64
+    );
+
+    // --- "Anyone have photos like this one?" ---
+    let harness = EvalHarness::new(&net);
+    let queries = harness.sample_queries(&net, 10, 6);
+    let mut found = 0usize;
+    let mut recall_sum = 0.0;
+    for q in &queries {
+        let res = net.knn_query(0, q, 10, KnnOptions::default());
+        found += res.topk.len();
+        let truth = harness.knn_truth(q, 10);
+        let got: Vec<_> = res.topk.iter().map(|&(id, _)| id).collect();
+        recall_sum += hyperm::precision_recall(&got, &truth).recall;
+    }
+    println!(
+        "similar-photo search: 10 queries × k=10 → {} results, mean recall {:.2}",
+        found,
+        recall_sum / queries.len() as f64
+    );
+}

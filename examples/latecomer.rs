@@ -1,0 +1,78 @@
+//! Latecomer join: a device arrives after the session started.
+//!
+//! The conference talk began ten minutes ago; someone slips into the room,
+//! opens their phone and joins the sharing network. Their collection is
+//! summarised, the CAN zones split to make room, and their cluster spheres
+//! publish — after which everyone can search their data and they can search
+//! everyone's.
+//!
+//! ```sh
+//! cargo run --release --example latecomer
+//! ```
+
+use hyperm::datagen::{generate_aloi_like, AloiConfig};
+use hyperm::{Dataset, HypermConfig, HypermNetwork, KnnOptions};
+
+fn main() {
+    // The initial room: 20 attendees with histogram collections.
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 20,
+        views_per_class: 40,
+        bins: 64,
+        view_jitter: 0.15,
+        seed: 1,
+    });
+    let peers: Vec<Dataset> = (0..20)
+        .map(|p| {
+            corpus
+                .data
+                .select(&(p * 40..(p + 1) * 40).collect::<Vec<_>>())
+        })
+        .collect();
+    let cfg = HypermConfig::new(64)
+        .with_levels(4)
+        .with_clusters_per_peer(8)
+        .with_seed(2);
+    let (mut net, report) = HypermNetwork::build(peers, cfg).expect("build");
+    println!(
+        "session start: {} peers, network up after {} hops (makespan {} rounds)",
+        net.len(),
+        report.insertion.hops,
+        report.makespan_rounds
+    );
+
+    // Ten minutes later, three more devices walk in with fresh collections.
+    let late = generate_aloi_like(&AloiConfig {
+        classes: 3,
+        views_per_class: 50,
+        bins: 64,
+        view_jitter: 0.15,
+        seed: 99,
+    });
+    for c in 0..3 {
+        let collection = late
+            .data
+            .select(&(c * 50..(c + 1) * 50).collect::<Vec<_>>());
+        let probe = collection.row(0).to_vec();
+        let join = net.join_peer(collection).expect("join");
+        println!(
+            "\npeer {} joined: {} zone-split hops + {} publication hops ({} clusters)",
+            join.peer, join.join.hops, join.insertion.hops, join.clusters_published
+        );
+        // Everyone can now find the newcomer's photos…
+        let res = net.range_query(0, &probe, 1e-9, None);
+        assert!(res.items.contains(&(join.peer, 0)));
+        println!("  their first photo is already searchable by peer 0");
+        // …and the newcomer can search the room.
+        let knn = net.knn_query(join.peer, &probe, 5, KnnOptions::default());
+        println!(
+            "  and they can run k-nn themselves: {} results from {} peers",
+            knn.topk.len(),
+            knn.peers_contacted
+        );
+    }
+    println!(
+        "\nfinal network size: {} peers — no rebuild, no downtime",
+        net.len()
+    );
+}

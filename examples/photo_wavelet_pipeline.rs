@@ -1,0 +1,91 @@
+//! Full photo-sharing pipeline: raster images → 2-D wavelet features →
+//! Hyper-M → "find shots like this one".
+//!
+//! The paper notes that image codecs (JPEG2000) already wavelet-transform
+//! photos on-device; this example takes synthetic photos, derives Hyper-M
+//! feature vectors from the 2-D Haar pyramid's coarse LL band, and measures
+//! how often a similarity query returns shots of the same subject.
+//!
+//! ```sh
+//! cargo run --release --example photo_wavelet_pipeline
+//! ```
+
+use hyperm::datagen::{generate_image_features, ImageConfig};
+use hyperm::{Dataset, HypermConfig, HypermNetwork, KnnOptions};
+
+fn main() {
+    // 16 subjects × 25 photos, 32×32 px; 2 pyramid levels → 64-d features.
+    let photos = generate_image_features(
+        &ImageConfig {
+            classes: 16,
+            images_per_class: 25,
+            size: 32,
+            jitter: 0.2,
+            seed: 42,
+        },
+        2,
+    );
+    println!(
+        "photo corpus: {} shots of {} subjects → {}-d wavelet features",
+        photos.len(),
+        16,
+        photos.data.dim()
+    );
+
+    // Deal photos onto 20 phones: each phone mostly photographs 2 subjects.
+    let phones = 16usize; // one per subject, plus cross-postings
+    let mut peers: Vec<Dataset> = (0..phones)
+        .map(|_| Dataset::new(photos.data.dim()))
+        .collect();
+    let mut owner_of = Vec::with_capacity(photos.len());
+    for (i, row) in photos.data.rows().enumerate() {
+        let class = photos.labels[i] as usize;
+        // Photos of subject c mostly live on phones c and (7c+3) mod 16.
+        let phone = if i % 3 == 0 {
+            (class * 7 + 3) % phones
+        } else {
+            class % phones
+        };
+        owner_of.push((phone, peers[phone].len()));
+        peers[phone].push_row(row);
+    }
+
+    let config = HypermConfig::new(photos.data.dim())
+        .with_levels(4)
+        .with_clusters_per_peer(6)
+        .with_seed(7);
+    let (net, report) = HypermNetwork::build(peers, config).expect("build");
+    println!(
+        "network up: {} cluster summaries published in {} hops (makespan {} rounds)\n",
+        report.clusters_published, report.insertion.hops, report.makespan_rounds
+    );
+
+    // Query with held-in shots: how many of the 10 nearest retrieved shots
+    // show the same subject?
+    let k = 10;
+    let mut same_subject = 0usize;
+    let mut total = 0usize;
+    for probe in (0..photos.len()).step_by(37) {
+        let q = photos.data.row(probe).to_vec();
+        let res = net.knn_query(0, &q, k, KnnOptions::default());
+        for &((phone, idx), _) in &res.topk {
+            // Recover the photo's class via the ownership map.
+            let original = owner_of
+                .iter()
+                .position(|&(p, i)| p == phone && i == idx)
+                .expect("retrieved photo exists");
+            if photos.labels[original] == photos.labels[probe] {
+                same_subject += 1;
+            }
+            total += 1;
+        }
+    }
+    let ratio = same_subject as f64 / total as f64;
+    println!(
+        "subject purity of k-nn answers: {:.1}% ({} of {} retrieved shots show the\nsame subject as the query)",
+        ratio * 100.0,
+        same_subject,
+        total
+    );
+    assert!(ratio > 0.5, "wavelet features should separate subjects");
+}

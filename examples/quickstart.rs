@@ -1,0 +1,82 @@
+//! Quickstart: build a Hyper-M network and run all three query types.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hyperm::{Dataset, EvalHarness, HypermConfig, HypermNetwork, KnnOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- 1. Some peers with local collections (8 peers × 50 items, 32-d). ---
+    let mut rng = StdRng::seed_from_u64(7);
+    let peers: Vec<Dataset> = (0..8)
+        .map(|_| {
+            // Each peer's items cluster around a couple of "interests".
+            let interest: f64 = rng.gen::<f64>() * 0.6;
+            let mut ds = Dataset::new(32);
+            let mut row = [0.0f64; 32];
+            for _ in 0..50 {
+                for x in row.iter_mut() {
+                    *x = (interest + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect();
+
+    // --- 2. Build: DWT → per-level k-means → publish cluster spheres. ---
+    let config = HypermConfig::new(32) // data dimensionality (power of two)
+        .with_levels(4) // overlays for {A, D0, D1, D2}
+        .with_clusters_per_peer(5)
+        .with_seed(42);
+    let (net, report) = HypermNetwork::build(peers, config).expect("build");
+    println!("built Hyper-M network:");
+    println!("  peers:              {}", net.len());
+    println!("  overlays (levels):  {}", net.levels());
+    println!("  items summarised:   {}", report.items_total);
+    println!("  clusters published: {}", report.clusters_published);
+    println!(
+        "  insertion hops:     {} ({:.3} per item)",
+        report.insertion.hops,
+        report.avg_hops_per_item()
+    );
+    println!("  parallel makespan:  {} hops", report.makespan_hops);
+
+    // --- 3. Range query: everything within ε of a known item. ---
+    let q: Vec<f64> = net.peer(2).items.row(0).to_vec();
+    let range = net.range_query(
+        /*from_peer=*/ 0, &q, /*eps=*/ 0.3, /*peer_budget=*/ None,
+    );
+    println!(
+        "\nrange query (ε = 0.3): {} items from {} peers, {} messages",
+        range.items.len(),
+        range.peers_contacted,
+        range.stats.messages
+    );
+
+    // --- 4. k-nn query: the 5 most similar items. ---
+    let knn = net.knn_query(0, &q, 5, KnnOptions::default());
+    println!(
+        "k-nn query (k = 5): contacted {} peers",
+        knn.peers_contacted
+    );
+    for ((peer, idx), d) in &knn.topk {
+        println!("  peer {peer} item {idx}: distance {d:.4}");
+    }
+
+    // --- 5. Point query: who has this exact item? ---
+    let point = net.point_query(0, &q);
+    println!("point query: exact copies at {:?}", point.matches);
+
+    // --- 6. Verify against exact ground truth. ---
+    let harness = EvalHarness::new(&net);
+    let (pr, _) = harness.eval_range(&net, 0, &q, 0.3, None);
+    println!(
+        "\nrange query vs exact flat scan: precision {:.2}, recall {:.2}",
+        pr.precision, pr.recall
+    );
+    assert_eq!(pr.recall, 1.0, "range queries have no false dismissals");
+}

@@ -1,0 +1,87 @@
+//! The load-balancing side-effect (paper Section 5.3): skewed data that
+//! would crush a handful of CAN nodes in the original space gets spread
+//! across the network by the orthogonal wavelet subspaces — with no
+//! explicit rebalancing mechanism.
+//!
+//! ```sh
+//! cargo run --release --example skewed_load_balance
+//! ```
+
+use hyperm::baseline::{insert_all_items, PerItemCanConfig};
+use hyperm::datagen::{generate_skewed, SkewedConfig};
+use hyperm::{Dataset, HypermConfig, HypermNetwork};
+
+fn spark(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                ' '
+            } else {
+                BARS[((v * 7) as f64 / max as f64).round() as usize]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let nodes = 64usize;
+    let dim = 256usize;
+    let corpus = generate_skewed(&SkewedConfig {
+        blobs: 3,
+        count: 4_000,
+        dim,
+        spread: 0.02,
+        seed: 3,
+    });
+    println!(
+        "skewed corpus: {} items in 3 dense blobs, {dim}-d\n",
+        corpus.len()
+    );
+
+    // Deal round-robin onto devices.
+    let mut peers: Vec<Dataset> = (0..nodes).map(|_| Dataset::new(dim)).collect();
+    for (i, row) in corpus.data.rows().enumerate() {
+        peers[i % nodes].push_row(row);
+    }
+
+    // Conventional per-item CAN in the original space.
+    let report = insert_all_items(&peers, &PerItemCanConfig::full_dim(nodes, dim, 7));
+    let original = report.overlay.stored_items_per_node();
+    println!("original-space CAN, items per node:");
+    println!(
+        "  [{}]  ({} of {} nodes used)",
+        spark(&original),
+        original.iter().filter(|&&x| x > 0).count(),
+        nodes
+    );
+
+    // Hyper-M with four levels.
+    let cfg = HypermConfig::new(dim)
+        .with_levels(4)
+        .with_clusters_per_peer(8)
+        .with_seed(9);
+    let (net, _) = HypermNetwork::build(peers, cfg).expect("build");
+    let mut combined = vec![0u64; nodes];
+    println!("\nHyper-M, summarised item mass per node and overlay:");
+    for l in 0..net.levels() {
+        let occ = net.overlay(l).stored_items_per_node();
+        for (c, o) in combined.iter_mut().zip(&occ) {
+            *c += o;
+        }
+        println!("  level {l}: [{}]", spark(&occ));
+    }
+    println!(
+        "  combined: [{}]  ({} of {} devices loaded)",
+        spark(&combined),
+        combined.iter().filter(|&&x| x > 0).count(),
+        nodes
+    );
+    println!(
+        "\nThe per-level stripes light up *different* devices — the orthogonality\n\
+         of the wavelet subspaces places the same data independently per level,\n\
+         so the combined load is flatter than the original space's, for free."
+    );
+}

@@ -1,0 +1,47 @@
+//! **hyperm** — the umbrella crate of the Hyper-M workspace.
+//!
+//! Hyper-M (Lupu, Li, Ooi, Shi — ICDE 2007) is a fast data-dissemination
+//! method for structured P2P overlays in short-lived mobile ad-hoc
+//! networks: peers publish wavelet-clustered *summaries* of their data into
+//! per-subspace CAN overlays instead of publishing every item, cutting
+//! overlay construction cost by an order of magnitude while keeping range
+//! and k-nn retrieval effective.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`core`](mod@core) — the Hyper-M framework (build, range/k-nn/point
+//!   queries, maintenance, evaluation);
+//! * [`wavelet`](mod@wavelet) — Haar/D4 transforms and Theorem 3.1;
+//! * [`cluster`](mod@cluster) — k-means and cluster spheres;
+//! * [`geometry`](mod@geometry) — hypersphere intersections and the
+//!   Eq. 8 radius solver;
+//! * [`can`](mod@can) — the CAN overlay with sphere replication;
+//! * [`sim`](mod@sim) — cost accounting, energy model and MANET underlay;
+//! * [`datagen`](mod@datagen) — the paper's synthetic workloads;
+//! * [`baseline`](mod@baseline) — per-item CAN baselines and the flat
+//!   ground-truth index.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough and DESIGN.md
+//! for the experiment index.
+
+#![warn(missing_docs)]
+
+pub use hyperm_baseline as baseline;
+pub use hyperm_baton as baton;
+pub use hyperm_can as can;
+pub use hyperm_cluster as cluster;
+pub use hyperm_core as core;
+pub use hyperm_datagen as datagen;
+pub use hyperm_geometry as geometry;
+pub use hyperm_sim as sim;
+pub use hyperm_vbi as vbi;
+pub use hyperm_wavelet as wavelet;
+
+pub use hyperm_baseline::{precision_recall, FlatIndex, PrecisionRecall};
+pub use hyperm_cluster::{ClusterSphere, Dataset, KMeansConfig};
+pub use hyperm_core::{
+    BuildReport, EvalHarness, HypermConfig, HypermNetwork, InsertPolicy, KnnOptions, Overlay,
+    OverlayBackend, ScorePolicy,
+};
+pub use hyperm_sim::{EnergyModel, NodeId, OpStats};
+pub use hyperm_wavelet::Normalization;

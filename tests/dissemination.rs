@@ -1,0 +1,137 @@
+//! Integration tests for the dissemination claims (paper Section 5).
+
+use hyperm::baseline::{insert_all_items, PerItemCanConfig};
+use hyperm::datagen::{generate_markov, generate_skewed, MarkovConfig, SkewedConfig};
+use hyperm::{Dataset, EnergyModel, HypermConfig, HypermNetwork};
+
+fn markov_peers(nodes: usize, items: usize, dim: usize, seed: u64) -> Vec<Dataset> {
+    let data = generate_markov(&MarkovConfig {
+        count: nodes * items,
+        dim,
+        max_step_cap: 0.05,
+        seed,
+    });
+    (0..nodes)
+        .map(|p| {
+            let ids: Vec<usize> = (p * items..(p + 1) * items).collect();
+            data.select(&ids)
+        })
+        .collect()
+}
+
+#[test]
+fn hyperm_beats_per_item_can_at_paper_ratios() {
+    // 40 nodes × 500 items, 128-d, 10 clusters × 4 levels: the summary
+    // ratio (500 items → 40 clusters) is what drives the paper's headline.
+    let peers = markov_peers(40, 500, 128, 1);
+    let cfg = HypermConfig::new(128)
+        .with_levels(4)
+        .with_clusters_per_peer(10)
+        .with_seed(2);
+    let (_, report) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+    let baseline = insert_all_items(&peers, &PerItemCanConfig::full_dim(40, 128, 2));
+
+    let hyperm_hops_per_item = report.avg_hops_per_item();
+    let can_hops_per_item = baseline.avg_hops_per_item();
+    assert!(
+        hyperm_hops_per_item < can_hops_per_item / 2.0,
+        "Hyper-M {hyperm_hops_per_item} vs per-item CAN {can_hops_per_item}"
+    );
+    // Bytes on air: summaries are tiny compared to shipping every vector.
+    assert!(report.insertion.bytes * 5 < baseline.totals.bytes);
+    // Parallel makespan: far below the serial baseline's total.
+    assert!(report.makespan_hops * 10 < baseline.totals.hops);
+}
+
+#[test]
+fn energy_savings_follow_hop_savings() {
+    let peers = markov_peers(20, 200, 64, 3);
+    let cfg = HypermConfig::new(64)
+        .with_levels(4)
+        .with_clusters_per_peer(8)
+        .with_seed(4);
+    let (_, report) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+    let baseline = insert_all_items(&peers, &PerItemCanConfig::full_dim(20, 64, 4));
+    let e = EnergyModel::bluetooth_class2();
+    assert!(e.op_joules(report.insertion) < e.op_joules(baseline.totals) / 2.0);
+}
+
+#[test]
+fn replication_overhead_shrinks_with_finer_clustering() {
+    // Figure 8a as a regression test.
+    let peers = markov_peers(30, 200, 64, 5);
+    let hops_per_cluster = |k: usize, replicate: bool| {
+        let cfg = HypermConfig::new(64)
+            .with_levels(4)
+            .with_clusters_per_peer(k)
+            .with_seed(6)
+            .with_replication(replicate);
+        let (_, r) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+        r.insertion.hops as f64 / r.clusters_published as f64
+    };
+    let coarse_gap = hops_per_cluster(5, true) - hops_per_cluster(5, false);
+    let fine_gap = hops_per_cluster(40, true) - hops_per_cluster(40, false);
+    assert!(
+        fine_gap < coarse_gap,
+        "finer clustering should shrink the replication gap: {coarse_gap} -> {fine_gap}"
+    );
+}
+
+#[test]
+fn skewed_data_spreads_across_levels() {
+    // Figure 9 as a regression test: the union of devices loaded across
+    // the four overlays exceeds the devices loaded by the original space.
+    let nodes = 50;
+    let corpus = generate_skewed(&SkewedConfig {
+        blobs: 3,
+        count: 2_000,
+        dim: 128,
+        spread: 0.02,
+        seed: 7,
+    });
+    let mut peers: Vec<Dataset> = (0..nodes).map(|_| Dataset::new(128)).collect();
+    for (i, row) in corpus.data.rows().enumerate() {
+        peers[i % nodes].push_row(row);
+    }
+    let baseline = insert_all_items(&peers, &PerItemCanConfig::full_dim(nodes, 128, 8));
+    let original_used = baseline
+        .overlay
+        .stored_items_per_node()
+        .iter()
+        .filter(|&&x| x > 0)
+        .count();
+
+    let cfg = HypermConfig::new(128)
+        .with_levels(4)
+        .with_clusters_per_peer(8)
+        .with_seed(9);
+    let (net, _) = HypermNetwork::build(peers, cfg).unwrap();
+    let mut combined = vec![0u64; nodes];
+    for l in 0..net.levels() {
+        for (c, o) in combined
+            .iter_mut()
+            .zip(net.overlay(l).stored_items_per_node())
+        {
+            *c += o;
+        }
+    }
+    let hyperm_used = combined.iter().filter(|&&x| x > 0).count();
+    assert!(
+        hyperm_used > original_used,
+        "wavelet levels should spread skewed load: {original_used} vs {hyperm_used} devices"
+    );
+}
+
+#[test]
+fn bootstrap_cost_reported_separately_from_insertion() {
+    let peers = markov_peers(15, 50, 64, 10);
+    let cfg = HypermConfig::new(64)
+        .with_levels(3)
+        .with_clusters_per_peer(5)
+        .with_seed(11);
+    let (_, report) = HypermNetwork::build(peers, cfg).unwrap();
+    assert!(report.bootstrap.hops > 0, "joins route through the overlay");
+    // The per-level reports sum to the total.
+    let sum: u64 = report.per_level.iter().map(|s| s.hops).sum();
+    assert_eq!(sum, report.insertion.hops);
+}

@@ -1,0 +1,214 @@
+//! End-to-end integration tests across the whole workspace: generators →
+//! summarisation → overlays → queries → evaluation.
+
+use hyperm::datagen::{
+    distribute_by_clusters, generate_aloi_like, generate_markov, AloiConfig, DistributeConfig,
+    MarkovConfig,
+};
+use hyperm::{
+    Dataset, EvalHarness, HypermConfig, HypermNetwork, InsertPolicy, KnnOptions, ScorePolicy,
+};
+
+fn aloi_network(seed: u64, clusters: usize) -> HypermNetwork {
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 20,
+        views_per_class: 20,
+        bins: 64,
+        view_jitter: 0.15,
+        seed,
+    });
+    let mut peers = distribute_by_clusters(
+        &corpus.data,
+        &DistributeConfig {
+            peers: 20,
+            classes: 20,
+            peers_per_class: (3, 5),
+            minibatch: false,
+            seed: seed + 1,
+        },
+    );
+    for p in peers.iter_mut() {
+        if p.is_empty() {
+            p.push_row(corpus.data.row(0));
+        }
+    }
+    let cfg = HypermConfig::new(64)
+        .with_levels(4)
+        .with_clusters_per_peer(clusters)
+        .with_seed(seed);
+    HypermNetwork::build(peers, cfg).unwrap().0
+}
+
+#[test]
+fn range_queries_have_no_false_dismissals_on_aloi_like_data() {
+    let net = aloi_network(1, 8);
+    let harness = EvalHarness::new(&net);
+    for (i, q) in harness.sample_queries(&net, 15, 2).iter().enumerate() {
+        for k_radius in [5usize, 20, 60] {
+            let eps = harness.kth_distance(q, k_radius);
+            let (pr, _) = harness.eval_range(&net, i % net.len(), q, eps, None);
+            assert_eq!(
+                pr.recall, 1.0,
+                "false dismissal: query {i}, radius of {k_radius}-NN"
+            );
+            assert_eq!(pr.precision, 1.0);
+        }
+    }
+}
+
+#[test]
+fn knn_quality_improves_with_summary_granularity() {
+    // Figure 10b's trend as a regression test: 2 clusters/peer must be
+    // clearly worse than 10.
+    let coarse = aloi_network(3, 2);
+    let fine = aloi_network(3, 10);
+    let eval = |net: &HypermNetwork| {
+        let harness = EvalHarness::new(net);
+        let queries = harness.sample_queries(net, 12, 4);
+        let mut recall = 0.0;
+        for q in &queries {
+            recall += harness
+                .eval_knn(net, 0, q, 10, KnnOptions::default())
+                .retrieved
+                .recall;
+        }
+        recall / queries.len() as f64
+    };
+    let r_coarse = eval(&coarse);
+    let r_fine = eval(&fine);
+    assert!(
+        r_fine >= r_coarse - 0.02,
+        "finer summaries should not hurt recall: {r_coarse} -> {r_fine}"
+    );
+}
+
+#[test]
+fn markov_pipeline_end_to_end() {
+    let data = generate_markov(&MarkovConfig {
+        count: 2_000,
+        dim: 64,
+        max_step_cap: 0.05,
+        seed: 5,
+    });
+    let mut peers = distribute_by_clusters(
+        &data,
+        &DistributeConfig {
+            peers: 25,
+            classes: 8,
+            peers_per_class: (4, 6),
+            minibatch: true,
+            seed: 6,
+        },
+    );
+    for p in peers.iter_mut() {
+        if p.is_empty() {
+            p.push_row(data.row(0));
+        }
+    }
+    let cfg = HypermConfig::new(64)
+        .with_levels(3)
+        .with_clusters_per_peer(6)
+        .with_seed(7);
+    let (net, report) = HypermNetwork::build(peers, cfg).unwrap();
+    assert_eq!(report.items_total, 2_000 + report.items_total - 2_000); // backfill may add
+    assert!(
+        report.avg_hops_per_item() < 5.0,
+        "hops/item {}",
+        report.avg_hops_per_item()
+    );
+
+    // Queries behave.
+    let harness = EvalHarness::new(&net);
+    let q = harness.sample_queries(&net, 1, 8).remove(0);
+    let eps = harness.kth_distance(&q, 10);
+    let (pr, _) = harness.eval_range(&net, 0, &q, eps, None);
+    assert_eq!(pr.recall, 1.0);
+}
+
+#[test]
+fn score_policies_order_by_permissiveness_for_range_candidates() {
+    // For identical networks, the min policy's candidate set is a subset of
+    // avg's, which is a subset of max's (element-wise: min ≤ avg ≤ max).
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 10,
+        views_per_class: 15,
+        bins: 64,
+        view_jitter: 0.15,
+        seed: 9,
+    });
+    let peers: Vec<Dataset> = (0..10)
+        .map(|p| {
+            let ids: Vec<usize> = (p * 15..(p + 1) * 15).collect();
+            corpus.data.select(&ids)
+        })
+        .collect();
+    let build = |policy| {
+        let cfg = HypermConfig::new(64)
+            .with_levels(4)
+            .with_clusters_per_peer(5)
+            .with_seed(10)
+            .with_score_policy(policy);
+        HypermNetwork::build(peers.clone(), cfg).unwrap().0
+    };
+    let net_min = build(ScorePolicy::Min);
+    let net_avg = build(ScorePolicy::Avg);
+    let net_max = build(ScorePolicy::Max);
+    let q = corpus.data.row(3).to_vec();
+    let c_min: std::collections::HashSet<usize> = net_min
+        .range_query(0, &q, 0.2, None)
+        .ranked
+        .iter()
+        .map(|p| p.peer)
+        .collect();
+    let c_avg: std::collections::HashSet<usize> = net_avg
+        .range_query(0, &q, 0.2, None)
+        .ranked
+        .iter()
+        .map(|p| p.peer)
+        .collect();
+    let c_max: std::collections::HashSet<usize> = net_max
+        .range_query(0, &q, 0.2, None)
+        .ranked
+        .iter()
+        .map(|p| p.peer)
+        .collect();
+    assert!(c_min.is_subset(&c_avg), "min ⊄ avg");
+    assert!(c_avg.is_subset(&c_max), "avg ⊄ max");
+}
+
+#[test]
+fn post_creation_inserts_respect_policies() {
+    let mut net = aloi_network(11, 6);
+    let fresh = generate_aloi_like(&AloiConfig {
+        classes: 3,
+        views_per_class: 4,
+        bins: 64,
+        view_jitter: 0.15,
+        seed: 999,
+    });
+    // Republished items are always findable afterwards.
+    for (i, row) in fresh.data.rows().enumerate() {
+        let peer = i % net.len();
+        net.insert_item(peer, row, InsertPolicy::Republish);
+        let idx = net.peer(peer).len() - 1;
+        let res = net.range_query(0, row, 1e-6, None);
+        assert!(
+            res.items.contains(&(peer, idx)),
+            "republished item {i} lost"
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let a = aloi_network(13, 5);
+    let b = aloi_network(13, 5);
+    let q = a.peer(2).items.row(0).to_vec();
+    let ra = a.range_query(0, &q, 0.15, None);
+    let rb = b.range_query(0, &q, 0.15, None);
+    assert_eq!(ra.items, rb.items);
+    assert_eq!(ra.stats, rb.stats);
+    let ka = a.knn_query(1, &q, 7, KnnOptions::default());
+    let kb = b.knn_query(1, &q, 7, KnnOptions::default());
+    assert_eq!(ka.topk, kb.topk);
+}
