@@ -1,0 +1,228 @@
+//! Query-throughput benchmark: serial vs level-parallel vs batch engine.
+//!
+//! Runs the same range-query workload through the three execution paths —
+//! the serial per-level loop, the level-parallel path
+//! (`parallel_query = true`), and the batch [`QueryEngine`] — and emits
+//! `BENCH_query.json` with throughput, latency percentiles, the measured
+//! speedups, and recall against a flat linear scan. All three paths return
+//! bit-identical results (asserted here as well as in the test suite), so
+//! the numbers compare pure host wall-clock.
+//!
+//! Speedup caveat: per-level threads and the engine's query fan-out only
+//! buy wall-clock when cores are available; the emitted `cores` field
+//! records what the host offered. On a single core expect speedups ≈ 1×
+//! (and slightly below for the level-parallel path, which pays thread
+//! start-up); the batch engine's radius-translation amortisation is
+//! core-independent.
+
+use hyperm_baseline::FlatIndex;
+use hyperm_bench::Scale;
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork, QueryEngine, RangeResult};
+use hyperm_sim::LatencyStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Workload {
+    peers: usize,
+    items: usize,
+    dim: usize,
+    levels: usize,
+    queries: usize,
+    eps: f64,
+}
+
+impl Workload {
+    fn at(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self {
+                peers: 120,
+                items: 60,
+                dim: 32,
+                levels: 4,
+                queries: 200,
+                eps: 0.25,
+            },
+            Scale::Full => Self {
+                peers: 200,
+                items: 150,
+                dim: 32,
+                levels: 4,
+                queries: 500,
+                eps: 0.25,
+            },
+        }
+    }
+}
+
+fn build_peers(w: &Workload, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..w.peers)
+        .map(|_| {
+            let centre: f64 = rng.gen::<f64>() * 0.6;
+            let mut ds = Dataset::new(w.dim);
+            let mut row = vec![0.0; w.dim];
+            for _ in 0..w.items {
+                for x in row.iter_mut() {
+                    *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+struct ModeReport {
+    total_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl ModeReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"total_s\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            self.total_s, self.qps, self.p50_ms, self.p99_ms
+        )
+    }
+}
+
+/// Time each query individually through `f`, returning results + a report.
+fn run_mode<F>(queries: &[Vec<f64>], f: F) -> (Vec<RangeResult>, ModeReport)
+where
+    F: Fn(&[f64]) -> RangeResult,
+{
+    let mut lat = LatencyStats::new();
+    let mut results = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t = Instant::now();
+        results.push(f(q));
+        lat.record(t.elapsed());
+    }
+    let total_s = lat.total_s();
+    (
+        results,
+        ModeReport {
+            total_s,
+            qps: queries.len() as f64 / total_s.max(1e-12),
+            p50_ms: lat.p50_s() * 1e3,
+            p99_ms: lat.p99_s() * 1e3,
+        },
+    )
+}
+
+fn assert_identical(a: &[RangeResult], b: &[RangeResult], what: &str) {
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.items, y.items, "{what}: items diverged");
+        assert_eq!(x.stats, y.stats, "{what}: stats diverged");
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = Workload::at(scale);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "query throughput — {} peers x {} items, {}-d, {} levels, {} queries, eps {} ({scale:?}, {cores} cores)",
+        w.peers, w.items, w.dim, w.levels, w.queries, w.eps
+    );
+
+    let peers = build_peers(&w, 71);
+    let cfg = HypermConfig::new(w.dim)
+        .with_levels(w.levels)
+        .with_clusters_per_peer(6)
+        .with_seed(73)
+        .with_parallel_query(false);
+    let (serial_net, report) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+    let mut parallel_net = serial_net.clone();
+    parallel_net.config.parallel_query = true;
+    println!(
+        "built: {} clusters published, {} replicas",
+        report.clusters_published, report.replicas
+    );
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let queries: Vec<Vec<f64>> = (0..w.queries)
+        .map(|_| {
+            let p = rng.gen_range(0..peers.len());
+            let i = rng.gen_range(0..peers[p].len());
+            peers[p].row(i).to_vec()
+        })
+        .collect();
+
+    // Warm-up pass (page in the stores and code paths).
+    for q in queries.iter().take(10) {
+        serial_net.range_query(0, q, w.eps, None);
+    }
+
+    let (serial_res, serial) = run_mode(&queries, |q| serial_net.range_query(0, q, w.eps, None));
+    let (par_res, parallel) = run_mode(&queries, |q| parallel_net.range_query(0, q, w.eps, None));
+    assert_identical(&serial_res, &par_res, "level-parallel");
+
+    let engine = QueryEngine::new(&serial_net);
+    let t = Instant::now();
+    let batch_res = engine.range_batch(0, &queries, w.eps, None);
+    let batch_total = t.elapsed().as_secs_f64();
+    assert_identical(&serial_res, &batch_res, "batch engine");
+
+    // Recall against a flat linear scan (full budget → expect 1.0).
+    let flat = FlatIndex::from_peers(&peers);
+    let mut recall_sum = 0.0;
+    let mut graded = 0usize;
+    for (q, res) in queries.iter().zip(&serial_res) {
+        let truth = flat.range(q, w.eps);
+        if truth.is_empty() {
+            continue;
+        }
+        let got: std::collections::HashSet<_> = res.items.iter().copied().collect();
+        recall_sum += truth.iter().filter(|t| got.contains(t)).count() as f64 / truth.len() as f64;
+        graded += 1;
+    }
+    let recall = if graded == 0 {
+        1.0
+    } else {
+        recall_sum / graded as f64
+    };
+
+    let speedup_levels = serial.total_s / parallel.total_s.max(1e-12);
+    let speedup_batch = serial.total_s / batch_total.max(1e-12);
+    println!(
+        "serial   {:8.3}s  {:8.1} q/s  p50 {:.3}ms  p99 {:.3}ms",
+        serial.total_s, serial.qps, serial.p50_ms, serial.p99_ms
+    );
+    println!(
+        "par-lvl  {:8.3}s  {:8.1} q/s  p50 {:.3}ms  p99 {:.3}ms  ({speedup_levels:.2}x)",
+        parallel.total_s, parallel.qps, parallel.p50_ms, parallel.p99_ms
+    );
+    println!(
+        "batch    {:8.3}s  {:8.1} q/s  ({speedup_batch:.2}x)",
+        batch_total,
+        queries.len() as f64 / batch_total.max(1e-12)
+    );
+    println!("recall vs flat scan: {recall:.4} over {graded} graded queries");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"peers\": {}, \"items_per_peer\": {}, \"dim\": {}, \"levels\": {}, \"queries\": {}, \"eps\": {}}},\n  \"cores\": {},\n  \"serial\": {},\n  \"parallel_levels\": {},\n  \"batch\": {{\"total_s\": {:.6}, \"qps\": {:.2}, \"speedup_vs_serial\": {:.3}}},\n  \"speedup_levels_vs_serial\": {:.3},\n  \"recall\": {:.6}\n}}\n",
+        w.peers,
+        w.items,
+        w.dim,
+        w.levels,
+        w.queries,
+        w.eps,
+        cores,
+        serial.json(),
+        parallel.json(),
+        batch_total,
+        queries.len() as f64 / batch_total.max(1e-12),
+        speedup_batch,
+        speedup_levels,
+        recall
+    );
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("wrote BENCH_query.json");
+}

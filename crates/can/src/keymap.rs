@@ -77,6 +77,42 @@ impl KeyMap {
             .collect()
     }
 
+    /// Like [`KeyMap::to_key`], but also report the **clamp slack**: the
+    /// key-space Euclidean distance between the unclamped affine image of
+    /// `data` and the returned (clamped) key. Zero whenever every
+    /// coordinate maps inside `[0, 1)`.
+    ///
+    /// Clamping silently translates out-of-bounds points, so a key-space
+    /// ball of radius `to_key_radius(r)` around a *clamped* key no longer
+    /// covers the image of the data-space ball — the no-false-dismissal
+    /// argument breaks for data outside the configured bounds. Widening
+    /// the ball by the returned slack (on both the publish and the query
+    /// side) restores the covering property: by the triangle inequality,
+    /// `‖clamped − y‖ ≤ slack + ‖raw − y‖` for any image point `y`.
+    pub fn to_key_slack(&self, data: &[f64]) -> (Vec<f64>, f64) {
+        assert!(
+            data.len() >= self.key_dim(),
+            "data dimension {} below key dimension {}",
+            data.len(),
+            self.key_dim()
+        );
+        let mut slack_sq = 0.0;
+        let key = self
+            .lo
+            .iter()
+            .zip(&self.inv_extent)
+            .zip(data)
+            .map(|((l, inv), &x)| {
+                let raw = (x - l) * inv;
+                let clamped = raw.clamp(0.0, ONE_MINUS_EPS);
+                let d = raw - clamped;
+                slack_sq += d * d;
+                clamped
+            })
+            .collect();
+        (key, slack_sq.sqrt())
+    }
+
     /// Conservatively convert a data-space radius to key space: scaled by
     /// the largest per-dimension `1/extent`, so the key-space ball always
     /// covers the image of the data-space ball (no false dismissals).
@@ -156,5 +192,53 @@ mod tests {
     #[should_panic(expected = "below key dimension")]
     fn too_few_coordinates_rejected() {
         KeyMap::uniform(4, 0.0, 1.0).to_key(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn slack_zero_in_bounds_and_key_matches_to_key() {
+        let m = KeyMap::uniform(3, -1.0, 3.0);
+        for data in [[-1.0, 0.0, 2.9], [0.5, 0.5, 0.5]] {
+            let (key, slack) = m.to_key_slack(&data);
+            assert_eq!(slack, 0.0);
+            assert_eq!(key, m.to_key(&data));
+        }
+    }
+
+    #[test]
+    fn slack_measures_clamp_displacement() {
+        // Bounds [0,1]; a point 0.5 above the upper bound in one dimension
+        // is displaced by exactly 0.5 (≈, up to the open-interval epsilon)
+        // in key space.
+        let m = KeyMap::uniform(2, 0.0, 1.0);
+        let (key, slack) = m.to_key_slack(&[1.5, 0.5]);
+        assert_eq!(key, m.to_key(&[1.5, 0.5]));
+        assert!((slack - 0.5).abs() < 1e-9, "slack {slack}");
+        // Two displaced dimensions compose in L2.
+        let (_, slack2) = m.to_key_slack(&[1.5, -0.5]);
+        assert!(
+            (slack2 - (2.0f64.sqrt() / 2.0)).abs() < 1e-9,
+            "slack {slack2}"
+        );
+    }
+
+    #[test]
+    fn widened_radius_restores_covering() {
+        // Regression for the clamp-slack bug: a centroid outside the
+        // configured bounds is clamped; a ball of the plain converted
+        // radius around the clamped key misses the image of in-ball data
+        // points, while the slack-widened ball covers them.
+        let m = KeyMap::uniform(1, 0.0, 1.0);
+        let centroid = [1.4];
+        let r = 0.1;
+        let (ckey, slack) = m.to_key_slack(&centroid);
+        // An item inside the data ball, also out of bounds; its unclamped
+        // affine image is 1.45.
+        let ikey_raw = 1.45;
+        let plain = m.to_key_radius(r);
+        assert!(
+            (ikey_raw - ckey[0]).abs() > plain,
+            "without widening the image escapes the key ball"
+        );
+        assert!((ikey_raw - ckey[0]).abs() <= plain + slack + 1e-12);
     }
 }

@@ -33,9 +33,11 @@ pub mod keymap;
 pub mod ops;
 pub mod overlay;
 pub mod zone;
+pub mod zoneindex;
 
 pub use codec::{decode_object, decode_query, encode_object, encode_query, CodecError};
 pub use keymap::KeyMap;
 pub use ops::{InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
 pub use overlay::{CanConfig, CanNode, CanOverlay};
 pub use zone::Zone;
+pub use zoneindex::ZoneIndex;

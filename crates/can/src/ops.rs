@@ -113,9 +113,15 @@ impl CanOverlay {
         if replicate && radius > 0.0 {
             // BFS flood over zones overlapping the sphere; the queue holds
             // (node, depth) so the critical path is the max depth reached.
-            let mut visited = vec![false; self.len()];
+            // Candidate zones come from the spatial index; the flood itself
+            // (and its cost accounting) is unchanged — membership in the
+            // pre-filtered candidate set is exactly the old per-edge
+            // `intersects_sphere` test.
+            let candidates = self.flood_candidates(&obj.centre, obj.radius);
+            let slot_of = |id: NodeId| candidates.binary_search(&(id.0 as u32)).ok();
+            let mut visited = vec![false; candidates.len()];
             let mut queue = VecDeque::new();
-            visited[owner.0] = true;
+            visited[slot_of(owner).expect("owner zone overlaps its own object")] = true;
             queue.push_back((owner, 0u64));
             while let Some((n, depth)) = queue.pop_front() {
                 flood_depth = flood_depth.max(depth);
@@ -123,15 +129,12 @@ impl CanOverlay {
                 replicas += 1;
                 let neighbours = self.node(n).neighbours.clone();
                 for nb in neighbours {
-                    if !visited[nb.0]
-                        && self
-                            .node(nb)
-                            .zone
-                            .intersects_sphere(&obj.centre, obj.radius)
-                    {
-                        visited[nb.0] = true;
-                        stats += OpStats::one_hop(bytes);
-                        queue.push_back((nb, depth + 1));
+                    if let Some(slot) = slot_of(nb) {
+                        if !visited[slot] {
+                            visited[slot] = true;
+                            stats += OpStats::one_hop(bytes);
+                            queue.push_back((nb, depth + 1));
+                        }
                     }
                 }
             }
@@ -227,9 +230,15 @@ impl CanOverlay {
         let qb = query_bytes(self.dim());
         let (owner, mut stats) = self.route(from, centre, qb);
 
-        let mut visited = vec![false; self.len()];
+        // Flood membership via the spatial index: the candidate set is the
+        // exact set of zones overlapping the query ball, so BFS order,
+        // visited set and all charged costs match the unindexed flood
+        // bit-for-bit — only host-side work per edge shrinks.
+        let candidates = self.flood_candidates(centre, radius);
+        let slot_of = |id: NodeId| candidates.binary_search(&(id.0 as u32)).ok();
+        let mut visited = vec![false; candidates.len()];
         let mut queue = VecDeque::new();
-        visited[owner.0] = true;
+        visited[slot_of(owner).expect("owner zone contains the query centre")] = true;
         queue.push_back(owner);
         let mut seen_ids = std::collections::HashSet::new();
         let mut matches = Vec::new();
@@ -255,10 +264,12 @@ impl CanOverlay {
             }
             resp_bytes += local_bytes.max(16); // every visited node replies
             for &nb in &node.neighbours {
-                if !visited[nb.0] && self.node(nb).zone.intersects_sphere(centre, radius) {
-                    visited[nb.0] = true;
-                    stats += OpStats::one_hop(qb);
-                    queue.push_back(nb);
+                if let Some(slot) = slot_of(nb) {
+                    if !visited[slot] {
+                        visited[slot] = true;
+                        stats += OpStats::one_hop(qb);
+                        queue.push_back(nb);
+                    }
                 }
             }
         }

@@ -13,6 +13,7 @@
 
 use crate::ops::StoredObject;
 use crate::zone::Zone;
+use crate::zoneindex::ZoneIndex;
 use hyperm_sim::{NodeId, OpStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,10 @@ pub struct CanOverlay {
     nodes: Vec<CanNode>,
     bootstrap_stats: OpStats,
     pub(crate) next_object_id: u64,
+    /// Host-side spatial index over zones (see [`crate::zoneindex`]):
+    /// accelerates flood candidate enumeration without touching the
+    /// simulated cost model.
+    index: ZoneIndex,
 }
 
 impl CanOverlay {
@@ -76,6 +81,8 @@ impl CanOverlay {
     pub fn bootstrap(config: CanConfig, n: usize) -> Self {
         assert!(n > 0, "need at least one node");
         assert!(config.dim > 0, "dimension must be positive");
+        let mut index = ZoneIndex::new(config.dim);
+        index.insert(0, &Zone::whole(config.dim));
         let mut overlay = CanOverlay {
             config,
             nodes: vec![CanNode {
@@ -86,6 +93,7 @@ impl CanOverlay {
             }],
             bootstrap_stats: OpStats::zero(),
             next_object_id: 0,
+            index,
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         for _ in 1..n {
@@ -245,6 +253,12 @@ impl CanOverlay {
         let mut candidates = self.nodes[owner.0].neighbours.clone();
         candidates.push(owner);
 
+        // Keep the spatial index in step: the owner's footprint shrinks to
+        // `old_zone`, the newcomer takes `new_zone`.
+        self.index.remove(owner.0 as u32, &self.nodes[owner.0].zone);
+        self.index.insert(owner.0 as u32, &old_zone);
+        self.index.insert(new_id.0 as u32, &new_zone);
+
         self.nodes[owner.0].zone = old_zone;
         self.nodes[owner.0].store = keep;
         self.nodes.push(CanNode {
@@ -282,6 +296,24 @@ impl CanOverlay {
             }
         }
         new_id
+    }
+
+    /// Node ids whose zones overlap the Euclidean ball `(centre, radius)`,
+    /// sorted ascending — the exact candidate set a flood can visit.
+    ///
+    /// Enumerated through the [`ZoneIndex`] grid (sublinear for local
+    /// balls) and filtered with the same
+    /// [`Zone::intersects_sphere`] predicate the floods used to evaluate
+    /// per neighbour edge, so flood semantics — and therefore every
+    /// simulated hop/message/byte count — are unchanged.
+    pub(crate) fn flood_candidates(&self, centre: &[f64], radius: f64) -> Vec<u32> {
+        let mut cand = self.index.candidates(centre, radius);
+        cand.retain(|&id| {
+            self.nodes[id as usize]
+                .zone
+                .intersects_sphere(centre, radius)
+        });
+        cand
     }
 
     /// Number of stored objects per node (replicas counted everywhere) —

@@ -1,0 +1,201 @@
+//! Host-side spatial index over CAN zones.
+//!
+//! The flooding operations in [`crate::ops`] decide, for every neighbour
+//! edge they cross, whether the neighbour's zone overlaps a query ball —
+//! an `O(d)` geometric test per edge, plus an `O(n)` visited bitmap per
+//! flood. Neither affects the *simulated* cost model (hops are charged per
+//! newly visited node, a function of the visited set only), but both
+//! dominate host wall-clock on large overlays.
+//!
+//! [`ZoneIndex`] is a coarse uniform grid over the leading one or two key
+//! dimensions. Each grid cell lists every node whose zone overlaps the
+//! cell, so the set of zones possibly overlapping a query ball is found by
+//! scanning only the cells under the ball's bounding box — sublinear in
+//! the overlay size for local queries. The index is purely host-side
+//! machinery: it changes which zones are *examined*, never which zones are
+//! *visited*, so all simulated hop/message/byte counts are bit-identical
+//! with and without it (asserted by the tests below).
+//!
+//! Zones never wrap the torus (they come from recursive halving of
+//! `[0,1)^d`) and the overlap test used by floods
+//! ([`crate::zone::Zone::intersects_sphere`]) is Euclidean, so the grid
+//! does not need seam handling.
+
+use crate::zone::Zone;
+
+/// Grid cells per indexed dimension. 32 cells in 1-d / 32×32 in 2-d keeps
+/// cell occupancy at a handful of zones for the network sizes the paper
+/// simulates, while the whole structure stays a few kilobytes.
+const GRID_RES: usize = 32;
+
+/// A coarse uniform grid over the first `min(dim, 2)` key dimensions,
+/// mapping cells to the nodes whose zones overlap them.
+#[derive(Debug, Clone)]
+pub struct ZoneIndex {
+    /// Number of leading key dimensions the grid spans (1 or 2).
+    dims: usize,
+    /// Cells per indexed dimension.
+    res: usize,
+    /// `res^dims` buckets of node ids.
+    cells: Vec<Vec<u32>>,
+}
+
+impl ZoneIndex {
+    /// An empty index for a `dim`-dimensional key space.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let dims = dim.min(2);
+        let res = GRID_RES;
+        ZoneIndex {
+            dims,
+            res,
+            cells: vec![Vec::new(); res.pow(dims as u32)],
+        }
+    }
+
+    /// Inclusive cell range covered by the interval `[lo, hi)` in one
+    /// dimension. Exact split boundaries (dyadic rationals) land exactly on
+    /// cell edges, so `ceil(hi·res) − 1` excludes a cell the zone only
+    /// touches at its open upper face.
+    fn interval_cells(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let a = ((lo * self.res as f64).floor() as isize).clamp(0, self.res as isize - 1) as usize;
+        let b = (((hi * self.res as f64).ceil() as isize) - 1)
+            .clamp(a as isize, self.res as isize - 1) as usize;
+        (a, b)
+    }
+
+    /// Inclusive cell range under `[lo, hi]` for a query box (closed on
+    /// both sides: a ball touching a cell boundary may overlap zones on
+    /// either side of it).
+    fn query_cells(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let a = ((lo * self.res as f64).floor() as isize).clamp(0, self.res as isize - 1) as usize;
+        let b = ((hi * self.res as f64).floor() as isize).clamp(a as isize, self.res as isize - 1)
+            as usize;
+        (a, b)
+    }
+
+    /// Every cell index under the zone's footprint.
+    fn zone_cells(&self, zone: &Zone) -> Vec<usize> {
+        let (x0, x1) = self.interval_cells(zone.lo()[0], zone.hi()[0]);
+        let mut out = Vec::with_capacity(x1 - x0 + 1);
+        if self.dims == 1 {
+            out.extend(x0..=x1);
+        } else {
+            let (y0, y1) = self.interval_cells(zone.lo()[1], zone.hi()[1]);
+            for x in x0..=x1 {
+                for y in y0..=y1 {
+                    out.push(x * self.res + y);
+                }
+            }
+        }
+        out
+    }
+
+    /// Register `id` under every cell its zone overlaps.
+    pub fn insert(&mut self, id: u32, zone: &Zone) {
+        for c in self.zone_cells(zone) {
+            self.cells[c].push(id);
+        }
+    }
+
+    /// Remove `id` from every cell of `zone` (the zone it was inserted
+    /// with — callers must pass the *old* bounds when a zone shrinks).
+    pub fn remove(&mut self, id: u32, zone: &Zone) {
+        for c in self.zone_cells(zone) {
+            if let Some(pos) = self.cells[c].iter().position(|&x| x == id) {
+                self.cells[c].swap_remove(pos);
+            }
+        }
+    }
+
+    /// Node ids whose zones *may* overlap the Euclidean ball
+    /// `(centre, radius)` — a superset of the true overlap set, sorted and
+    /// deduplicated. Callers filter with the exact
+    /// [`Zone::intersects_sphere`] test.
+    pub fn candidates(&self, centre: &[f64], radius: f64) -> Vec<u32> {
+        debug_assert!(centre.len() >= self.dims);
+        let (x0, x1) = self.query_cells(centre[0] - radius, centre[0] + radius);
+        let mut out = Vec::new();
+        if self.dims == 1 {
+            for x in x0..=x1 {
+                out.extend_from_slice(&self.cells[x]);
+            }
+        } else {
+            let (y0, y1) = self.query_cells(centre[1] - radius, centre[1] + radius);
+            for x in x0..=x1 {
+                for y in y0..=y1 {
+                    out.extend_from_slice(&self.cells[x * self.res + y]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_zone_is_everywhere() {
+        let mut idx = ZoneIndex::new(2);
+        idx.insert(0, &Zone::whole(2));
+        for x in [0.0, 0.31, 0.99] {
+            for y in [0.01, 0.5, 0.97] {
+                assert_eq!(idx.candidates(&[x, y], 0.0), vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_superset_of_overlaps() {
+        // Build a random-ish partition by repeated splits and check that
+        // every zone overlapping a query ball is always enumerated.
+        let mut zones = vec![Zone::whole(2)];
+        for i in 0..40usize {
+            let j = (i * 7) % zones.len();
+            let z = zones.swap_remove(j);
+            let (a, b) = z.split(z.longest_dim());
+            zones.push(a);
+            zones.push(b);
+        }
+        let mut idx = ZoneIndex::new(2);
+        for (i, z) in zones.iter().enumerate() {
+            idx.insert(i as u32, z);
+        }
+        for k in 0..50usize {
+            let c = [(k as f64 * 0.37) % 1.0, (k as f64 * 0.61 + 0.13) % 1.0];
+            let r = (k as f64 * 0.017) % 0.3;
+            let cand = idx.candidates(&c, r);
+            for (i, z) in zones.iter().enumerate() {
+                if z.intersects_sphere(&c, r) {
+                    assert!(
+                        cand.binary_search(&(i as u32)).is_ok(),
+                        "zone {i} overlaps ball {c:?} r={r} but was not a candidate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_then_query_misses_it() {
+        let mut idx = ZoneIndex::new(1);
+        let z = Zone::from_bounds(vec![0.25], vec![0.5]);
+        idx.insert(7, &z);
+        assert_eq!(idx.candidates(&[0.3], 0.01), vec![7]);
+        idx.remove(7, &z);
+        assert!(idx.candidates(&[0.3], 0.01).is_empty());
+    }
+
+    #[test]
+    fn query_ball_clipped_to_unit_box() {
+        let mut idx = ZoneIndex::new(2);
+        idx.insert(1, &Zone::from_bounds(vec![0.0, 0.0], vec![0.5, 0.5]));
+        // Ball centred outside the unit box still finds boundary zones.
+        assert_eq!(idx.candidates(&[-0.2, 0.1], 0.3), vec![1]);
+        assert!(idx.candidates(&[1.4, 0.9], 0.2).is_empty());
+    }
+}

@@ -124,8 +124,11 @@ impl HypermNetwork {
         let mut clusters_published = 0u64;
         for l in 0..self.levels() {
             for (c, sphere) in peer.summaries[l].iter().enumerate() {
-                let key = self.keymap(l).to_key(&sphere.centroid);
-                let key_radius = self.keymap(l).to_key_radius(sphere.radius);
+                // Clamp-slack widening, as in the build-time publication
+                // loop: keeps out-of-bounds centroids covered (zero for
+                // in-bounds data).
+                let (key, slack) = self.keymap(l).to_key_slack(&sphere.centroid);
+                let key_radius = self.keymap(l).to_key_radius(sphere.radius) + slack;
                 let replicate = self.config.replicate;
                 let items_count = sphere.items as u32;
                 let out = self.overlay_mut(l).insert_sphere(

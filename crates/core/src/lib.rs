@@ -65,6 +65,7 @@ pub use maintenance::InsertPolicy;
 pub use network::{BuildReport, HypermNetwork};
 pub use overlay::{Overlay, OverlayBackend};
 pub use peer::Peer;
+pub use query::engine::QueryEngine;
 pub use query::knn::{KnnOptions, KnnResult};
 pub use query::point::PointResult;
 pub use query::range::RangeResult;

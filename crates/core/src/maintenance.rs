@@ -73,9 +73,12 @@ impl HypermNetwork {
                 // sphere — the overlay never accumulates stale versions.
                 let (key, key_radius, items) = {
                     let sp = &self.peer(peer).summaries[l][best];
+                    // Clamp-slack widening, as in the build-time
+                    // publication loop.
+                    let (key, slack) = self.keymap(l).to_key_slack(&sp.centroid);
                     (
-                        self.keymap(l).to_key(&sp.centroid),
-                        self.keymap(l).to_key_radius(sp.radius),
+                        key,
+                        self.keymap(l).to_key_radius(sp.radius) + slack,
                         sp.items as u32,
                     )
                 };

@@ -133,8 +133,14 @@ impl HypermNetwork {
         for peer in &peers {
             for (l, summary) in peer.summaries.iter().enumerate() {
                 for (c, sphere) in summary.iter().enumerate() {
-                    let key = keymaps[l].to_key(&sphere.centroid);
-                    let key_radius = keymaps[l].to_key_radius(sphere.radius);
+                    // Centroids outside the configured bounds get clamped
+                    // into key space; widening the published radius by the
+                    // clamp slack keeps the stored sphere covering the
+                    // images of all its items (no false dismissals). The
+                    // slack is exactly 0 for in-bounds centroids, so the
+                    // common path is bit-identical to the plain conversion.
+                    let (key, slack) = keymaps[l].to_key_slack(&sphere.centroid);
+                    let key_radius = keymaps[l].to_key_radius(sphere.radius) + slack;
                     let out = overlays[l].insert_sphere(
                         NodeId(peer.id),
                         key,
@@ -273,6 +279,48 @@ impl HypermNetwork {
     pub fn query_key_radius(&self, eps: f64, level: usize) -> f64 {
         self.keymaps[level].to_key_radius(eps / self.contractions[level])
     }
+
+    /// Like [`HypermNetwork::query_key`], but also report the clamp slack
+    /// (see [`KeyMap::to_key_slack`]): query points whose subspace
+    /// coefficients fall outside the configured bounds get clamped, and
+    /// widening the key-space search radius by the returned slack restores
+    /// the covering property. Slack is 0 for in-bounds queries.
+    pub fn query_key_with_slack(&self, dec: &Decomposition, level: usize) -> (Vec<f64>, f64) {
+        let coeffs = dec.subspace(self.subspaces[level]).expect("level exists");
+        self.keymaps[level].to_key_slack(coeffs)
+    }
+
+    /// Run `f(level)` for every published level and collect the results in
+    /// level order. With `parallel` set (and more than one level), each
+    /// level runs on its own scoped thread; results are written into
+    /// per-level slots, so the returned vector — and any stats merged from
+    /// it in level order — is bit-identical to the serial path.
+    pub(crate) fn run_levels<T, F>(&self, parallel: bool, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let levels = self.levels();
+        if !parallel || levels <= 1 {
+            return (0..levels).map(f).collect();
+        }
+        let mut slots: Vec<Option<T>> = (0..levels).map(|_| None).collect();
+        let f = &f;
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..levels)
+                .map(|l| scope.spawn(move |_| (l, f(l))))
+                .collect();
+            for h in handles {
+                let (l, v) = h.join().expect("level query thread panicked");
+                slots[l] = Some(v);
+            }
+        })
+        .expect("crossbeam scope");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every level produced a result"))
+            .collect()
+    }
 }
 
 /// Replay the publication schedule on the discrete-event scheduler: every
@@ -323,7 +371,7 @@ fn summarize_all(peers_data: Vec<Dataset>, config: &HypermConfig) -> Vec<Peer> {
         }
         cs
     };
-    let mut out: Vec<Option<Peer>> = Vec::new();
+    let mut out: Vec<Peer> = Vec::new();
     crossbeam::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
@@ -336,25 +384,13 @@ fn summarize_all(peers_data: Vec<Dataset>, config: &HypermConfig) -> Vec<Peer> {
                 })
             })
             .collect();
-        let n: usize = 0;
-        let mut collected: Vec<Peer> = Vec::new();
         for h in handles {
-            collected.extend(h.join().expect("summarisation thread panicked"));
+            out.extend(h.join().expect("summarisation thread panicked"));
         }
-        let _ = n;
-        out = {
-            let mut slots: Vec<Option<Peer>> = (0..collected.len()).map(|_| None).collect();
-            for p in collected {
-                let id = p.id;
-                slots[id] = Some(p);
-            }
-            slots
-        };
+        out.sort_by_key(|p| p.id);
     })
     .expect("crossbeam scope");
-    out.into_iter()
-        .map(|p| p.expect("every peer summarised"))
-        .collect()
+    out
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use crate::score::{aggregate, level_scores, peers_to_cover, PeerScore};
 use hyperm_geometry::vecmath::dist;
 use hyperm_geometry::{solve_epsilon_for_k, ClusterView};
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_wavelet::Decomposition;
 
 /// Tuning of the k-nn heuristic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,14 +81,25 @@ impl HypermNetwork {
     /// Retrieve the `k` items nearest to `q` (original space), following
     /// the retrieveKnn algorithm of Figure 5.
     pub fn knn_query(&self, from_peer: usize, q: &[f64], k: usize, opts: KnnOptions) -> KnnResult {
-        assert!(k > 0, "k must be positive");
         let dec = self.decompose_query(q);
-        let mut stats = OpStats::zero();
-        let mut per_level = Vec::with_capacity(self.levels());
-        let mut epsilons = Vec::with_capacity(self.levels());
+        self.knn_query_with(from_peer, q, k, opts, &dec, self.config.parallel_query)
+    }
 
-        for l in 0..self.levels() {
-            let key = self.query_key(&dec, l);
+    /// Shared inner k-nn query (public API and [`crate::QueryEngine`]);
+    /// see [`HypermNetwork::range_query_with`] for the parameter contract.
+    pub(crate) fn knn_query_with(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        k: usize,
+        opts: KnnOptions,
+        dec: &Decomposition,
+        parallel: bool,
+    ) -> KnnResult {
+        assert!(k > 0, "k must be positive");
+        let level_out = self.run_levels(parallel, |l| {
+            let mut lstats = OpStats::zero();
+            let (key, slack) = self.query_key_with_slack(dec, l);
             let dim = self.overlay(l).dim() as u32;
             let diag = (dim as f64).sqrt();
 
@@ -97,7 +109,7 @@ impl HypermNetwork {
             let mut clusters;
             loop {
                 let out = self.overlay(l).range_query(NodeId(from_peer), &key, probe);
-                stats += out.stats;
+                lstats += out.stats;
                 let in_view: f64 = out.matches.iter().map(|o| o.payload.items as f64).sum();
                 clusters = out.matches;
                 if in_view >= 2.0 * k as f64 || probe >= diag {
@@ -114,12 +126,22 @@ impl HypermNetwork {
                 })
                 .collect();
             let eps_l = solve_epsilon_for_k(dim, &views, k as f64, 1e-6);
-            epsilons.push(eps_l);
 
-            // Step 3: the level's range query at the estimated radius.
-            let out = self.overlay(l).range_query(NodeId(from_peer), &key, eps_l);
-            stats += out.stats;
-            per_level.push(level_scores(&out.matches, &key, eps_l, dim));
+            // Step 3: the level's range query at the estimated radius,
+            // clamp-slack widened (zero for in-bounds queries).
+            let search = eps_l + slack;
+            let out = self.overlay(l).range_query(NodeId(from_peer), &key, search);
+            lstats += out.stats;
+            let scores = level_scores(&out.matches, &key, search, dim);
+            (lstats, eps_l, scores)
+        });
+        let mut stats = OpStats::zero();
+        let mut epsilons = Vec::with_capacity(level_out.len());
+        let mut per_level = Vec::with_capacity(level_out.len());
+        for (lstats, eps_l, scores) in level_out {
+            stats += lstats;
+            epsilons.push(eps_l);
+            per_level.push(scores);
         }
 
         // Step 4: merge returned results.

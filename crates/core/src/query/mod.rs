@@ -12,8 +12,11 @@
 //! * [`range`] — ε-range queries, no false dismissals (Theorem 4.1);
 //! * [`knn`] — the Figure-5 heuristic with the Eq. 8 radius estimation and
 //!   the `C` precision/recall knob;
-//! * [`point`] — exact-match lookups.
+//! * [`point`] — exact-match lookups;
+//! * [`engine`] — batch execution over a query workload, amortising the
+//!   per-level radius translation and fanning queries out over threads.
 
+pub mod engine;
 pub mod knn;
 pub mod point;
 pub mod range;

@@ -12,6 +12,7 @@ use crate::config::ScorePolicy;
 use crate::network::HypermNetwork;
 use crate::query::direct_fetch_cost;
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_wavelet::Decomposition;
 use std::collections::HashMap;
 
 /// Outcome of a point query.
@@ -29,18 +30,32 @@ impl HypermNetwork {
     /// Find every peer holding an item exactly equal to `q`.
     pub fn point_query(&self, from_peer: usize, q: &[f64]) -> PointResult {
         let dec = self.decompose_query(q);
-        let mut stats = OpStats::zero();
+        self.point_query_with(from_peer, q, &dec, self.config.parallel_query)
+    }
 
+    /// Shared inner point query (public API and [`crate::QueryEngine`]);
+    /// see `HypermNetwork::range_query_with` for the parameter contract.
+    pub(crate) fn point_query_with(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        dec: &Decomposition,
+        parallel: bool,
+    ) -> PointResult {
         // Candidate = sphere containment per level, folded like scores.
-        let mut per_level: Vec<HashMap<usize, f64>> = Vec::with_capacity(self.levels());
-        for l in 0..self.levels() {
-            let key = self.query_key(&dec, l);
+        let level_out = self.run_levels(parallel, |l| {
+            let key = self.query_key(dec, l);
             let (hits, op) = self.overlay(l).point_lookup(NodeId(from_peer), &key);
-            stats += op;
             let mut level: HashMap<usize, f64> = HashMap::new();
             for obj in hits {
                 *level.entry(obj.payload.peer).or_insert(0.0) += obj.payload.items as f64;
             }
+            (op, level)
+        });
+        let mut stats = OpStats::zero();
+        let mut per_level: Vec<HashMap<usize, f64>> = Vec::with_capacity(level_out.len());
+        for (op, level) in level_out {
+            stats += op;
             per_level.push(level);
         }
         let ranked = crate::score::aggregate(&per_level, self.config.score_policy);

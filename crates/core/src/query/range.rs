@@ -14,6 +14,7 @@ use crate::network::HypermNetwork;
 use crate::query::direct_fetch_cost;
 use crate::score::{aggregate, level_scores, PeerScore};
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_wavelet::Decomposition;
 
 /// Outcome of a distributed range query.
 #[derive(Debug, Clone)]
@@ -41,23 +42,55 @@ impl HypermNetwork {
     ) -> RangeResult {
         assert!(eps >= 0.0, "negative radius {eps}");
         let dec = self.decompose_query(q);
-        let mut stats = OpStats::zero();
+        self.range_query_with(
+            from_peer,
+            q,
+            eps,
+            peer_budget,
+            &dec,
+            None,
+            self.config.parallel_query,
+        )
+    }
 
-        // Phase 1: per-level overlay lookups + scoring.
-        let mut per_level = Vec::with_capacity(self.levels());
-        for l in 0..self.levels() {
-            let key = self.query_key(&dec, l);
-            let key_eps = self.query_key_radius(eps, l);
+    /// Shared inner range query: the public API and the batch
+    /// [`crate::QueryEngine`] both land here. `dec` is the query's (possibly
+    /// reused) wavelet decomposition; `base_radii` optionally supplies the
+    /// per-level key-space radii (the engine precomputes them once per
+    /// batch); `parallel` selects per-level scoped threads. All paths
+    /// produce bit-identical results: levels are independent and stats are
+    /// merged in level order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn range_query_with(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        eps: f64,
+        peer_budget: Option<usize>,
+        dec: &Decomposition,
+        base_radii: Option<&[f64]>,
+        parallel: bool,
+    ) -> RangeResult {
+        // Phase 1: per-level overlay lookups + scoring. The clamp slack
+        // widens the search radius for query points whose subspace
+        // coefficients fall outside the configured bounds (zero otherwise),
+        // matching the publish-side widening — no false dismissals either
+        // way.
+        let level_out = self.run_levels(parallel, |l| {
+            let (key, slack) = self.query_key_with_slack(dec, l);
+            let base = base_radii.map_or_else(|| self.query_key_radius(eps, l), |r| r[l]);
+            let key_eps = base + slack;
             let out = self
                 .overlay(l)
                 .range_query(NodeId(from_peer), &key, key_eps);
-            stats += out.stats;
-            per_level.push(level_scores(
-                &out.matches,
-                &key,
-                key_eps,
-                self.overlay(l).dim() as u32,
-            ));
+            let scores = level_scores(&out.matches, &key, key_eps, self.overlay(l).dim() as u32);
+            (out.stats, scores)
+        });
+        let mut stats = OpStats::zero();
+        let mut per_level = Vec::with_capacity(level_out.len());
+        for (op, scores) in level_out {
+            stats += op;
+            per_level.push(scores);
         }
         let ranked = aggregate(&per_level, self.config.score_policy);
 

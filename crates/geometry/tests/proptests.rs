@@ -103,4 +103,36 @@ proptest! {
             "k = {k}, got = {got}, eps = {eps}, below = {below}, above = {above}"
         );
     }
+
+    /// Near-concentric lens configurations (b spanning 1e-300 … 1e-3) stay
+    /// finite, valid and continuous with the b = 0 containment limits.
+    /// Regression for the radical-plane blow-up: (b² + r² − ε²)/(2b)
+    /// overflows/cancels as b → 0⁺ with r ≈ ε.
+    #[test]
+    fn lens_continuous_at_concentricity(
+        d in 1u32..16,
+        r in 0.1..10.0f64,
+        // ε = r + t·b keeps the configuration inside the lens regime
+        // (|r − ε| < b) for every b in the sweep.
+        t in -0.99..0.99f64,
+        b_exp in -300.0..-3.0f64,
+    ) {
+        let b = 10f64.powf(b_exp);
+        let eps = r + t * b;
+        let f = intersection_fraction(d, r, eps, b);
+        prop_assert!(f.is_finite() && (0.0..=1.0).contains(&f), "f = {f}");
+        // b = 0 limit: data ball covered if ε ≥ r, else (ε/r)^d ≈ 1.
+        let limit = intersection_fraction(d, r, eps, 0.0);
+        // The true fraction deviates from the limit by O(d·b/r); with
+        // b ≤ 1e-3 and r ≥ 0.1 that is ≤ 0.16, but for the tiny-b bulk of
+        // the sweep the two must agree to near machine precision.
+        let tol = (1e-9 + 100.0 * d as f64 * b / r).min(0.2);
+        prop_assert!(
+            (f - limit).abs() <= tol,
+            "d={d} r={r} eps={eps} b={b}: f={f} vs limit={limit}"
+        );
+        // Local continuity: halving b moves the result only slightly.
+        let f_half = intersection_fraction(d, r, eps, b / 2.0);
+        prop_assert!((f - f_half).abs() <= tol, "f(b)={f} f(b/2)={f_half}");
+    }
 }

@@ -30,7 +30,7 @@ pub mod underlay;
 
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue, Scheduler, SimTime};
-pub use stats::{NetStats, OpStats};
+pub use stats::{LatencyStats, NetStats, OpStats};
 pub use underlay::{Underlay, UnderlayConfig};
 
 /// Identifier of a simulated node. Nodes are dense indices into the

@@ -106,6 +106,69 @@ impl NetStats {
     }
 }
 
+/// Wall-clock latency samples with percentile extraction.
+///
+/// Host-side timing for the benchmark harness: each recorded
+/// [`std::time::Duration`] is one query's end-to-end latency. Percentiles
+/// use the nearest-rank method on a sorted copy, so p50/p99 are actual
+/// observed samples, not interpolations.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_s: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.samples_s.push(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples_s.len()
+    }
+
+    /// Sum of all samples in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.samples_s.iter().sum()
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.samples_s.is_empty() {
+            0.0
+        } else {
+            self.total_s() / self.samples_s.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile in seconds, `p` in `[0, 100]` (0 when empty).
+    pub fn percentile_s(&self, p: f64) -> f64 {
+        if self.samples_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_s.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Median latency in seconds.
+    pub fn p50_s(&self) -> f64 {
+        self.percentile_s(50.0)
+    }
+
+    /// 99th-percentile latency in seconds.
+    pub fn p99_s(&self) -> f64 {
+        self.percentile_s(99.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +237,41 @@ mod tests {
     #[test]
     fn avg_hops_empty() {
         assert_eq!(NetStats::new().avg_hops(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        use std::time::Duration;
+        let mut lat = LatencyStats::new();
+        // 1..=100 ms inserted out of order.
+        for ms in (1..=100u64).rev() {
+            lat.record(Duration::from_millis(ms));
+        }
+        assert_eq!(lat.count(), 100);
+        assert!((lat.p50_s() - 0.050).abs() < 1e-12);
+        assert!((lat.p99_s() - 0.099).abs() < 1e-12);
+        assert!((lat.percentile_s(100.0) - 0.100).abs() < 1e-12);
+        assert!((lat.percentile_s(0.0) - 0.001).abs() < 1e-12);
+        assert!((lat.mean_s() - 0.0505).abs() < 1e-12);
+        assert!((lat.total_s() - 5.050).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_empty_is_zero() {
+        let lat = LatencyStats::new();
+        assert_eq!(lat.count(), 0);
+        assert_eq!(lat.mean_s(), 0.0);
+        assert_eq!(lat.p50_s(), 0.0);
+        assert_eq!(lat.p99_s(), 0.0);
+    }
+
+    #[test]
+    fn latency_single_sample() {
+        let mut lat = LatencyStats::new();
+        lat.record(std::time::Duration::from_millis(7));
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert!((lat.percentile_s(p) - 0.007).abs() < 1e-12);
+        }
     }
 
     #[test]

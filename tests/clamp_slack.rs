@@ -1,0 +1,103 @@
+//! Regression: data outside the configured bounds must stay retrievable.
+//!
+//! `KeyMap::to_key` clamps out-of-bounds coordinates into `[0,1)`, but the
+//! seed code converted radii with the plain affine scale, so a published
+//! sphere around a *clamped* centroid no longer covered the raw affine
+//! images of its items — the covering precondition behind the
+//! no-false-dismissal argument (Theorem 4.1). The fix widens both the
+//! published and the query-side key radius by the observed clamp slack
+//! (exactly zero for in-bounds data), restoring the covering property; the
+//! unit test `keymap::tests::widened_radius_restores_covering` pins the
+//! geometric fact itself. These end-to-end tests are the behavioural
+//! guard: out-of-bounds collections must remain fully retrievable through
+//! every layer (clamping on both the publish and the query side is a
+//! convex projection, hence non-expansive — a regression in either half of
+//! that pairing, or in the widening, surfaces here as a lost item).
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Peers whose data straddles the configured `[0,1]` bounds: half the
+/// rows are shifted well above 1, so wavelet coefficients (and therefore
+/// cluster centroids) land outside every subspace's configured range.
+fn out_of_bounds_peers(seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..6)
+        .map(|p| {
+            let mut ds = Dataset::new(16);
+            let mut row = [0.0f64; 16];
+            for i in 0..30 {
+                let shift = if (p + i) % 2 == 0 { 0.0 } else { 0.8 };
+                for x in row.iter_mut() {
+                    *x = shift + rng.gen::<f64>() * 0.7;
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+#[test]
+fn out_of_bounds_items_are_still_found_by_range_queries() {
+    for seed in [1u64, 2, 3] {
+        let data = out_of_bounds_peers(seed);
+        let cfg = HypermConfig::new(16)
+            .with_levels(4)
+            .with_clusters_per_peer(4)
+            .with_seed(seed);
+        assert_eq!(cfg.data_bounds, (0.0, 1.0), "bounds deliberately too tight");
+        let (net, _) = HypermNetwork::build(data.clone(), cfg).unwrap();
+        // Query exactly at out-of-bounds items: ε = 0 keeps precision
+        // trivial, so any miss is a clamp-induced false dismissal.
+        for (p, ds) in data.iter().enumerate() {
+            for i in (1..ds.len()).step_by(7) {
+                let q = ds.row(i).to_vec();
+                if q.iter().all(|&x| (0.0..=1.0).contains(&x)) {
+                    continue; // only interested in clamped queries
+                }
+                let got = net.range_query(0, &q, 0.0, None);
+                assert!(
+                    got.items.contains(&(p, i)),
+                    "seed {seed}: lost out-of-bounds item ({p},{i})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn out_of_bounds_centroid_found_with_positive_radius() {
+    // A tiny dedicated network where one peer's whole collection sits far
+    // outside the bounds — its centroids are clamped at publication time.
+    let mut rng = StdRng::seed_from_u64(42);
+    let peers: Vec<Dataset> = (0..4)
+        .map(|p| {
+            let base = if p == 3 { 1.3 } else { 0.2 };
+            let mut ds = Dataset::new(16);
+            let mut row = [0.0f64; 16];
+            for _ in 0..20 {
+                for x in row.iter_mut() {
+                    *x = base + rng.gen::<f64>() * 0.2;
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect();
+    let cfg = HypermConfig::new(16)
+        .with_levels(3)
+        .with_clusters_per_peer(3)
+        .with_seed(42);
+    let (net, _) = HypermNetwork::build(peers.clone(), cfg).unwrap();
+    let q = peers[3].row(5).to_vec();
+    let got = net.range_query(0, &q, 0.15, None);
+    assert!(
+        got.items.contains(&(3, 5)),
+        "peer 3's out-of-bounds cluster was dismissed"
+    );
+    // And the candidate ranking must include the holder at full budget.
+    assert!(got.ranked.iter().any(|ps| ps.peer == 3));
+}

@@ -1,0 +1,150 @@
+//! The parallel query path must be **bit-identical** to the serial path.
+//!
+//! Per-level overlay lookups are independent and their stats are u64
+//! counters merged in level order, so running the levels on scoped threads
+//! must change nothing observable: same peers ranked, scores equal to
+//! 1e-12 (they are in fact computed by the same code on the same inputs),
+//! same items, same `OpStats`. This is the acceptance gate for the
+//! concurrent query engine — any divergence is a bug, not noise.
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, QueryEngine, ScorePolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn peers_data(n_peers: usize, items: usize, dim: usize, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_peers)
+        .map(|_| {
+            let centre: f64 = rng.gen::<f64>() * 0.6;
+            let mut ds = Dataset::new(dim);
+            let mut row = vec![0.0; dim];
+            for _ in 0..items {
+                for x in row.iter_mut() {
+                    *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+fn build(levels: usize, policy: ScorePolicy, seed: u64) -> (HypermNetwork, HypermNetwork) {
+    let data = peers_data(8, 20, 16, seed);
+    let cfg = HypermConfig::new(16)
+        .with_levels(levels)
+        .with_clusters_per_peer(4)
+        .with_score_policy(policy)
+        .with_seed(seed)
+        .with_parallel_query(false);
+    let (serial, _) = HypermNetwork::build(data, cfg).unwrap();
+    // Identical network, parallel flag flipped: same overlays, same stores.
+    let mut parallel = serial.clone();
+    parallel.config.parallel_query = true;
+    (serial, parallel)
+}
+
+fn queries(net: &HypermNetwork, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    (0..6)
+        .map(|_| {
+            let p = rng.gen_range(0..net.len());
+            let i = rng.gen_range(0..net.peer(p).len());
+            net.peer(p).items.row(i).to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn range_query_parallel_is_bit_identical() {
+    for levels in 1..=4 {
+        for policy in [ScorePolicy::Min, ScorePolicy::Avg, ScorePolicy::Max] {
+            for seed in [1u64, 2, 3] {
+                let (serial, parallel) = build(levels, policy, seed);
+                for q in queries(&serial, seed) {
+                    for budget in [None, Some(3)] {
+                        let a = serial.range_query(0, &q, 0.3, budget);
+                        let b = parallel.range_query(0, &q, 0.3, budget);
+                        assert_eq!(a.items, b.items, "levels={levels} {policy:?} {seed}");
+                        assert_eq!(a.stats, b.stats, "levels={levels} {policy:?} {seed}");
+                        assert_eq!(a.peers_contacted, b.peers_contacted);
+                        assert_eq!(a.ranked.len(), b.ranked.len());
+                        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                            assert_eq!(x.peer, y.peer);
+                            assert!(
+                                (x.score - y.score).abs() <= 1e-12,
+                                "{} vs {}",
+                                x.score,
+                                y.score
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_query_parallel_is_bit_identical() {
+    for levels in [1usize, 3, 4] {
+        for policy in [ScorePolicy::Min, ScorePolicy::Avg, ScorePolicy::Max] {
+            let (serial, parallel) = build(levels, policy, 7);
+            for q in queries(&serial, 7) {
+                let a = serial.knn_query(1, &q, 5, KnnOptions::default());
+                let b = parallel.knn_query(1, &q, 5, KnnOptions::default());
+                assert_eq!(a.topk, b.topk, "levels={levels} {policy:?}");
+                assert_eq!(a.retrieved, b.retrieved);
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.epsilons, b.epsilons);
+                assert_eq!(a.peers_contacted, b.peers_contacted);
+            }
+        }
+    }
+}
+
+#[test]
+fn point_query_parallel_is_bit_identical() {
+    for levels in [2usize, 4] {
+        let (serial, parallel) = build(levels, ScorePolicy::Min, 11);
+        for q in queries(&serial, 11) {
+            let a = serial.point_query(2, &q);
+            let b = parallel.point_query(2, &q);
+            assert_eq!(a.matches, b.matches, "levels={levels}");
+            assert_eq!(a.candidates, b.candidates);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}
+
+#[test]
+fn adaptive_range_parallel_is_bit_identical() {
+    let (serial, parallel) = build(4, ScorePolicy::Min, 13);
+    for q in queries(&serial, 13) {
+        let a = serial.range_query_adaptive(0, &q, 0.35, 0.8);
+        let b = parallel.range_query_adaptive(0, &q, 0.35, 0.8);
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.peers_contacted, b.peers_contacted);
+    }
+}
+
+#[test]
+fn engine_batch_equals_individual_calls() {
+    let (serial, _) = build(4, ScorePolicy::Min, 17);
+    let qs = queries(&serial, 17);
+    let engine = QueryEngine::new(&serial).with_threads(4);
+    let batch = engine.range_batch(0, &qs, 0.3, None);
+    for (q, b) in qs.iter().zip(&batch) {
+        let single = serial.range_query(0, q, 0.3, None);
+        assert_eq!(single.items, b.items);
+        assert_eq!(single.stats, b.stats);
+    }
+    let kb = engine.knn_batch(0, &qs, 4, KnnOptions::default());
+    for (q, b) in qs.iter().zip(&kb) {
+        let single = serial.knn_query(0, q, 4, KnnOptions::default());
+        assert_eq!(single.topk, b.topk);
+        assert_eq!(single.stats, b.stats);
+    }
+}

@@ -1,0 +1,81 @@
+//! Vendored, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this crate ships
+//! the one API surface the workspace uses: [`scope`] with
+//! [`Scope::spawn`], implemented on top of `std::thread::scope` (which
+//! has provided the same structured-concurrency guarantees since Rust
+//! 1.63). Spawned closures receive a `&Scope` argument exactly like
+//! crossbeam's, so nested spawns work.
+
+use std::thread;
+
+/// A scope handle; threads spawned through it cannot outlive the scope.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; joining yields the closure's result.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. The closure receives the scope
+    /// itself so it can spawn further siblings (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all spawned threads are
+/// joined before this returns. Unlike crossbeam, a panic in an *unjoined*
+/// thread propagates as a panic rather than an `Err`, which is strictly
+/// stricter — callers here always join and `.expect()` the result anyway.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}
