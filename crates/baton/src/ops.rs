@@ -128,6 +128,7 @@ impl BatonOverlay {
             hops: removed as u64,
             messages: removed as u64,
             bytes: removed as u64 * 24,
+            ..OpStats::zero()
         };
         (removed, stats)
     }
@@ -204,6 +205,7 @@ impl BatonOverlay {
             hops: nv as u64,
             messages: nv as u64,
             bytes: resp_bytes,
+            ..OpStats::zero()
         };
         RangeOutcome {
             matches,

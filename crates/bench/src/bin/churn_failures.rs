@@ -1,48 +1,51 @@
-//! Churn resilience (extension experiment; DESIGN.md).
+//! Churn resilience with the overlay repair engine (extension experiment;
+//! DESIGN.md "Repair protocol").
 //!
 //! The paper's short-lived MANET implicitly assumes everyone stays for the
-//! session; in reality devices walk away. With a fraction `f` of peers
-//! fail-stopped after the overlay is built:
+//! session; in reality devices crash, walk away and arrive late. This
+//! experiment crash-stops a fraction `f` of peers and compares the
+//! paper-faithful baseline (no repair: failures leave routing holes)
+//! against the repair engine (zone takeover + background merges + one
+//! soft-state refresh period):
 //!
-//! * recall against **all** originally published data should track `1 − f`
-//!   (the departed items are physically gone);
-//! * recall against the **alive** peers' data should stay at 1.0 — the
-//!   no-false-dismissal property is churn-independent, because the
-//!   summaries of alive peers remain replicated in the overlay.
+//! * recall against **all** originally published data tracks `1 − f`
+//!   regardless of repair — the departed items are physically gone;
+//! * recall against the **alive** peers' data stays at 1.0 with repair on:
+//!   takeover re-owns the crashed zones and the refresh loop re-inserts
+//!   the replicas that died with them. With repair off it degrades and
+//!   queries report explicit failed routes instead of hanging.
+//!
+//! Two extra sections exercise the rest of the subsystem: queries over
+//! lossy links (message-level fault injection with bounded retry) and a
+//! Poisson churn schedule (crashes, departures and arrivals interleaved
+//! with the refresh loop over sim time). Emits `BENCH_churn.json`.
 
 use hyperm_bench::{f1, f3, print_table, RetrievalWorkload, Scale};
+use hyperm_cluster::Dataset;
 use hyperm_core::{HypermConfig, HypermNetwork};
+use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
+use hyperm_sim::FaultConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    let scale = Scale::from_env();
-    let w = RetrievalWorkload::at(scale);
-    println!("Churn resilience ({} nodes, scale {scale:?})", w.nodes);
-    let peers = w.build_peers(111);
-    let cfg = HypermConfig::new(64)
-        .with_levels(4)
-        .with_clusters_per_peer(10)
-        .with_seed(113);
+const REFRESH_INTERVAL: u64 = 50;
+const QUERIES: usize = 25;
 
-    let mut rows = Vec::new();
-    for fail_frac in [0.0f64, 0.1, 0.2, 0.3, 0.5] {
-        let (mut net, _) = HypermNetwork::build(peers.clone(), cfg.clone()).unwrap();
-        // Fail a random subset, but keep peer 0 alive (it issues queries).
-        let mut rng = StdRng::seed_from_u64(117);
-        let mut ids: Vec<usize> = (1..net.len()).collect();
-        ids.shuffle(&mut rng);
-        let n_fail = (fail_frac * net.len() as f64).round() as usize;
-        for &p in ids.iter().take(n_fail) {
-            net.fail_peer(p);
-        }
+/// Query workload drawn from the items of alive peers only, with truth
+/// sets computed by direct scan. Reused verbatim across repair on/off so
+/// the comparison is paired.
+struct QuerySpec {
+    q: Vec<f64>,
+    eps: f64,
+    truth_all: usize,
+    truth_alive: usize,
+}
 
-        // Queries from items held by alive peers.
-        let mut recalls_all = Vec::new();
-        let mut recalls_alive = Vec::new();
-        let mut msgs = 0.0;
-        for _ in 0..25 {
+fn draw_queries(net: &HypermNetwork, seed: u64) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..QUERIES)
+        .map(|_| {
             let (p, i) = loop {
                 let p = rng.gen_range(0..net.len());
                 if net.is_alive(p) {
@@ -50,27 +53,24 @@ fn main() {
                 }
             };
             let q = net.peer(p).items.row(i).to_vec();
-            // Truth sets by direct scan.
-            let eps = {
-                // 25th-NN distance over all data.
-                let mut d: Vec<f64> = (0..net.len())
-                    .flat_map(|pp| {
-                        let peer = net.peer(pp);
-                        peer.items
-                            .rows()
-                            .map(|row| {
-                                row.iter()
-                                    .zip(&q)
-                                    .map(|(a, b)| (a - b) * (a - b))
-                                    .sum::<f64>()
-                                    .sqrt()
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                d.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                d[25.min(d.len() - 1)]
-            };
+            // 25th-NN distance over the full corpus as the radius.
+            let mut d: Vec<f64> = (0..net.len())
+                .flat_map(|pp| {
+                    net.peer(pp)
+                        .items
+                        .rows()
+                        .map(|row| {
+                            row.iter()
+                                .zip(&q)
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum::<f64>()
+                                .sqrt()
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let eps = d[25.min(d.len() - 1)];
             let mut truth_all = 0usize;
             let mut truth_alive = 0usize;
             for pp in 0..net.len() {
@@ -80,33 +80,276 @@ fn main() {
                     truth_alive += hits;
                 }
             }
-            let res = net.range_query(0, &q, eps, None);
-            msgs += res.stats.messages as f64;
-            recalls_all.push(res.items.len() as f64 / truth_all.max(1) as f64);
-            recalls_alive.push(res.items.len() as f64 / truth_alive.max(1) as f64);
+            QuerySpec {
+                q,
+                eps,
+                truth_all,
+                truth_alive,
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct CellReport {
+    recall_all: f64,
+    recall_alive: f64,
+    msgs_per_query: f64,
+    failed_routes: u64,
+    repair_msgs: u64,
+    repair_bytes: u64,
+    refresh_msgs: u64,
+    takeover_rounds: u64,
+}
+
+impl CellReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"recall_all\": {:.4}, \"recall_alive\": {:.4}, \"msgs_per_query\": {:.1}, \
+             \"failed_routes\": {}, \"repair_messages\": {}, \"repair_bytes\": {}, \
+             \"refresh_messages\": {}, \"takeover_rounds\": {}}}",
+            self.recall_all,
+            self.recall_alive,
+            self.msgs_per_query,
+            self.failed_routes,
+            self.repair_msgs,
+            self.repair_bytes,
+            self.refresh_msgs,
+            self.takeover_rounds
+        )
+    }
+}
+
+/// Crash `victims`, let one refresh period elapse, then run the paired
+/// query workload from peer 0 (never a victim).
+fn run_cell(
+    base: &HypermNetwork,
+    victims: &[usize],
+    repair: bool,
+    specs: &[QuerySpec],
+) -> CellReport {
+    let cfg = RepairConfig::default()
+        .with_enabled(repair)
+        .with_refresh_interval(REFRESH_INTERVAL);
+    let mut eng = RepairEngine::new(base.clone(), cfg);
+    for &v in victims {
+        eng.crash(v);
+    }
+    eng.advance_to(REFRESH_INTERVAL);
+    let mut out = CellReport {
+        repair_msgs: eng.stats().repair.messages,
+        repair_bytes: eng.stats().repair.bytes,
+        refresh_msgs: eng.stats().refresh.messages,
+        takeover_rounds: eng.stats().max_takeover_rounds,
+        ..CellReport::default()
+    };
+    let net = eng.network();
+    let mut msgs = 0u64;
+    for s in specs {
+        let res = net.range_query(0, &s.q, s.eps, None);
+        msgs += res.stats.messages;
+        out.failed_routes += res.stats.failed_routes;
+        out.recall_all += res.items.len() as f64 / s.truth_all.max(1) as f64;
+        out.recall_alive += res.items.len() as f64 / s.truth_alive.max(1) as f64;
+    }
+    out.recall_all /= specs.len() as f64;
+    out.recall_alive /= specs.len() as f64;
+    out.msgs_per_query = msgs as f64 / specs.len() as f64;
+    if repair {
+        for l in 0..net.levels() {
+            net.overlay(l).check_invariants();
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        rows.push(vec![
-            format!("{:.0}%", fail_frac * 100.0),
-            n_fail.to_string(),
-            f3(mean(&recalls_all)),
-            f3(mean(&recalls_alive)),
-            f1(msgs / 25.0),
-        ]);
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = RetrievalWorkload::at(scale);
+    println!(
+        "Churn resilience with overlay repair ({} nodes, scale {scale:?})",
+        w.nodes
+    );
+    let peers = w.build_peers(111);
+    let dim = peers[0].dim();
+    let cfg = HypermConfig::new(dim)
+        .with_levels(4)
+        .with_clusters_per_peer(10)
+        .with_seed(113)
+        .with_parallel_query(false);
+    let (base, _) = HypermNetwork::build(peers, cfg.clone()).unwrap();
+
+    // --- Sweep: fail fraction × repair on/off (paired victims/queries). ---
+    let mut rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    for fail_frac in [0.0f64, 0.1, 0.2, 0.3] {
+        let mut rng = StdRng::seed_from_u64(117);
+        let mut ids: Vec<usize> = (1..base.len()).collect();
+        ids.shuffle(&mut rng);
+        let n_fail = (fail_frac * base.len() as f64).round() as usize;
+        let victims = &ids[..n_fail];
+
+        // Truth over the post-crash alive set (same for both cells).
+        let mut dead_net = base.clone();
+        for &v in victims {
+            dead_net.fail_peer(v);
+        }
+        let specs = draw_queries(&dead_net, 119);
+
+        let on = run_cell(&base, victims, true, &specs);
+        let off = run_cell(&base, victims, false, &specs);
+        for (label, cell) in [("repair", &on), ("none", &off)] {
+            rows.push(vec![
+                format!("{:.0}%", fail_frac * 100.0),
+                label.to_string(),
+                f3(cell.recall_all),
+                f3(cell.recall_alive),
+                f1(cell.msgs_per_query),
+                cell.failed_routes.to_string(),
+                cell.repair_msgs.to_string(),
+                cell.takeover_rounds.to_string(),
+            ]);
+        }
+        sweep_json.push(format!(
+            "    {{\"fail_frac\": {:.2}, \"failed\": {}, \"repair\": {}, \"no_repair\": {}}}",
+            fail_frac,
+            n_fail,
+            on.json(),
+            off.json()
+        ));
     }
     print_table(
-        "range recall under fail-stop churn",
+        "range recall under crash-stop churn (25 queries, paired)",
         &[
             "failed",
-            "peers down",
-            "recall vs all data",
-            "recall vs alive data",
+            "mode",
+            "recall all",
+            "recall alive",
             "msgs/query",
+            "failed routes",
+            "repair msgs",
+            "takeover rounds",
         ],
         &rows,
     );
     println!(
-        "\nExpected shape: the all-data column tracks the surviving fraction; the\n\
-         alive-data column stays at 1.000 — no-false-dismissal is churn-independent."
+        "\nExpected shape: recall-vs-all tracks the surviving fraction in both\n\
+         modes (dead items are gone); recall-vs-alive stays 1.000 with repair on\n\
+         and degrades without it, where queries report explicit failed routes."
     );
+
+    // --- Lossy links: fault injection with bounded retry, repair on. ---
+    let drop_prob = 0.15;
+    let fault_cfg = RepairConfig::default()
+        .with_refresh_interval(REFRESH_INTERVAL)
+        .with_fault_plan(
+            FaultConfig::lossy(drop_prob)
+                .with_seed(131)
+                .with_dead_prob(0.02),
+        );
+    let mut eng = RepairEngine::new(base.clone(), fault_cfg);
+    let mut rng = StdRng::seed_from_u64(117);
+    let mut ids: Vec<usize> = (1..base.len()).collect();
+    ids.shuffle(&mut rng);
+    let victims = &ids[..(0.2 * base.len() as f64).round() as usize];
+    for &v in victims {
+        eng.crash(v);
+    }
+    eng.advance_to(REFRESH_INTERVAL);
+    let specs = draw_queries(eng.network(), 119);
+    let (mut rec, mut retries, mut failed) = (0.0f64, 0u64, 0u64);
+    for s in &specs {
+        let res = eng.network().range_query(0, &s.q, s.eps, None);
+        rec += res.items.len() as f64 / s.truth_alive.max(1) as f64;
+        retries += res.stats.retries;
+        failed += res.stats.failed_routes;
+    }
+    rec /= specs.len() as f64;
+    let report = eng.network().fault_report().unwrap_or_default();
+    println!(
+        "\nlossy links (drop {drop_prob}, dead 0.02, 20% crashed, repair on): \
+         recall alive {}, {} retries, {} failed routes, injector: {} attempts / {} drops / {} dead hops",
+        f3(rec),
+        retries,
+        failed,
+        report.attempts,
+        report.drops,
+        report.dead_hops
+    );
+    let faults_json = format!(
+        "  \"lossy_links\": {{\"drop_prob\": {drop_prob}, \"dead_prob\": 0.02, \"fail_frac\": 0.2, \
+         \"recall_alive\": {rec:.4}, \"retries\": {retries}, \"failed_routes\": {failed}, \
+         \"attempts\": {}, \"drops\": {}, \"dead_hops\": {}}}",
+        report.attempts, report.drops, report.dead_hops
+    );
+
+    // --- Poisson schedule: crashes, departures and arrivals over time. ---
+    let horizon = 400u64;
+    let mut eng = RepairEngine::new(
+        base.clone(),
+        RepairConfig::default().with_refresh_interval(REFRESH_INTERVAL),
+    );
+    let sched = ChurnSchedule::poisson(horizon, 0.01, 0.005, 0.005, 137).with_protect(vec![0]);
+    let mut arrival_rng = StdRng::seed_from_u64(139);
+    let srep = eng.run_schedule(&sched, |_| {
+        let mut ds = Dataset::new(dim);
+        let mut row = vec![0.0; dim];
+        for _ in 0..20 {
+            for x in row.iter_mut() {
+                *x = arrival_rng.gen::<f64>();
+            }
+            ds.push_row(&row);
+        }
+        Some(ds)
+    });
+    for l in 0..eng.network().levels() {
+        eng.network().overlay(l).check_invariants();
+    }
+    let specs = draw_queries(eng.network(), 119);
+    let mut rec = 0.0f64;
+    for s in &specs {
+        let res = eng.network().range_query(0, &s.q, s.eps, None);
+        rec += res.items.len() as f64 / s.truth_alive.max(1) as f64;
+    }
+    rec /= specs.len() as f64;
+    println!(
+        "\npoisson schedule over {horizon} ticks: {} crashes, {} departures, {} arrivals, \
+         {} skipped; {} alive of {}; recall alive {}, max takeover {} rounds, {} maintenance msgs",
+        srep.crashes,
+        srep.departures,
+        srep.arrivals,
+        srep.skipped,
+        eng.network().alive_count(),
+        eng.network().len(),
+        f3(rec),
+        eng.stats().max_takeover_rounds,
+        eng.stats().total_messages()
+    );
+    let poisson_json = format!(
+        "  \"poisson\": {{\"horizon\": {horizon}, \"crashes\": {}, \"departures\": {}, \
+         \"arrivals\": {}, \"skipped\": {}, \"alive\": {}, \"peers\": {}, \"recall_alive\": {rec:.4}, \
+         \"max_takeover_rounds\": {}, \"maintenance_messages\": {}}}",
+        srep.crashes,
+        srep.departures,
+        srep.arrivals,
+        srep.skipped,
+        eng.network().alive_count(),
+        eng.network().len(),
+        eng.stats().max_takeover_rounds,
+        eng.stats().total_messages()
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"nodes\": {}, \"dim\": {}, \"levels\": 4, \"queries\": {}, \
+         \"refresh_interval\": {}}},\n  \"sweep\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        base.len(),
+        dim,
+        QUERIES,
+        REFRESH_INTERVAL,
+        sweep_json.join(",\n"),
+        faults_json,
+        poisson_json
+    );
+    std::fs::write("BENCH_churn.json", &json).expect("write BENCH_churn.json");
+    println!("wrote BENCH_churn.json");
 }

@@ -56,6 +56,7 @@ fn main() {
             hops: phys_msgs,
             messages: phys_msgs,
             bytes: (stats.bytes as f64 * stretch) as u64,
+            ..hyperm_sim::OpStats::zero()
         };
         rows.push(vec![
             name.into(),

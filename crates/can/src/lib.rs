@@ -23,6 +23,9 @@
 //! * [`ops`] — point/sphere insertion with replication, point lookup, and
 //!   flooding range queries, all returning [`hyperm_sim::OpStats`] cost
 //!   records;
+//! * [`repair`] — graceful leave, crash-stop failure takeover and the
+//!   background fragment-merge loop that restores the one-zone-per-node
+//!   partition after churn;
 //! * [`codec`] — the actual binary wire format of objects and queries; the
 //!   simulators' byte counts equal these encoders' output lengths.
 
@@ -32,12 +35,14 @@ pub mod codec;
 pub mod keymap;
 pub mod ops;
 pub mod overlay;
+pub mod repair;
 pub mod zone;
 pub mod zoneindex;
 
 pub use codec::{decode_object, decode_query, encode_object, encode_query, CodecError};
 pub use keymap::KeyMap;
 pub use ops::{InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
-pub use overlay::{CanConfig, CanNode, CanOverlay};
+pub use overlay::{CanConfig, CanNode, CanOverlay, RouteOutcome, RouteResult};
+pub use repair::{RepairOutcome, DETECT_TICKS};
 pub use zone::Zone;
 pub use zoneindex::ZoneIndex;

@@ -177,6 +177,7 @@ impl CanOverlay {
             hops: removed as u64,
             messages: removed as u64,
             bytes: removed as u64 * 24,
+            ..OpStats::zero()
         };
         (removed, stats)
     }
@@ -187,9 +188,17 @@ impl CanOverlay {
     /// Replication guarantees completeness: any sphere containing `point`
     /// overlaps the zone containing `point`, so a replica lives at the
     /// owner.
+    /// Queries on damaged or faulty overlays degrade instead of panicking:
+    /// if routing dead-ends (an unrepaired hole, or injected faults
+    /// exhausting retries), the result is empty and the cost record carries
+    /// `failed_routes = 1`.
     pub fn point_lookup(&self, from: NodeId, point: &[f64]) -> (Vec<StoredObject>, OpStats) {
         assert_eq!(point.len(), self.dim(), "point dimension mismatch");
-        let (owner, mut stats) = self.route(from, point, query_bytes(self.dim()));
+        let res = self.route_result(from, point, query_bytes(self.dim()));
+        if res.outcome != crate::overlay::RouteOutcome::Delivered {
+            return (Vec::new(), res.stats);
+        }
+        let (owner, mut stats) = (res.node, res.stats);
         let matches: Vec<StoredObject> = self
             .node(owner)
             .store
@@ -224,11 +233,24 @@ impl CanOverlay {
     /// id). Thanks to replication this visits exactly the zones that can
     /// hold a match, so the result is complete — the overlay-level
     /// precondition for Theorem 4.1's no-false-dismissal guarantee.
+    /// Like [`CanOverlay::point_lookup`], the query is total under damage
+    /// and faults: a dead-ended route yields an empty result (with
+    /// `failed_routes` ticked), and with fault injection active every
+    /// flood edge may be retried or lost — a lost edge leaves the
+    /// neighbour to be reached via another branch of the flood, if any.
     pub fn range_query(&self, from: NodeId, centre: &[f64], radius: f64) -> RangeOutcome {
         assert_eq!(centre.len(), self.dim(), "centre dimension mismatch");
         assert!(radius >= 0.0, "negative radius {radius}");
         let qb = query_bytes(self.dim());
-        let (owner, mut stats) = self.route(from, centre, qb);
+        let res = self.route_result(from, centre, qb);
+        if res.outcome != crate::overlay::RouteOutcome::Delivered {
+            return RangeOutcome {
+                matches: Vec::new(),
+                nodes_visited: 0,
+                stats: res.stats,
+            };
+        }
+        let (owner, mut stats) = (res.node, res.stats);
 
         // Flood membership via the spatial index: the candidate set is the
         // exact set of zones overlapping the query ball, so BFS order,
@@ -266,9 +288,18 @@ impl CanOverlay {
             for &nb in &node.neighbours {
                 if let Some(slot) = slot_of(nb) {
                     if !visited[slot] {
-                        visited[slot] = true;
-                        stats += OpStats::one_hop(qb);
-                        queue.push_back(nb);
+                        // Each flood edge is one transmission, subject to
+                        // fault injection (no-fault path: 1 attempt, so
+                        // costs are bit-identical with injection off).
+                        let (delivered, attempts, _ticks) = self.fault_hop();
+                        stats.messages += attempts;
+                        stats.bytes += attempts * qb;
+                        stats.retries += attempts.saturating_sub(1);
+                        if delivered {
+                            stats.hops += 1;
+                            visited[slot] = true;
+                            queue.push_back(nb);
+                        }
                     }
                 }
             }
@@ -278,6 +309,7 @@ impl CanOverlay {
             hops: nodes_visited as u64,
             messages: nodes_visited as u64,
             bytes: resp_bytes,
+            ..OpStats::zero()
         };
         RangeOutcome {
             matches,

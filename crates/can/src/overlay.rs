@@ -14,9 +14,10 @@
 use crate::ops::StoredObject;
 use crate::zone::Zone;
 use crate::zoneindex::ZoneIndex;
-use hyperm_sim::{NodeId, OpStats};
+use hyperm_sim::{FaultConfig, FaultInjector, FaultReport, NodeId, OpStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Overlay construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,17 +47,110 @@ impl CanConfig {
     }
 }
 
-/// One participant: its zone, neighbour links and local object store.
+/// One participant: its zone(s), neighbour links and local object store.
 #[derive(Debug, Clone)]
 pub struct CanNode {
     /// Node identifier (dense index).
     pub id: NodeId,
-    /// The key-space region this node owns.
+    /// The primary key-space region this node owns (stale once the node is
+    /// no longer alive — dead nodes own nothing).
     pub zone: Zone,
-    /// Nodes whose zones abut this node's zone.
+    /// Extra zone fragments adopted during failure takeover, merged back
+    /// into primaries by the background repair loop (see `crate::repair`).
+    pub adopted: Vec<Zone>,
+    /// Whether the node participates in the overlay. Dead slots stay in
+    /// the node table so ids remain dense, but own no zones and appear in
+    /// no neighbour list.
+    pub alive: bool,
+    /// Nodes whose zones abut any of this node's zones.
     pub neighbours: Vec<NodeId>,
     /// Objects stored here (owned or replicated).
     pub store: Vec<StoredObject>,
+}
+
+impl CanNode {
+    /// Every zone this node currently owns: the primary plus any adopted
+    /// fragments. Empty for dead nodes.
+    pub fn zones(&self) -> impl Iterator<Item = &Zone> {
+        let count = if self.alive {
+            1 + self.adopted.len()
+        } else {
+            0
+        };
+        std::iter::once(&self.zone)
+            .chain(self.adopted.iter())
+            .take(count)
+    }
+
+    /// Whether any owned zone contains `point` (false for dead nodes).
+    pub fn covers(&self, point: &[f64]) -> bool {
+        self.zones().any(|z| z.contains(point))
+    }
+
+    /// Torus distance from `point` to the nearest owned zone (∞ for dead
+    /// nodes) — the routing metric.
+    pub fn torus_dist(&self, point: &[f64]) -> f64 {
+        self.zones()
+            .map(|z| z.torus_dist(point))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total volume of the owned zones (0 for dead nodes).
+    pub fn total_volume(&self) -> f64 {
+        self.zones().map(Zone::volume).sum()
+    }
+
+    /// Whether any owned zone overlaps the Euclidean ball.
+    pub fn intersects_sphere(&self, centre: &[f64], radius: f64) -> bool {
+        self.zones().any(|z| z.intersects_sphere(centre, radius))
+    }
+}
+
+/// Interior-mutable slot for the optional fault injector: route/flood take
+/// `&self` yet fault rolls mutate RNG state, and the overlay must stay
+/// `Sync` for the parallel query paths. Cloning an overlay snapshots the
+/// injector state.
+#[derive(Debug, Default)]
+pub(crate) struct FaultSlot(Option<Mutex<FaultInjector>>);
+
+impl Clone for FaultSlot {
+    fn clone(&self) -> Self {
+        FaultSlot(
+            self.0
+                .as_ref()
+                .map(|m| Mutex::new(m.lock().expect("fault injector poisoned").clone())),
+        )
+    }
+}
+
+/// How a routing attempt terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The message reached the owner of the target point.
+    Delivered,
+    /// No further progress was possible: every useful neighbour was dead,
+    /// unreachable, or already tried (hole in an unrepaired topology or
+    /// fault-induced).
+    DeadEnd,
+    /// The hop cap was hit (pathological topology guard).
+    HopLimit,
+}
+
+/// Result of [`CanOverlay::route_result`]: where the walk ended and what
+/// it cost. Every route terminates with an explicit outcome — queries on
+/// damaged overlays degrade instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteResult {
+    /// The owner on delivery; the last node reached otherwise.
+    pub node: NodeId,
+    /// How the walk terminated.
+    pub outcome: RouteOutcome,
+    /// Message cost, including retransmissions (`retries`) and a
+    /// `failed_routes` tick when the walk did not deliver.
+    pub stats: OpStats,
+    /// Sim-time ticks on the critical path (hops stretched by retry and
+    /// delay timelines).
+    pub rounds: u64,
 }
 
 /// A complete CAN overlay.
@@ -68,8 +162,13 @@ pub struct CanOverlay {
     pub(crate) next_object_id: u64,
     /// Host-side spatial index over zones (see [`crate::zoneindex`]):
     /// accelerates flood candidate enumeration without touching the
-    /// simulated cost model.
+    /// simulated cost model. Registers every fragment of every alive node
+    /// and is updated on join/leave/fail/repair, so it is never stale.
     index: ZoneIndex,
+    /// Number of dead slots in `nodes`.
+    dead: usize,
+    /// Optional message-level fault injection (queries only).
+    faults: FaultSlot,
 }
 
 impl CanOverlay {
@@ -88,12 +187,16 @@ impl CanOverlay {
             nodes: vec![CanNode {
                 id: NodeId(0),
                 zone: Zone::whole(config.dim),
+                adopted: Vec::new(),
+                alive: true,
                 neighbours: Vec::new(),
                 store: Vec::new(),
             }],
             bootstrap_stats: OpStats::zero(),
             next_object_id: 0,
             index,
+            dead: 0,
+            faults: FaultSlot::default(),
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         for _ in 1..n {
@@ -144,39 +247,130 @@ impl CanOverlay {
         self.bootstrap_stats
     }
 
-    /// The node whose zone contains `point`, by direct scan (ground truth
-    /// for tests; real lookups go through [`CanOverlay::route`]).
-    pub fn owner_of(&self, point: &[f64]) -> NodeId {
-        self.nodes
-            .iter()
-            .find(|n| n.zone.contains(point))
-            .map(|n| n.id)
-            .expect("zones tile the space")
+    /// Whether a node participates in the overlay.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes[id.0].alive
     }
 
-    /// Greedy-route from `from` to the owner of `target`.
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.len() - self.dead
+    }
+
+    /// Ids of all alive nodes, ascending.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The alive node owning `point`, by direct scan, or `None` if the
+    /// point falls into a hole left by an unrepaired failure.
+    pub fn try_owner_of(&self, point: &[f64]) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.covers(point)).map(|n| n.id)
+    }
+
+    /// The node whose zone contains `point`, by direct scan (ground truth
+    /// for tests; real lookups go through [`CanOverlay::route`]). Panics on
+    /// unrepaired holes — use [`CanOverlay::try_owner_of`] under damage.
+    pub fn owner_of(&self, point: &[f64]) -> NodeId {
+        self.try_owner_of(point).expect("zones tile the space")
+    }
+
+    /// Install (or clear) message-level fault injection for query routing
+    /// and flooding. Publishes and control traffic stay reliable: the
+    /// soft-state model assumes republishes eventually succeed, faults
+    /// model the per-query radio losses.
+    pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        self.faults = FaultSlot(cfg.map(|c| Mutex::new(FaultInjector::new(c))));
+    }
+
+    /// Fault counters accumulated so far (`None` when injection is off).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults
+            .0
+            .as_ref()
+            .map(|m| m.lock().expect("fault injector poisoned").report())
+    }
+
+    /// Resolve one hop against the injector, if any. Returns
+    /// `(delivered, attempts, ticks)`; the no-fault path is `(true, 1, 1)`.
+    pub(crate) fn fault_hop(&self) -> (bool, u64, u64) {
+        match &self.faults.0 {
+            None => (true, 1, 1),
+            Some(m) => {
+                let mut inj = m.lock().expect("fault injector poisoned");
+                match inj.hop() {
+                    hyperm_sim::HopDelivery::Delivered { attempts, ticks } => {
+                        (true, attempts as u64, ticks)
+                    }
+                    hyperm_sim::HopDelivery::Unreachable { attempts, ticks } => {
+                        (false, attempts as u64, ticks)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Greedy-route from `from` to the owner of `target`, with an explicit
+    /// outcome — never panics on damaged topologies.
     ///
-    /// Returns the owner and the per-hop cost (`msg_bytes` charged per
-    /// forwarding step). Follows CAN's rule: forward to the neighbour whose
-    /// zone is torus-closest to the target; ties break toward the lower
-    /// node id. A visited set plus a hop cap guard against topology bugs.
-    pub fn route(&self, from: NodeId, target: &[f64], msg_bytes: u64) -> (NodeId, OpStats) {
+    /// Follows CAN's rule: forward to the alive neighbour whose zones are
+    /// torus-closest to the target; ties break toward the lower node id.
+    /// With fault injection active, each forwarding hop may be retried
+    /// (drops) or abandoned (dead recipient / retry exhaustion) — an
+    /// abandoned hop marks the next node as visited and the walk reroutes
+    /// around it.
+    ///
+    /// `msg_bytes` is charged once per transmission attempt; `rounds` is
+    /// the hop count stretched by retry/delay ticks (sim-time latency).
+    pub fn route_result(&self, from: NodeId, target: &[f64], msg_bytes: u64) -> RouteResult {
+        self.route_result_with(from, target, msg_bytes, true)
+    }
+
+    /// [`CanOverlay::route_result`] with fault injection optionally
+    /// suppressed: publish and join traffic uses reliable (acknowledged)
+    /// transport in the cost model, so only query routing rolls faults.
+    fn route_result_with(
+        &self,
+        from: NodeId,
+        target: &[f64],
+        msg_bytes: u64,
+        with_faults: bool,
+    ) -> RouteResult {
         assert_eq!(target.len(), self.config.dim, "target dimension mismatch");
-        let mut current = from;
         let mut stats = OpStats::zero();
+        let mut rounds = 0u64;
+        if !self.nodes[from.0].alive {
+            stats.failed_routes += 1;
+            return RouteResult {
+                node: from,
+                outcome: RouteOutcome::DeadEnd,
+                stats,
+                rounds,
+            };
+        }
+        let mut current = from;
         let mut visited = vec![false; self.nodes.len()];
         visited[current.0] = true;
         for _ in 0..self.config.max_route_hops {
             let node = &self.nodes[current.0];
-            if node.zone.contains(target) {
-                return (current, stats);
+            if node.covers(target) {
+                return RouteResult {
+                    node: current,
+                    outcome: RouteOutcome::Delivered,
+                    stats,
+                    rounds,
+                };
             }
             let mut best: Option<(f64, NodeId)> = None;
             for &nb in &node.neighbours {
-                if visited[nb.0] {
+                if visited[nb.0] || !self.nodes[nb.0].alive {
                     continue;
                 }
-                let d = self.nodes[nb.0].zone.torus_dist(target);
+                let d = self.nodes[nb.0].torus_dist(target);
                 let better = match best {
                     None => true,
                     Some((bd, bid)) => d < bd - 1e-15 || (d <= bd + 1e-15 && nb < bid),
@@ -186,22 +380,79 @@ impl CanOverlay {
                 }
             }
             let Some((_, next)) = best else {
-                // All neighbours visited: fall back to the owner scan but
-                // charge a full perimeter walk — this indicates a topology
-                // anomaly and is asserted against in tests.
-                debug_assert!(false, "greedy routing dead end at {current}");
-                let owner = self.owner_of(target);
-                stats += OpStats::one_hop(msg_bytes);
-                return (owner, stats);
+                // Every neighbour visited or dead. Greedy can corner
+                // itself in rare geometries even when the partition is
+                // complete; without fault injection the historical
+                // behaviour (owner scan charged as one hop) is kept, so
+                // fault-free routing on a repaired topology always
+                // delivers. Only a genuine hole (unrepaired failure) or
+                // injected faults produce a dead end.
+                if !with_faults || self.faults.0.is_none() {
+                    if let Some(owner) = self.try_owner_of(target) {
+                        stats += OpStats::one_hop(msg_bytes);
+                        return RouteResult {
+                            node: owner,
+                            outcome: RouteOutcome::Delivered,
+                            stats,
+                            rounds: rounds + 1,
+                        };
+                    }
+                }
+                stats.failed_routes += 1;
+                return RouteResult {
+                    node: current,
+                    outcome: RouteOutcome::DeadEnd,
+                    stats,
+                    rounds,
+                };
             };
+            let (delivered, attempts, ticks) = if with_faults {
+                self.fault_hop()
+            } else {
+                (true, 1, 1)
+            };
+            stats.messages += attempts;
+            stats.bytes += attempts * msg_bytes;
+            stats.retries += attempts.saturating_sub(1);
+            rounds += ticks;
+            if !delivered {
+                // Reroute around the unreachable neighbour: mark it
+                // visited without moving there.
+                visited[next.0] = true;
+                continue;
+            }
+            stats.hops += 1;
             visited[next.0] = true;
-            stats += OpStats::one_hop(msg_bytes);
             current = next;
         }
-        panic!(
-            "routing exceeded {} hops — broken overlay topology",
-            self.config.max_route_hops
-        );
+        stats.failed_routes += 1;
+        RouteResult {
+            node: current,
+            outcome: RouteOutcome::HopLimit,
+            stats,
+            rounds,
+        }
+    }
+
+    /// Greedy-route from `from` to the owner of `target` (legacy
+    /// infallible interface used by joins and publishes).
+    ///
+    /// Returns the owner and the per-hop cost (`msg_bytes` charged per
+    /// forwarding step). Panics if the route cannot terminate at an owner —
+    /// publish paths run on repaired topologies where that cannot happen;
+    /// query paths use [`CanOverlay::route_result`] instead.
+    pub fn route(&self, from: NodeId, target: &[f64], msg_bytes: u64) -> (NodeId, OpStats) {
+        let out = self.route_result_with(from, target, msg_bytes, false);
+        match out.outcome {
+            RouteOutcome::Delivered => (out.node, out.stats),
+            RouteOutcome::DeadEnd => {
+                panic!("route to owner failed: dead end at {}", out.node)
+            }
+            RouteOutcome::HopLimit => panic!(
+                "routing exceeded {} hops — broken overlay topology",
+                self.config.max_route_hops
+            ),
+        }
     }
 
     /// Join a new node: choose the owner of `point`, split its zone, hand
@@ -215,16 +466,30 @@ impl CanOverlay {
         self.split_node(owner, point)
     }
 
-    /// Split `owner`'s zone, assigning the half containing `point` to a new
-    /// node. Object replicas are re-distributed by overlap; neighbour lists
-    /// are patched locally.
+    /// Split the zone of `owner` containing `point`, assigning the half
+    /// containing `point` to a new node. Object replicas are
+    /// re-distributed by overlap; neighbour lists are patched locally.
     fn split_node(&mut self, owner: NodeId, point: &[f64]) -> NodeId {
+        assert!(self.nodes[owner.0].alive, "cannot split a dead node");
         let new_id = NodeId(self.nodes.len());
-        let (zone_a, zone_b) = {
-            let z = &self.nodes[owner.0].zone;
-            let dim = z.longest_dim();
-            z.split(dim)
+        // Which of the owner's zones holds the point? Usually the primary;
+        // an adopted fragment only while a repair is still in flight.
+        let split_adopted = if self.nodes[owner.0].zone.contains(point) {
+            None
+        } else {
+            Some(
+                self.nodes[owner.0]
+                    .adopted
+                    .iter()
+                    .position(|z| z.contains(point))
+                    .expect("owner covers the join point"),
+            )
         };
+        let split_zone = match split_adopted {
+            None => self.nodes[owner.0].zone.clone(),
+            Some(i) => self.nodes[owner.0].adopted[i].clone(),
+        };
+        let (zone_a, zone_b) = split_zone.split(split_zone.longest_dim());
         // The newcomer takes the half containing the join point.
         let (old_zone, new_zone) = if zone_b.contains(point) {
             (zone_a, zone_b)
@@ -232,12 +497,17 @@ impl CanOverlay {
             (zone_b, zone_a)
         };
 
-        // Re-distribute stored objects by overlap with the new halves.
+        // Re-distribute stored objects by overlap with the new halves
+        // (replicas covering the owner's other zones always stay).
         let old_store = std::mem::take(&mut self.nodes[owner.0].store);
         let mut keep = Vec::new();
         let mut moved = Vec::new();
         for obj in old_store {
-            let in_old = old_zone.intersects_sphere(&obj.centre, obj.radius);
+            let in_old = old_zone.intersects_sphere(&obj.centre, obj.radius)
+                || self.nodes[owner.0]
+                    .zones()
+                    .filter(|z| !z.same_box(&split_zone))
+                    .any(|z| z.intersects_sphere(&obj.centre, obj.radius));
             let in_new = new_zone.intersects_sphere(&obj.centre, obj.radius);
             if in_new {
                 moved.push(obj.clone());
@@ -253,17 +523,22 @@ impl CanOverlay {
         let mut candidates = self.nodes[owner.0].neighbours.clone();
         candidates.push(owner);
 
-        // Keep the spatial index in step: the owner's footprint shrinks to
+        // Keep the spatial index in step: the owner's split zone shrinks to
         // `old_zone`, the newcomer takes `new_zone`.
-        self.index.remove(owner.0 as u32, &self.nodes[owner.0].zone);
+        self.index.remove(owner.0 as u32, &split_zone);
         self.index.insert(owner.0 as u32, &old_zone);
         self.index.insert(new_id.0 as u32, &new_zone);
 
-        self.nodes[owner.0].zone = old_zone;
+        match split_adopted {
+            None => self.nodes[owner.0].zone = old_zone,
+            Some(i) => self.nodes[owner.0].adopted[i] = old_zone,
+        }
         self.nodes[owner.0].store = keep;
         self.nodes.push(CanNode {
             id: new_id,
             zone: new_zone,
+            adopted: Vec::new(),
+            alive: true,
             neighbours: Vec::new(),
             store: moved,
         });
@@ -272,7 +547,7 @@ impl CanOverlay {
         for &c in &candidates {
             if c != owner {
                 // Does c still neighbour the (shrunk) owner?
-                let still = self.nodes[c.0].zone.is_neighbour(&self.nodes[owner.0].zone);
+                let still = self.nodes_abut(c, owner);
                 let list = &mut self.nodes[c.0].neighbours;
                 if let Some(pos) = list.iter().position(|&x| x == owner) {
                     if !still {
@@ -287,15 +562,159 @@ impl CanOverlay {
                 }
             }
             // Does c neighbour the new node?
-            if self.nodes[c.0]
-                .zone
-                .is_neighbour(&self.nodes[new_id.0].zone)
-            {
+            if self.nodes_abut(c, new_id) {
                 self.nodes[c.0].neighbours.push(new_id);
                 self.nodes[new_id.0].neighbours.push(c);
             }
         }
         new_id
+    }
+
+    /// Whether two (alive) nodes share a face through any zone pair —
+    /// the neighbour relation generalised to multi-fragment nodes.
+    pub(crate) fn nodes_abut(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.nodes[a.0]
+            .zones()
+            .any(|za| self.nodes[b.0].zones().any(|zb| za.is_neighbour(zb)))
+    }
+
+    /// Recompute the neighbour lists of `affected` nodes from geometry
+    /// (via the spatial index), patching the other end of every changed
+    /// link so symmetry is preserved. Used by the repair paths, where zone
+    /// transfers invalidate whole neighbourhoods at once.
+    pub(crate) fn refresh_neighbours(&mut self, affected: &[NodeId]) {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut ids: Vec<NodeId> = Vec::new();
+        for &id in affected {
+            if !seen[id.0] {
+                seen[id.0] = true;
+                ids.push(id);
+            }
+        }
+        for &id in &ids {
+            // Candidate set: everything registered near any owned zone.
+            let mut cand: Vec<u32> = Vec::new();
+            for z in self.nodes[id.0].zones() {
+                cand.extend(self.index.box_candidates(z.lo(), z.hi()));
+            }
+            cand.sort_unstable();
+            cand.dedup();
+            let new_list: Vec<NodeId> = cand
+                .into_iter()
+                .map(|c| NodeId(c as usize))
+                .filter(|&c| self.nodes[c.0].alive && self.nodes_abut(id, c))
+                .collect();
+            // Patch the reverse links of everything that changed.
+            let old_list = std::mem::take(&mut self.nodes[id.0].neighbours);
+            for &old in &old_list {
+                if !new_list.contains(&old) {
+                    let list = &mut self.nodes[old.0].neighbours;
+                    if let Some(pos) = list.iter().position(|&x| x == id) {
+                        list.swap_remove(pos);
+                    }
+                }
+            }
+            for &new in &new_list {
+                if !self.nodes[new.0].neighbours.contains(&id) {
+                    self.nodes[new.0].neighbours.push(id);
+                }
+            }
+            self.nodes[id.0].neighbours = new_list;
+        }
+    }
+
+    /// Detach a node from the overlay structure: mark it dead, deregister
+    /// all its zones from the index, and drop every neighbour link in both
+    /// directions. Returns the zones it owned and its old neighbour set.
+    /// The store is left in place for the caller to transfer or discard.
+    pub(crate) fn detach(&mut self, id: NodeId) -> (Vec<Zone>, Vec<NodeId>) {
+        assert!(self.nodes[id.0].alive, "node {id} is already dead");
+        let zones: Vec<Zone> = self.nodes[id.0].zones().cloned().collect();
+        for z in &zones {
+            self.index.remove(id.0 as u32, z);
+        }
+        let old_neighbours = std::mem::take(&mut self.nodes[id.0].neighbours);
+        for &nb in &old_neighbours {
+            let list = &mut self.nodes[nb.0].neighbours;
+            if let Some(pos) = list.iter().position(|&x| x == id) {
+                list.swap_remove(pos);
+            }
+        }
+        self.nodes[id.0].alive = false;
+        self.nodes[id.0].adopted.clear();
+        self.dead += 1;
+        (zones, old_neighbours)
+    }
+
+    /// Register an extra zone for `id` (takeover adoption or a merge
+    /// result) in node state and index.
+    pub(crate) fn add_zone(&mut self, id: NodeId, zone: Zone) {
+        assert!(self.nodes[id.0].alive, "cannot grant a zone to dead {id}");
+        self.index.insert(id.0 as u32, &zone);
+        self.nodes[id.0].adopted.push(zone);
+    }
+
+    /// Drop an adopted fragment (a merge consumed it) from node state and
+    /// index.
+    pub(crate) fn drop_fragment(&mut self, id: NodeId, zone: &Zone) {
+        self.index.remove(id.0 as u32, zone);
+        let pos = self.nodes[id.0]
+            .adopted
+            .iter()
+            .position(|z| z.same_box(zone))
+            .expect("fragment present");
+        self.nodes[id.0].adopted.swap_remove(pos);
+    }
+
+    /// Swap a node's primary zone for `new_zone` (a merge grew it),
+    /// keeping the index current. The store is untouched: merges only ever
+    /// grow the owned region.
+    pub(crate) fn replace_primary(&mut self, id: NodeId, new_zone: Zone) {
+        let old = self.nodes[id.0].zone.clone();
+        self.index.remove(id.0 as u32, &old);
+        self.index.insert(id.0 as u32, &new_zone);
+        self.nodes[id.0].zone = new_zone;
+    }
+
+    /// Move a node's primary to an unrelated `new_zone` (vacancy
+    /// relocation during repair), dropping store replicas that no longer
+    /// overlap any owned zone — the repair protocol hands those to the new
+    /// owner first.
+    pub(crate) fn relocate_primary(&mut self, id: NodeId, new_zone: Zone) {
+        self.replace_primary(id, new_zone);
+        let zones: Vec<Zone> = self.nodes[id.0].zones().cloned().collect();
+        self.nodes[id.0].store.retain(|o| {
+            zones
+                .iter()
+                .any(|z| z.intersects_sphere(&o.centre, o.radius))
+        });
+    }
+
+    /// Alive node ids registered near `z` (overlapping or abutting,
+    /// torus-aware), sorted ascending.
+    pub(crate) fn box_candidates_around(&self, z: &Zone) -> Vec<NodeId> {
+        self.index
+            .box_candidates(z.lo(), z.hi())
+            .into_iter()
+            .map(|c| NodeId(c as usize))
+            .filter(|&c| self.nodes[c.0].alive)
+            .collect()
+    }
+
+    /// Union of [`CanOverlay::box_candidates_around`] over several zones,
+    /// sorted and deduplicated — the set of nodes whose neighbour lists a
+    /// zone transfer within those regions can affect.
+    pub(crate) fn nodes_around(&self, zones: &[Zone]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = zones
+            .iter()
+            .flat_map(|z| self.box_candidates_around(z))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Node ids whose zones overlap the Euclidean ball `(centre, radius)`,
@@ -305,13 +724,13 @@ impl CanOverlay {
     /// balls) and filtered with the same
     /// [`Zone::intersects_sphere`] predicate the floods used to evaluate
     /// per neighbour edge, so flood semantics — and therefore every
-    /// simulated hop/message/byte count — are unchanged.
+    /// simulated hop/message/byte count — are unchanged. Dead nodes are
+    /// never candidates (the index deregisters them).
     pub(crate) fn flood_candidates(&self, centre: &[f64], radius: f64) -> Vec<u32> {
         let mut cand = self.index.candidates(centre, radius);
         cand.retain(|&id| {
-            self.nodes[id as usize]
-                .zone
-                .intersects_sphere(centre, radius)
+            let n = &self.nodes[id as usize];
+            n.alive && n.intersects_sphere(centre, radius)
         });
         cand
     }
@@ -330,28 +749,55 @@ impl CanOverlay {
             .collect()
     }
 
-    /// Verify structural invariants (zones tile the space, neighbour lists
-    /// are symmetric and correct). Test-support; O(n²·d).
+    /// Verify structural invariants: the alive nodes' zones (primaries and
+    /// adopted fragments) tile the space without overlap, neighbour lists
+    /// match the geometric relation and are symmetric, dead nodes are
+    /// fully detached, and the spatial index is exact. Test-support;
+    /// O(F²·d) over the F zone fragments.
     pub fn check_invariants(&self) {
-        let total_volume: f64 = self.nodes.iter().map(|n| n.zone.volume()).sum();
+        // 1. Volume: the alive zones sum to the whole space.
+        let total_volume: f64 = self.nodes.iter().map(CanNode::total_volume).sum();
         assert!(
             (total_volume - 1.0).abs() < 1e-9,
             "zones do not tile: volume {total_volume}"
         );
+        // 2. Disjointness: no two owned zones overlap with positive volume.
+        let fragments: Vec<(NodeId, &Zone)> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.zones().map(move |z| (n.id, z)))
+            .collect();
+        for (i, (ida, za)) in fragments.iter().enumerate() {
+            for (idb, zb) in &fragments[i + 1..] {
+                assert!(
+                    !za.overlaps(zb),
+                    "zones of {ida} and {idb} overlap: {za:?} vs {zb:?}"
+                );
+            }
+        }
+        // 3. Neighbour lists: exactly the geometric relation, symmetric,
+        //    and never referencing the dead.
         for a in &self.nodes {
+            if !a.alive {
+                assert!(
+                    a.neighbours.is_empty(),
+                    "dead node {} still has neighbours",
+                    a.id
+                );
+                continue;
+            }
             for b in &self.nodes {
                 if a.id == b.id {
                     continue;
                 }
                 let listed = a.neighbours.contains(&b.id);
-                let actual = a.zone.is_neighbour(&b.zone);
+                let actual = b.alive && self.nodes_abut(a.id, b.id);
                 assert_eq!(
                     listed, actual,
                     "neighbour list mismatch between {} and {}",
                     a.id, b.id
                 );
             }
-            // Symmetry.
             for &nb in &a.neighbours {
                 assert!(
                     self.nodes[nb.0].neighbours.contains(&a.id),
@@ -361,6 +807,34 @@ impl CanOverlay {
                 );
             }
         }
+        // 4. Index exactness: registered ids = alive ids, and every owned
+        //    zone is found by a probe at its centre.
+        let alive: Vec<u32> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.id.0 as u32)
+            .collect();
+        assert_eq!(self.index_ids(), alive, "spatial index is stale");
+        for (id, z) in &fragments {
+            assert!(
+                self.index
+                    .candidates(&z.centre(), 0.0)
+                    .contains(&(id.0 as u32)),
+                "index misses zone of {id} at its centre"
+            );
+        }
+        // 5. Dead-count bookkeeping.
+        assert_eq!(
+            self.dead,
+            self.nodes.iter().filter(|n| !n.alive).count(),
+            "dead counter out of sync"
+        );
+    }
+
+    /// Sorted ids currently registered in the spatial index (test support).
+    pub fn index_ids(&self) -> Vec<u32> {
+        self.index.ids()
     }
 }
 
@@ -456,6 +930,66 @@ mod tests {
         let small = CanOverlay::bootstrap(CanConfig::new(2).with_seed(2), 8);
         let large = CanOverlay::bootstrap(CanConfig::new(2).with_seed(2), 64);
         assert!(large.bootstrap_stats().hops > small.bootstrap_stats().hops);
+    }
+
+    /// Regression: the spatial index must track every membership change.
+    /// A stale index entry would surface dead owners to `candidates` /
+    /// `box_candidates` and silently corrupt routing and neighbour
+    /// refresh after churn.
+    #[test]
+    fn zone_index_tracks_membership_changes() {
+        let mut overlay = CanOverlay::bootstrap(CanConfig::new(2).with_seed(7), 12);
+        assert_eq!(
+            overlay.index_ids(),
+            overlay
+                .alive_ids()
+                .iter()
+                .map(|n| n.0 as u32)
+                .collect::<Vec<_>>()
+        );
+
+        overlay.join(NodeId(0), &[0.9, 0.1]);
+        assert_eq!(
+            overlay.index_ids(),
+            overlay
+                .alive_ids()
+                .iter()
+                .map(|n| n.0 as u32)
+                .collect::<Vec<_>>()
+        );
+
+        overlay.leave(NodeId(3));
+        assert_eq!(
+            overlay.index_ids(),
+            overlay
+                .alive_ids()
+                .iter()
+                .map(|n| n.0 as u32)
+                .collect::<Vec<_>>()
+        );
+        assert!(!overlay.index_ids().contains(&3));
+
+        overlay.fail(NodeId(5));
+        assert_eq!(
+            overlay.index_ids(),
+            overlay
+                .alive_ids()
+                .iter()
+                .map(|n| n.0 as u32)
+                .collect::<Vec<_>>()
+        );
+        assert!(!overlay.index_ids().contains(&5));
+
+        overlay.repair_to_quiescence(16);
+        assert_eq!(
+            overlay.index_ids(),
+            overlay
+                .alive_ids()
+                .iter()
+                .map(|n| n.0 as u32)
+                .collect::<Vec<_>>()
+        );
+        overlay.check_invariants();
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Zone leave, failure takeover and background repair.
+//!
+//! The original CAN paper pairs its join protocol with a departure story:
+//! a leaving node hands its zone to a neighbour, and a crashed node's zone
+//! is **taken over** by the neighbour with the smallest zone volume once
+//! its heartbeats stop. The takeover node may temporarily hold several
+//! zone fragments; a background process then merges fragments back until
+//! every node again owns a single box (or hands a fragment to the owner of
+//! its dyadic sibling, relocating that owner if the sibling has been
+//! subdivided). This module implements exactly that on top of the dyadic
+//! split tree (see [`Zone::sibling`]):
+//!
+//! * [`CanOverlay::leave`] — graceful departure: zones and stored replicas
+//!   are handed to the smallest-volume abutting neighbour; no data is lost.
+//! * [`CanOverlay::fail`] — crash-stop: the store dies with the node, the
+//!   smallest-volume abutting neighbour adopts each zone after a detection
+//!   timeout. Lost replicas come back via the soft-state refresh loop in
+//!   `hyperm-repair`.
+//! * [`CanOverlay::fail_no_takeover`] — the no-repair baseline: the node
+//!   vanishes and its zones become routing holes (queries dead-end there
+//!   with an explicit [`crate::overlay::RouteOutcome`], never a panic).
+//! * [`CanOverlay::repair_step`] — one background normalisation pass.
+//!
+//! After `leave`/`fail` (with takeover) and any number of `repair_step`s,
+//! [`CanOverlay::check_invariants`] holds: the alive zones tile the space,
+//! neighbour lists are exact and symmetric, and the spatial index is
+//! current.
+
+use crate::overlay::CanOverlay;
+use crate::zone::Zone;
+use hyperm_sim::{NodeId, OpStats};
+
+/// Heartbeat rounds a neighbour waits before declaring a node dead.
+pub const DETECT_TICKS: u64 = 3;
+/// Wire size of a takeover/handoff control packet.
+const CTRL_MSG_BYTES: u64 = 64;
+/// Wire size of one heartbeat probe.
+const HEARTBEAT_BYTES: u64 = 16;
+
+/// Outcome of a leave/fail membership change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Nodes that adopted (or merged away) the departed zones.
+    pub adopters: Vec<NodeId>,
+    /// Message cost of the handoff/takeover (control + data transfer +
+    /// neighbour updates).
+    pub stats: OpStats,
+    /// Sim-time ticks from the membership change until the zones were
+    /// owned again (detection timeout + handshake).
+    pub takeover_rounds: u64,
+    /// Whether every transferred zone merged immediately into an
+    /// adopter's primary (no background repair needed).
+    pub fully_merged: bool,
+}
+
+impl CanOverlay {
+    /// Number of adopted fragments still awaiting background merge.
+    pub fn fragment_count(&self) -> usize {
+        self.nodes().map(|n| n.adopted.len()).sum()
+    }
+
+    /// Graceful departure: `id` hands each of its zones — and the replicas
+    /// stored for it — to the smallest-volume alive neighbour abutting
+    /// that zone, then drops out. No data is lost.
+    pub fn leave(&mut self, id: NodeId) -> RepairOutcome {
+        assert!(self.alive_count() > 1, "the last node cannot leave");
+        let store = std::mem::take(&mut self.node_mut(id).store);
+        let (zones, old_neighbours) = self.detach(id);
+        let mut out = self.adopt_zones(id, zones, &old_neighbours, Some(&store));
+        // Handoff handshake: request + transfer, no detection delay.
+        out.takeover_rounds = 2;
+        out
+    }
+
+    /// Crash-stop failure: `id` disappears without handoff. Its store is
+    /// lost; after [`DETECT_TICKS`] missed heartbeats the smallest-volume
+    /// alive neighbour abutting each zone takes it over (empty). The
+    /// soft-state refresh loop republishes the lost replicas.
+    pub fn fail(&mut self, id: NodeId) -> RepairOutcome {
+        assert!(self.alive_count() > 1, "the last node cannot fail");
+        self.node_mut(id).store.clear();
+        let (zones, old_neighbours) = self.detach(id);
+        // Detection: every old neighbour probes the silent node.
+        let detection = OpStats {
+            messages: old_neighbours.len() as u64 * DETECT_TICKS,
+            bytes: old_neighbours.len() as u64 * DETECT_TICKS * HEARTBEAT_BYTES,
+            ..OpStats::zero()
+        };
+        let mut out = self.adopt_zones(id, zones, &old_neighbours, None);
+        out.stats += detection;
+        out.takeover_rounds = DETECT_TICKS + 2;
+        out
+    }
+
+    /// The no-repair baseline: `id` crashes and nobody takes its zones
+    /// over. Routing holes remain (queries terminate with explicit
+    /// dead-end outcomes); `check_invariants` intentionally does not hold.
+    pub fn fail_no_takeover(&mut self, id: NodeId) -> OpStats {
+        assert!(self.alive_count() > 1, "the last node cannot fail");
+        self.node_mut(id).store.clear();
+        let (_, old_neighbours) = self.detach(id);
+        OpStats {
+            messages: old_neighbours.len() as u64 * DETECT_TICKS,
+            bytes: old_neighbours.len() as u64 * DETECT_TICKS * HEARTBEAT_BYTES,
+            ..OpStats::zero()
+        }
+    }
+
+    /// Give each departed zone to the smallest-volume alive node abutting
+    /// it, preferring an immediate sibling merge into the adopter's
+    /// primary. `store` carries the departed node's replicas on graceful
+    /// leaves (`None` on crashes — the data died).
+    fn adopt_zones(
+        &mut self,
+        departed: NodeId,
+        zones: Vec<Zone>,
+        old_neighbours: &[NodeId],
+        store: Option<&[crate::ops::StoredObject]>,
+    ) -> RepairOutcome {
+        let mut stats = OpStats::zero();
+        let mut adopters: Vec<NodeId> = Vec::new();
+        let mut fully_merged = true;
+        // Zones are granted pass by pass: a fragment whose only abutters
+        // are *later* fragments of the same departure waits until those
+        // are re-owned. The outer boundary of the remaining region always
+        // touches an alive node, so every pass grants at least one zone.
+        let mut remaining = zones;
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            let mut deferred = Vec::new();
+            for z in remaining {
+                let Some(adopter) = self
+                    .zone_abutters(&z)
+                    .into_iter()
+                    .filter(|&c| c != departed)
+                    .min_by(|&a, &b| {
+                        let va = self.node(a).total_volume();
+                        let vb = self.node(b).total_volume();
+                        va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+                    })
+                else {
+                    deferred.push(z);
+                    continue;
+                };
+                adopters.push(adopter);
+                // Takeover claim for this zone.
+                stats += OpStats {
+                    messages: 1,
+                    bytes: CTRL_MSG_BYTES,
+                    ..OpStats::zero()
+                };
+                // Replica handoff (graceful only): copy the departed
+                // store's objects overlapping this zone, deduplicated by
+                // object id.
+                if let Some(objs) = store {
+                    let moved: Vec<_> = objs
+                        .iter()
+                        .filter(|o| z.intersects_sphere(&o.centre, o.radius))
+                        .filter(|o| self.node(adopter).store.iter().all(|h| h.id != o.id))
+                        .cloned()
+                        .collect();
+                    let bytes: u64 = moved.iter().map(|o| o.wire_bytes()).sum();
+                    if !moved.is_empty() {
+                        stats += OpStats {
+                            messages: 1,
+                            bytes,
+                            ..OpStats::zero()
+                        };
+                        self.node_mut(adopter).store.extend(moved);
+                    }
+                }
+                if !self.grant_zone(adopter, z) {
+                    fully_merged = false;
+                }
+            }
+            assert!(
+                deferred.len() < before,
+                "departed zones must have alive abutters"
+            );
+            remaining = deferred;
+        }
+        // Neighbour lists around the departure are rebuilt; each updated
+        // node costs one control message.
+        let mut affected: Vec<NodeId> = old_neighbours.to_vec();
+        affected.extend(adopters.iter().copied());
+        self.refresh_neighbours(&affected);
+        let distinct: std::collections::BTreeSet<NodeId> = affected.into_iter().collect();
+        stats += OpStats {
+            messages: distinct.len() as u64,
+            bytes: distinct.len() as u64 * CTRL_MSG_BYTES,
+            ..OpStats::zero()
+        };
+        adopters.sort_unstable();
+        adopters.dedup();
+        RepairOutcome {
+            adopters,
+            stats,
+            takeover_rounds: 0,
+            fully_merged,
+        }
+    }
+
+    /// Alive nodes whose zones abut `z` (spatial-index accelerated).
+    fn zone_abutters(&self, z: &Zone) -> Vec<NodeId> {
+        self.box_candidates_around(z)
+            .into_iter()
+            .filter(|&c| self.node(c).zones().any(|zc| zc.is_neighbour(z)))
+            .collect()
+    }
+
+    /// Grant `zone` to `id`: merge it into the primary if it is the
+    /// primary's dyadic sibling (returns `true`), otherwise park it as an
+    /// adopted fragment for background repair (returns `false`).
+    fn grant_zone(&mut self, id: NodeId, zone: Zone) -> bool {
+        if let Some(parent) = zone.try_merge(&self.node(id).zone) {
+            self.replace_primary(id, parent);
+            true
+        } else {
+            self.add_zone(id, zone);
+            false
+        }
+    }
+
+    /// One background normalisation pass over all adopted fragments.
+    ///
+    /// Per fragment `V` held by `Y`, in order of preference:
+    /// 1. merge `V` with `Y`'s primary (dyadic siblings) — free, local;
+    /// 2. merge `V` with another fragment of `Y` — free, local;
+    /// 3. hand `V` to the node owning exactly `sibling(V)`, which merges
+    ///    both into the parent (replicas for `V` travel along);
+    /// 4. `sibling(V)` is subdivided: find the deepest single-zone node
+    ///    `Z2` inside it — the dyadic tree guarantees `sibling(Z2)` is an
+    ///    exact current zone — merge `Z2`'s zone into that sibling's owner
+    ///    and relocate `Z2` to fill `V`.
+    ///
+    /// Fragments whose resolution is blocked this round (the relevant
+    /// sibling is itself a fragment mid-repair) are left for a later pass.
+    /// Returns `(fragments_resolved, cost)`.
+    pub fn repair_step(&mut self) -> (usize, OpStats) {
+        let mut stats = OpStats::zero();
+        let mut resolved = 0usize;
+        let snapshot: Vec<(NodeId, Zone)> = self
+            .nodes()
+            .flat_map(|n| n.adopted.iter().map(move |z| (n.id, z.clone())))
+            .collect();
+        for (y, v) in snapshot {
+            // The fragment may have been consumed by an earlier action in
+            // this same pass.
+            if !self.node(y).alive || !self.node(y).adopted.iter().any(|z| z.same_box(&v)) {
+                continue;
+            }
+            if self.resolve_fragment(y, &v, &mut stats) {
+                resolved += 1;
+            }
+        }
+        (resolved, stats)
+    }
+
+    /// Run [`CanOverlay::repair_step`] until no fragment resolves or
+    /// `max_passes` is hit; returns the total cost.
+    pub fn repair_to_quiescence(&mut self, max_passes: usize) -> OpStats {
+        let mut stats = OpStats::zero();
+        for _ in 0..max_passes {
+            if self.fragment_count() == 0 {
+                break;
+            }
+            let (resolved, s) = self.repair_step();
+            stats += s;
+            if resolved == 0 {
+                break;
+            }
+        }
+        stats
+    }
+
+    /// Try to resolve one fragment; returns whether it was consumed.
+    fn resolve_fragment(&mut self, y: NodeId, v: &Zone, stats: &mut OpStats) -> bool {
+        // 1. Merge with own primary.
+        if let Some(parent) = v.try_merge(&self.node(y).zone) {
+            self.drop_fragment(y, v);
+            self.replace_primary(y, parent);
+            return true;
+        }
+        // 2. Merge with another own fragment.
+        let partner = self
+            .node(y)
+            .adopted
+            .iter()
+            .find(|w| !w.same_box(v) && v.try_merge(w).is_some())
+            .cloned();
+        if let Some(w) = partner {
+            let parent = v.try_merge(&w).expect("checked");
+            self.drop_fragment(y, v);
+            self.drop_fragment(y, &w);
+            self.add_zone(y, parent);
+            return true;
+        }
+        let Some(sib) = v.sibling() else {
+            return false; // root fragment: only possible with one node
+        };
+        // 3. The sibling is somebody's exact primary: hand the fragment
+        //    over and let them merge up.
+        if let Some(w) = self.primary_owner_of(&sib) {
+            let parent = v.parent().expect("sibling exists, so parent does");
+            *stats += self.transfer_replicas(y, w, v);
+            self.drop_fragment(y, v);
+            self.replace_primary(w, parent);
+            *stats += OpStats {
+                messages: 2,
+                bytes: 2 * CTRL_MSG_BYTES,
+                ..OpStats::zero()
+            };
+            let affected = self.nodes_around(&[v.clone(), sib]);
+            self.refresh_neighbours(&affected);
+            return true;
+        }
+        // 4. The sibling region is subdivided. Deepest single-zone node
+        //    inside it; its dyadic sibling is an exact current zone. If
+        //    that zone is a primary, merge the deepest node's zone into it
+        //    and relocate the deepest node onto V.
+        let Some(z2) = self.deepest_primary_inside(&sib) else {
+            return false; // blocked on another fragment this round
+        };
+        let z2_zone = self.node(z2).zone.clone();
+        let Some(sib2) = z2_zone.sibling() else {
+            return false;
+        };
+        let Some(w1) = self.primary_owner_of(&sib2) else {
+            return false; // sibling is a fragment mid-repair: wait
+        };
+        if w1 == z2 {
+            return false;
+        }
+        let parent2 = z2_zone.parent().expect("sibling exists");
+        // W1 absorbs Z2's zone (and takes over its replicas)…
+        *stats += self.transfer_replicas(z2, w1, &z2_zone);
+        self.replace_primary(w1, parent2);
+        // …and Z2 relocates to fill the vacancy V.
+        *stats += self.transfer_replicas(y, z2, v);
+        self.drop_fragment(y, v);
+        self.relocate_primary(z2, v.clone());
+        *stats += OpStats {
+            messages: 4,
+            bytes: 4 * CTRL_MSG_BYTES,
+            ..OpStats::zero()
+        };
+        let affected = self.nodes_around(&[v.clone(), z2_zone, sib2]);
+        self.refresh_neighbours(&affected);
+        true
+    }
+
+    /// The alive node whose *primary* zone is exactly `z`, if any. Nodes
+    /// still holding adopted fragments are skipped: relocating or growing
+    /// them mid-repair would compound fragment states.
+    fn primary_owner_of(&self, z: &Zone) -> Option<NodeId> {
+        let cand = self.box_candidates_around(z);
+        cand.into_iter().find(|&c| {
+            let n = self.node(c);
+            n.adopted.is_empty() && n.zone.same_box(z)
+        })
+    }
+
+    /// The deepest (smallest-volume) alive node whose primary lies inside
+    /// `region` and which holds no fragments of its own; ties break toward
+    /// the lower id. `None` if the region is covered only by fragments.
+    fn deepest_primary_inside(&self, region: &Zone) -> Option<NodeId> {
+        self.box_candidates_around(region)
+            .into_iter()
+            .filter(|&c| {
+                let n = self.node(c);
+                n.adopted.is_empty() && region.contains_zone(&n.zone)
+            })
+            .min_by(|&a, &b| {
+                let va = self.node(a).zone.volume();
+                let vb = self.node(b).zone.volume();
+                va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+            })
+    }
+
+    /// Copy the objects in `from`'s store overlapping `region` into `to`'s
+    /// store (deduplicated by object id); returns the message cost.
+    fn transfer_replicas(&mut self, from: NodeId, to: NodeId, region: &Zone) -> OpStats {
+        if from == to {
+            return OpStats::zero();
+        }
+        let moved: Vec<_> = self
+            .node(from)
+            .store
+            .iter()
+            .filter(|o| region.intersects_sphere(&o.centre, o.radius))
+            .filter(|o| self.node(to).store.iter().all(|h| h.id != o.id))
+            .cloned()
+            .collect();
+        if moved.is_empty() {
+            return OpStats::zero();
+        }
+        let bytes: u64 = moved.iter().map(|o| o.wire_bytes()).sum();
+        self.node_mut(to).store.extend(moved);
+        OpStats {
+            messages: 1,
+            bytes,
+            ..OpStats::zero()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{CanConfig, CanOverlay, RouteOutcome};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn overlay(dim: usize, n: usize, seed: u64) -> CanOverlay {
+        CanOverlay::bootstrap(CanConfig::new(dim).with_seed(seed), n)
+    }
+
+    #[test]
+    fn graceful_leave_keeps_invariants_and_data() {
+        let mut o = overlay(2, 16, 1);
+        let obj = crate::ops::ObjectRef {
+            peer: 0,
+            tag: 0,
+            items: 1,
+        };
+        o.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.2, obj, true);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let alive = o.alive_ids();
+            let victim = alive[rng.gen_range(0..alive.len())];
+            o.leave(victim);
+            o.repair_to_quiescence(16);
+            o.check_invariants();
+        }
+        assert_eq!(o.alive_count(), 6);
+        // The sphere is still fully replicated over the survivors.
+        for n in o.nodes().filter(|n| n.alive) {
+            if n.intersects_sphere(&[0.5, 0.5], 0.2) {
+                assert!(
+                    n.store.iter().any(|s| s.id == 0),
+                    "replica missing at {} after leaves",
+                    n.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_takeover_keeps_invariants() {
+        let mut o = overlay(2, 32, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..12 {
+            let alive = o.alive_ids();
+            let victim = alive[rng.gen_range(0..alive.len())];
+            let out = o.fail(victim);
+            assert!(out.takeover_rounds >= DETECT_TICKS);
+            assert!(!out.adopters.is_empty());
+            o.repair_to_quiescence(16);
+            o.check_invariants();
+        }
+        assert_eq!(o.alive_count(), 20);
+        // Routing still reaches an owner from any alive start.
+        let alive = o.alive_ids();
+        for _ in 0..40 {
+            let t = [rng.gen::<f64>(), rng.gen::<f64>()];
+            let from = alive[rng.gen_range(0..alive.len())];
+            let res = o.route_result(from, &t, 8);
+            assert_eq!(res.outcome, RouteOutcome::Delivered);
+            assert_eq!(res.node, o.owner_of(&t));
+        }
+    }
+
+    #[test]
+    fn repair_normalises_fragments() {
+        let mut o = overlay(2, 24, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..8 {
+            let alive = o.alive_ids();
+            o.fail(alive[rng.gen_range(0..alive.len())]);
+        }
+        o.repair_to_quiescence(64);
+        o.check_invariants();
+        // Quiescent repair leaves at most a handful of stubborn fragments.
+        assert!(
+            o.fragment_count() <= 2,
+            "{} fragments survived repair",
+            o.fragment_count()
+        );
+    }
+
+    #[test]
+    fn no_takeover_leaves_explicit_dead_ends() {
+        let mut o = overlay(2, 16, 7);
+        let hole_centre = o.node(NodeId(3)).zone.centre();
+        o.fail_no_takeover(NodeId(3));
+        let res = o.route_result(NodeId(0), &hole_centre, 8);
+        assert_eq!(res.outcome, RouteOutcome::DeadEnd);
+        assert_eq!(res.stats.failed_routes, 1);
+        assert!(o.try_owner_of(&hole_centre).is_none());
+    }
+
+    #[test]
+    fn interleaved_joins_and_failures_stay_sound() {
+        let mut o = overlay(2, 8, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..30 {
+            if i % 3 == 0 && o.alive_count() > 4 {
+                let alive = o.alive_ids();
+                let victim = alive[rng.gen_range(0..alive.len())];
+                if i % 2 == 0 {
+                    o.fail(victim);
+                } else {
+                    o.leave(victim);
+                }
+            } else {
+                let alive = o.alive_ids();
+                let entry = alive[rng.gen_range(0..alive.len())];
+                let p = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+                o.join(entry, &p);
+            }
+            o.repair_to_quiescence(16);
+            o.check_invariants();
+        }
+    }
+
+    #[test]
+    fn leave_respects_last_node_guard() {
+        let mut o = overlay(2, 2, 10);
+        o.leave(NodeId(0));
+        o.check_invariants();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            o.leave(NodeId(1));
+        }));
+        assert!(result.is_err(), "last node must not leave");
+    }
+}

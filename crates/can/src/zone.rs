@@ -154,6 +154,117 @@ impl Zone {
         self.euclid_dist(centre) <= radius
     }
 
+    /// Whether `other` lies entirely inside this zone (with tolerance).
+    pub fn contains_zone(&self, other: &Zone) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((al, ah), (bl, bh))| *bl >= al - 1e-12 && *bh <= ah + 1e-12)
+    }
+
+    /// Whether two zones describe the same box (with tolerance).
+    pub fn same_box(&self, other: &Zone) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(&other.lo)
+            .chain(self.hi.iter().zip(&other.hi))
+            .all(|(a, b)| (a - b).abs() < 1e-12)
+    }
+
+    /// Whether two zones overlap with positive volume.
+    pub fn overlaps(&self, other: &Zone) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|i| self.hi[i].min(other.hi[i]) - self.lo[i].max(other.lo[i]) > 1e-12)
+    }
+
+    /// Split depth per dimension: `a_i` such that the extent along `i` is
+    /// `2^-a_i`. `None` if any extent is not a (power-of-two) dyadic with
+    /// dyadic-aligned bounds — which cannot happen for zones produced by
+    /// CAN splits, where all arithmetic on powers of two is exact in f64.
+    fn depth_profile(&self) -> Option<Vec<i32>> {
+        let mut prof = Vec::with_capacity(self.dim());
+        for i in 0..self.dim() {
+            let ext = self.hi[i] - self.lo[i];
+            if ext <= 0.0 {
+                return None;
+            }
+            let a = (1.0 / ext).log2().round() as i32;
+            if !(0..=60).contains(&a) || (2f64.powi(-a) - ext).abs() > ext * 1e-9 {
+                return None;
+            }
+            // Bounds must sit on the 2^-a grid.
+            let k = (self.lo[i] / ext).round();
+            if (k * ext - self.lo[i]).abs() > 1e-12 {
+                return None;
+            }
+            prof.push(a);
+        }
+        Some(prof)
+    }
+
+    /// The dimension this zone was halved along most recently.
+    ///
+    /// CAN's `longest_dim` rule (ties → lowest index) splits dimensions
+    /// cyclically, so a valid zone's depth profile satisfies
+    /// `a_0 ≥ a_1 ≥ … ≥ a_{d-1} ≥ a_0 − 1`, and the most recent split is
+    /// along the *largest* index among the dimensions of maximal depth.
+    /// `None` for the root zone (never split).
+    pub fn last_split_dim(&self) -> Option<usize> {
+        let prof = self.depth_profile()?;
+        let max = *prof.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        prof.iter().rposition(|&a| a == max)
+    }
+
+    /// The zone this one was split out of (double the extent along the
+    /// last split dimension). `None` for the root zone.
+    pub fn parent(&self) -> Option<Zone> {
+        let d = self.last_split_dim()?;
+        let ext = self.hi[d] - self.lo[d];
+        let k = (self.lo[d] / ext).round() as i64;
+        let mut parent = self.clone();
+        if k % 2 == 0 {
+            parent.hi[d] = self.lo[d] + 2.0 * ext;
+        } else {
+            parent.lo[d] = self.hi[d] - 2.0 * ext;
+        }
+        Some(parent)
+    }
+
+    /// The other half of this zone's parent. `None` for the root zone.
+    pub fn sibling(&self) -> Option<Zone> {
+        let d = self.last_split_dim()?;
+        let ext = self.hi[d] - self.lo[d];
+        let k = (self.lo[d] / ext).round() as i64;
+        let mut sib = self.clone();
+        if k % 2 == 0 {
+            sib.lo[d] = self.hi[d];
+            sib.hi[d] = self.hi[d] + ext;
+        } else {
+            sib.hi[d] = self.lo[d];
+            sib.lo[d] = self.lo[d] - ext;
+        }
+        Some(sib)
+    }
+
+    /// Merge with a sibling zone back into the parent. Only sibling merges
+    /// are allowed: they are exactly the merges that keep every zone a node
+    /// of the dyadic split tree (arbitrary face-mates can form an L-shaped
+    /// union or a box no sequence of CAN splits produces).
+    pub fn try_merge(&self, other: &Zone) -> Option<Zone> {
+        let sib = self.sibling()?;
+        if sib.same_box(other) {
+            self.parent()
+        } else {
+            None
+        }
+    }
+
     /// Whether two zones abut: they share a (d−1)-dimensional face,
     /// including across the torus seam — CAN's neighbour relation.
     pub fn is_neighbour(&self, other: &Zone) -> bool {
@@ -274,5 +385,72 @@ mod tests {
     #[should_panic(expected = "degenerate zone")]
     fn degenerate_zone_rejected() {
         Zone::from_bounds(vec![0.5], vec![0.5]);
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let z = Zone::whole(3);
+        assert_eq!(z.last_split_dim(), None);
+        assert!(z.parent().is_none());
+        assert!(z.sibling().is_none());
+    }
+
+    #[test]
+    fn split_children_merge_back() {
+        let z = Zone::whole(2);
+        let (a, b) = z.split(z.longest_dim());
+        assert!(a.sibling().unwrap().same_box(&b));
+        assert!(b.sibling().unwrap().same_box(&a));
+        assert!(a.parent().unwrap().same_box(&z));
+        assert!(a.try_merge(&b).unwrap().same_box(&z));
+        assert!(b.try_merge(&a).unwrap().same_box(&z));
+    }
+
+    #[test]
+    fn deep_split_chain_reconstructs_ancestry() {
+        // Drive a zone down 12 levels in 3-d, checking parent/sibling at
+        // every step against ground truth from the split itself.
+        let mut z = Zone::whole(3);
+        for step in 0..12usize {
+            let d = z.longest_dim();
+            assert_eq!(d, step % 3, "cyclic split order");
+            let (a, b) = z.split(d);
+            for half in [&a, &b] {
+                assert_eq!(half.last_split_dim(), Some(d));
+                assert!(half.parent().unwrap().same_box(&z));
+            }
+            assert!(a.sibling().unwrap().same_box(&b));
+            assert!(a.try_merge(&b).unwrap().same_box(&z));
+            // Descend into alternating halves.
+            z = if step % 2 == 0 { a } else { b };
+        }
+    }
+
+    #[test]
+    fn non_siblings_do_not_merge() {
+        let z = Zone::whole(2);
+        let (left, right) = z.split(0);
+        let (left_bot, left_top) = left.split(1);
+        let (right_bot, _) = right.split(1);
+        // Face-mates but not siblings: no merge.
+        assert!(left_bot.try_merge(&right_bot).is_none());
+        assert!(left_top.try_merge(&right_bot).is_none());
+        // A zone does not merge with itself.
+        assert!(left_bot.try_merge(&left_bot).is_none());
+        // Real siblings do.
+        assert!(left_bot.try_merge(&left_top).is_some());
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let z = Zone::whole(2);
+        let (a, b) = z.split(0);
+        assert!(z.contains_zone(&a));
+        assert!(z.contains_zone(&z));
+        assert!(!a.contains_zone(&z));
+        assert!(!a.overlaps(&b)); // abutting, zero shared volume
+        assert!(z.overlaps(&a));
+        assert!(a.same_box(&a));
+        assert!(!a.same_box(&b));
     }
 }

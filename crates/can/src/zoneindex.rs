@@ -132,6 +132,59 @@ impl ZoneIndex {
         out.dedup();
         out
     }
+
+    /// Cells under `[lo, hi]` in one dimension, inflated by one cell on
+    /// each side so zones merely *abutting* the box are found too, and
+    /// wrapped across the 0/1 seam (CAN's neighbour relation wraps).
+    fn abut_cells(&self, lo: f64, hi: f64) -> Vec<usize> {
+        let cell = 1.0 / self.res as f64;
+        let (a, b) = self.query_cells(lo - cell, hi + cell);
+        let mut out: Vec<usize> = (a..=b).collect();
+        if lo <= cell {
+            out.push(self.res - 1);
+        }
+        if hi >= 1.0 - cell {
+            out.push(0);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Node ids whose zones may overlap **or abut** the box `[lo, hi]`
+    /// (including across the torus seam) — a superset of the geometric
+    /// neighbours of a zone with those bounds, sorted and deduplicated.
+    /// Callers filter with the exact [`Zone::is_neighbour`] test.
+    pub fn box_candidates(&self, lo: &[f64], hi: &[f64]) -> Vec<u32> {
+        debug_assert!(lo.len() >= self.dims && hi.len() >= self.dims);
+        let xs = self.abut_cells(lo[0], hi[0]);
+        let mut out = Vec::new();
+        if self.dims == 1 {
+            for &x in &xs {
+                out.extend_from_slice(&self.cells[x]);
+            }
+        } else {
+            let ys = self.abut_cells(lo[1], hi[1]);
+            for &x in &xs {
+                for &y in &ys {
+                    out.extend_from_slice(&self.cells[x * self.res + y]);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every node id currently registered anywhere in the grid, sorted and
+    /// deduplicated — the index's notion of the live membership, used by
+    /// invariant checks to catch staleness.
+    pub fn ids(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self.cells.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 #[cfg(test)]

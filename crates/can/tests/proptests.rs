@@ -65,4 +65,59 @@ proptest! {
         prop_assert_eq!(!res.matches.is_empty(), should_match,
             "d={} r+qr={}", d, r + qr);
     }
+
+    /// Any interleaving of joins, graceful leaves and crash-stop failures
+    /// (with takeover + background repair) keeps the partition tiling the
+    /// space with exact symmetric neighbour lists — and a sphere published
+    /// up front is never false-dismissed over the survivors: every alive
+    /// node whose zones overlap it either holds a replica or adopted its
+    /// zone post-crash (restored by the next refresh), and a range query
+    /// still terminates with an explicit result.
+    #[test]
+    fn interleaved_churn_keeps_invariants(
+        dim in 1usize..4,
+        n in 4usize..24,
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0u8..3, any::<prop::sample::Index>()), 1..24),
+    ) {
+        let mut overlay = CanOverlay::bootstrap(CanConfig::new(dim).with_seed(seed), n);
+        let centre = vec![0.5; dim];
+        overlay.insert_sphere(
+            NodeId(0),
+            centre.clone(),
+            0.25,
+            ObjectRef { peer: 0, tag: 0, items: 1 },
+            true,
+        );
+        let mut point = vec![0.1; dim];
+        for (op, pick) in ops {
+            let alive = overlay.alive_ids();
+            match op {
+                0 => {
+                    // Join at a pseudo-random point, entering via an alive node.
+                    for (i, x) in point.iter_mut().enumerate() {
+                        *x = (*x + 0.37 + 0.11 * i as f64) % 1.0;
+                    }
+                    let entry = alive[pick.index(alive.len())];
+                    overlay.join(entry, &point.clone());
+                }
+                1 if alive.len() > 2 => {
+                    overlay.leave(alive[pick.index(alive.len())]);
+                }
+                _ if alive.len() > 2 => {
+                    overlay.fail(alive[pick.index(alive.len())]);
+                }
+                _ => {}
+            }
+            overlay.repair_to_quiescence(32);
+            overlay.check_invariants();
+        }
+        // No false dismissal over alive peers: peer 0 may have died (its
+        // object is then legitimately gone), otherwise the query finds it.
+        if overlay.is_alive(NodeId(0)) {
+            let from = overlay.alive_ids()[0];
+            let res = overlay.range_query(from, &centre, 0.01);
+            prop_assert_eq!(res.matches.len(), 1, "published sphere false-dismissed");
+        }
+    }
 }

@@ -15,17 +15,186 @@
 //! * against **alive** data: Hyper-M's no-false-dismissal property is
 //!   unaffected — everything still reachable is still found.
 //!
-//! Failed peers keep their overlay *routing* duties in this model: CAN
-//! zone takeover / BATON tree repair are orthogonal maintenance protocols
-//! from the substrate papers, out of scope here exactly as in the paper.
+//! Two churn models coexist:
+//!
+//! * **Flag-only** ([`HypermNetwork::fail_peer`] / `revive_peer`): the
+//!   failed peer stops answering fetches but keeps its overlay routing
+//!   duties — the paper's own model, where substrate maintenance is out of
+//!   scope. Reversible.
+//! * **Overlay-level** ([`HypermNetwork::crash_peer`] /
+//!   [`HypermNetwork::depart_peer`]): the peer's CAN nodes actually die in
+//!   every per-level overlay. With repair enabled the smallest-volume
+//!   neighbour takes each zone over (see `hyperm_can::repair`) and
+//!   [`HypermNetwork::refresh_peer_summaries`] — the soft-state republish
+//!   loop — restores the replicas that lived on the dead zones, so recall
+//!   over alive peers' data returns to 1. With repair disabled the zones
+//!   become routing holes and queries degrade, which is the baseline the
+//!   `churn_failures` experiment quantifies.
 
 use crate::network::HypermNetwork;
+use hyperm_can::ObjectRef;
+use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
+
+/// Cost record of an overlay-level membership change, summed over the
+/// per-level overlays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnOutcome {
+    /// Control + handoff + detection message cost across all levels.
+    pub stats: OpStats,
+    /// Sim-time ticks until every level's zones were owned again (levels
+    /// repair in parallel, so this is the per-level maximum).
+    pub takeover_rounds: u64,
+    /// Adoption events across all levels (zones that changed hands).
+    pub adoptions: usize,
+}
 
 impl HypermNetwork {
     /// Mark a peer as failed: it stops answering direct item fetches.
     pub fn fail_peer(&mut self, peer: usize) {
         assert!(peer < self.len(), "no such peer {peer}");
         self.failed_mut()[peer] = true;
+    }
+
+    /// Crash-stop a peer at the overlay level (CAN substrate): its node in
+    /// every per-level overlay dies, its local replicas are lost, and —
+    /// with `repair` — the smallest-volume alive neighbour takes each zone
+    /// over after the detection timeout. Without `repair`, the zones
+    /// become routing holes (the no-repair baseline). The peer also stops
+    /// answering fetches, like [`HypermNetwork::fail_peer`].
+    pub fn crash_peer(&mut self, peer: usize, repair: bool) -> ChurnOutcome {
+        assert!(peer < self.len(), "no such peer {peer}");
+        assert!(self.is_alive(peer), "peer {peer} already failed");
+        self.failed_mut()[peer] = true;
+        let mut out = ChurnOutcome {
+            stats: OpStats::zero(),
+            takeover_rounds: 0,
+            adoptions: 0,
+        };
+        for l in 0..self.levels() {
+            if repair {
+                let r = self.overlay_mut(l).fail_node(NodeId(peer));
+                out.stats += r.stats;
+                out.takeover_rounds = out.takeover_rounds.max(r.takeover_rounds);
+                out.adoptions += r.adopters.len();
+            } else {
+                out.stats += self.overlay_mut(l).fail_no_takeover(NodeId(peer));
+            }
+        }
+        out
+    }
+
+    /// Graceful departure: the peer unpublishes its summaries, hands every
+    /// zone (with the replicas stored on it) to the smallest-volume
+    /// neighbour, and leaves. No other peer's data is lost.
+    pub fn depart_peer(&mut self, peer: usize) -> ChurnOutcome {
+        assert!(peer < self.len(), "no such peer {peer}");
+        assert!(self.is_alive(peer), "peer {peer} already gone");
+        let mut out = ChurnOutcome {
+            stats: OpStats::zero(),
+            takeover_rounds: 0,
+            adoptions: 0,
+        };
+        // The departing peer's own data leaves with it: invalidate its
+        // published spheres before the zone handoff.
+        for l in 0..self.levels() {
+            let clusters = self.peer(peer).summaries[l].len();
+            for c in 0..clusters {
+                let (_, invalidation) = self.overlay_mut(l).remove_objects(peer, c as u64);
+                out.stats += invalidation;
+            }
+        }
+        self.failed_mut()[peer] = true;
+        for l in 0..self.levels() {
+            let r = self.overlay_mut(l).leave(NodeId(peer));
+            out.stats += r.stats;
+            out.takeover_rounds = out.takeover_rounds.max(r.takeover_rounds);
+            out.adoptions += r.adopters.len();
+        }
+        out
+    }
+
+    /// Run the background fragment-merge loop on every level until
+    /// quiescence; returns the total repair message cost.
+    pub fn repair_overlays(&mut self, max_passes: usize) -> OpStats {
+        let mut stats = OpStats::zero();
+        for l in 0..self.levels() {
+            stats += self.overlay_mut(l).repair_to_quiescence(max_passes);
+        }
+        stats
+    }
+
+    /// Zone fragments still awaiting background merge, over all levels.
+    pub fn fragment_count(&self) -> usize {
+        (0..self.levels())
+            .map(|l| self.overlay(l).fragment_count())
+            .sum()
+    }
+
+    /// Soft-state republish: re-insert every cluster sphere `peer` has
+    /// published, invalidating old replicas first. Replicas that were lost
+    /// on crashed zones are thereby restored — the TTL refresh loop of the
+    /// repair engine calls this periodically for every alive peer.
+    pub fn refresh_peer_summaries(&mut self, peer: usize) -> OpStats {
+        assert!(self.is_alive(peer), "dead peers cannot refresh");
+        let mut stats = OpStats::zero();
+        let replicate = self.config.replicate;
+        for l in 0..self.levels() {
+            let clusters = self.peer(peer).summaries[l].len();
+            for c in 0..clusters {
+                let (key, key_radius, items) = {
+                    let sp = &self.peer(peer).summaries[l][c];
+                    // Clamp-slack widening, as in the build-time
+                    // publication loop.
+                    let (key, slack) = self.keymap(l).to_key_slack(&sp.centroid);
+                    (
+                        key,
+                        self.keymap(l).to_key_radius(sp.radius) + slack,
+                        sp.items as u32,
+                    )
+                };
+                let (_, invalidation) = self.overlay_mut(l).remove_objects(peer, c as u64);
+                stats += invalidation;
+                let out = self.overlay_mut(l).insert_sphere(
+                    NodeId(peer),
+                    key,
+                    key_radius,
+                    ObjectRef {
+                        peer,
+                        tag: c as u64,
+                        items,
+                    },
+                    replicate,
+                );
+                stats += out.stats;
+            }
+        }
+        stats
+    }
+
+    /// Install (or clear) message-level fault injection on every level's
+    /// query traffic. Per-level injectors get decorrelated seeds.
+    pub fn set_fault_plan(&mut self, cfg: Option<FaultConfig>) {
+        for l in 0..self.levels() {
+            self.overlay_mut(l)
+                .set_faults(cfg.map(|c| c.with_seed(c.seed.wrapping_add(l as u64))));
+        }
+    }
+
+    /// Fault counters summed over all levels (`None` when injection is
+    /// off everywhere).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        let mut merged: Option<FaultReport> = None;
+        for l in 0..self.levels() {
+            if let Some(r) = self.overlay(l).fault_report() {
+                let m = merged.get_or_insert_with(FaultReport::default);
+                m.attempts += r.attempts;
+                m.drops += r.drops;
+                m.delays += r.delays;
+                m.dead_hops += r.dead_hops;
+                m.exhausted += r.exhausted;
+            }
+        }
+        merged
     }
 
     /// Bring a failed peer back (its local data was never lost, merely

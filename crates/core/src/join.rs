@@ -104,7 +104,15 @@ impl HypermNetwork {
         for l in 0..self.levels() {
             let dim = self.overlay(l).dim();
             let point: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
-            let entry = NodeId(rng.gen_range(0..self.overlay(l).len()));
+            // Entry node: resample until an alive node comes up (under
+            // churn, dead slots stay in the table; with everyone alive the
+            // RNG stream — and thus the whole join — is unchanged).
+            let entry = loop {
+                let e = NodeId(rng.gen_range(0..self.overlay(l).len()));
+                if self.overlay(l).is_node_alive(e) {
+                    break e;
+                }
+            };
             let Overlay::Can(can) = self.overlay_mut(l) else {
                 unreachable!("checked above")
             };
@@ -116,6 +124,8 @@ impl HypermNetwork {
                 hops: after.hops - before.hops,
                 messages: after.messages - before.messages,
                 bytes: after.bytes - before.bytes,
+                retries: after.retries - before.retries,
+                failed_routes: after.failed_routes - before.failed_routes,
             };
         }
 

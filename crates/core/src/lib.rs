@@ -58,6 +58,7 @@ pub mod peer;
 pub mod query;
 pub mod score;
 
+pub use churn::ChurnOutcome;
 pub use config::{HypermConfig, ScorePolicy};
 pub use eval::EvalHarness;
 pub use join::{JoinError, JoinReport};

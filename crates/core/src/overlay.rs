@@ -12,8 +12,10 @@
 //! actually runnable.
 
 use hyperm_baton::{BatonConfig, BatonOverlay};
-use hyperm_can::{CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
-use hyperm_sim::{NodeId, OpStats};
+use hyperm_can::{
+    CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, RepairOutcome, StoredObject,
+};
+use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
 use hyperm_vbi::{VbiConfig, VbiOverlay};
 
 /// Which overlay substrate to build per wavelet subspace.
@@ -159,6 +161,88 @@ impl Overlay {
             Overlay::Can(o) => o.check_invariants(),
             Overlay::Baton(o) => o.check_invariants(),
             Overlay::Vbi(o) => o.check_invariants(),
+        }
+    }
+
+    /// The CAN overlay inside, if this is the CAN substrate.
+    pub fn as_can(&self) -> Option<&CanOverlay> {
+        match self {
+            Overlay::Can(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the repair subsystem (leave/fail/takeover) is available —
+    /// the CAN substrate only; BATON/VBI tree repair is a different
+    /// protocol family, out of scope exactly as in the paper.
+    pub fn supports_repair(&self) -> bool {
+        matches!(self, Overlay::Can(_))
+    }
+
+    fn can_mut(&mut self, what: &str) -> &mut CanOverlay {
+        match self {
+            Overlay::Can(o) => o,
+            _ => panic!("{what} requires the CAN substrate"),
+        }
+    }
+
+    /// Whether a node participates in the overlay (always true on
+    /// substrates without a departure protocol).
+    pub fn is_node_alive(&self, id: NodeId) -> bool {
+        match self {
+            Overlay::Can(o) => o.is_alive(id),
+            _ => true,
+        }
+    }
+
+    /// Graceful departure with zone + replica handoff (CAN only; panics on
+    /// other substrates — gate on [`Overlay::supports_repair`]).
+    pub fn leave(&mut self, id: NodeId) -> RepairOutcome {
+        self.can_mut("leave").leave(id)
+    }
+
+    /// Crash-stop failure with neighbour takeover (CAN only).
+    pub fn fail_node(&mut self, id: NodeId) -> RepairOutcome {
+        self.can_mut("fail").fail(id)
+    }
+
+    /// Crash-stop failure with **no** takeover — the repair-off baseline
+    /// (CAN only). The zone becomes a routing hole.
+    pub fn fail_no_takeover(&mut self, id: NodeId) -> OpStats {
+        self.can_mut("fail_no_takeover").fail_no_takeover(id)
+    }
+
+    /// Run background fragment merges until quiescence (CAN only; a no-op
+    /// cost on substrates without fragments).
+    pub fn repair_to_quiescence(&mut self, max_passes: usize) -> OpStats {
+        match self {
+            Overlay::Can(o) => o.repair_to_quiescence(max_passes),
+            _ => OpStats::zero(),
+        }
+    }
+
+    /// Zone fragments awaiting background merge (0 on non-CAN substrates).
+    pub fn fragment_count(&self) -> usize {
+        match self {
+            Overlay::Can(o) => o.fragment_count(),
+            _ => 0,
+        }
+    }
+
+    /// Install (or clear) message-level fault injection on query traffic
+    /// (CAN only; ignored elsewhere).
+    pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
+        if let Overlay::Can(o) = self {
+            o.set_faults(cfg);
+        }
+    }
+
+    /// Fault counters accumulated so far (`None` when injection is off or
+    /// the substrate has none).
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        match self {
+            Overlay::Can(o) => o.fault_report(),
+            _ => None,
         }
     }
 }

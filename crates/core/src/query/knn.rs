@@ -167,6 +167,7 @@ impl HypermNetwork {
                     hops: 1,
                     messages: 1,
                     bytes: q_bytes,
+                    ..OpStats::zero()
                 };
                 continue;
             }

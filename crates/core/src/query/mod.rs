@@ -31,5 +31,6 @@ pub(crate) fn direct_fetch_cost(query_bytes: u64, response_bytes: u64) -> OpStat
         hops: 2,
         messages: 2,
         bytes: query_bytes + response_bytes,
+        ..OpStats::zero()
     }
 }

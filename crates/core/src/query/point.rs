@@ -70,6 +70,7 @@ impl HypermNetwork {
                     hops: 1,
                     messages: 1,
                     bytes: q_bytes,
+                    ..OpStats::zero()
                 };
                 continue;
             }

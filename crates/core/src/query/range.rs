@@ -105,6 +105,7 @@ impl HypermNetwork {
                     hops: 1,
                     messages: 1,
                     bytes: q_bytes,
+                    ..OpStats::zero()
                 };
                 continue;
             }

@@ -1,0 +1,505 @@
+//! Overlay repair engine: churn scheduling, takeover-driven zone repair
+//! and soft-state replica refresh for a Hyper-M network.
+//!
+//! The paper's MANET session is short-lived but not static: devices crash,
+//! walk away, and arrive late. [`hyperm_core`] provides the mechanisms —
+//! overlay-level crash/leave with CAN zone takeover
+//! (`HypermNetwork::crash_peer` / `depart_peer`), background fragment
+//! merges (`repair_overlays`) and soft-state summary republish
+//! (`refresh_peer_summaries`). This crate provides the *policy* that ties
+//! them to simulated time:
+//!
+//! * [`RepairEngine`] owns a network and a sim clock. Churn events go
+//!   through it; with repair enabled it runs the takeover + background
+//!   merge after every failure and fires each alive peer's periodic
+//!   summary refresh, which restores the replicas lost on crashed zones —
+//!   so range-query recall over alive peers' data returns to 1.0.
+//! * [`ChurnSchedule`] draws Poisson crash/departure/arrival processes
+//!   over a sim-time horizon (exponential inter-arrival times, seeded),
+//!   and [`RepairEngine::run_schedule`] executes them in time order,
+//!   interleaving the refresh loop.
+//!
+//! The engine never decides *who* crashes at schedule-build time: victims
+//! are sampled at execution among the currently alive, unprotected peers,
+//! so a schedule stays valid for any interleaving of joins.
+
+#![warn(missing_docs)]
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{ChurnOutcome, HypermNetwork, JoinError};
+use hyperm_sim::{FaultConfig, OpStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Policy knobs of the repair engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Master switch: with `false`, crashes leave routing holes (no
+    /// takeover) and the refresh loop is off — the paper-faithful baseline
+    /// the `churn_failures` experiment compares against.
+    pub enabled: bool,
+    /// Sim-time ticks between two summary refreshes of the same peer. The
+    /// soft-state TTL story: every published sphere is re-inserted at this
+    /// period, so replicas lost to a crash are absent for at most one
+    /// period (plus the takeover detection time).
+    pub refresh_interval: u64,
+    /// Budget of background merge passes run after each churn event.
+    pub max_repair_passes: usize,
+    /// Optional message-level fault plan installed on query traffic.
+    pub fault_plan: Option<FaultConfig>,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            refresh_interval: 50,
+            max_repair_passes: 32,
+            fault_plan: None,
+        }
+    }
+}
+
+impl RepairConfig {
+    /// Builder-style master switch.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Builder-style refresh period override.
+    pub fn with_refresh_interval(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "refresh interval must be positive");
+        self.refresh_interval = ticks;
+        self
+    }
+
+    /// Builder-style fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultConfig) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Aggregate counters of everything the engine did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairStats {
+    /// Crash-stop failures processed.
+    pub crashes: u64,
+    /// Graceful departures processed.
+    pub departures: u64,
+    /// Live joins processed.
+    pub arrivals: u64,
+    /// Summary refreshes fired (one per peer per due period).
+    pub refreshes: u64,
+    /// Repair-protocol message cost: detection, takeover claims, zone and
+    /// replica handoffs, background merges, neighbour updates.
+    pub repair: OpStats,
+    /// Soft-state republish message cost (invalidations + re-inserts).
+    pub refresh: OpStats,
+    /// Worst takeover latency observed, in sim ticks (detection timeout +
+    /// handshake; the ISSUE's "takeover latency in sim time").
+    pub max_takeover_rounds: u64,
+}
+
+impl RepairStats {
+    /// Total maintenance messages (repair + refresh).
+    pub fn total_messages(&self) -> u64 {
+        self.repair.messages + self.refresh.messages
+    }
+}
+
+/// A Hyper-M network plus a sim clock and the repair/refresh policy.
+#[derive(Debug)]
+pub struct RepairEngine {
+    net: HypermNetwork,
+    cfg: RepairConfig,
+    now: u64,
+    /// Per peer: when its summaries were last (re)published.
+    last_refresh: Vec<u64>,
+    stats: RepairStats,
+}
+
+impl RepairEngine {
+    /// Wrap a freshly built network. Installs the fault plan, if any;
+    /// publication time is taken as `t = 0` for every peer's refresh
+    /// timer.
+    pub fn new(mut net: HypermNetwork, cfg: RepairConfig) -> Self {
+        net.set_fault_plan(cfg.fault_plan);
+        let n = net.len();
+        Self {
+            net,
+            cfg,
+            now: 0,
+            last_refresh: vec![0; n],
+            stats: RepairStats::default(),
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &HypermNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the wrapped network (e.g. for queries that need
+    /// `&mut`, or manual maintenance).
+    pub fn network_mut(&mut self) -> &mut HypermNetwork {
+        &mut self.net
+    }
+
+    /// Current sim time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &RepairStats {
+        &self.stats
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &RepairConfig {
+        &self.cfg
+    }
+
+    /// Advance the clock to `t`, firing every summary refresh that falls
+    /// due on the way (repair enabled only). Refreshes fire in due-time
+    /// order, peers tie-breaking by id, so runs are deterministic.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(t >= self.now, "time cannot go backwards");
+        if self.cfg.enabled {
+            loop {
+                // Earliest due refresh within (now, t].
+                let due = (0..self.net.len())
+                    .filter(|&p| self.net.is_alive(p))
+                    .map(|p| (self.last_refresh[p] + self.cfg.refresh_interval, p))
+                    .filter(|&(d, _)| d <= t)
+                    .min();
+                let Some((due_t, peer)) = due else { break };
+                self.now = self.now.max(due_t);
+                self.refresh_peer(peer);
+            }
+        }
+        self.now = t;
+    }
+
+    /// Republish one peer's summaries now (restores its replicas
+    /// everywhere, including zones re-owned after a crash).
+    pub fn refresh_peer(&mut self, peer: usize) {
+        self.stats.refresh += self.net.refresh_peer_summaries(peer);
+        self.stats.refreshes += 1;
+        self.last_refresh[peer] = self.now;
+    }
+
+    /// Republish every alive peer's summaries now — the "one full refresh
+    /// period elapsed" fast-forward used by tests and experiments.
+    pub fn refresh_all(&mut self) {
+        for p in 0..self.net.len() {
+            if self.net.is_alive(p) {
+                self.refresh_peer(p);
+            }
+        }
+    }
+
+    /// Crash-stop `peer` at the current time. With repair enabled: zone
+    /// takeover, then background merges. Returns the churn outcome (the
+    /// repair-off baseline only pays detection).
+    pub fn crash(&mut self, peer: usize) -> ChurnOutcome {
+        let out = self.net.crash_peer(peer, self.cfg.enabled);
+        self.stats.crashes += 1;
+        self.stats.repair += out.stats;
+        self.stats.max_takeover_rounds = self.stats.max_takeover_rounds.max(out.takeover_rounds);
+        if self.cfg.enabled {
+            self.stats.repair += self.net.repair_overlays(self.cfg.max_repair_passes);
+        }
+        out
+    }
+
+    /// Graceful departure of `peer` at the current time (always performs
+    /// the zone/replica handoff — a leaving node cooperates even when the
+    /// failure-repair machinery is disabled).
+    pub fn depart(&mut self, peer: usize) -> ChurnOutcome {
+        let out = self.net.depart_peer(peer);
+        self.stats.departures += 1;
+        self.stats.repair += out.stats;
+        self.stats.max_takeover_rounds = self.stats.max_takeover_rounds.max(out.takeover_rounds);
+        self.stats.repair += self.net.repair_overlays(self.cfg.max_repair_passes);
+        out
+    }
+
+    /// A latecomer joins with its collection (delegates to
+    /// [`HypermNetwork::join_peer`]).
+    pub fn join(&mut self, items: Dataset) -> Result<usize, JoinError> {
+        let report = self.net.join_peer(items)?;
+        self.stats.arrivals += 1;
+        self.last_refresh.push(self.now);
+        Ok(report.peer)
+    }
+
+    /// Execute a churn schedule: events fire in time order with the
+    /// refresh loop interleaved; victims are drawn uniformly from the
+    /// alive peers not in `schedule.protect`. Events that cannot fire
+    /// (nobody left to kill, arrival generator exhausted) are skipped and
+    /// counted in the report.
+    pub fn run_schedule<F>(&mut self, schedule: &ChurnSchedule, mut make_peer: F) -> ScheduleReport
+    where
+        F: FnMut(usize) -> Option<Dataset>,
+    {
+        let mut rng = StdRng::seed_from_u64(schedule.seed ^ 0x5eed_c0de);
+        let mut report = ScheduleReport::default();
+        for ev in &schedule.events {
+            self.advance_to(ev.time);
+            match ev.kind {
+                ChurnEventKind::Crash | ChurnEventKind::Depart => {
+                    let victims: Vec<usize> = (0..self.net.len())
+                        .filter(|&p| self.net.is_alive(p) && !schedule.protect.contains(&p))
+                        .collect();
+                    if victims.len() <= 1 || self.net.alive_count() <= 2 {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    let victim = victims[rng.gen_range(0..victims.len())];
+                    let out = match ev.kind {
+                        ChurnEventKind::Crash => {
+                            report.crashes += 1;
+                            self.crash(victim)
+                        }
+                        _ => {
+                            report.departures += 1;
+                            self.depart(victim)
+                        }
+                    };
+                    report.max_takeover_rounds =
+                        report.max_takeover_rounds.max(out.takeover_rounds);
+                }
+                ChurnEventKind::Arrive => match make_peer(self.net.len()) {
+                    Some(items) => {
+                        if self.join(items).is_ok() {
+                            report.arrivals += 1;
+                        } else {
+                            report.skipped += 1;
+                        }
+                    }
+                    None => report.skipped += 1,
+                },
+            }
+        }
+        self.advance_to(schedule.horizon);
+        report
+    }
+}
+
+/// What happened while executing a [`ChurnSchedule`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Departure events executed.
+    pub departures: u64,
+    /// Arrival events executed.
+    pub arrivals: u64,
+    /// Events skipped (no eligible victim / no data for an arrival).
+    pub skipped: u64,
+    /// Worst takeover latency among the executed events (sim ticks).
+    pub max_takeover_rounds: u64,
+}
+
+/// Kind of a scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEventKind {
+    /// Crash-stop failure of a random alive peer.
+    Crash,
+    /// Graceful departure of a random alive peer.
+    Depart,
+    /// A new peer arrives and joins.
+    Arrive,
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Sim time at which the event fires.
+    pub time: u64,
+    /// What happens.
+    pub kind: ChurnEventKind,
+}
+
+/// A pre-drawn sequence of churn events over a sim-time horizon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    /// Events in non-decreasing time order.
+    pub events: Vec<ChurnEvent>,
+    /// End of the simulated session (the engine advances here after the
+    /// last event, letting trailing refreshes fire).
+    pub horizon: u64,
+    /// Peers never selected as victims (e.g. the querying peer).
+    pub protect: Vec<usize>,
+    /// Seed for victim selection at execution time.
+    pub seed: u64,
+}
+
+impl ChurnSchedule {
+    /// Draw independent Poisson processes for crashes, departures and
+    /// arrivals over `[0, horizon]`. Rates are events per tick; a rate of
+    /// 0 disables that process. Inter-arrival gaps are exponential
+    /// (`dt = −ln(1−u)/rate`), rounded up to at least one tick.
+    pub fn poisson(
+        horizon: u64,
+        crash_rate: f64,
+        depart_rate: f64,
+        arrival_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(horizon > 0, "empty horizon");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for (rate, kind) in [
+            (crash_rate, ChurnEventKind::Crash),
+            (depart_rate, ChurnEventKind::Depart),
+            (arrival_rate, ChurnEventKind::Arrive),
+        ] {
+            assert!(rate >= 0.0 && rate.is_finite(), "bad rate {rate}");
+            if rate <= 0.0 {
+                continue;
+            }
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen();
+                t += -(1.0 - u).ln() / rate;
+                // `t` can go NaN-free infinite only via ln(0); either way
+                // anything not strictly inside the horizon ends the draw.
+                if t >= horizon as f64 || !t.is_finite() {
+                    break;
+                }
+                events.push(ChurnEvent {
+                    time: (t.ceil() as u64).max(1),
+                    kind,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.time);
+        Self {
+            events,
+            horizon,
+            protect: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Builder-style victim protection list.
+    pub fn with_protect(mut self, protect: Vec<usize>) -> Self {
+        self.protect = protect;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperm_core::HypermConfig;
+
+    fn data(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ds = Dataset::new(8);
+        let mut row = [0.0f64; 8];
+        let centre: f64 = rng.gen::<f64>() * 0.5;
+        for _ in 0..n {
+            for x in row.iter_mut() {
+                *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+            }
+            ds.push_row(&row);
+        }
+        ds
+    }
+
+    fn build(n_peers: usize, seed: u64) -> HypermNetwork {
+        let peers: Vec<Dataset> = (0..n_peers)
+            .map(|p| data(seed * 100 + p as u64, 20))
+            .collect();
+        let cfg = HypermConfig::new(8)
+            .with_levels(3)
+            .with_clusters_per_peer(3)
+            .with_seed(seed);
+        HypermNetwork::build(peers, cfg).unwrap().0
+    }
+
+    #[test]
+    fn crash_then_refresh_restores_alive_recall() {
+        let mut eng = RepairEngine::new(build(10, 1), RepairConfig::default());
+        eng.crash(4);
+        eng.crash(7);
+        eng.refresh_all();
+        let net = eng.network();
+        // Every alive item is still found.
+        for p in 0..net.len() {
+            if !net.is_alive(p) || p == 4 || p == 7 {
+                continue;
+            }
+            let q = net.peer(p).items.row(0).to_vec();
+            let res = net.range_query(0, &q, 1e-9, None);
+            assert!(res.items.contains(&(p, 0)), "peer {p} item lost");
+        }
+        assert!(eng.stats().crashes == 2 && eng.stats().refreshes > 0);
+        assert!(eng.stats().max_takeover_rounds >= hyperm_can::DETECT_TICKS);
+    }
+
+    #[test]
+    fn advance_fires_periodic_refreshes() {
+        let cfg = RepairConfig::default().with_refresh_interval(10);
+        let mut eng = RepairEngine::new(build(4, 2), cfg);
+        eng.advance_to(35);
+        // 4 peers × 3 due periods (t=10, 20, 30).
+        assert_eq!(eng.stats().refreshes, 12);
+        assert_eq!(eng.now(), 35);
+    }
+
+    #[test]
+    fn disabled_engine_skips_refresh_and_takeover() {
+        let cfg = RepairConfig::default().with_enabled(false);
+        let mut eng = RepairEngine::new(build(6, 3), cfg);
+        eng.crash(2);
+        eng.advance_to(1_000);
+        assert_eq!(eng.stats().refreshes, 0);
+        assert_eq!(eng.stats().max_takeover_rounds, 0);
+        // The hole is real: overlay invariants are intentionally broken,
+        // but queries still terminate (no panic) and may just miss data.
+        let net = eng.network();
+        let q = net.peer(1).items.row(0).to_vec();
+        let _ = net.range_query(0, &q, 0.2, None);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_and_ordered() {
+        let a = ChurnSchedule::poisson(500, 0.02, 0.01, 0.005, 9);
+        let b = ChurnSchedule::poisson(500, 0.02, 0.01, 0.005, 9);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+        assert!(a.events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(a.events.iter().all(|e| e.time >= 1 && e.time <= 500));
+    }
+
+    #[test]
+    fn schedule_execution_respects_protection() {
+        let net = build(8, 4);
+        let mut eng = RepairEngine::new(net, RepairConfig::default());
+        let sched = ChurnSchedule::poisson(300, 0.03, 0.01, 0.0, 11).with_protect(vec![0]);
+        let report = eng.run_schedule(&sched, |_| None);
+        assert!(eng.network().is_alive(0), "protected peer was killed");
+        assert!(report.crashes + report.departures > 0);
+        assert_eq!(eng.now(), 300);
+        // Structure stays sound under repair.
+        for l in 0..eng.network().levels() {
+            eng.network().overlay(l).check_invariants();
+        }
+    }
+
+    #[test]
+    fn arrivals_join_through_schedule() {
+        let mut eng = RepairEngine::new(build(5, 5), RepairConfig::default());
+        let sched = ChurnSchedule::poisson(200, 0.0, 0.0, 0.02, 13);
+        let expected = sched.events.len() as u64;
+        let report = eng.run_schedule(&sched, |id| Some(data(900 + id as u64, 10)));
+        assert_eq!(report.arrivals, expected);
+        assert_eq!(eng.network().len(), 5 + expected as usize);
+    }
+}

@@ -95,6 +95,7 @@ mod tests {
             hops: 3,
             messages: 3,
             bytes: 1_000_000,
+            ..OpStats::zero()
         };
         // 20 nJ/byte × 1e6 bytes = 2e7 nJ = 0.02 J.
         assert!((m.op_joules(op) - 0.02).abs() < 1e-12);
@@ -106,6 +107,7 @@ mod tests {
             hops: 100,
             messages: 100,
             bytes: 1 << 30,
+            ..OpStats::zero()
         };
         assert_eq!(EnergyModel::zero().op_joules(op), 0.0);
     }
@@ -117,11 +119,13 @@ mod tests {
             hops: 10,
             messages: 10,
             bytes: 10 * 100,
+            ..OpStats::zero()
         };
         let per_item = OpStats {
             hops: 1000,
             messages: 1000,
             bytes: 1000 * 100,
+            ..OpStats::zero()
         };
         assert!(m.op_joules(clustered) < m.op_joules(per_item) / 50.0);
     }

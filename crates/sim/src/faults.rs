@@ -1,0 +1,303 @@
+//! Message-level fault injection.
+//!
+//! The paper's MANET setting loses messages all the time — radios fade,
+//! devices sleep, owners walk away mid-query — yet the baseline simulator
+//! assumed every hop succeeds. [`FaultInjector`] perturbs individual hop
+//! deliveries: a message can be **dropped** (retransmitted up to a bounded
+//! retry budget), **delayed** (extra ticks on the critical path), or hit a
+//! **dead recipient** (no retry helps; the sender must reroute around it).
+//!
+//! Each logical hop is resolved through its own tiny [`EventQueue`]
+//! timeline: the first transmission fires at `t = 0`, every retransmission
+//! is scheduled `retry_timeout` ticks after the drop it answers, and the
+//! returned tick count is the sim-time the hop occupied — so delays and
+//! retries lengthen an operation's *rounds* (critical path) exactly like
+//! any other queued message in the scheduler model.
+//!
+//! The injector is deterministic: a seeded [`StdRng`] drives all rolls, so
+//! a single-threaded run with the same seed replays the same fault
+//! sequence. (Under parallel per-level querying the interleaving of hops —
+//! and hence the fault assignment — depends on thread timing; experiments
+//! that need bitwise reproducibility run with parallel querying off.)
+
+use crate::event::{EventQueue, SimTime};
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-hop fault probabilities and the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a transmission is lost (retransmitted up to
+    /// [`FaultConfig::max_retries`] times).
+    pub drop_prob: f64,
+    /// Probability that a delivered transmission is delayed.
+    pub delay_prob: f64,
+    /// Maximum extra ticks a delayed delivery adds (uniform in
+    /// `1..=max_delay`).
+    pub max_delay: u64,
+    /// Probability that the hop's recipient is unresponsive for the whole
+    /// operation (a crashed-but-undetected owner): no retry helps, the
+    /// sender must reroute around it.
+    pub dead_prob: f64,
+    /// Retransmissions allowed per hop before giving up.
+    pub max_retries: u32,
+    /// Ticks between a drop and its retransmission.
+    pub retry_timeout: u64,
+    /// RNG seed for the fault rolls.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 4,
+            dead_prob: 0.0,
+            max_retries: 3,
+            retry_timeout: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossy-link profile: messages drop with `drop_prob`, everything
+    /// else at defaults.
+    pub fn lossy(drop_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob), "probability range");
+        Self {
+            drop_prob,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style delay profile.
+    pub fn with_delay(mut self, delay_prob: f64, max_delay: u64) -> Self {
+        assert!((0.0..=1.0).contains(&delay_prob), "probability range");
+        self.delay_prob = delay_prob;
+        self.max_delay = max_delay.max(1);
+        self
+    }
+
+    /// Builder-style dead-recipient probability.
+    pub fn with_dead_prob(mut self, dead_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dead_prob), "probability range");
+        self.dead_prob = dead_prob;
+        self
+    }
+
+    /// Whether this configuration can ever perturb a delivery.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.delay_prob > 0.0 || self.dead_prob > 0.0
+    }
+}
+
+/// Aggregate fault counters since injector creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Transmissions attempted (first sends + retransmissions).
+    pub attempts: u64,
+    /// Transmissions lost.
+    pub drops: u64,
+    /// Deliveries delayed.
+    pub delays: u64,
+    /// Hops that hit an unresponsive recipient.
+    pub dead_hops: u64,
+    /// Hops abandoned after exhausting the retry budget.
+    pub exhausted: u64,
+}
+
+/// How one logical hop resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopDelivery {
+    /// The message arrived after `attempts` transmissions, `ticks` of sim
+    /// time after the first send.
+    Delivered {
+        /// Transmissions used (1 = no drop).
+        attempts: u32,
+        /// Sim-time ticks the hop occupied (≥ 1).
+        ticks: u64,
+    },
+    /// The message never arrived: dead recipient or retry budget exhausted.
+    Unreachable {
+        /// Transmissions wasted.
+        attempts: u32,
+        /// Sim-time ticks burnt before giving up.
+        ticks: u64,
+    },
+}
+
+/// Deterministic per-hop fault roller (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: StdRng,
+    report: FaultReport,
+}
+
+impl FaultInjector {
+    /// Build an injector from a configuration (seeds the RNG).
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            report: FaultReport::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn report(&self) -> FaultReport {
+        self.report
+    }
+
+    /// Resolve one logical hop: play the transmission/retry timeline on an
+    /// event queue and report how (and whether) the message got through.
+    pub fn hop(&mut self) -> HopDelivery {
+        // Payload = attempt number; each retransmission is a later event.
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        queue.push(SimTime(0), NodeId(0), 0);
+        while let Some(ev) = queue.pop() {
+            let attempt = ev.payload;
+            self.report.attempts += 1;
+            if self.rng.gen::<f64>() < self.cfg.dead_prob {
+                // Recipient is down: retrying cannot help.
+                self.report.dead_hops += 1;
+                return HopDelivery::Unreachable {
+                    attempts: attempt + 1,
+                    ticks: ev.time.0 + self.cfg.retry_timeout,
+                };
+            }
+            if self.rng.gen::<f64>() < self.cfg.drop_prob {
+                self.report.drops += 1;
+                if attempt < self.cfg.max_retries {
+                    queue.push(
+                        SimTime(ev.time.0 + self.cfg.retry_timeout.max(1)),
+                        NodeId(0),
+                        attempt + 1,
+                    );
+                    continue;
+                }
+                self.report.exhausted += 1;
+                return HopDelivery::Unreachable {
+                    attempts: attempt + 1,
+                    ticks: ev.time.0 + self.cfg.retry_timeout,
+                };
+            }
+            let mut ticks = ev.time.0 + 1;
+            if self.rng.gen::<f64>() < self.cfg.delay_prob {
+                self.report.delays += 1;
+                ticks += self.rng.gen_range(1..=self.cfg.max_delay.max(1));
+            }
+            return HopDelivery::Delivered {
+                attempts: attempt + 1,
+                ticks,
+            };
+        }
+        unreachable!("the first transmission is always queued")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_hops_are_clean() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        for _ in 0..50 {
+            assert_eq!(
+                inj.hop(),
+                HopDelivery::Delivered {
+                    attempts: 1,
+                    ticks: 1
+                }
+            );
+        }
+        assert_eq!(inj.report().drops, 0);
+        assert_eq!(inj.report().attempts, 50);
+    }
+
+    #[test]
+    fn drops_trigger_bounded_retries() {
+        let mut inj = FaultInjector::new(FaultConfig::lossy(1.0).with_seed(1));
+        // Certain drop: every hop exhausts max_retries + 1 attempts.
+        let out = inj.hop();
+        match out {
+            HopDelivery::Unreachable { attempts, ticks } => {
+                assert_eq!(attempts, 4); // 1 + max_retries(3)
+                assert!(ticks >= 3);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(inj.report().exhausted, 1);
+    }
+
+    #[test]
+    fn moderate_loss_usually_delivers_with_retries() {
+        let mut inj = FaultInjector::new(FaultConfig::lossy(0.3).with_seed(2));
+        let mut delivered = 0u32;
+        let mut retried = 0u32;
+        for _ in 0..500 {
+            match inj.hop() {
+                HopDelivery::Delivered { attempts, .. } => {
+                    delivered += 1;
+                    if attempts > 1 {
+                        retried += 1;
+                    }
+                }
+                HopDelivery::Unreachable { .. } => {}
+            }
+        }
+        // P(4 consecutive drops) = 0.81% — overwhelmingly delivered.
+        assert!(delivered > 480, "delivered {delivered}");
+        assert!(retried > 50, "retried {retried}");
+    }
+
+    #[test]
+    fn dead_recipient_fails_without_retry() {
+        let mut inj = FaultInjector::new(FaultConfig::default().with_dead_prob(1.0));
+        match inj.hop() {
+            HopDelivery::Unreachable { attempts, .. } => assert_eq!(attempts, 1),
+            other => panic!("expected unreachable, got {other:?}"),
+        }
+        assert_eq!(inj.report().dead_hops, 1);
+    }
+
+    #[test]
+    fn delays_stretch_ticks() {
+        let mut inj = FaultInjector::new(FaultConfig::default().with_delay(1.0, 5).with_seed(3));
+        for _ in 0..50 {
+            match inj.hop() {
+                HopDelivery::Delivered { ticks, .. } => {
+                    assert!((2..=6).contains(&ticks), "ticks {ticks}")
+                }
+                other => panic!("expected delivery, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.report().delays, 50);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let cfg = FaultConfig::lossy(0.4).with_delay(0.3, 4).with_seed(9);
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        for _ in 0..200 {
+            assert_eq!(a.hop(), b.hop());
+        }
+        assert_eq!(a.report(), b.report());
+    }
+}

@@ -14,6 +14,9 @@
 //!   to drain the queue is the *makespan* of a parallel insertion;
 //! * [`stats`] — cheap atomic counters for messages/bytes and per-operation
 //!   `OpStats` records (hops are the paper's primary metric);
+//! * [`faults`] — deterministic message-level fault injection (per-hop
+//!   drop/delay/dead-recipient with bounded retry), each hop resolved on
+//!   its own event-queue timeline;
 //! * [`energy`] — per-byte/per-message radio energy accounting with
 //!   Bluetooth-class constants, used to substantiate the "energy efficient"
 //!   claim of the abstract;
@@ -25,11 +28,13 @@
 
 pub mod energy;
 pub mod event;
+pub mod faults;
 pub mod stats;
 pub mod underlay;
 
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue, Scheduler, SimTime};
+pub use faults::{FaultConfig, FaultInjector, FaultReport, HopDelivery};
 pub use stats::{LatencyStats, NetStats, OpStats};
 pub use underlay::{Underlay, UnderlayConfig};
 

@@ -17,6 +17,11 @@ pub struct OpStats {
     pub messages: u64,
     /// Payload bytes moved across all messages.
     pub bytes: u64,
+    /// Retransmissions after per-hop message drops (fault injection).
+    pub retries: u64,
+    /// Routing attempts that terminated without reaching an owner
+    /// (dead end in a damaged topology, hop-cap, or retry exhaustion).
+    pub failed_routes: u64,
 }
 
 impl OpStats {
@@ -31,6 +36,15 @@ impl OpStats {
             hops: 1,
             messages: 1,
             bytes,
+            ..Self::zero()
+        }
+    }
+
+    /// Record of one routing attempt that never reached an owner.
+    pub fn one_failed_route() -> Self {
+        Self {
+            failed_routes: 1,
+            ..Self::zero()
         }
     }
 }
@@ -42,6 +56,8 @@ impl std::ops::Add for OpStats {
             hops: self.hops + rhs.hops,
             messages: self.messages + rhs.messages,
             bytes: self.bytes + rhs.bytes,
+            retries: self.retries + rhs.retries,
+            failed_routes: self.failed_routes + rhs.failed_routes,
         }
     }
 }
@@ -64,6 +80,8 @@ pub struct NetStats {
     hops: AtomicU64,
     messages: AtomicU64,
     bytes: AtomicU64,
+    retries: AtomicU64,
+    failed_routes: AtomicU64,
     operations: AtomicU64,
 }
 
@@ -78,6 +96,9 @@ impl NetStats {
         self.hops.fetch_add(op.hops, Ordering::Relaxed);
         self.messages.fetch_add(op.messages, Ordering::Relaxed);
         self.bytes.fetch_add(op.bytes, Ordering::Relaxed);
+        self.retries.fetch_add(op.retries, Ordering::Relaxed);
+        self.failed_routes
+            .fetch_add(op.failed_routes, Ordering::Relaxed);
         self.operations.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -87,6 +108,8 @@ impl NetStats {
             hops: self.hops.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            failed_routes: self.failed_routes.load(Ordering::Relaxed),
         }
     }
 
@@ -179,6 +202,7 @@ mod tests {
             hops: 2,
             messages: 3,
             bytes: 100,
+            ..OpStats::zero()
         };
         let b = OpStats::one_hop(50);
         let c = a + b;
@@ -187,7 +211,8 @@ mod tests {
             OpStats {
                 hops: 3,
                 messages: 4,
-                bytes: 150
+                bytes: 150,
+                ..OpStats::zero()
             }
         );
         let sum: OpStats = [a, b, c].into_iter().sum();
@@ -204,7 +229,8 @@ mod tests {
             OpStats {
                 hops: 2,
                 messages: 2,
-                bytes: 30
+                bytes: 30,
+                ..OpStats::zero()
             }
         );
     }
@@ -216,18 +242,21 @@ mod tests {
             hops: 4,
             messages: 5,
             bytes: 64,
+            ..OpStats::zero()
         });
         stats.record(OpStats {
             hops: 2,
             messages: 2,
             bytes: 32,
+            ..OpStats::zero()
         });
         assert_eq!(
             stats.totals(),
             OpStats {
                 hops: 6,
                 messages: 7,
-                bytes: 96
+                bytes: 96,
+                ..OpStats::zero()
             }
         );
         assert_eq!(stats.operations(), 2);

@@ -99,6 +99,7 @@ impl VbiOverlay {
             hops: removed as u64,
             messages: removed as u64,
             bytes: removed as u64 * 24,
+            ..OpStats::zero()
         };
         (removed, stats)
     }
@@ -151,6 +152,7 @@ impl VbiOverlay {
             hops: nv as u64,
             messages: nv as u64,
             bytes: resp_bytes,
+            ..OpStats::zero()
         };
         RangeOutcome {
             matches,

@@ -71,6 +71,7 @@ fn main() {
             hops: (s.hops as f64 * stretch) as u64,
             messages: (s.messages as f64 * stretch) as u64,
             bytes: (s.bytes as f64 * stretch) as u64,
+            ..OpStats::zero()
         };
         energy.op_joules(phys)
     };

@@ -19,7 +19,9 @@
 //! * [`sim`](mod@sim) — cost accounting, energy model and MANET underlay;
 //! * [`datagen`](mod@datagen) — the paper's synthetic workloads;
 //! * [`baseline`](mod@baseline) — per-item CAN baselines and the flat
-//!   ground-truth index.
+//!   ground-truth index;
+//! * [`repair`](mod@repair) — the overlay repair engine: churn schedules,
+//!   zone takeover and soft-state replica refresh.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and DESIGN.md
 //! for the experiment index.
@@ -33,6 +35,7 @@ pub use hyperm_cluster as cluster;
 pub use hyperm_core as core;
 pub use hyperm_datagen as datagen;
 pub use hyperm_geometry as geometry;
+pub use hyperm_repair as repair;
 pub use hyperm_sim as sim;
 pub use hyperm_vbi as vbi;
 pub use hyperm_wavelet as wavelet;
@@ -43,5 +46,6 @@ pub use hyperm_core::{
     BuildReport, EvalHarness, HypermConfig, HypermNetwork, InsertPolicy, KnnOptions, Overlay,
     OverlayBackend, ScorePolicy,
 };
-pub use hyperm_sim::{EnergyModel, NodeId, OpStats};
+pub use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
+pub use hyperm_sim::{EnergyModel, FaultConfig, NodeId, OpStats};
 pub use hyperm_wavelet::Normalization;

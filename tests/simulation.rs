@@ -48,6 +48,7 @@ fn overlay_traffic_expands_onto_the_underlay() {
         hops: (report.insertion.hops as f64 * stretch) as u64,
         messages: (report.insertion.messages as f64 * stretch) as u64,
         bytes: (report.insertion.bytes as f64 * stretch) as u64,
+        ..OpStats::zero()
     };
     let e = EnergyModel::bluetooth_class2();
     assert!(e.op_joules(phys) > e.op_joules(report.insertion));
