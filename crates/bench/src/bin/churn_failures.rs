@@ -25,6 +25,7 @@ use hyperm_cluster::Dataset;
 use hyperm_core::{HypermConfig, HypermNetwork};
 use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
 use hyperm_sim::FaultConfig;
+use hyperm_telemetry::JsonObj;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -103,20 +104,16 @@ struct CellReport {
 }
 
 impl CellReport {
-    fn json(&self) -> String {
-        format!(
-            "{{\"recall_all\": {:.4}, \"recall_alive\": {:.4}, \"msgs_per_query\": {:.1}, \
-             \"failed_routes\": {}, \"repair_messages\": {}, \"repair_bytes\": {}, \
-             \"refresh_messages\": {}, \"takeover_rounds\": {}}}",
-            self.recall_all,
-            self.recall_alive,
-            self.msgs_per_query,
-            self.failed_routes,
-            self.repair_msgs,
-            self.repair_bytes,
-            self.refresh_msgs,
-            self.takeover_rounds
-        )
+    fn json(&self) -> JsonObj {
+        JsonObj::new()
+            .f("recall_all", self.recall_all, 4)
+            .f("recall_alive", self.recall_alive, 4)
+            .f("msgs_per_query", self.msgs_per_query, 1)
+            .u("failed_routes", self.failed_routes)
+            .u("repair_messages", self.repair_msgs)
+            .u("repair_bytes", self.repair_bytes)
+            .u("refresh_messages", self.refresh_msgs)
+            .u("takeover_rounds", self.takeover_rounds)
     }
 }
 
@@ -210,13 +207,14 @@ fn main() {
                 cell.takeover_rounds.to_string(),
             ]);
         }
-        sweep_json.push(format!(
-            "    {{\"fail_frac\": {:.2}, \"failed\": {}, \"repair\": {}, \"no_repair\": {}}}",
-            fail_frac,
-            n_fail,
-            on.json(),
-            off.json()
-        ));
+        sweep_json.push(
+            JsonObj::new()
+                .f("fail_frac", fail_frac, 2)
+                .u("failed", n_fail as u64)
+                .obj("repair", on.json())
+                .obj("no_repair", off.json())
+                .render(),
+        );
     }
     print_table(
         "range recall under crash-stop churn (25 queries, paired)",
@@ -276,12 +274,16 @@ fn main() {
         report.drops,
         report.dead_hops
     );
-    let faults_json = format!(
-        "  \"lossy_links\": {{\"drop_prob\": {drop_prob}, \"dead_prob\": 0.02, \"fail_frac\": 0.2, \
-         \"recall_alive\": {rec:.4}, \"retries\": {retries}, \"failed_routes\": {failed}, \
-         \"attempts\": {}, \"drops\": {}, \"dead_hops\": {}}}",
-        report.attempts, report.drops, report.dead_hops
-    );
+    let faults_json = JsonObj::new()
+        .g("drop_prob", drop_prob)
+        .g("dead_prob", 0.02)
+        .g("fail_frac", 0.2)
+        .f("recall_alive", rec, 4)
+        .u("retries", retries)
+        .u("failed_routes", failed)
+        .u("attempts", report.attempts)
+        .u("drops", report.drops)
+        .u("dead_hops", report.dead_hops);
 
     // --- Poisson schedule: crashes, departures and arrivals over time. ---
     let horizon = 400u64;
@@ -325,31 +327,32 @@ fn main() {
         eng.stats().max_takeover_rounds,
         eng.stats().total_messages()
     );
-    let poisson_json = format!(
-        "  \"poisson\": {{\"horizon\": {horizon}, \"crashes\": {}, \"departures\": {}, \
-         \"arrivals\": {}, \"skipped\": {}, \"alive\": {}, \"peers\": {}, \"recall_alive\": {rec:.4}, \
-         \"max_takeover_rounds\": {}, \"maintenance_messages\": {}}}",
-        srep.crashes,
-        srep.departures,
-        srep.arrivals,
-        srep.skipped,
-        eng.network().alive_count(),
-        eng.network().len(),
-        eng.stats().max_takeover_rounds,
-        eng.stats().total_messages()
-    );
+    let poisson_json = JsonObj::new()
+        .u("horizon", horizon)
+        .u("crashes", srep.crashes)
+        .u("departures", srep.departures)
+        .u("arrivals", srep.arrivals)
+        .u("skipped", srep.skipped)
+        .u("alive", eng.network().alive_count() as u64)
+        .u("peers", eng.network().len() as u64)
+        .f("recall_alive", rec, 4)
+        .u("max_takeover_rounds", eng.stats().max_takeover_rounds)
+        .u("maintenance_messages", eng.stats().total_messages());
 
-    let json = format!(
-        "{{\n  \"workload\": {{\"nodes\": {}, \"dim\": {}, \"levels\": 4, \"queries\": {}, \
-         \"refresh_interval\": {}}},\n  \"sweep\": [\n{}\n  ],\n{},\n{}\n}}\n",
-        base.len(),
-        dim,
-        QUERIES,
-        REFRESH_INTERVAL,
-        sweep_json.join(",\n"),
-        faults_json,
-        poisson_json
-    );
+    let json = JsonObj::new()
+        .obj(
+            "workload",
+            JsonObj::new()
+                .u("nodes", base.len() as u64)
+                .u("dim", dim as u64)
+                .u("levels", 4)
+                .u("queries", QUERIES as u64)
+                .u("refresh_interval", REFRESH_INTERVAL),
+        )
+        .arr("sweep", &sweep_json)
+        .obj("lossy_links", faults_json)
+        .obj("poisson", poisson_json)
+        .render_pretty();
     std::fs::write("BENCH_churn.json", &json).expect("write BENCH_churn.json");
     println!("wrote BENCH_churn.json");
 }

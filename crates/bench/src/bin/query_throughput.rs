@@ -20,6 +20,7 @@ use hyperm_bench::Scale;
 use hyperm_cluster::Dataset;
 use hyperm_core::{HypermConfig, HypermNetwork, QueryEngine, RangeResult};
 use hyperm_sim::LatencyStats;
+use hyperm_telemetry::JsonObj;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -82,11 +83,12 @@ struct ModeReport {
 }
 
 impl ModeReport {
-    fn json(&self) -> String {
-        format!(
-            "{{\"total_s\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}",
-            self.total_s, self.qps, self.p50_ms, self.p99_ms
-        )
+    fn json(&self) -> JsonObj {
+        JsonObj::new()
+            .f("total_s", self.total_s, 6)
+            .f("qps", self.qps, 2)
+            .f("p50_ms", self.p50_ms, 4)
+            .f("p99_ms", self.p99_ms, 4)
     }
 }
 
@@ -102,14 +104,15 @@ where
         results.push(f(q));
         lat.record(t.elapsed());
     }
-    let total_s = lat.total_s();
+    // One summary = one sort; the percentile fields come out together.
+    let s = lat.summary();
     (
         results,
         ModeReport {
-            total_s,
-            qps: queries.len() as f64 / total_s.max(1e-12),
-            p50_ms: lat.p50_s() * 1e3,
-            p99_ms: lat.p99_s() * 1e3,
+            total_s: s.total_s,
+            qps: queries.len() as f64 / s.total_s.max(1e-12),
+            p50_ms: s.p50_s * 1e3,
+            p99_ms: s.p99_s * 1e3,
         },
     )
 }
@@ -206,23 +209,30 @@ fn main() {
     );
     println!("recall vs flat scan: {recall:.4} over {graded} graded queries");
 
-    let json = format!(
-        "{{\n  \"workload\": {{\"peers\": {}, \"items_per_peer\": {}, \"dim\": {}, \"levels\": {}, \"queries\": {}, \"eps\": {}}},\n  \"cores\": {},\n  \"serial\": {},\n  \"parallel_levels\": {},\n  \"batch\": {{\"total_s\": {:.6}, \"qps\": {:.2}, \"speedup_vs_serial\": {:.3}}},\n  \"speedup_levels_vs_serial\": {:.3},\n  \"recall\": {:.6}\n}}\n",
-        w.peers,
-        w.items,
-        w.dim,
-        w.levels,
-        w.queries,
-        w.eps,
-        cores,
-        serial.json(),
-        parallel.json(),
-        batch_total,
-        queries.len() as f64 / batch_total.max(1e-12),
-        speedup_batch,
-        speedup_levels,
-        recall
-    );
+    let json = JsonObj::new()
+        .obj(
+            "workload",
+            JsonObj::new()
+                .u("peers", w.peers as u64)
+                .u("items_per_peer", w.items as u64)
+                .u("dim", w.dim as u64)
+                .u("levels", w.levels as u64)
+                .u("queries", w.queries as u64)
+                .g("eps", w.eps),
+        )
+        .u("cores", cores as u64)
+        .obj("serial", serial.json())
+        .obj("parallel_levels", parallel.json())
+        .obj(
+            "batch",
+            JsonObj::new()
+                .f("total_s", batch_total, 6)
+                .f("qps", queries.len() as f64 / batch_total.max(1e-12), 2)
+                .f("speedup_vs_serial", speedup_batch, 3),
+        )
+        .f("speedup_levels_vs_serial", speedup_levels, 3)
+        .f("recall", recall, 6)
+        .render_pretty();
     std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
     println!("wrote BENCH_query.json");
 }

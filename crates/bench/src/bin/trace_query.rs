@@ -1,0 +1,172 @@
+//! Query forensics: trace one query end-to-end and print its route tree.
+//!
+//! Builds a small traced network, runs a single query (range by default;
+//! pass `knn` or `point` as the first argument or via
+//! `HYPERM_TRACE_KIND`), and prints the reconstructed span tree — the
+//! per-level `overlay_lookup` spans with their route hops, floods and
+//! fetches — plus a per-phase cost breakdown folded over the event
+//! stream. Artifacts:
+//!
+//! * `TRACE_query.jsonl` — every event of the traced query, one JSON
+//!   object per line (build-phase events included, before the marker
+//!   printed on stdout);
+//! * `TRACE_metrics.json` — the metrics registry snapshot, keyed by
+//!   `(op kind, wavelet level)`.
+//!
+//! The bin self-asserts (non-empty stream, per-level lookup spans,
+//! populated metrics cells), so CI can use a plain run as a telemetry
+//! smoke test.
+
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions};
+use hyperm_telemetry::{JsonlSink, OpKind, Recorder, RingHandle, TeeSink, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PEERS: usize = 24;
+const ITEMS: usize = 30;
+const DIM: usize = 16;
+const LEVELS: usize = 4;
+
+fn build_peers(seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..PEERS)
+        .map(|_| {
+            let centre: f64 = rng.gen::<f64>() * 0.6;
+            let mut ds = Dataset::new(DIM);
+            let mut row = vec![0.0; DIM];
+            for _ in 0..ITEMS {
+                for x in row.iter_mut() {
+                    *x = (centre + rng.gen::<f64>() * 0.4).clamp(0.0, 1.0);
+                }
+                ds.push_row(&row);
+            }
+            ds
+        })
+        .collect()
+}
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("HYPERM_TRACE_KIND").ok())
+        .unwrap_or_else(|| "range".to_string());
+    assert!(
+        matches!(kind.as_str(), "range" | "knn" | "point"),
+        "usage: trace_query [range|knn|point]"
+    );
+
+    // Ring buffer for offline reconstruction + JSONL file for the raw
+    // stream; the recorder tees into both.
+    let ring = RingHandle::new(1 << 16);
+    let jsonl = JsonlSink::create("TRACE_query.jsonl").expect("create TRACE_query.jsonl");
+    let rec = Recorder::with_sink(Box::new(TeeSink::new(ring.sink(), Box::new(jsonl))));
+
+    let peers = build_peers(41);
+    let cfg = HypermConfig::new(DIM)
+        .with_levels(LEVELS)
+        .with_clusters_per_peer(4)
+        .with_seed(43)
+        .with_parallel_query(false); // serial => deterministic event order
+    let (net, report) = HypermNetwork::build_traced(peers.clone(), cfg, rec.clone()).unwrap();
+    let build_events = ring.drain();
+    println!(
+        "built: {PEERS} peers x {ITEMS} items, {DIM}-d, {LEVELS} levels — {} clusters published, {} replicas, {} build events",
+        report.clusters_published,
+        report.replicas,
+        build_events.len()
+    );
+    assert!(
+        !build_events.is_empty(),
+        "publication must emit trace events"
+    );
+
+    // Query point: a stored row, so every query kind has hits.
+    let mut rng = StdRng::seed_from_u64(47);
+    let p = rng.gen_range(0..peers.len());
+    let q = peers[p].row(rng.gen_range(0..peers[p].len())).to_vec();
+
+    let expect_kind = match kind.as_str() {
+        "range" => {
+            let res = net.range_query(0, &q, 0.25, None);
+            println!(
+                "range query: {} items from {} peers ({} hops, {} messages)",
+                res.items.len(),
+                res.peers_contacted,
+                res.stats.hops,
+                res.stats.messages
+            );
+            OpKind::RangeQuery
+        }
+        "knn" => {
+            let res = net.knn_query(0, &q, 5, KnnOptions::default());
+            println!(
+                "knn query: {} of k=5 items ({} hops, {} messages)",
+                res.topk.len(),
+                res.stats.hops,
+                res.stats.messages
+            );
+            OpKind::KnnQuery
+        }
+        _ => {
+            let res = net.point_query(0, &q);
+            println!(
+                "point query: {} items ({} hops, {} messages)",
+                res.matches.len(),
+                res.stats.hops,
+                res.stats.messages
+            );
+            OpKind::PointQuery
+        }
+    };
+    rec.flush();
+
+    let events = ring.drain();
+    assert!(!events.is_empty(), "query must emit trace events");
+    let trace = Trace::from_events(&events);
+    assert_eq!(
+        trace.spans_named("overlay_lookup").len(),
+        LEVELS,
+        "one overlay_lookup span per wavelet level"
+    );
+
+    println!("\n== route tree ({} events) ==", events.len());
+    print!("{}", trace.render());
+
+    println!("== per-phase cost breakdown ==");
+    for phase in trace.phase_totals() {
+        let fields: Vec<String> = phase
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:>16} x{:<5} {}",
+            phase.name,
+            phase.count,
+            fields.join("  ")
+        );
+    }
+
+    let snapshot = rec.metrics().expect("recorder enabled").snapshot();
+    assert!(
+        snapshot.cell(expect_kind, None).is_some(),
+        "whole-op metrics cell must exist"
+    );
+    for l in 0..LEVELS {
+        assert!(
+            snapshot.cell(expect_kind, Some(l)).is_some(),
+            "per-level metrics cell for level {l} must exist"
+        );
+        assert!(
+            snapshot.cell(OpKind::Publish, Some(l)).is_some(),
+            "publish metrics cell for level {l} must exist"
+        );
+    }
+    std::fs::write("TRACE_metrics.json", snapshot.to_json()).expect("write TRACE_metrics.json");
+    println!(
+        "\nwrote TRACE_query.jsonl ({} query events) and TRACE_metrics.json ({} cells)",
+        events.len(),
+        snapshot.cells.len()
+    );
+}

@@ -12,8 +12,20 @@
 //! which affects constants, not shapes).
 
 use crate::overlay::CanOverlay;
+use crate::zone::Zone;
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::SpanId;
 use std::collections::VecDeque;
+
+/// Render a zone's box for trace events (`[0.000,0.250)x[0.500,1.000)`).
+fn zone_str(z: &Zone) -> String {
+    z.lo()
+        .iter()
+        .zip(z.hi())
+        .map(|(l, h)| format!("[{l:.3},{h:.3})"))
+        .collect::<Vec<_>>()
+        .join("x")
+}
 
 /// What a stored object points back to: the peer that published it and an
 /// opaque tag (e.g. which of the peer's clusters it is).
@@ -104,9 +116,24 @@ impl CanOverlay {
             payload,
         };
         let bytes = obj.wire_bytes();
+        let tel = self.recorder().clone();
+        let traced = tel.is_enabled();
 
         let (owner, mut stats) = self.route(from, &obj.centre, bytes);
         let route_hops = stats.hops;
+        let flood_span = if traced {
+            tel.span(
+                tel.scope(),
+                "flood",
+                vec![
+                    ("kind", "publish".into()),
+                    ("owner", owner.0.into()),
+                    ("radius", radius.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
 
         let mut replicas = 0usize;
         let mut flood_depth = 0u64;
@@ -127,12 +154,30 @@ impl CanOverlay {
                 flood_depth = flood_depth.max(depth);
                 self.node_mut(n).store.push(obj.clone());
                 replicas += 1;
+                if traced {
+                    tel.event(
+                        flood_span,
+                        "replica",
+                        vec![("node", n.0.into()), ("depth", depth.into())],
+                    );
+                }
                 let neighbours = self.node(n).neighbours.clone();
                 for nb in neighbours {
                     if let Some(slot) = slot_of(nb) {
                         if !visited[slot] {
                             visited[slot] = true;
                             stats += OpStats::one_hop(bytes);
+                            if traced {
+                                tel.event(
+                                    flood_span,
+                                    "flood_edge",
+                                    vec![
+                                        ("from", n.0.into()),
+                                        ("to", nb.0.into()),
+                                        ("depth", (depth + 1).into()),
+                                    ],
+                                );
+                            }
                             queue.push_back((nb, depth + 1));
                         }
                     }
@@ -141,7 +186,19 @@ impl CanOverlay {
         } else {
             self.node_mut(owner).store.push(obj);
             replicas = 1;
+            if traced {
+                tel.event(
+                    flood_span,
+                    "replica",
+                    vec![("node", owner.0.into()), ("depth", 0u64.into())],
+                );
+            }
         }
+        tel.end(
+            flood_span,
+            "flood",
+            vec![("replicas", replicas.into()), ("depth", flood_depth.into())],
+        );
         InsertOutcome {
             owner,
             replicas,
@@ -194,11 +251,22 @@ impl CanOverlay {
     /// `failed_routes = 1`.
     pub fn point_lookup(&self, from: NodeId, point: &[f64]) -> (Vec<StoredObject>, OpStats) {
         assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        let tel = self.recorder();
         let res = self.route_result(from, point, query_bytes(self.dim()));
         if res.outcome != crate::overlay::RouteOutcome::Delivered {
             return (Vec::new(), res.stats);
         }
         let (owner, mut stats) = (res.node, res.stats);
+        if tel.is_enabled() {
+            tel.event(
+                tel.scope(),
+                "visit",
+                vec![
+                    ("node", owner.0.into()),
+                    ("zone", zone_str(&self.node(owner).zone).into()),
+                ],
+            );
+        }
         let matches: Vec<StoredObject> = self
             .node(owner)
             .store
@@ -242,6 +310,8 @@ impl CanOverlay {
         assert_eq!(centre.len(), self.dim(), "centre dimension mismatch");
         assert!(radius >= 0.0, "negative radius {radius}");
         let qb = query_bytes(self.dim());
+        let tel = self.recorder();
+        let traced = tel.is_enabled();
         let res = self.route_result(from, centre, qb);
         if res.outcome != crate::overlay::RouteOutcome::Delivered {
             return RangeOutcome {
@@ -251,6 +321,19 @@ impl CanOverlay {
             };
         }
         let (owner, mut stats) = (res.node, res.stats);
+        let flood_span = if traced {
+            tel.span(
+                tel.scope(),
+                "flood",
+                vec![
+                    ("kind", "range".into()),
+                    ("owner", owner.0.into()),
+                    ("radius", radius.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
 
         // Flood membership via the spatial index: the candidate set is the
         // exact set of zones overlapping the query ball, so BFS order,
@@ -271,6 +354,7 @@ impl CanOverlay {
             nodes_visited += 1;
             let node = self.node(n);
             let mut local_bytes = 0u64;
+            let before = matches.len();
             for obj in &node.store {
                 let d: f64 = obj
                     .centre
@@ -285,6 +369,17 @@ impl CanOverlay {
                 }
             }
             resp_bytes += local_bytes.max(16); // every visited node replies
+            if traced {
+                tel.event(
+                    flood_span,
+                    "visit",
+                    vec![
+                        ("node", n.0.into()),
+                        ("matched", (matches.len() - before).into()),
+                        ("zone", zone_str(&node.zone).into()),
+                    ],
+                );
+            }
             for &nb in &node.neighbours {
                 if let Some(slot) = slot_of(nb) {
                     if !visited[slot] {
@@ -295,10 +390,34 @@ impl CanOverlay {
                         stats.messages += attempts;
                         stats.bytes += attempts * qb;
                         stats.retries += attempts.saturating_sub(1);
+                        if traced && attempts > 1 {
+                            tel.event(
+                                flood_span,
+                                "retry",
+                                vec![
+                                    ("from", n.0.into()),
+                                    ("to", nb.0.into()),
+                                    ("attempts", attempts.into()),
+                                ],
+                            );
+                        }
                         if delivered {
                             stats.hops += 1;
                             visited[slot] = true;
+                            if traced {
+                                tel.event(
+                                    flood_span,
+                                    "flood_edge",
+                                    vec![("from", n.0.into()), ("to", nb.0.into())],
+                                );
+                            }
                             queue.push_back(nb);
+                        } else if traced {
+                            tel.event(
+                                flood_span,
+                                "drop",
+                                vec![("from", n.0.into()), ("to", nb.0.into())],
+                            );
                         }
                     }
                 }
@@ -311,6 +430,15 @@ impl CanOverlay {
             bytes: resp_bytes,
             ..OpStats::zero()
         };
+        tel.end(
+            flood_span,
+            "flood",
+            vec![
+                ("visited", nodes_visited.into()),
+                ("matches", matches.len().into()),
+                ("resp_bytes", resp_bytes.into()),
+            ],
+        );
         RangeOutcome {
             matches,
             nodes_visited,

@@ -15,6 +15,7 @@ use crate::ops::StoredObject;
 use crate::zone::Zone;
 use crate::zoneindex::ZoneIndex;
 use hyperm_sim::{FaultConfig, FaultInjector, FaultReport, NodeId, OpStats};
+use hyperm_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -169,6 +170,11 @@ pub struct CanOverlay {
     dead: usize,
     /// Optional message-level fault injection (queries only).
     faults: FaultSlot,
+    /// Tracing handle (disabled by default — provably free). Installed
+    /// per level by the network layer via [`CanOverlay::set_recorder`];
+    /// events attach to whatever span the caller pointed the handle's
+    /// scope at (see `hyperm_telemetry::Recorder::set_scope`).
+    telemetry: Recorder,
 }
 
 impl CanOverlay {
@@ -197,6 +203,7 @@ impl CanOverlay {
             index,
             dead: 0,
             faults: FaultSlot::default(),
+            telemetry: Recorder::disabled(),
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         for _ in 1..n {
@@ -287,6 +294,20 @@ impl CanOverlay {
         self.faults = FaultSlot(cfg.map(|c| Mutex::new(FaultInjector::new(c))));
     }
 
+    /// Install a tracing/metrics handle (usually one scoped per wavelet
+    /// level — see `hyperm_telemetry::Recorder::scoped`). Pass
+    /// `Recorder::disabled()` to turn tracing off again.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.telemetry = rec;
+    }
+
+    /// The overlay's tracing handle. Callers point its scope at the span
+    /// overlay-internal events (route hops, flood edges, fault drops)
+    /// should attach to before invoking an operation.
+    pub fn recorder(&self) -> &Recorder {
+        &self.telemetry
+    }
+
     /// Fault counters accumulated so far (`None` when injection is off).
     pub fn fault_report(&self) -> Option<FaultReport> {
         self.faults
@@ -341,10 +362,19 @@ impl CanOverlay {
         with_faults: bool,
     ) -> RouteResult {
         assert_eq!(target.len(), self.config.dim, "target dimension mismatch");
+        let tel = &self.telemetry;
+        let traced = tel.is_enabled();
         let mut stats = OpStats::zero();
         let mut rounds = 0u64;
         if !self.nodes[from.0].alive {
             stats.failed_routes += 1;
+            if traced {
+                tel.event(
+                    tel.scope(),
+                    "dead_end",
+                    vec![("at", from.0.into()), ("reason", "origin_dead".into())],
+                );
+            }
             return RouteResult {
                 node: from,
                 outcome: RouteOutcome::DeadEnd,
@@ -390,6 +420,17 @@ impl CanOverlay {
                 if !with_faults || self.faults.0.is_none() {
                     if let Some(owner) = self.try_owner_of(target) {
                         stats += OpStats::one_hop(msg_bytes);
+                        if traced {
+                            tel.event(
+                                tel.scope(),
+                                "route_hop",
+                                vec![
+                                    ("from", current.0.into()),
+                                    ("to", owner.0.into()),
+                                    ("direct", true.into()),
+                                ],
+                            );
+                        }
                         return RouteResult {
                             node: owner,
                             outcome: RouteOutcome::Delivered,
@@ -399,6 +440,13 @@ impl CanOverlay {
                     }
                 }
                 stats.failed_routes += 1;
+                if traced {
+                    tel.event(
+                        tel.scope(),
+                        "dead_end",
+                        vec![("at", current.0.into()), ("reason", "no_neighbour".into())],
+                    );
+                }
                 return RouteResult {
                     node: current,
                     outcome: RouteOutcome::DeadEnd,
@@ -415,17 +463,49 @@ impl CanOverlay {
             stats.bytes += attempts * msg_bytes;
             stats.retries += attempts.saturating_sub(1);
             rounds += ticks;
+            if traced && attempts > 1 {
+                tel.event(
+                    tel.scope(),
+                    "retry",
+                    vec![
+                        ("from", current.0.into()),
+                        ("to", next.0.into()),
+                        ("attempts", attempts.into()),
+                    ],
+                );
+            }
             if !delivered {
                 // Reroute around the unreachable neighbour: mark it
                 // visited without moving there.
+                if traced {
+                    tel.event(
+                        tel.scope(),
+                        "drop",
+                        vec![("from", current.0.into()), ("to", next.0.into())],
+                    );
+                }
                 visited[next.0] = true;
                 continue;
             }
             stats.hops += 1;
+            if traced {
+                tel.event(
+                    tel.scope(),
+                    "route_hop",
+                    vec![("from", current.0.into()), ("to", next.0.into())],
+                );
+            }
             visited[next.0] = true;
             current = next;
         }
         stats.failed_routes += 1;
+        if traced {
+            tel.event(
+                tel.scope(),
+                "dead_end",
+                vec![("at", current.0.into()), ("reason", "hop_limit".into())],
+            );
+        }
         RouteResult {
             node: current,
             outcome: RouteOutcome::HopLimit,

@@ -69,6 +69,7 @@ impl CanOverlay {
         let mut out = self.adopt_zones(id, zones, &old_neighbours, Some(&store));
         // Handoff handshake: request + transfer, no detection delay.
         out.takeover_rounds = 2;
+        self.trace_takeover("leave", id, &out);
         out
     }
 
@@ -89,7 +90,27 @@ impl CanOverlay {
         let mut out = self.adopt_zones(id, zones, &old_neighbours, None);
         out.stats += detection;
         out.takeover_rounds = DETECT_TICKS + 2;
+        self.trace_takeover("fail", id, &out);
         out
+    }
+
+    /// Emit a `takeover` trace event for a completed leave/fail (no-op
+    /// when tracing is off).
+    fn trace_takeover(&self, kind: &'static str, id: NodeId, out: &RepairOutcome) {
+        let tel = self.recorder();
+        if tel.is_enabled() {
+            tel.event(
+                tel.scope(),
+                "takeover",
+                vec![
+                    ("node", id.0.into()),
+                    ("kind", kind.into()),
+                    ("adopters", (out.adopters.len() as u64).into()),
+                    ("rounds", out.takeover_rounds.into()),
+                    ("merged", out.fully_merged.into()),
+                ],
+            );
+        }
     }
 
     /// The no-repair baseline: `id` crashes and nobody takes its zones

@@ -34,6 +34,7 @@
 use crate::network::HypermNetwork;
 use hyperm_can::ObjectRef;
 use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
+use hyperm_telemetry::{OpKind, SpanId};
 
 /// Cost record of an overlay-level membership change, summed over the
 /// per-level overlays.
@@ -65,20 +66,51 @@ impl HypermNetwork {
         assert!(peer < self.len(), "no such peer {peer}");
         assert!(self.is_alive(peer), "peer {peer} already failed");
         self.failed_mut()[peer] = true;
+        let tel = self.recorder().clone();
+        let span = if tel.is_enabled() {
+            tel.span(
+                SpanId::NONE,
+                "repair_step",
+                vec![
+                    ("kind", "crash".into()),
+                    ("peer", peer.into()),
+                    ("repair", repair.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         let mut out = ChurnOutcome {
             stats: OpStats::zero(),
             takeover_rounds: 0,
             adoptions: 0,
         };
         for l in 0..self.levels() {
-            if repair {
+            self.overlay(l).set_scope(span);
+            let lstats = if repair {
                 let r = self.overlay_mut(l).fail_node(NodeId(peer));
-                out.stats += r.stats;
                 out.takeover_rounds = out.takeover_rounds.max(r.takeover_rounds);
                 out.adoptions += r.adopters.len();
+                r.stats
             } else {
-                out.stats += self.overlay_mut(l).fail_no_takeover(NodeId(peer));
-            }
+                self.overlay_mut(l).fail_no_takeover(NodeId(peer))
+            };
+            self.overlay(l).set_scope(SpanId::NONE);
+            tel.record_op(OpKind::Repair, Some(l), lstats);
+            out.stats += lstats;
+        }
+        if tel.is_enabled() {
+            tel.end(
+                span,
+                "repair_step",
+                vec![
+                    ("messages", out.stats.messages.into()),
+                    ("bytes", out.stats.bytes.into()),
+                    ("rounds", out.takeover_rounds.into()),
+                    ("adoptions", out.adoptions.into()),
+                ],
+            );
+            tel.record_op(OpKind::Repair, None, out.stats);
         }
         out
     }
@@ -89,6 +121,16 @@ impl HypermNetwork {
     pub fn depart_peer(&mut self, peer: usize) -> ChurnOutcome {
         assert!(peer < self.len(), "no such peer {peer}");
         assert!(self.is_alive(peer), "peer {peer} already gone");
+        let tel = self.recorder().clone();
+        let span = if tel.is_enabled() {
+            tel.span(
+                SpanId::NONE,
+                "repair_step",
+                vec![("kind", "depart".into()), ("peer", peer.into())],
+            )
+        } else {
+            SpanId::NONE
+        };
         let mut out = ChurnOutcome {
             stats: OpStats::zero(),
             takeover_rounds: 0,
@@ -105,10 +147,26 @@ impl HypermNetwork {
         }
         self.failed_mut()[peer] = true;
         for l in 0..self.levels() {
+            self.overlay(l).set_scope(span);
             let r = self.overlay_mut(l).leave(NodeId(peer));
+            self.overlay(l).set_scope(SpanId::NONE);
+            tel.record_op(OpKind::Repair, Some(l), r.stats);
             out.stats += r.stats;
             out.takeover_rounds = out.takeover_rounds.max(r.takeover_rounds);
             out.adoptions += r.adopters.len();
+        }
+        if tel.is_enabled() {
+            tel.end(
+                span,
+                "repair_step",
+                vec![
+                    ("messages", out.stats.messages.into()),
+                    ("bytes", out.stats.bytes.into()),
+                    ("rounds", out.takeover_rounds.into()),
+                    ("adoptions", out.adoptions.into()),
+                ],
+            );
+            tel.record_op(OpKind::Repair, None, out.stats);
         }
         out
     }
@@ -116,9 +174,30 @@ impl HypermNetwork {
     /// Run the background fragment-merge loop on every level until
     /// quiescence; returns the total repair message cost.
     pub fn repair_overlays(&mut self, max_passes: usize) -> OpStats {
+        let tel = self.recorder().clone();
+        let span = if tel.is_enabled() {
+            tel.span(SpanId::NONE, "repair_step", vec![("kind", "merge".into())])
+        } else {
+            SpanId::NONE
+        };
         let mut stats = OpStats::zero();
         for l in 0..self.levels() {
-            stats += self.overlay_mut(l).repair_to_quiescence(max_passes);
+            self.overlay(l).set_scope(span);
+            let lstats = self.overlay_mut(l).repair_to_quiescence(max_passes);
+            self.overlay(l).set_scope(SpanId::NONE);
+            tel.record_op(OpKind::Repair, Some(l), lstats);
+            stats += lstats;
+        }
+        if tel.is_enabled() {
+            tel.end(
+                span,
+                "repair_step",
+                vec![
+                    ("messages", stats.messages.into()),
+                    ("bytes", stats.bytes.into()),
+                ],
+            );
+            tel.record_op(OpKind::Repair, None, stats);
         }
         stats
     }
@@ -136,9 +215,17 @@ impl HypermNetwork {
     /// repair engine calls this periodically for every alive peer.
     pub fn refresh_peer_summaries(&mut self, peer: usize) -> OpStats {
         assert!(self.is_alive(peer), "dead peers cannot refresh");
+        let tel = self.recorder().clone();
+        let span = if tel.is_enabled() {
+            tel.span(SpanId::NONE, "refresh", vec![("peer", peer.into())])
+        } else {
+            SpanId::NONE
+        };
         let mut stats = OpStats::zero();
         let replicate = self.config.replicate;
         for l in 0..self.levels() {
+            self.overlay(l).set_scope(span);
+            let mut lstats = OpStats::zero();
             let clusters = self.peer(peer).summaries[l].len();
             for c in 0..clusters {
                 let (key, key_radius, items) = {
@@ -153,7 +240,7 @@ impl HypermNetwork {
                     )
                 };
                 let (_, invalidation) = self.overlay_mut(l).remove_objects(peer, c as u64);
-                stats += invalidation;
+                lstats += invalidation;
                 let out = self.overlay_mut(l).insert_sphere(
                     NodeId(peer),
                     key,
@@ -165,8 +252,23 @@ impl HypermNetwork {
                     },
                     replicate,
                 );
-                stats += out.stats;
+                lstats += out.stats;
             }
+            self.overlay(l).set_scope(SpanId::NONE);
+            tel.record_op(OpKind::Refresh, Some(l), lstats);
+            stats += lstats;
+        }
+        if tel.is_enabled() {
+            tel.end(
+                span,
+                "refresh",
+                vec![
+                    ("hops", stats.hops.into()),
+                    ("messages", stats.messages.into()),
+                    ("bytes", stats.bytes.into()),
+                ],
+            );
+            tel.record_op(OpKind::Refresh, None, stats);
         }
         stats
     }

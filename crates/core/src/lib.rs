@@ -72,6 +72,10 @@ pub use query::point::PointResult;
 pub use query::range::RangeResult;
 pub use score::PeerScore;
 
+// Telemetry handle, re-exported so downstream code can build traced
+// networks without a direct `hyperm-telemetry` dependency.
+pub use hyperm_telemetry::Recorder;
+
 /// Errors surfaced by the Hyper-M framework.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HypermError {

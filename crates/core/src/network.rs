@@ -15,6 +15,7 @@ use crate::HypermError;
 use hyperm_can::{KeyMap, ObjectRef};
 use hyperm_cluster::Dataset;
 use hyperm_sim::{NodeId, OpStats, Scheduler};
+use hyperm_telemetry::{OpKind, Recorder, SpanId};
 use hyperm_wavelet::{decompose, radius_contraction, Decomposition, Subspace};
 
 /// Cost report of a network build.
@@ -69,6 +70,8 @@ pub struct HypermNetwork {
     contractions: Vec<f64>,
     /// Fail-stop flags, one per peer (see the `churn` module).
     failed: Vec<bool>,
+    /// Telemetry handle (disabled by default; see `hyperm_telemetry`).
+    recorder: Recorder,
 }
 
 impl HypermNetwork {
@@ -76,6 +79,19 @@ impl HypermNetwork {
     pub fn build(
         peers_data: Vec<Dataset>,
         config: HypermConfig,
+    ) -> Result<(Self, BuildReport), HypermError> {
+        Self::build_traced(peers_data, config, Recorder::disabled())
+    }
+
+    /// Like [`HypermNetwork::build`], but with a telemetry [`Recorder`]
+    /// installed *before* publication, so the build's publish floods are
+    /// traced too. The recorder only observes host-side: the returned
+    /// network and [`BuildReport`] are bit-identical to an untraced build
+    /// (asserted by the `telemetry` integration tests).
+    pub fn build_traced(
+        peers_data: Vec<Dataset>,
+        config: HypermConfig,
+        recorder: Recorder,
     ) -> Result<(Self, BuildReport), HypermError> {
         if peers_data.is_empty() {
             return Err(HypermError::NoPeers);
@@ -123,6 +139,9 @@ impl HypermNetwork {
             contractions.push(radius_contraction(config.data_dim, s, config.normalization));
             overlays.push(overlay);
         }
+        for (l, overlay) in overlays.iter_mut().enumerate() {
+            overlay.set_recorder(recorder.scoped(l));
+        }
 
         // ---- Publication phase (step i3). ----
         let mut per_level = vec![OpStats::zero(); subspaces.len()];
@@ -141,6 +160,18 @@ impl HypermNetwork {
                     // common path is bit-identical to the plain conversion.
                     let (key, slack) = keymaps[l].to_key_slack(&sphere.centroid);
                     let key_radius = keymaps[l].to_key_radius(sphere.radius) + slack;
+                    let ltel = overlays[l].recorder();
+                    let span = if ltel.is_enabled() {
+                        let s = ltel.span(
+                            SpanId::NONE,
+                            "publish",
+                            vec![("peer", peer.id.into()), ("cluster", c.into())],
+                        );
+                        ltel.set_scope(s);
+                        s
+                    } else {
+                        SpanId::NONE
+                    };
                     let out = overlays[l].insert_sphere(
                         NodeId(peer.id),
                         key,
@@ -152,6 +183,22 @@ impl HypermNetwork {
                         },
                         config.replicate,
                     );
+                    if ltel.is_enabled() {
+                        ltel.set_scope(SpanId::NONE);
+                        ltel.end(
+                            span,
+                            "publish",
+                            vec![
+                                ("hops", out.stats.hops.into()),
+                                ("messages", out.stats.messages.into()),
+                                ("bytes", out.stats.bytes.into()),
+                                ("replicas", out.replicas.into()),
+                                ("rounds", out.rounds.into()),
+                            ],
+                        );
+                        ltel.record_op(OpKind::Publish, Some(l), out.stats);
+                        ltel.record_op(OpKind::Publish, None, out.stats);
+                    }
                     per_level[l] += out.stats;
                     per_peer_hops[peer.id] += out.stats.hops;
                     per_peer_insert_rounds[peer.id].push(out.rounds);
@@ -185,9 +232,27 @@ impl HypermNetwork {
                 subspaces,
                 contractions,
                 failed,
+                recorder,
             },
             report,
         ))
+    }
+
+    /// Install a telemetry recorder on a built network: every level's
+    /// overlay gets a level-scoped clone, and query/churn spans are emitted
+    /// through the base handle. Pass [`Recorder::disabled`] to turn
+    /// tracing off again.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        for (l, overlay) in self.overlays.iter_mut().enumerate() {
+            overlay.set_recorder(recorder.scoped(l));
+        }
+        self.recorder = recorder;
+    }
+
+    /// The network's telemetry handle (disabled unless installed via
+    /// [`HypermNetwork::set_recorder`] or [`HypermNetwork::build_traced`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Number of peers.

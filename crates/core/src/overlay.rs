@@ -16,6 +16,7 @@ use hyperm_can::{
     CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, RepairOutcome, StoredObject,
 };
 use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
+use hyperm_telemetry::{Recorder, SpanId};
 use hyperm_vbi::{VbiConfig, VbiOverlay};
 
 /// Which overlay substrate to build per wavelet subspace.
@@ -243,6 +244,33 @@ impl Overlay {
         match self {
             Overlay::Can(o) => o.fault_report(),
             _ => None,
+        }
+    }
+
+    /// Install a telemetry recorder (CAN only; the tree substrates are not
+    /// instrumented — like fault injection, tracing follows the paper's
+    /// evaluation substrate).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        if let Overlay::Can(o) = self {
+            o.set_recorder(rec);
+        }
+    }
+
+    /// The overlay's recorder handle (a cheap clone; disabled on non-CAN
+    /// substrates).
+    pub fn recorder(&self) -> Recorder {
+        match self {
+            Overlay::Can(o) => o.recorder().clone(),
+            _ => Recorder::disabled(),
+        }
+    }
+
+    /// Point the overlay's trace scope at `span`: overlay-internal events
+    /// (route hops, floods, takeovers) attach there. No-op on non-CAN
+    /// substrates or when tracing is off.
+    pub fn set_scope(&self, span: SpanId) {
+        if let Overlay::Can(o) = self {
+            o.recorder().set_scope(span);
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::score::{aggregate, level_scores, peers_to_cover, PeerScore};
 use hyperm_geometry::vecmath::dist;
 use hyperm_geometry::{solve_epsilon_for_k, ClusterView};
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::{OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
 
 /// Tuning of the k-nn heuristic.
@@ -97,11 +98,36 @@ impl HypermNetwork {
         parallel: bool,
     ) -> KnnResult {
         assert!(k > 0, "k must be positive");
+        let tel = self.recorder();
+        let traced = tel.is_enabled();
+        let t0 = traced.then(std::time::Instant::now);
+        let qspan = if traced {
+            tel.span(
+                SpanId::NONE,
+                "query",
+                vec![
+                    ("kind", "knn".into()),
+                    ("from", from_peer.into()),
+                    ("k", k.into()),
+                    ("c", opts.c.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
         let level_out = self.run_levels(parallel, |l| {
             let mut lstats = OpStats::zero();
             let (key, slack) = self.query_key_with_slack(dec, l);
             let dim = self.overlay(l).dim() as u32;
             let diag = (dim as f64).sqrt();
+            let ltel = self.overlay(l).recorder();
+            let lspan = if ltel.is_enabled() {
+                let s = ltel.span(qspan, "overlay_lookup", vec![]);
+                ltel.set_scope(s);
+                s
+            } else {
+                SpanId::NONE
+            };
 
             // Step 2 (adapted): discover candidate clusters by expanding
             // ring, then invert Eq. 8 on them.
@@ -112,6 +138,13 @@ impl HypermNetwork {
                 lstats += out.stats;
                 let in_view: f64 = out.matches.iter().map(|o| o.payload.items as f64).sum();
                 clusters = out.matches;
+                if ltel.is_enabled() {
+                    ltel.event(
+                        lspan,
+                        "probe",
+                        vec![("radius", probe.into()), ("in_view", in_view.into())],
+                    );
+                }
                 if in_view >= 2.0 * k as f64 || probe >= diag {
                     break;
                 }
@@ -133,6 +166,21 @@ impl HypermNetwork {
             let out = self.overlay(l).range_query(NodeId(from_peer), &key, search);
             lstats += out.stats;
             let scores = level_scores(&out.matches, &key, search, dim);
+            if ltel.is_enabled() {
+                ltel.set_scope(SpanId::NONE);
+                ltel.end(
+                    lspan,
+                    "overlay_lookup",
+                    vec![
+                        ("hops", lstats.hops.into()),
+                        ("messages", lstats.messages.into()),
+                        ("bytes", lstats.bytes.into()),
+                        ("eps_l", eps_l.into()),
+                        ("peers", scores.len().into()),
+                    ],
+                );
+                ltel.record_op(OpKind::KnnQuery, Some(l), lstats);
+            }
             (lstats, eps_l, scores)
         });
         let mut stats = OpStats::zero();
@@ -169,6 +217,18 @@ impl HypermNetwork {
                     bytes: q_bytes,
                     ..OpStats::zero()
                 };
+                if traced {
+                    tel.event(
+                        qspan,
+                        "fetch",
+                        vec![
+                            ("peer", ps.peer.into()),
+                            ("alive", false.into()),
+                            ("items", 0u64.into()),
+                            ("bytes", q_bytes.into()),
+                        ],
+                    );
+                }
                 continue;
             }
             let share = if sum > 0.0 {
@@ -180,6 +240,19 @@ impl HypermNetwork {
             let local = self.peer(ps.peer).local_knn(q, want);
             let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
             stats += direct_fetch_cost(q_bytes, resp_bytes);
+            if traced {
+                tel.event(
+                    qspan,
+                    "fetch",
+                    vec![
+                        ("peer", ps.peer.into()),
+                        ("alive", true.into()),
+                        ("want", want.into()),
+                        ("items", local.len().into()),
+                        ("bytes", (q_bytes + resp_bytes).into()),
+                    ],
+                );
+            }
             retrieved.extend(local.into_iter().map(|(i, d)| ((ps.peer, i), d)));
         }
 
@@ -187,6 +260,23 @@ impl HypermNetwork {
         retrieved.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let topk = retrieved.iter().take(k).cloned().collect();
         let peers_contacted = selected.len();
+        if traced {
+            tel.end(
+                qspan,
+                "query",
+                vec![
+                    ("hops", stats.hops.into()),
+                    ("messages", stats.messages.into()),
+                    ("bytes", stats.bytes.into()),
+                    ("retrieved", retrieved.len().into()),
+                    ("peers_contacted", peers_contacted.into()),
+                ],
+            );
+            tel.record_op(OpKind::KnnQuery, None, stats);
+            if let Some(t0) = t0 {
+                tel.record_latency_s(OpKind::KnnQuery, None, t0.elapsed().as_secs_f64());
+            }
+        }
         KnnResult {
             retrieved,
             topk,

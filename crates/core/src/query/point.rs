@@ -12,6 +12,7 @@ use crate::config::ScorePolicy;
 use crate::network::HypermNetwork;
 use crate::query::direct_fetch_cost;
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::{OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
 use std::collections::HashMap;
 
@@ -42,13 +43,48 @@ impl HypermNetwork {
         dec: &Decomposition,
         parallel: bool,
     ) -> PointResult {
+        let tel = self.recorder();
+        let traced = tel.is_enabled();
+        let t0 = traced.then(std::time::Instant::now);
+        let qspan = if traced {
+            tel.span(
+                SpanId::NONE,
+                "query",
+                vec![("kind", "point".into()), ("from", from_peer.into())],
+            )
+        } else {
+            SpanId::NONE
+        };
+
         // Candidate = sphere containment per level, folded like scores.
         let level_out = self.run_levels(parallel, |l| {
             let key = self.query_key(dec, l);
+            let ltel = self.overlay(l).recorder();
+            let lspan = if ltel.is_enabled() {
+                let s = ltel.span(qspan, "overlay_lookup", vec![]);
+                ltel.set_scope(s);
+                s
+            } else {
+                SpanId::NONE
+            };
             let (hits, op) = self.overlay(l).point_lookup(NodeId(from_peer), &key);
             let mut level: HashMap<usize, f64> = HashMap::new();
-            for obj in hits {
+            for obj in &hits {
                 *level.entry(obj.payload.peer).or_insert(0.0) += obj.payload.items as f64;
+            }
+            if ltel.is_enabled() {
+                ltel.set_scope(SpanId::NONE);
+                ltel.end(
+                    lspan,
+                    "overlay_lookup",
+                    vec![
+                        ("hops", op.hops.into()),
+                        ("messages", op.messages.into()),
+                        ("bytes", op.bytes.into()),
+                        ("hits", hits.len().into()),
+                    ],
+                );
+                ltel.record_op(OpKind::PointQuery, Some(l), op);
             }
             (op, level)
         });
@@ -72,11 +108,51 @@ impl HypermNetwork {
                     bytes: q_bytes,
                     ..OpStats::zero()
                 };
+                if traced {
+                    tel.event(
+                        qspan,
+                        "fetch",
+                        vec![
+                            ("peer", peer.into()),
+                            ("alive", false.into()),
+                            ("matched", false.into()),
+                        ],
+                    );
+                }
                 continue;
             }
             stats += direct_fetch_cost(q_bytes, 24);
-            if let Some(idx) = self.peer(peer).local_point(q) {
+            let hit = self.peer(peer).local_point(q);
+            if traced {
+                tel.event(
+                    qspan,
+                    "fetch",
+                    vec![
+                        ("peer", peer.into()),
+                        ("alive", true.into()),
+                        ("matched", hit.is_some().into()),
+                    ],
+                );
+            }
+            if let Some(idx) = hit {
                 matches.push((peer, idx));
+            }
+        }
+        if traced {
+            tel.end(
+                qspan,
+                "query",
+                vec![
+                    ("hops", stats.hops.into()),
+                    ("messages", stats.messages.into()),
+                    ("bytes", stats.bytes.into()),
+                    ("matches", matches.len().into()),
+                    ("candidates", candidates.len().into()),
+                ],
+            );
+            tel.record_op(OpKind::PointQuery, None, stats);
+            if let Some(t0) = t0 {
+                tel.record_latency_s(OpKind::PointQuery, None, t0.elapsed().as_secs_f64());
             }
         }
         PointResult {

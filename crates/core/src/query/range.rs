@@ -14,6 +14,7 @@ use crate::network::HypermNetwork;
 use crate::query::direct_fetch_cost;
 use crate::score::{aggregate, level_scores, PeerScore};
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::{OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
 
 /// Outcome of a distributed range query.
@@ -71,6 +72,23 @@ impl HypermNetwork {
         base_radii: Option<&[f64]>,
         parallel: bool,
     ) -> RangeResult {
+        let tel = self.recorder();
+        let traced = tel.is_enabled();
+        let t0 = traced.then(std::time::Instant::now);
+        let qspan = if traced {
+            tel.span(
+                SpanId::NONE,
+                "query",
+                vec![
+                    ("kind", "range".into()),
+                    ("from", from_peer.into()),
+                    ("eps", eps.into()),
+                ],
+            )
+        } else {
+            SpanId::NONE
+        };
+
         // Phase 1: per-level overlay lookups + scoring. The clamp slack
         // widens the search radius for query points whose subspace
         // coefficients fall outside the configured bounds (zero otherwise),
@@ -80,10 +98,33 @@ impl HypermNetwork {
             let (key, slack) = self.query_key_with_slack(dec, l);
             let base = base_radii.map_or_else(|| self.query_key_radius(eps, l), |r| r[l]);
             let key_eps = base + slack;
+            let ltel = self.overlay(l).recorder();
+            let lspan = if ltel.is_enabled() {
+                let s = ltel.span(qspan, "overlay_lookup", vec![("key_eps", key_eps.into())]);
+                ltel.set_scope(s);
+                s
+            } else {
+                SpanId::NONE
+            };
             let out = self
                 .overlay(l)
                 .range_query(NodeId(from_peer), &key, key_eps);
             let scores = level_scores(&out.matches, &key, key_eps, self.overlay(l).dim() as u32);
+            if ltel.is_enabled() {
+                ltel.set_scope(SpanId::NONE);
+                ltel.end(
+                    lspan,
+                    "overlay_lookup",
+                    vec![
+                        ("hops", out.stats.hops.into()),
+                        ("messages", out.stats.messages.into()),
+                        ("bytes", out.stats.bytes.into()),
+                        ("matches", out.matches.len().into()),
+                        ("peers", scores.len().into()),
+                    ],
+                );
+                ltel.record_op(OpKind::RangeQuery, Some(l), out.stats);
+            }
             (out.stats, scores)
         });
         let mut stats = OpStats::zero();
@@ -93,6 +134,15 @@ impl HypermNetwork {
             per_level.push(scores);
         }
         let ranked = aggregate(&per_level, self.config.score_policy);
+        if traced {
+            for ps in &ranked {
+                tel.event(
+                    qspan,
+                    "score",
+                    vec![("peer", ps.peer.into()), ("score", ps.score.into())],
+                );
+            }
+        }
 
         // Phase 2: contact the selected peers; they answer exactly.
         let contact = peer_budget.map_or(ranked.len(), |b| b.min(ranked.len()));
@@ -107,12 +157,53 @@ impl HypermNetwork {
                     bytes: q_bytes,
                     ..OpStats::zero()
                 };
+                if traced {
+                    tel.event(
+                        qspan,
+                        "fetch",
+                        vec![
+                            ("peer", ps.peer.into()),
+                            ("alive", false.into()),
+                            ("items", 0u64.into()),
+                            ("bytes", q_bytes.into()),
+                        ],
+                    );
+                }
                 continue;
             }
             let local = self.peer(ps.peer).local_range(q, eps);
             let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
             stats += direct_fetch_cost(q_bytes, resp_bytes);
+            if traced {
+                tel.event(
+                    qspan,
+                    "fetch",
+                    vec![
+                        ("peer", ps.peer.into()),
+                        ("alive", true.into()),
+                        ("items", local.len().into()),
+                        ("bytes", (q_bytes + resp_bytes).into()),
+                    ],
+                );
+            }
             items.extend(local.into_iter().map(|i| (ps.peer, i)));
+        }
+        if traced {
+            tel.end(
+                qspan,
+                "query",
+                vec![
+                    ("hops", stats.hops.into()),
+                    ("messages", stats.messages.into()),
+                    ("bytes", stats.bytes.into()),
+                    ("items", items.len().into()),
+                    ("peers_contacted", contact.into()),
+                ],
+            );
+            tel.record_op(OpKind::RangeQuery, None, stats);
+            if let Some(t0) = t0 {
+                tel.record_latency_s(OpKind::RangeQuery, None, t0.elapsed().as_secs_f64());
+            }
         }
         RangeResult {
             items,

@@ -126,6 +126,7 @@ impl RepairEngine {
     /// timer.
     pub fn new(mut net: HypermNetwork, cfg: RepairConfig) -> Self {
         net.set_fault_plan(cfg.fault_plan);
+        net.recorder().set_time(0);
         let n = net.len();
         Self {
             net,
@@ -177,10 +178,13 @@ impl RepairEngine {
                     .min();
                 let Some((due_t, peer)) = due else { break };
                 self.now = self.now.max(due_t);
+                self.net.recorder().set_time(self.now);
                 self.refresh_peer(peer);
             }
         }
         self.now = t;
+        // Trace events fired after this point carry the new sim time.
+        self.net.recorder().set_time(self.now);
     }
 
     /// Republish one peer's summaries now (restores its replicas
@@ -233,6 +237,14 @@ impl RepairEngine {
         let report = self.net.join_peer(items)?;
         self.stats.arrivals += 1;
         self.last_refresh.push(self.now);
+        let tel = self.net.recorder();
+        if tel.is_enabled() {
+            tel.event(
+                hyperm_telemetry::SpanId::NONE,
+                "join",
+                vec![("peer", report.peer.into())],
+            );
+        }
         Ok(report.peer)
     }
 

@@ -6,7 +6,59 @@
 //! thread-safe whole-network accumulator used when many peers insert in
 //! parallel.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kind of network operation a cost record belongs to.
+///
+/// Lives here (not in `hyperm-telemetry`) so that [`NetStats`] can break
+/// its counters down per kind without `hyperm-sim` depending on the
+/// telemetry crate; telemetry re-uses this enum as half of its
+/// `(op kind, wavelet level)` metrics key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Build-time publication of one cluster sphere.
+    Publish,
+    /// Soft-state republish of a peer's summaries (TTL refresh).
+    Refresh,
+    /// ε-range query.
+    RangeQuery,
+    /// k-nearest-neighbour query.
+    KnnQuery,
+    /// Exact point query.
+    PointQuery,
+    /// Overlay repair: zone takeover, handoff, background merges.
+    Repair,
+}
+
+impl OpKind {
+    /// All kinds, in stable report order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Publish,
+        OpKind::Refresh,
+        OpKind::RangeQuery,
+        OpKind::KnnQuery,
+        OpKind::PointQuery,
+        OpKind::Repair,
+    ];
+
+    /// Stable snake_case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Publish => "publish",
+            OpKind::Refresh => "refresh",
+            OpKind::RangeQuery => "range_query",
+            OpKind::KnnQuery => "knn_query",
+            OpKind::PointQuery => "point_query",
+            OpKind::Repair => "repair",
+        }
+    }
+
+    /// Dense index into per-kind tables (`0..OpKind::ALL.len()`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
 
 /// Cost record of one overlay operation (insert, lookup, query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,9 +126,9 @@ impl std::iter::Sum for OpStats {
     }
 }
 
-/// Thread-safe whole-network counters (relaxed atomics — counters only).
+/// One kind's worth of atomic counters inside [`NetStats`].
 #[derive(Debug, Default)]
-pub struct NetStats {
+struct KindCell {
     hops: AtomicU64,
     messages: AtomicU64,
     bytes: AtomicU64,
@@ -85,14 +137,8 @@ pub struct NetStats {
     operations: AtomicU64,
 }
 
-impl NetStats {
-    /// Fresh zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Fold one operation's record into the totals.
-    pub fn record(&self, op: OpStats) {
+impl KindCell {
+    fn record(&self, op: OpStats) {
         self.hops.fetch_add(op.hops, Ordering::Relaxed);
         self.messages.fetch_add(op.messages, Ordering::Relaxed);
         self.bytes.fetch_add(op.bytes, Ordering::Relaxed);
@@ -102,8 +148,7 @@ impl NetStats {
         self.operations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot the totals as a plain [`OpStats`].
-    pub fn totals(&self) -> OpStats {
+    fn totals(&self) -> OpStats {
         OpStats {
             hops: self.hops.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
@@ -113,18 +158,82 @@ impl NetStats {
         }
     }
 
-    /// Number of operations recorded.
-    pub fn operations(&self) -> u64 {
+    fn operations(&self) -> u64 {
         self.operations.load(Ordering::Relaxed)
+    }
+}
+
+/// Thread-safe whole-network counters (relaxed atomics — counters only),
+/// broken down per [`OpKind`] so hop averages can be reported per kind
+/// (publish vs. query vs. repair, as in the paper's Fig. 8).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    total: KindCell,
+    kinds: [KindCell; OpKind::ALL.len()],
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one operation's record into the totals, unattributed to any
+    /// kind (legacy entry point; prefer [`NetStats::record_as`]).
+    pub fn record(&self, op: OpStats) {
+        self.total.record(op);
+    }
+
+    /// Fold one operation's record into both the overall totals and the
+    /// per-kind cell for `kind`.
+    pub fn record_as(&self, kind: OpKind, op: OpStats) {
+        self.total.record(op);
+        self.kinds[kind.index()].record(op);
+    }
+
+    /// Snapshot the overall totals as a plain [`OpStats`].
+    pub fn totals(&self) -> OpStats {
+        self.total.totals()
+    }
+
+    /// Snapshot one kind's totals.
+    pub fn totals_of(&self, kind: OpKind) -> OpStats {
+        self.kinds[kind.index()].totals()
+    }
+
+    /// Number of operations recorded overall.
+    pub fn operations(&self) -> u64 {
+        self.total.operations()
+    }
+
+    /// Number of operations recorded for `kind` (via
+    /// [`NetStats::record_as`]).
+    pub fn operations_of(&self, kind: OpKind) -> u64 {
+        self.kinds[kind.index()].operations()
     }
 
     /// Average hops per recorded operation (0 when nothing recorded).
     pub fn avg_hops(&self) -> f64 {
-        let ops = self.operations();
-        if ops == 0 {
+        Self::ratio(self.total.totals().hops, self.total.operations())
+    }
+
+    /// Average hops per operation of `kind` (0 when nothing recorded).
+    pub fn avg_hops_of(&self, kind: OpKind) -> f64 {
+        let cell = &self.kinds[kind.index()];
+        Self::ratio(cell.totals().hops, cell.operations())
+    }
+
+    /// Average messages per operation of `kind` (0 when nothing recorded).
+    pub fn avg_messages_of(&self, kind: OpKind) -> f64 {
+        let cell = &self.kinds[kind.index()];
+        Self::ratio(cell.totals().messages, cell.operations())
+    }
+
+    fn ratio(num: u64, den: u64) -> f64 {
+        if den == 0 {
             0.0
         } else {
-            self.totals().hops as f64 / ops as f64
+            num as f64 / den as f64
         }
     }
 }
@@ -133,11 +242,16 @@ impl NetStats {
 ///
 /// Host-side timing for the benchmark harness: each recorded
 /// [`std::time::Duration`] is one query's end-to-end latency. Percentiles
-/// use the nearest-rank method on a sorted copy, so p50/p99 are actual
-/// observed samples, not interpolations.
+/// use the nearest-rank method on a sorted snapshot, so p50/p99 are actual
+/// observed samples, not interpolations. The sorted snapshot is computed
+/// lazily on first use and cached until the next [`LatencyStats::record`],
+/// so a bench loop asking for p50, p99 and mean pays one O(n log n) sort,
+/// not one per statistic. (The cache makes this type `!Sync`; recording is
+/// `&mut self` anyway, so share per thread.)
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples_s: Vec<f64>,
+    sorted: RefCell<Option<Vec<f64>>>,
 }
 
 impl LatencyStats {
@@ -146,9 +260,10 @@ impl LatencyStats {
         Self::default()
     }
 
-    /// Record one latency sample.
+    /// Record one latency sample (invalidates the sorted snapshot).
     pub fn record(&mut self, d: std::time::Duration) {
         self.samples_s.push(d.as_secs_f64());
+        *self.sorted.get_mut() = None;
     }
 
     /// Number of recorded samples.
@@ -170,15 +285,26 @@ impl LatencyStats {
         }
     }
 
+    /// Run `f` against the cached sorted snapshot, building it if stale.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples_s.clone();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v
+        });
+        f(sorted)
+    }
+
     /// Nearest-rank percentile in seconds, `p` in `[0, 100]` (0 when empty).
     pub fn percentile_s(&self, p: f64) -> f64 {
         if self.samples_s.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples_s.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.clamp(1, sorted.len()) - 1]
+        self.with_sorted(|sorted| {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        })
     }
 
     /// Median latency in seconds.
@@ -190,6 +316,48 @@ impl LatencyStats {
     pub fn p99_s(&self) -> f64 {
         self.percentile_s(99.0)
     }
+
+    /// All the usual statistics in one pass over one sorted snapshot.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples_s.is_empty() {
+            return LatencySummary::default();
+        }
+        let total_s = self.total_s();
+        self.with_sorted(|sorted| {
+            let pick = |p: f64| {
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            };
+            LatencySummary {
+                count: sorted.len(),
+                total_s,
+                mean_s: total_s / sorted.len() as f64,
+                min_s: sorted[0],
+                p50_s: pick(50.0),
+                p99_s: pick(99.0),
+                max_s: sorted[sorted.len() - 1],
+            }
+        })
+    }
+}
+
+/// One-shot summary of a [`LatencyStats`] sample set (all in seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of all samples.
+    pub total_s: f64,
+    /// Mean (0 when empty).
+    pub mean_s: f64,
+    /// Smallest sample (0 when empty).
+    pub min_s: f64,
+    /// Nearest-rank median (0 when empty).
+    pub p50_s: f64,
+    /// Nearest-rank 99th percentile (0 when empty).
+    pub p99_s: f64,
+    /// Largest sample (0 when empty).
+    pub max_s: f64,
 }
 
 #[cfg(test)]
@@ -266,6 +434,62 @@ mod tests {
     #[test]
     fn avg_hops_empty() {
         assert_eq!(NetStats::new().avg_hops(), 0.0);
+        assert_eq!(NetStats::new().avg_hops_of(OpKind::Publish), 0.0);
+    }
+
+    #[test]
+    fn net_stats_per_kind_breakdown() {
+        let stats = NetStats::new();
+        stats.record_as(
+            OpKind::Publish,
+            OpStats {
+                hops: 10,
+                messages: 12,
+                bytes: 640,
+                ..OpStats::zero()
+            },
+        );
+        stats.record_as(
+            OpKind::Publish,
+            OpStats {
+                hops: 6,
+                messages: 8,
+                bytes: 320,
+                ..OpStats::zero()
+            },
+        );
+        stats.record_as(OpKind::RangeQuery, OpStats::one_hop(64));
+        stats.record_as(
+            OpKind::Repair,
+            OpStats {
+                messages: 3,
+                bytes: 96,
+                ..OpStats::zero()
+            },
+        );
+        // Per-kind counts and averages.
+        assert_eq!(stats.operations_of(OpKind::Publish), 2);
+        assert_eq!(stats.operations_of(OpKind::RangeQuery), 1);
+        assert_eq!(stats.operations_of(OpKind::Repair), 1);
+        assert_eq!(stats.operations_of(OpKind::KnnQuery), 0);
+        assert_eq!(stats.avg_hops_of(OpKind::Publish), 8.0);
+        assert_eq!(stats.avg_hops_of(OpKind::RangeQuery), 1.0);
+        assert_eq!(stats.avg_hops_of(OpKind::Repair), 0.0);
+        assert_eq!(stats.avg_messages_of(OpKind::Publish), 10.0);
+        assert_eq!(stats.totals_of(OpKind::Publish).bytes, 960);
+        // Kind-attributed records also land in the overall totals,
+        // alongside unattributed `record` calls.
+        stats.record(OpStats::one_hop(1));
+        assert_eq!(stats.operations(), 5);
+        assert_eq!(stats.totals().hops, 18);
+    }
+
+    #[test]
+    fn op_kind_names_and_indices_are_dense() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
     }
 
     #[test]
@@ -301,6 +525,36 @@ mod tests {
         for p in [0.0, 50.0, 99.0, 100.0] {
             assert!((lat.percentile_s(p) - 0.007).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn latency_cache_invalidated_by_record() {
+        use std::time::Duration;
+        let mut lat = LatencyStats::new();
+        lat.record(Duration::from_millis(10));
+        // Prime the sorted cache, then record a smaller sample: the next
+        // percentile must see it (stale-cache regression test).
+        assert!((lat.p50_s() - 0.010).abs() < 1e-12);
+        lat.record(Duration::from_millis(2));
+        assert!((lat.percentile_s(0.0) - 0.002).abs() < 1e-12);
+        assert!((lat.p50_s() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_summary_matches_point_queries() {
+        use std::time::Duration;
+        let mut lat = LatencyStats::new();
+        for ms in (1..=100u64).rev() {
+            lat.record(Duration::from_millis(ms));
+        }
+        let s = lat.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.p50_s - lat.p50_s()).abs() < 1e-15);
+        assert!((s.p99_s - lat.p99_s()).abs() < 1e-15);
+        assert!((s.mean_s - lat.mean_s()).abs() < 1e-15);
+        assert!((s.min_s - 0.001).abs() < 1e-12);
+        assert!((s.max_s - 0.100).abs() < 1e-12);
+        assert_eq!(LatencyStats::new().summary(), LatencySummary::default());
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Query forensics: reconstruct the span tree from a flat event stream
+//! and render it for humans.
+//!
+//! Used by the `trace_query` bin: capture a query's events in a ring
+//! buffer, [`Trace::from_events`] them back into a tree, then
+//! [`Trace::render`] the per-level route tree and
+//! [`Trace::phase_totals`] the per-phase cost breakdown.
+
+use crate::event::{Event, EventClass, SpanId, Value};
+use std::collections::BTreeMap;
+
+/// A reconstructed span: its start record, optional end record, child
+/// spans and attached instant events, in emission order.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span id.
+    pub id: SpanId,
+    /// Span name (from the start record).
+    pub name: &'static str,
+    /// Level tag of the emitting handle, if any.
+    pub level: Option<u8>,
+    /// The opening record (carries the input fields).
+    pub start: Event,
+    /// The closing record (carries the outcome fields), if seen.
+    pub end: Option<Event>,
+    /// Indices into [`Trace::spans`] of child spans.
+    pub children: Vec<usize>,
+    /// Instant events attached to this span.
+    pub events: Vec<Event>,
+}
+
+/// A reconstructed trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All spans, in start order.
+    pub spans: Vec<SpanNode>,
+    /// Indices of root spans (parent [`SpanId::NONE`] or unseen).
+    pub roots: Vec<usize>,
+    /// Instant events whose parent span was never started (e.g. scope
+    /// left unset), in emission order.
+    pub orphans: Vec<Event>,
+}
+
+/// One row of the per-phase breakdown: how many spans/events of a given
+/// name were seen and the numeric fields they carried, summed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTotal {
+    /// Span or event name.
+    pub name: &'static str,
+    /// Number of spans (counted at end) or instant events.
+    pub count: u64,
+    /// Sum per numeric field name, over end-record fields (spans) or
+    /// event fields (instants).
+    pub fields: BTreeMap<&'static str, f64>,
+}
+
+impl Trace {
+    /// Rebuild the tree from a flat stream (as drained from a ring
+    /// buffer or parsed off JSONL).
+    pub fn from_events(events: &[Event]) -> Trace {
+        let mut trace = Trace::default();
+        let mut index: BTreeMap<SpanId, usize> = BTreeMap::new();
+        for ev in events {
+            match ev.class {
+                EventClass::Start => {
+                    let idx = trace.spans.len();
+                    trace.spans.push(SpanNode {
+                        id: ev.span,
+                        name: ev.name,
+                        level: ev.level,
+                        start: ev.clone(),
+                        end: None,
+                        children: Vec::new(),
+                        events: Vec::new(),
+                    });
+                    index.insert(ev.span, idx);
+                    match index.get(&ev.parent) {
+                        Some(&p) if !ev.parent.is_none() => trace.spans[p].children.push(idx),
+                        _ => trace.roots.push(idx),
+                    }
+                }
+                EventClass::End => {
+                    if let Some(&idx) = index.get(&ev.span) {
+                        trace.spans[idx].end = Some(ev.clone());
+                    } else {
+                        trace.orphans.push(ev.clone());
+                    }
+                }
+                EventClass::Instant => match index.get(&ev.span) {
+                    Some(&idx) => trace.spans[idx].events.push(ev.clone()),
+                    None => trace.orphans.push(ev.clone()),
+                },
+            }
+        }
+        trace
+    }
+
+    /// Aggregate spans and events by name: the per-phase cost breakdown.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut totals: BTreeMap<&'static str, PhaseTotal> = BTreeMap::new();
+        let mut fold = |name: &'static str, fields: &[(&'static str, Value)]| {
+            let row = totals.entry(name).or_insert_with(|| PhaseTotal {
+                name,
+                count: 0,
+                fields: BTreeMap::new(),
+            });
+            row.count += 1;
+            for (k, v) in fields {
+                if let Some(x) = v.as_f64() {
+                    *row.fields.entry(k).or_insert(0.0) += x;
+                }
+            }
+        };
+        for s in &self.spans {
+            match &s.end {
+                Some(end) => fold(s.name, &end.fields),
+                None => fold(s.name, &s.start.fields),
+            }
+            for ev in &s.events {
+                fold(ev.name, &ev.fields);
+            }
+        }
+        for ev in &self.orphans {
+            fold(ev.name, &ev.fields);
+        }
+        totals.into_values().collect()
+    }
+
+    /// Render the tree as indented text: one line per span (inputs, then
+    /// `=> outcome` fields) and per instant event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &r in &self.roots {
+            self.render_span(r, 0, &mut out);
+        }
+        if !self.orphans.is_empty() {
+            out.push_str("(unparented)\n");
+            for ev in &self.orphans {
+                out.push_str(&format!("  {}\n", render_line(ev)));
+            }
+        }
+        out
+    }
+
+    fn render_span(&self, idx: usize, depth: usize, out: &mut String) {
+        let s = &self.spans[idx];
+        let pad = "  ".repeat(depth);
+        let mut line = format!("{pad}{}", s.name);
+        if let Some(l) = s.level {
+            line.push_str(&format!(" level={l}"));
+        }
+        for (k, v) in &s.start.fields {
+            line.push_str(&format!(" {k}={}", v.render()));
+        }
+        if let Some(end) = &s.end {
+            if !end.fields.is_empty() {
+                line.push_str(" =>");
+                for (k, v) in &end.fields {
+                    line.push_str(&format!(" {k}={}", v.render()));
+                }
+            }
+        }
+        out.push_str(&line);
+        out.push('\n');
+        // Interleave events and child spans in emission order (seq).
+        let mut items: Vec<(u64, Result<usize, &Event>)> = Vec::new();
+        for &c in &s.children {
+            items.push((self.spans[c].start.seq, Ok(c)));
+        }
+        for ev in &s.events {
+            items.push((ev.seq, Err(ev)));
+        }
+        items.sort_by_key(|(seq, _)| *seq);
+        for (_, item) in items {
+            match item {
+                Ok(c) => self.render_span(c, depth + 1, out),
+                Err(ev) => {
+                    out.push_str(&format!("{}{}\n", "  ".repeat(depth + 1), render_line(ev)));
+                }
+            }
+        }
+    }
+
+    /// All spans named `name`, in start order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanNode> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Count of instant events named `name` anywhere in the trace.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.spans
+            .iter()
+            .flat_map(|s| s.events.iter())
+            .chain(self.orphans.iter())
+            .filter(|e| e.name == name)
+            .count()
+    }
+}
+
+fn render_line(ev: &Event) -> String {
+    let mut line = ev.name.to_string();
+    if let Some(l) = ev.level {
+        line.push_str(&format!(" level={l}"));
+    }
+    for (k, v) in &ev.fields {
+        line.push_str(&format!(" {k}={}", v.render()));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn tree_reconstruction_and_breakdown() {
+        let (rec, ring) = Recorder::ring(64);
+        let q = rec.span(SpanId::NONE, "query", vec![("eps", 0.2f64.into())]);
+        let l0 = rec.scoped(0);
+        let look = l0.span(q, "overlay_lookup", vec![]);
+        l0.event(
+            look,
+            "route_hop",
+            vec![("from", 0u64.into()), ("to", 2u64.into())],
+        );
+        l0.event(
+            look,
+            "route_hop",
+            vec![("from", 2u64.into()), ("to", 5u64.into())],
+        );
+        l0.end(look, "overlay_lookup", vec![("hops", 2u64.into())]);
+        rec.event(
+            q,
+            "fetch",
+            vec![("peer", 5u64.into()), ("bytes", 128u64.into())],
+        );
+        rec.end(q, "query", vec![("hops", 4u64.into())]);
+        let trace = Trace::from_events(&ring.events());
+
+        assert_eq!(trace.roots.len(), 1);
+        let root = &trace.spans[trace.roots[0]];
+        assert_eq!(root.name, "query");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.events.len(), 1);
+        let child = &trace.spans[root.children[0]];
+        assert_eq!(child.name, "overlay_lookup");
+        assert_eq!(child.level, Some(0));
+        assert_eq!(child.events.len(), 2);
+        assert!(child.end.is_some());
+        assert!(trace.orphans.is_empty());
+
+        let totals = trace.phase_totals();
+        let hops_row = totals.iter().find(|t| t.name == "route_hop").unwrap();
+        assert_eq!(hops_row.count, 2);
+        let lookup_row = totals.iter().find(|t| t.name == "overlay_lookup").unwrap();
+        assert_eq!(lookup_row.fields.get("hops"), Some(&2.0));
+        assert_eq!(trace.event_count("route_hop"), 2);
+        assert_eq!(trace.spans_named("overlay_lookup").len(), 1);
+
+        let text = trace.render();
+        assert!(text.starts_with("query eps=0.2"));
+        assert!(text.contains("\n  overlay_lookup level=0 => hops=2\n"));
+        assert!(text.contains("\n    route_hop level=0 from=0 to=2\n"));
+        assert!(text.contains("\n  fetch peer=5 bytes=128\n"));
+    }
+
+    #[test]
+    fn orphans_are_kept() {
+        let (rec, ring) = Recorder::ring(8);
+        rec.event(SpanId(99), "drop", vec![]);
+        let trace = Trace::from_events(&ring.events());
+        assert_eq!(trace.orphans.len(), 1);
+        assert_eq!(trace.event_count("drop"), 1);
+        assert!(trace.render().contains("(unparented)"));
+    }
+}

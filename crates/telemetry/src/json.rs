@@ -1,0 +1,174 @@
+//! A tiny JSON writer.
+//!
+//! The workspace has no serde (no crates.io access), and the bench bins
+//! used to hand-roll their `BENCH_*.json` reports with `format!`. This
+//! module centralises that: a composable object builder with *per-field*
+//! number formatting control, because the bench schemas fix the number of
+//! decimals per key (`"qps": {:.2}`, `"recall": {:.6}`, …) and the ported
+//! bins must stay byte-compatible with the old output.
+//!
+//! Two render modes:
+//! * [`JsonObj::render`] — single line, `{"k": v, "k2": v2}`;
+//! * [`JsonObj::render_pretty`] — top-level keys one per line at 2-space
+//!   indent, closing `}` and trailing newline, matching the historical
+//!   `BENCH_*.json` layout. Nested objects stay inline; arrays added with
+//!   [`JsonObj::arr`] put one element per line at 4-space indent.
+
+/// Escape a string for a JSON string literal (quotes added by caller).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An ordered JSON object under construction. Values are rendered at
+/// insertion time, so each field picks its own formatting.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Unsigned integer field.
+    pub fn u(self, key: &str, v: u64) -> Self {
+        self.raw(key, v.to_string())
+    }
+
+    /// Signed integer field.
+    pub fn i(self, key: &str, v: i64) -> Self {
+        self.raw(key, v.to_string())
+    }
+
+    /// Boolean field.
+    pub fn b(self, key: &str, v: bool) -> Self {
+        self.raw(key, v.to_string())
+    }
+
+    /// Float field in `Display` format (`0.25` → `0.25`), as the old
+    /// reports did for workload parameters.
+    pub fn g(self, key: &str, v: f64) -> Self {
+        self.raw(key, format!("{v}"))
+    }
+
+    /// Float field with a fixed number of decimals (`{:.prec$}`).
+    pub fn f(self, key: &str, v: f64, prec: usize) -> Self {
+        self.raw(key, format!("{v:.prec$}"))
+    }
+
+    /// Escaped string field.
+    pub fn s(self, key: &str, v: &str) -> Self {
+        self.raw(key, format!("\"{}\"", escape(v)))
+    }
+
+    /// Nested object, rendered inline.
+    pub fn obj(self, key: &str, o: JsonObj) -> Self {
+        let rendered = o.render();
+        self.raw(key, rendered)
+    }
+
+    /// Array of pre-rendered values, one element per line at 4-space
+    /// indent (the `"sweep": [...]` layout). Empty arrays render `[]`.
+    pub fn arr(self, key: &str, items: &[String]) -> Self {
+        if items.is_empty() {
+            return self.raw(key, "[]");
+        }
+        let body = items
+            .iter()
+            .map(|it| format!("    {it}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        self.raw(key, format!("[\n{body}\n  ]"))
+    }
+
+    /// Single-line rendering: `{"k": v, "k2": v2}`.
+    pub fn render(&self) -> String {
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{body}}}")
+    }
+
+    /// Report rendering: top-level keys one per line at 2-space indent,
+    /// trailing newline.
+    pub fn render_pretty(&self) -> String {
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n}}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_matches_handrolled() {
+        let got = JsonObj::new()
+            .f("total_s", 1.25, 6)
+            .f("qps", 160.0, 2)
+            .f("p50_ms", 6.1, 4)
+            .render();
+        let want = format!(
+            "{{\"total_s\": {:.6}, \"qps\": {:.2}, \"p50_ms\": {:.4}}}",
+            1.25, 160.0, 6.1
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pretty_matches_handrolled_layout() {
+        let got = JsonObj::new()
+            .obj("workload", JsonObj::new().u("peers", 120).g("eps", 0.25))
+            .u("cores", 4)
+            .f("recall", 1.0, 6)
+            .render_pretty();
+        let want = "{\n  \"workload\": {\"peers\": 120, \"eps\": 0.25},\n  \"cores\": 4,\n  \"recall\": 1.000000\n}\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn array_layout_and_empty() {
+        let items = vec!["{\"a\": 1}".to_string(), "{\"a\": 2}".to_string()];
+        let got = JsonObj::new().arr("sweep", &items).render_pretty();
+        let want = "{\n  \"sweep\": [\n    {\"a\": 1},\n    {\"a\": 2}\n  ]\n}\n";
+        assert_eq!(got, want);
+        assert_eq!(JsonObj::new().arr("sweep", &[]).render(), "{\"sweep\": []}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(
+            JsonObj::new().s("k", "x\"y").render(),
+            "{\"k\": \"x\\\"y\"}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Telemetry for Hyper-M: structured event tracing, a per-level metrics
+//! registry, and query forensics.
+//!
+//! The paper's evaluation (Figs. 8–11) is about *where cost goes* — hops
+//! per insertion, messages per query, recall per wavelet level. This
+//! crate makes those attributions observable on a live network without
+//! perturbing the simulation:
+//!
+//! * [`Recorder`] — a cheap-clone span/event handle threaded through the
+//!   CAN overlay, the query layer and the repair engine. The default is
+//!   disabled and provably free: the simulated [`hyperm_sim::OpStats`]
+//!   are computed identically whether tracing is off, on, or the crate is
+//!   unused (asserted by the `telemetry` integration tests). Events are
+//!   stamped with the **sim clock** ([`Recorder::set_time`]), not host
+//!   time, so equal seeds give equal streams.
+//! * [`Metrics`] — named counters plus log2-histogram cells keyed by
+//!   `(op kind, wavelet level)` covering hops, messages, bytes, retries,
+//!   failed routes and end-to-end latency; [`Metrics::snapshot`] yields a
+//!   serialisable [`MetricsSnapshot`].
+//! * [`forensics`] — rebuilds a span tree from a flat event stream; the
+//!   `trace_query` bin (in `hyperm-bench`) uses it to print a query's
+//!   full per-level route tree and per-phase cost breakdown.
+//! * [`json`] — the tiny JSON writer shared with the bench bins (the
+//!   workspace has no serde).
+//!
+//! Event taxonomy and span hierarchy are documented in DESIGN.md
+//! ("Observability"); sink formats in EXPERIMENTS.md.
+//!
+//! No external dependencies: like the rest of the workspace this builds
+//! offline (see `vendor/`).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod forensics;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use event::{Event, EventClass, Fields, SpanId, Value};
+pub use forensics::{PhaseTotal, SpanNode, Trace};
+pub use json::JsonObj;
+pub use metrics::{CellSnapshot, HistSnapshot, Log2Hist, Metrics, MetricsSnapshot};
+pub use recorder::{JsonlSink, Recorder, RingHandle, Sink, TeeSink};
+
+// Re-exported so downstream crates can key metrics without an extra
+// `hyperm-sim` import at the call site.
+pub use hyperm_sim::OpKind;

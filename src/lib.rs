@@ -21,7 +21,10 @@
 //! * [`baseline`](mod@baseline) — per-item CAN baselines and the flat
 //!   ground-truth index;
 //! * [`repair`](mod@repair) — the overlay repair engine: churn schedules,
-//!   zone takeover and soft-state replica refresh.
+//!   zone takeover and soft-state replica refresh;
+//! * [`telemetry`](mod@telemetry) — structured event tracing, the
+//!   per-`(op kind, level)` metrics registry, and query forensics
+//!   (disabled by default and provably free for the simulation).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and DESIGN.md
 //! for the experiment index.
@@ -37,6 +40,7 @@ pub use hyperm_datagen as datagen;
 pub use hyperm_geometry as geometry;
 pub use hyperm_repair as repair;
 pub use hyperm_sim as sim;
+pub use hyperm_telemetry as telemetry;
 pub use hyperm_vbi as vbi;
 pub use hyperm_wavelet as wavelet;
 
@@ -47,5 +51,6 @@ pub use hyperm_core::{
     OverlayBackend, ScorePolicy,
 };
 pub use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
-pub use hyperm_sim::{EnergyModel, FaultConfig, NodeId, OpStats};
+pub use hyperm_sim::{EnergyModel, FaultConfig, NodeId, OpKind, OpStats};
+pub use hyperm_telemetry::{MetricsSnapshot, Recorder, Trace};
 pub use hyperm_wavelet::Normalization;

@@ -1,0 +1,199 @@
+//! Telemetry integration tests: the tracing layer must be deterministic
+//! under equal seeds and provably free when disabled — the simulated
+//! OpStats accounting and query results must be bit-identical whether
+//! tracing is off, on, or the recorder was never installed.
+
+use hyperm::datagen::{generate_aloi_like, AloiConfig};
+use hyperm::telemetry::{Event, Recorder, RingHandle, Trace};
+use hyperm::{Dataset, HypermConfig, HypermNetwork, KnnOptions, OpKind};
+
+const DIM: usize = 32;
+const LEVELS: usize = 4;
+
+fn peers(seed: u64) -> Vec<Dataset> {
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 10,
+        views_per_class: 18,
+        bins: DIM,
+        view_jitter: 0.15,
+        seed,
+    });
+    let per = corpus.data.len() / 12;
+    (0..12)
+        .map(|p| {
+            let mut ds = Dataset::new(DIM);
+            for i in p * per..(p + 1) * per {
+                ds.push_row(corpus.data.row(i));
+            }
+            ds
+        })
+        .collect()
+}
+
+fn config(seed: u64) -> HypermConfig {
+    HypermConfig::new(DIM)
+        .with_levels(LEVELS)
+        .with_clusters_per_peer(4)
+        .with_seed(seed)
+        .with_parallel_query(false) // serial => deterministic event order
+}
+
+/// Build a traced network and run one of each query kind, returning the
+/// captured event stream.
+fn traced_run(seed: u64) -> Vec<Event> {
+    let (rec, ring) = Recorder::ring(1 << 16);
+    let (net, _) = HypermNetwork::build_traced(peers(seed), config(seed), rec).unwrap();
+    let q = peers(seed)[3].row(0).to_vec();
+    net.range_query(0, &q, 0.2, None);
+    net.knn_query(1, &q, 4, KnnOptions::default());
+    net.point_query(2, &q);
+    assert_eq!(ring.dropped(), 0, "ring must be large enough for the run");
+    ring.events()
+}
+
+#[test]
+fn same_seed_gives_identical_event_streams() {
+    let a = traced_run(7);
+    let b = traced_run(7);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "equal seeds must produce equal event streams");
+}
+
+#[test]
+fn tracing_never_perturbs_simulated_results() {
+    let seed = 11;
+    // Untouched network: telemetry crate never engaged.
+    let (plain, plain_report) = HypermNetwork::build(peers(seed), config(seed)).unwrap();
+    // Disabled recorder installed explicitly.
+    let (off, off_report) =
+        HypermNetwork::build_traced(peers(seed), config(seed), Recorder::disabled()).unwrap();
+    // Tracing fully on.
+    let (rec, _ring) = Recorder::ring(1 << 16);
+    let (on, on_report) = HypermNetwork::build_traced(peers(seed), config(seed), rec).unwrap();
+
+    assert_eq!(plain_report, off_report);
+    assert_eq!(plain_report, on_report);
+
+    let q = peers(seed)[5].row(2).to_vec();
+    let (pr, or, tr) = (
+        plain.range_query(0, &q, 0.25, None),
+        off.range_query(0, &q, 0.25, None),
+        on.range_query(0, &q, 0.25, None),
+    );
+    assert_eq!(pr.items, or.items);
+    assert_eq!(pr.items, tr.items);
+    assert_eq!(pr.stats, or.stats, "disabled recorder changed OpStats");
+    assert_eq!(pr.stats, tr.stats, "enabled recorder changed OpStats");
+
+    let (pk, ok, tk) = (
+        plain.knn_query(1, &q, 5, KnnOptions::default()),
+        off.knn_query(1, &q, 5, KnnOptions::default()),
+        on.knn_query(1, &q, 5, KnnOptions::default()),
+    );
+    assert_eq!(pk.topk, ok.topk);
+    assert_eq!(pk.topk, tk.topk);
+    assert_eq!(pk.stats, ok.stats);
+    assert_eq!(pk.stats, tk.stats);
+
+    let (pp, op, tp) = (
+        plain.point_query(2, &q),
+        off.point_query(2, &q),
+        on.point_query(2, &q),
+    );
+    assert_eq!(pp.matches, op.matches);
+    assert_eq!(pp.matches, tp.matches);
+    assert_eq!(pp.stats, op.stats);
+    assert_eq!(pp.stats, tp.stats);
+}
+
+#[test]
+fn metrics_cells_are_keyed_by_op_kind_and_level() {
+    let seed = 13;
+    let (rec, _ring) = Recorder::ring(1 << 16);
+    let (net, _) = HypermNetwork::build_traced(peers(seed), config(seed), rec.clone()).unwrap();
+    let q = peers(seed)[0].row(1).to_vec();
+    net.range_query(0, &q, 0.2, None);
+    net.knn_query(0, &q, 3, KnnOptions::default());
+
+    let snap = rec.metrics().unwrap().snapshot();
+    for kind in [OpKind::Publish, OpKind::RangeQuery, OpKind::KnnQuery] {
+        let whole = snap.cell(kind, None).unwrap_or_else(|| {
+            panic!("missing whole-op cell for {}", kind.name());
+        });
+        assert!(whole.ops > 0);
+        for l in 0..LEVELS {
+            let cell = snap.cell(kind, Some(l)).unwrap_or_else(|| {
+                panic!("missing cell ({}, level {l})", kind.name());
+            });
+            assert!(cell.ops > 0);
+            assert_eq!(cell.hops.count, cell.ops);
+        }
+    }
+    // Query latency is recorded on the whole-op row.
+    assert!(
+        snap.cell(OpKind::RangeQuery, None)
+            .unwrap()
+            .latency_us
+            .count
+            > 0
+    );
+    assert!(
+        snap.cell(OpKind::PointQuery, None).is_none(),
+        "no point query ran"
+    );
+    let json = snap.to_json();
+    assert!(json.contains("\"op\": \"range_query\""));
+    assert!(json.contains("\"level\": null"));
+}
+
+#[test]
+fn route_tree_covers_every_level() {
+    let seed = 17;
+    let (rec, ring) = Recorder::ring(1 << 16);
+    let (net, _) = HypermNetwork::build_traced(peers(seed), config(seed), rec).unwrap();
+    ring.drain(); // discard build-phase events
+    let q = peers(seed)[4].row(3).to_vec();
+    let res = net.range_query(0, &q, 0.25, None);
+
+    let trace = Trace::from_events(&ring.events());
+    assert!(
+        trace.orphans.is_empty(),
+        "every event must parent somewhere"
+    );
+    let queries = trace.spans_named("query");
+    assert_eq!(queries.len(), 1);
+    let lookups = trace.spans_named("overlay_lookup");
+    assert_eq!(lookups.len(), LEVELS, "one lookup span per wavelet level");
+    let mut levels: Vec<_> = lookups.iter().map(|s| s.level.unwrap()).collect();
+    levels.sort_unstable();
+    assert_eq!(levels, (0..LEVELS as u8).collect::<Vec<_>>());
+    // Each lookup hangs off the query span.
+    for l in &lookups {
+        assert_eq!(l.start.parent, queries[0].id);
+    }
+    // The phase breakdown folds the whole-op cost back out of the tree.
+    let totals = trace.phase_totals();
+    let qt = totals.iter().find(|p| p.name == "query").unwrap();
+    assert_eq!(qt.fields["hops"], res.stats.hops as f64);
+    assert_eq!(qt.fields["messages"], res.stats.messages as f64);
+    assert_eq!(qt.fields["bytes"], res.stats.bytes as f64);
+}
+
+#[test]
+fn ring_handle_reusable_across_phases() {
+    // The trace_query bin drains build events then captures one query;
+    // the drain boundary must be clean (no query events before, none
+    // lost after).
+    let seed = 19;
+    let ring = RingHandle::new(1 << 16);
+    let rec = Recorder::with_sink(ring.sink());
+    let (net, _) = HypermNetwork::build_traced(peers(seed), config(seed), rec).unwrap();
+    let build = ring.drain();
+    assert!(build.iter().any(|e| e.name == "publish"));
+    assert!(build.iter().all(|e| e.name != "query"));
+    let q = peers(seed)[2].row(0).to_vec();
+    net.range_query(0, &q, 0.2, None);
+    let query = ring.events();
+    assert!(query.iter().any(|e| e.name == "query"));
+    assert!(query.iter().all(|e| e.name != "publish"));
+}
