@@ -98,6 +98,8 @@ impl BatonOverlay {
         InsertOutcome {
             owner,
             replicas,
+            // Tree publishes are reliable: every intended replica lands.
+            targets: replicas,
             stats,
             rounds: route_hops + flood_depth,
         }

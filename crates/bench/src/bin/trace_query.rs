@@ -18,7 +18,7 @@
 //! smoke test.
 
 use hyperm_cluster::Dataset;
-use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions};
+use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, QueryBudget};
 use hyperm_telemetry::{JsonlSink, OpKind, Recorder, RingHandle, TeeSink, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,7 +68,7 @@ fn main() {
         .with_clusters_per_peer(4)
         .with_seed(43)
         .with_parallel_query(false); // serial => deterministic event order
-    let (net, report) = HypermNetwork::build_traced(peers.clone(), cfg, rec.clone()).unwrap();
+    let (mut net, report) = HypermNetwork::build_traced(peers.clone(), cfg, rec.clone()).unwrap();
     let build_events = ring.drain();
     println!(
         "built: {PEERS} peers x {ITEMS} items, {DIM}-d, {LEVELS} levels — {} clusters published, {} replicas, {} build events",
@@ -86,7 +86,7 @@ fn main() {
     let p = rng.gen_range(0..peers.len());
     let q = peers[p].row(rng.gen_range(0..peers[p].len())).to_vec();
 
-    let expect_kind = match kind.as_str() {
+    let (expect_kind, victim) = match kind.as_str() {
         "range" => {
             let res = net.range_query(0, &q, 0.25, None);
             println!(
@@ -96,7 +96,8 @@ fn main() {
                 res.stats.hops,
                 res.stats.messages
             );
-            OpKind::RangeQuery
+            let victim = res.ranked.first().map(|s| s.peer);
+            (OpKind::RangeQuery, victim)
         }
         "knn" => {
             let res = net.knn_query(0, &q, 5, KnnOptions::default());
@@ -106,7 +107,8 @@ fn main() {
                 res.stats.hops,
                 res.stats.messages
             );
-            OpKind::KnnQuery
+            let victim = res.ranked.first().map(|s| s.peer);
+            (OpKind::KnnQuery, victim)
         }
         _ => {
             let res = net.point_query(0, &q);
@@ -116,7 +118,8 @@ fn main() {
                 res.stats.hops,
                 res.stats.messages
             );
-            OpKind::PointQuery
+            let victim = res.candidates.first().copied();
+            (OpKind::PointQuery, victim)
         }
     };
     rec.flush();
@@ -168,5 +171,68 @@ fn main() {
         "\nwrote TRACE_query.jsonl ({} query events) and TRACE_metrics.json ({} cells)",
         events.len(),
         snapshot.cells.len()
+    );
+
+    // Degraded replay: crash the top-scored answering peer and rerun the
+    // same query with a failure-tolerance budget. The route tree now
+    // carries the data-plane fault events — `fetch_timeout` on the dead
+    // peer and (range/knn) `fetch_fallback` where the contact window slid
+    // to the next-scored candidate.
+    let victim = victim.expect("query found no answering peers");
+    net.fail_peer(victim);
+    let from = usize::from(victim == 0); // querier must stay alive
+    let budget = QueryBudget::default();
+    match expect_kind {
+        OpKind::RangeQuery => {
+            let res = net.range_query_budgeted(from, &q, 0.25, Some(4), budget);
+            println!(
+                "\ndegraded range query (peer {victim} crashed): {} items from {} peers, truncated={}",
+                res.items.len(),
+                res.peers_contacted,
+                res.truncated
+            );
+        }
+        OpKind::KnnQuery => {
+            // A peer budget below the candidate count leaves next-scored
+            // peers for the fallback window to slide onto.
+            let opts = KnnOptions {
+                peer_budget: Some(1),
+                ..KnnOptions::default()
+            };
+            let res = net.knn_query_budgeted(from, &q, 5, opts, budget);
+            println!(
+                "\ndegraded knn query (peer {victim} crashed): {} of k=5 items, truncated={}",
+                res.topk.len(),
+                res.truncated
+            );
+        }
+        _ => {
+            let res = net.point_query_budgeted(from, &q, budget);
+            println!(
+                "\ndegraded point query (peer {victim} crashed): {} items, truncated={}",
+                res.matches.len(),
+                res.truncated
+            );
+        }
+    }
+    rec.flush();
+    let degraded = ring.drain();
+    let dtrace = Trace::from_events(&degraded);
+    println!("== degraded route tree ({} events) ==", degraded.len());
+    print!("{}", dtrace.render());
+    assert!(
+        dtrace.event_count("fetch_timeout") >= 1,
+        "crashed peer must surface as a fetch_timeout in the route tree"
+    );
+    if matches!(expect_kind, OpKind::RangeQuery | OpKind::KnnQuery) {
+        assert!(
+            dtrace.event_count("fetch_fallback") >= 1,
+            "the contact window must slide past the crashed peer"
+        );
+    }
+    let m = rec.metrics().expect("recorder enabled");
+    assert!(
+        m.counter("fetch_timeout") >= 1,
+        "fetch_timeout must be counted in the metrics registry"
     );
 }

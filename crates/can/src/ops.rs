@@ -67,11 +67,22 @@ pub struct InsertOutcome {
     pub owner: NodeId,
     /// Nodes storing the object (1 = no replication happened/needed).
     pub replicas: usize,
+    /// Zones the sphere overlaps — the replica count a fully delivered
+    /// flood achieves. `replicas < targets` means lossy flood edges left
+    /// coverage holes (possible only on the fallible publish path).
+    pub targets: usize,
     /// Total message cost (routing + replication fan-out).
     pub stats: OpStats,
     /// Critical-path length in rounds: routing hops + replication-flood
     /// depth (flood messages at the same depth travel in parallel).
     pub rounds: u64,
+}
+
+impl InsertOutcome {
+    /// Whether every overlapping zone received its replica.
+    pub fn complete(&self) -> bool {
+        self.replicas == self.targets
+    }
 }
 
 /// Result of a range query.
@@ -105,6 +116,41 @@ impl CanOverlay {
         payload: ObjectRef,
         replicate: bool,
     ) -> InsertOutcome {
+        match self.insert_sphere_impl(from, centre, radius, payload, replicate, false) {
+            Ok(out) => out,
+            Err(_) => panic!("publish route failed on the reliable path"),
+        }
+    }
+
+    /// Fallible, fault-aware sphere insertion — the reliable-publish data
+    /// path. The route to the owner and every replication flood edge roll
+    /// the installed fault injector (ack/retransmit per hop) and respect
+    /// an active partition. A route that dead-ends returns `Err` with the
+    /// burnt cost and stores nothing; a flood edge whose retries exhaust
+    /// leaves that zone to be covered by another branch, if any —
+    /// surfacing as `replicas < targets` when none reaches it. With no
+    /// injector and no partition installed this is bit-identical to
+    /// [`CanOverlay::insert_sphere`].
+    pub fn try_insert_sphere(
+        &mut self,
+        from: NodeId,
+        centre: Vec<f64>,
+        radius: f64,
+        payload: ObjectRef,
+        replicate: bool,
+    ) -> Result<InsertOutcome, OpStats> {
+        self.insert_sphere_impl(from, centre, radius, payload, replicate, true)
+    }
+
+    fn insert_sphere_impl(
+        &mut self,
+        from: NodeId,
+        centre: Vec<f64>,
+        radius: f64,
+        payload: ObjectRef,
+        replicate: bool,
+        with_faults: bool,
+    ) -> Result<InsertOutcome, OpStats> {
         assert_eq!(centre.len(), self.dim(), "centre dimension mismatch");
         assert!(radius >= 0.0, "negative radius {radius}");
         let id = self.next_object_id;
@@ -119,8 +165,12 @@ impl CanOverlay {
         let tel = self.recorder().clone();
         let traced = tel.is_enabled();
 
-        let (owner, mut stats) = self.route(from, &obj.centre, bytes);
-        let route_hops = stats.hops;
+        let res = self.route_result_with(from, &obj.centre, bytes, with_faults);
+        if res.outcome != crate::overlay::RouteOutcome::Delivered {
+            return Err(res.stats);
+        }
+        let (owner, mut stats) = (res.node, res.stats);
+        let route_rounds = res.rounds;
         let flood_span = if traced {
             tel.span(
                 tel.scope(),
@@ -136,15 +186,20 @@ impl CanOverlay {
         };
 
         let mut replicas = 0usize;
+        let mut targets = 1usize;
         let mut flood_depth = 0u64;
         if replicate && radius > 0.0 {
             // BFS flood over zones overlapping the sphere; the queue holds
             // (node, depth) so the critical path is the max depth reached.
-            // Candidate zones come from the spatial index; the flood itself
-            // (and its cost accounting) is unchanged — membership in the
-            // pre-filtered candidate set is exactly the old per-edge
-            // `intersects_sphere` test.
+            // Candidate zones come from the spatial index; membership in
+            // the pre-filtered candidate set is exactly the old per-edge
+            // `intersects_sphere` test. Each edge is one transmission,
+            // subject to fault injection on the fallible path (no-fault
+            // path: 1 attempt, so costs are bit-identical); an undelivered
+            // edge leaves the neighbour to another flood branch, and
+            // severed (partitioned) links are simply absent.
             let candidates = self.flood_candidates(&obj.centre, obj.radius);
+            targets = candidates.len();
             let slot_of = |id: NodeId| candidates.binary_search(&(id.0 as u32)).ok();
             let mut visited = vec![false; candidates.len()];
             let mut queue = VecDeque::new();
@@ -164,21 +219,48 @@ impl CanOverlay {
                 let neighbours = self.node(n).neighbours.clone();
                 for nb in neighbours {
                     if let Some(slot) = slot_of(nb) {
-                        if !visited[slot] {
-                            visited[slot] = true;
-                            stats += OpStats::one_hop(bytes);
-                            if traced {
+                        if !visited[slot] && self.reachable(n, nb) {
+                            let (delivered, attempts, _ticks) = if with_faults {
+                                self.fault_hop()
+                            } else {
+                                (true, 1, 1)
+                            };
+                            stats.messages += attempts;
+                            stats.bytes += attempts * bytes;
+                            stats.retries += attempts.saturating_sub(1);
+                            if traced && attempts > 1 {
                                 tel.event(
                                     flood_span,
-                                    "flood_edge",
+                                    "retry",
                                     vec![
                                         ("from", n.0.into()),
                                         ("to", nb.0.into()),
-                                        ("depth", (depth + 1).into()),
+                                        ("attempts", attempts.into()),
                                     ],
                                 );
                             }
-                            queue.push_back((nb, depth + 1));
+                            if delivered {
+                                stats.hops += 1;
+                                visited[slot] = true;
+                                if traced {
+                                    tel.event(
+                                        flood_span,
+                                        "flood_edge",
+                                        vec![
+                                            ("from", n.0.into()),
+                                            ("to", nb.0.into()),
+                                            ("depth", (depth + 1).into()),
+                                        ],
+                                    );
+                                }
+                                queue.push_back((nb, depth + 1));
+                            } else if traced {
+                                tel.event(
+                                    flood_span,
+                                    "drop",
+                                    vec![("from", n.0.into()), ("to", nb.0.into())],
+                                );
+                            }
                         }
                     }
                 }
@@ -199,12 +281,13 @@ impl CanOverlay {
             "flood",
             vec![("replicas", replicas.into()), ("depth", flood_depth.into())],
         );
-        InsertOutcome {
+        Ok(InsertOutcome {
             owner,
             replicas,
+            targets,
             stats,
-            rounds: route_hops + flood_depth,
-        }
+            rounds: route_rounds + flood_depth,
+        })
     }
 
     /// Insert a zero-sized (point) object.
@@ -382,10 +465,11 @@ impl CanOverlay {
             }
             for &nb in &node.neighbours {
                 if let Some(slot) = slot_of(nb) {
-                    if !visited[slot] {
+                    if !visited[slot] && self.reachable(n, nb) {
                         // Each flood edge is one transmission, subject to
                         // fault injection (no-fault path: 1 attempt, so
-                        // costs are bit-identical with injection off).
+                        // costs are bit-identical with injection off);
+                        // severed (partitioned) links are simply absent.
                         let (delivered, attempts, _ticks) = self.fault_hop();
                         stats.messages += attempts;
                         stats.bytes += attempts * qb;

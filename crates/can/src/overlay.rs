@@ -170,6 +170,13 @@ pub struct CanOverlay {
     dead: usize,
     /// Optional message-level fault injection (queries only).
     faults: FaultSlot,
+    /// Active network partition, as a dense node → component map (see
+    /// `hyperm_sim::PartitionPlan::component_map`). While installed,
+    /// links between nodes in different components are severed: routing
+    /// and floods treat the far side like dead nodes, but reversibly —
+    /// clearing the map heals every link at once. `None` = fully
+    /// connected (the default; zero-cost on the routing hot path).
+    partition: Option<Vec<u32>>,
     /// Tracing handle (disabled by default — provably free). Installed
     /// per level by the network layer via [`CanOverlay::set_recorder`];
     /// events attach to whatever span the caller pointed the handle's
@@ -203,6 +210,7 @@ impl CanOverlay {
             index,
             dead: 0,
             faults: FaultSlot::default(),
+            partition: None,
             telemetry: Recorder::disabled(),
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -294,6 +302,34 @@ impl CanOverlay {
         self.faults = FaultSlot(cfg.map(|c| Mutex::new(FaultInjector::new(c))));
     }
 
+    /// Install (or clear) a network partition: a dense node → component
+    /// map (`hyperm_sim::PartitionPlan::component_map`). Nodes appended
+    /// after the map was built (beyond its length) are treated as severed
+    /// from everyone — install a fresh map after joins if that matters.
+    pub fn set_partition(&mut self, map: Option<Vec<u32>>) {
+        self.partition = map;
+    }
+
+    /// Whether a partition map is currently installed.
+    pub fn partition_active(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether `a` and `b` can exchange messages under the active
+    /// partition (always true when none is installed).
+    pub(crate) fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        match &self.partition {
+            None => true,
+            Some(map) => {
+                a == b
+                    || matches!(
+                        (map.get(a.0), map.get(b.0)),
+                        (Some(ca), Some(cb)) if ca == cb
+                    )
+            }
+        }
+    }
+
     /// Install a tracing/metrics handle (usually one scoped per wavelet
     /// level — see `hyperm_telemetry::Recorder::scoped`). Pass
     /// `Recorder::disabled()` to turn tracing off again.
@@ -352,9 +388,10 @@ impl CanOverlay {
     }
 
     /// [`CanOverlay::route_result`] with fault injection optionally
-    /// suppressed: publish and join traffic uses reliable (acknowledged)
-    /// transport in the cost model, so only query routing rolls faults.
-    fn route_result_with(
+    /// suppressed: join traffic and legacy publishes use reliable
+    /// (acknowledged) transport in the cost model; query routing and the
+    /// fallible publish path roll faults.
+    pub(crate) fn route_result_with(
         &self,
         from: NodeId,
         target: &[f64],
@@ -397,7 +434,7 @@ impl CanOverlay {
             }
             let mut best: Option<(f64, NodeId)> = None;
             for &nb in &node.neighbours {
-                if visited[nb.0] || !self.nodes[nb.0].alive {
+                if visited[nb.0] || !self.nodes[nb.0].alive || !self.reachable(current, nb) {
                     continue;
                 }
                 let d = self.nodes[nb.0].torus_dist(target);
@@ -411,13 +448,15 @@ impl CanOverlay {
             }
             let Some((_, next)) = best else {
                 // Every neighbour visited or dead. Greedy can corner
-                // itself in rare geometries even when the partition is
+                // itself in rare geometries even when the tiling is
                 // complete; without fault injection the historical
                 // behaviour (owner scan charged as one hop) is kept, so
                 // fault-free routing on a repaired topology always
-                // delivers. Only a genuine hole (unrepaired failure) or
-                // injected faults produce a dead end.
-                if !with_faults || self.faults.0.is_none() {
+                // delivers. Only a genuine hole (unrepaired failure),
+                // injected faults, or an active network partition (the
+                // scan must not teleport across severed links) produce a
+                // dead end.
+                if (!with_faults || self.faults.0.is_none()) && self.partition.is_none() {
                     if let Some(owner) = self.try_owner_of(target) {
                         stats += OpStats::one_hop(msg_bytes);
                         if traced {

@@ -32,7 +32,6 @@
 //!   `churn_failures` experiment quantifies.
 
 use crate::network::HypermNetwork;
-use hyperm_can::ObjectRef;
 use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
 use hyperm_telemetry::{OpKind, SpanId};
 
@@ -213,64 +212,14 @@ impl HypermNetwork {
     /// published, invalidating old replicas first. Replicas that were lost
     /// on crashed zones are thereby restored — the TTL refresh loop of the
     /// repair engine calls this periodically for every alive peer.
+    ///
+    /// Refreshes route through the fault injector like any other data
+    /// traffic (see the `publish` module); use
+    /// [`HypermNetwork::refresh_peer_summaries_report`] to observe which
+    /// spheres were deferred under loss. With faults off the two paths are
+    /// bit-identical.
     pub fn refresh_peer_summaries(&mut self, peer: usize) -> OpStats {
-        assert!(self.is_alive(peer), "dead peers cannot refresh");
-        let tel = self.recorder().clone();
-        let span = if tel.is_enabled() {
-            tel.span(SpanId::NONE, "refresh", vec![("peer", peer.into())])
-        } else {
-            SpanId::NONE
-        };
-        let mut stats = OpStats::zero();
-        let replicate = self.config.replicate;
-        for l in 0..self.levels() {
-            self.overlay(l).set_scope(span);
-            let mut lstats = OpStats::zero();
-            let clusters = self.peer(peer).summaries[l].len();
-            for c in 0..clusters {
-                let (key, key_radius, items) = {
-                    let sp = &self.peer(peer).summaries[l][c];
-                    // Clamp-slack widening, as in the build-time
-                    // publication loop.
-                    let (key, slack) = self.keymap(l).to_key_slack(&sp.centroid);
-                    (
-                        key,
-                        self.keymap(l).to_key_radius(sp.radius) + slack,
-                        sp.items as u32,
-                    )
-                };
-                let (_, invalidation) = self.overlay_mut(l).remove_objects(peer, c as u64);
-                lstats += invalidation;
-                let out = self.overlay_mut(l).insert_sphere(
-                    NodeId(peer),
-                    key,
-                    key_radius,
-                    ObjectRef {
-                        peer,
-                        tag: c as u64,
-                        items,
-                    },
-                    replicate,
-                );
-                lstats += out.stats;
-            }
-            self.overlay(l).set_scope(SpanId::NONE);
-            tel.record_op(OpKind::Refresh, Some(l), lstats);
-            stats += lstats;
-        }
-        if tel.is_enabled() {
-            tel.end(
-                span,
-                "refresh",
-                vec![
-                    ("hops", stats.hops.into()),
-                    ("messages", stats.messages.into()),
-                    ("bytes", stats.bytes.into()),
-                ],
-            );
-            tel.record_op(OpKind::Refresh, None, stats);
-        }
-        stats
+        self.refresh_peer_summaries_report(peer).stats
     }
 
     /// Install (or clear) message-level fault injection on every level's

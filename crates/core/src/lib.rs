@@ -55,6 +55,7 @@ pub mod maintenance;
 pub mod network;
 pub mod overlay;
 pub mod peer;
+pub mod publish;
 pub mod query;
 pub mod score;
 
@@ -66,10 +67,12 @@ pub use maintenance::InsertPolicy;
 pub use network::{BuildReport, HypermNetwork};
 pub use overlay::{Overlay, OverlayBackend};
 pub use peer::Peer;
+pub use publish::{PublishReport, SphereRef};
 pub use query::engine::QueryEngine;
 pub use query::knn::{KnnOptions, KnnResult};
 pub use query::point::PointResult;
 pub use query::range::RangeResult;
+pub use query::QueryBudget;
 pub use score::PeerScore;
 
 // Telemetry handle, re-exported so downstream code can build traced

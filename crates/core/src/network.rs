@@ -70,6 +70,9 @@ pub struct HypermNetwork {
     contractions: Vec<f64>,
     /// Fail-stop flags, one per peer (see the `churn` module).
     failed: Vec<bool>,
+    /// Active network partition as a peer → component map (see the
+    /// `publish` module); `None` = fully connected.
+    partition: Option<Vec<u32>>,
     /// Telemetry handle (disabled by default; see `hyperm_telemetry`).
     recorder: Recorder,
 }
@@ -232,6 +235,7 @@ impl HypermNetwork {
                 subspaces,
                 contractions,
                 failed,
+                partition: None,
                 recorder,
             },
             report,
@@ -278,6 +282,37 @@ impl HypermNetwork {
     /// Fail-stop flags (churn module).
     pub(crate) fn failed(&self) -> &[bool] {
         &self.failed
+    }
+
+    /// Install (or clear) a network partition: the component map is pushed
+    /// into every level's overlay (severing routing and flood links across
+    /// components) and kept here for phase-2 direct-fetch reachability.
+    pub fn set_partition(&mut self, map: Option<Vec<u32>>) {
+        for overlay in self.overlays.iter_mut() {
+            overlay.set_partition(map.clone());
+        }
+        self.partition = map;
+    }
+
+    /// Whether a partition is currently in force.
+    pub fn partition_active(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Whether peers `a` and `b` can exchange direct messages under the
+    /// active partition (always true when none is installed). Peers
+    /// outside the component map are severed from everyone but themselves.
+    pub fn peers_connected(&self, a: usize, b: usize) -> bool {
+        match &self.partition {
+            None => true,
+            Some(map) => {
+                a == b
+                    || matches!(
+                        (map.get(a), map.get(b)),
+                        (Some(ca), Some(cb)) if ca == cb
+                    )
+            }
+        }
     }
 
     /// Mutable fail-stop flags (churn module).

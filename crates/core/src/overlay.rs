@@ -32,6 +32,10 @@ pub enum OverlayBackend {
 }
 
 /// A per-subspace overlay of either substrate.
+// The CAN variant dominates the footprint (fault injector slot +
+// partition map), but networks hold a handful of overlays, never
+// collections of them, so per-variant boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Overlay {
     /// CAN substrate.
@@ -107,6 +111,26 @@ impl Overlay {
             Overlay::Can(o) => o.insert_sphere(from, centre, radius, payload, replicate),
             Overlay::Baton(o) => o.insert_sphere(from, centre, radius, payload, replicate),
             Overlay::Vbi(o) => o.insert_sphere(from, centre, radius, payload, replicate),
+        }
+    }
+
+    /// Fallible, fault-aware sphere insertion: the reliable-publish data
+    /// path (see [`hyperm_can::CanOverlay::try_insert_sphere`]). On the
+    /// tree substrates — which carry no fault injection, matching the
+    /// paper's evaluation substrate — this is the plain insert and always
+    /// succeeds.
+    pub fn try_insert_sphere(
+        &mut self,
+        from: NodeId,
+        centre: Vec<f64>,
+        radius: f64,
+        payload: ObjectRef,
+        replicate: bool,
+    ) -> Result<InsertOutcome, OpStats> {
+        match self {
+            Overlay::Can(o) => o.try_insert_sphere(from, centre, radius, payload, replicate),
+            Overlay::Baton(o) => Ok(o.insert_sphere(from, centre, radius, payload, replicate)),
+            Overlay::Vbi(o) => Ok(o.insert_sphere(from, centre, radius, payload, replicate)),
         }
     }
 
@@ -235,6 +259,14 @@ impl Overlay {
     pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {
         if let Overlay::Can(o) = self {
             o.set_faults(cfg);
+        }
+    }
+
+    /// Install (or clear) a network partition component map on overlay
+    /// traffic (CAN only; ignored elsewhere, like fault injection).
+    pub fn set_partition(&mut self, map: Option<Vec<u32>>) {
+        if let Overlay::Can(o) = self {
+            o.set_partition(map);
         }
     }
 

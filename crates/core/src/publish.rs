@@ -1,0 +1,193 @@
+//! Reliable summary publication: fault-aware republish with delivery
+//! accounting.
+//!
+//! The paper's soft-state model assumes publishes "eventually succeed";
+//! this module makes the *eventually* explicit. A sphere publish routes
+//! through the per-level [`hyperm_sim::FaultInjector`] (ack/retransmit per
+//! hop, with an optional exponential [`hyperm_sim::Backoff`] schedule) and
+//! can therefore fail: routing can dead-end under loss or a partition, and
+//! flood edges can exhaust their retries and leave coverage holes. Instead
+//! of silently degrading, every publish round returns a [`PublishReport`]
+//! recording which spheres were *delivered* (full replica coverage),
+//! *deferred* (route failed or coverage incomplete — re-queued into the
+//! next `RepairEngine` refresh round) or *abandoned* (retry budget spent).
+//!
+//! With no fault injector and no partition installed, every path here is
+//! bit-identical to the legacy unconditional republish — asserted by the
+//! `tests/telemetry.rs` equivalence suite.
+
+use crate::network::HypermNetwork;
+use hyperm_can::ObjectRef;
+use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::{OpKind, SpanId};
+
+/// A published cluster sphere, by position: `peer`'s cluster `cluster` at
+/// wavelet level `level`. The unit of delivery accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SphereRef {
+    /// Publishing peer.
+    pub peer: usize,
+    /// Wavelet level (overlay index).
+    pub level: usize,
+    /// Cluster index within the peer's level summary.
+    pub cluster: usize,
+}
+
+/// Delivery accounting for one reliable publish round.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PublishReport {
+    /// Spheres fully delivered (owner reached, every overlapping zone got
+    /// its replica).
+    pub delivered: u64,
+    /// Spheres whose publish failed or landed incompletely — re-queued for
+    /// the next refresh round.
+    pub deferred: Vec<SphereRef>,
+    /// Spheres given up on after the per-sphere retry budget was spent
+    /// (populated by the repair engine's deferred-queue bookkeeping).
+    pub abandoned: Vec<SphereRef>,
+    /// Total message cost of the round, including failed attempts.
+    pub stats: OpStats,
+}
+
+impl PublishReport {
+    /// Fold another round's accounting into this one.
+    pub fn merge(&mut self, other: PublishReport) {
+        self.delivered += other.delivered;
+        self.deferred.extend(other.deferred);
+        self.abandoned.extend(other.abandoned);
+        self.stats += other.stats;
+    }
+}
+
+impl HypermNetwork {
+    /// Publish (or re-publish) one cluster sphere through the fault-aware
+    /// path: invalidate old replicas, then `try_insert_sphere` with the
+    /// build-time clamp-slack widening. Returns whether the sphere reached
+    /// full replica coverage, plus the message cost (failed attempts
+    /// included).
+    pub fn publish_sphere(&mut self, s: SphereRef) -> (bool, OpStats) {
+        assert!(self.is_alive(s.peer), "dead peers cannot publish");
+        let (key, key_radius, items) = {
+            let sp = &self.peer(s.peer).summaries[s.level][s.cluster];
+            // Clamp-slack widening, as in the build-time publication loop.
+            let (key, slack) = self.keymap(s.level).to_key_slack(&sp.centroid);
+            (
+                key,
+                self.keymap(s.level).to_key_radius(sp.radius) + slack,
+                sp.items as u32,
+            )
+        };
+        let replicate = self.config.replicate;
+        let mut stats = OpStats::zero();
+        let (_, invalidation) = self
+            .overlay_mut(s.level)
+            .remove_objects(s.peer, s.cluster as u64);
+        stats += invalidation;
+        let delivered = match self.overlay_mut(s.level).try_insert_sphere(
+            NodeId(s.peer),
+            key,
+            key_radius,
+            ObjectRef {
+                peer: s.peer,
+                tag: s.cluster as u64,
+                items,
+            },
+            replicate,
+        ) {
+            Ok(out) => {
+                stats += out.stats;
+                out.complete()
+            }
+            Err(burnt) => {
+                stats += burnt;
+                false
+            }
+        };
+        (delivered, stats)
+    }
+
+    /// Fault-aware soft-state republish of every cluster sphere `peer` has
+    /// published, with per-sphere delivery accounting. This is the
+    /// [`HypermNetwork::refresh_peer_summaries`] loop routed through the
+    /// fault injector: spheres that fail to route or land incompletely are
+    /// reported as deferred instead of silently assumed placed.
+    pub fn refresh_peer_summaries_report(&mut self, peer: usize) -> PublishReport {
+        assert!(self.is_alive(peer), "dead peers cannot refresh");
+        let tel = self.recorder().clone();
+        let span = if tel.is_enabled() {
+            tel.span(SpanId::NONE, "refresh", vec![("peer", peer.into())])
+        } else {
+            SpanId::NONE
+        };
+        let mut report = PublishReport::default();
+        let replicate = self.config.replicate;
+        for l in 0..self.levels() {
+            self.overlay(l).set_scope(span);
+            let mut lstats = OpStats::zero();
+            let clusters = self.peer(peer).summaries[l].len();
+            for c in 0..clusters {
+                let (key, key_radius, items) = {
+                    let sp = &self.peer(peer).summaries[l][c];
+                    // Clamp-slack widening, as in the build-time
+                    // publication loop.
+                    let (key, slack) = self.keymap(l).to_key_slack(&sp.centroid);
+                    (
+                        key,
+                        self.keymap(l).to_key_radius(sp.radius) + slack,
+                        sp.items as u32,
+                    )
+                };
+                let (_, invalidation) = self.overlay_mut(l).remove_objects(peer, c as u64);
+                lstats += invalidation;
+                match self.overlay_mut(l).try_insert_sphere(
+                    NodeId(peer),
+                    key,
+                    key_radius,
+                    ObjectRef {
+                        peer,
+                        tag: c as u64,
+                        items,
+                    },
+                    replicate,
+                ) {
+                    Ok(out) if out.complete() => {
+                        lstats += out.stats;
+                        report.delivered += 1;
+                    }
+                    Ok(out) => {
+                        lstats += out.stats;
+                        report.deferred.push(SphereRef {
+                            peer,
+                            level: l,
+                            cluster: c,
+                        });
+                    }
+                    Err(burnt) => {
+                        lstats += burnt;
+                        report.deferred.push(SphereRef {
+                            peer,
+                            level: l,
+                            cluster: c,
+                        });
+                    }
+                }
+            }
+            self.overlay(l).set_scope(SpanId::NONE);
+            tel.record_op(OpKind::Refresh, Some(l), lstats);
+            report.stats += lstats;
+        }
+        if tel.is_enabled() {
+            tel.end(
+                span,
+                "refresh",
+                vec![
+                    ("hops", report.stats.hops.into()),
+                    ("messages", report.stats.messages.into()),
+                    ("bytes", report.stats.bytes.into()),
+                ],
+            );
+            tel.record_op(OpKind::Refresh, None, report.stats);
+        }
+        report
+    }
+}

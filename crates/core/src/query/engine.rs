@@ -101,8 +101,16 @@ impl<'a> QueryEngine<'a> {
         self.map_queries(queries.len(), |i| {
             let q = &queries[i];
             let dec = self.net.decompose_query(q);
-            self.net
-                .range_query_with(from_peer, q, eps, peer_budget, &dec, Some(base), false)
+            self.net.range_query_with(
+                from_peer,
+                q,
+                eps,
+                peer_budget,
+                &dec,
+                Some(base),
+                false,
+                None,
+            )
         })
     }
 
@@ -118,7 +126,8 @@ impl<'a> QueryEngine<'a> {
         self.map_queries(queries.len(), |i| {
             let q = &queries[i];
             let dec = self.net.decompose_query(q);
-            self.net.knn_query_with(from_peer, q, k, opts, &dec, false)
+            self.net
+                .knn_query_with(from_peer, q, k, opts, &dec, false, None)
         })
     }
 
@@ -127,7 +136,7 @@ impl<'a> QueryEngine<'a> {
         self.map_queries(queries.len(), |i| {
             let q = &queries[i];
             let dec = self.net.decompose_query(q);
-            self.net.point_query_with(from_peer, q, &dec, false)
+            self.net.point_query_with(from_peer, q, &dec, false, None)
         })
     }
 }

@@ -20,7 +20,7 @@
 //! view), then run the estimation on what was found.
 
 use crate::network::HypermNetwork;
-use crate::query::direct_fetch_cost;
+use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use crate::score::{aggregate, level_scores, peers_to_cover, PeerScore};
 use hyperm_geometry::vecmath::dist;
 use hyperm_geometry::{solve_epsilon_for_k, ClusterView};
@@ -74,6 +74,9 @@ pub struct KnnResult {
     pub ranked: Vec<PeerScore>,
     /// Peers actually contacted (`P`).
     pub peers_contacted: usize,
+    /// Whether a [`QueryBudget`] deadline cut phase 2 short — the retrieved
+    /// set is partial. Always `false` without a budget.
+    pub truncated: bool,
     /// Total message cost.
     pub stats: OpStats,
 }
@@ -83,11 +86,45 @@ impl HypermNetwork {
     /// the retrieveKnn algorithm of Figure 5.
     pub fn knn_query(&self, from_peer: usize, q: &[f64], k: usize, opts: KnnOptions) -> KnnResult {
         let dec = self.decompose_query(q);
-        self.knn_query_with(from_peer, q, k, opts, &dec, self.config.parallel_query)
+        self.knn_query_with(
+            from_peer,
+            q,
+            k,
+            opts,
+            &dec,
+            self.config.parallel_query,
+            None,
+        )
+    }
+
+    /// k-nn query with a failure-tolerance [`QueryBudget`]: unreachable
+    /// peers are skipped after a timeout (with fallback to the next-scored
+    /// candidates, so `P` answering peers are still assembled when
+    /// possible), and an optional phase-2 hop deadline degrades to a
+    /// partial retrieved set with [`KnnResult::truncated`] set.
+    pub fn knn_query_budgeted(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        k: usize,
+        opts: KnnOptions,
+        budget: QueryBudget,
+    ) -> KnnResult {
+        let dec = self.decompose_query(q);
+        self.knn_query_with(
+            from_peer,
+            q,
+            k,
+            opts,
+            &dec,
+            self.config.parallel_query,
+            Some(budget),
+        )
     }
 
     /// Shared inner k-nn query (public API and [`crate::QueryEngine`]);
     /// see [`HypermNetwork::range_query_with`] for the parameter contract.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn knn_query_with(
         &self,
         from_peer: usize,
@@ -96,6 +133,7 @@ impl HypermNetwork {
         opts: KnnOptions,
         dec: &Decomposition,
         parallel: bool,
+        budget: Option<QueryBudget>,
     ) -> KnnResult {
         assert!(k > 0, "k must be positive");
         let tel = self.recorder();
@@ -203,63 +241,162 @@ impl HypermNetwork {
         if let Some(budget) = opts.peer_budget {
             p = p.min(budget);
         }
-        let selected = &ranked[..p.min(ranked.len())];
-        let sum: f64 = selected.iter().map(|s| s.score).sum();
-
-        // Steps 7–9: request a proportional share from each selected peer.
+        let mut truncated = false;
         let mut retrieved: Vec<((usize, usize), f64)> = Vec::new();
         let q_bytes = 8 * (q.len() as u64 + 1) + 16;
-        for ps in selected {
-            if !self.is_alive(ps.peer) {
-                stats += OpStats {
-                    hops: 1,
-                    messages: 1,
-                    bytes: q_bytes,
-                    ..OpStats::zero()
-                };
-                if traced {
-                    tel.event(
-                        qspan,
-                        "fetch",
-                        vec![
-                            ("peer", ps.peer.into()),
-                            ("alive", false.into()),
-                            ("items", 0u64.into()),
-                            ("bytes", q_bytes.into()),
-                        ],
-                    );
+        let peers_contacted = match budget {
+            None => {
+                // Legacy fetch loop — byte-identical to the pre-budget path.
+                let selected = &ranked[..p.min(ranked.len())];
+                let sum: f64 = selected.iter().map(|s| s.score).sum();
+
+                // Steps 7–9: request a proportional share from each
+                // selected peer.
+                for ps in selected {
+                    if !self.is_alive(ps.peer) {
+                        stats += OpStats {
+                            hops: 1,
+                            messages: 1,
+                            bytes: q_bytes,
+                            ..OpStats::zero()
+                        };
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch",
+                                vec![
+                                    ("peer", ps.peer.into()),
+                                    ("alive", false.into()),
+                                    ("items", 0u64.into()),
+                                    ("bytes", q_bytes.into()),
+                                ],
+                            );
+                        }
+                        continue;
+                    }
+                    let share = if sum > 0.0 {
+                        ps.score / sum
+                    } else {
+                        1.0 / selected.len() as f64
+                    };
+                    let want = ((opts.c * k as f64 * share).ceil() as usize).max(1);
+                    let local = self.peer(ps.peer).local_knn(q, want);
+                    let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
+                    stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", ps.peer.into()),
+                                ("alive", true.into()),
+                                ("want", want.into()),
+                                ("items", local.len().into()),
+                                ("bytes", (q_bytes + resp_bytes).into()),
+                            ],
+                        );
+                    }
+                    retrieved.extend(local.into_iter().map(|(i, d)| ((ps.peer, i), d)));
                 }
-                continue;
+                selected.len()
             }
-            let share = if sum > 0.0 {
-                ps.score / sum
-            } else {
-                1.0 / selected.len() as f64
-            };
-            let want = ((opts.c * k as f64 * share).ceil() as usize).max(1);
-            let local = self.peer(ps.peer).local_knn(q, want);
-            let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
-            stats += direct_fetch_cost(q_bytes, resp_bytes);
-            if traced {
-                tel.event(
-                    qspan,
-                    "fetch",
-                    vec![
-                        ("peer", ps.peer.into()),
-                        ("alive", true.into()),
-                        ("want", want.into()),
-                        ("items", local.len().into()),
-                        ("bytes", (q_bytes + resp_bytes).into()),
-                    ],
-                );
+            Some(b) => {
+                // Failure-aware selection, then fetch. Unreachable peers
+                // cost a timeout; with fallback the window slides so P
+                // reachable peers (when available) still split the k·C
+                // request mass by score.
+                let ticks = b.timeout_ticks();
+                let mut phase2_hops = 0u64;
+                let target = p.min(ranked.len());
+                let mut selected: Vec<&PeerScore> = Vec::with_capacity(target);
+                for (idx, ps) in ranked.iter().enumerate() {
+                    if selected.len() == target {
+                        break;
+                    }
+                    if !b.fallback && idx >= target {
+                        break;
+                    }
+                    if let Some(d) = b.deadline {
+                        if phase2_hops >= d {
+                            truncated = true;
+                            break;
+                        }
+                    }
+                    if !(self.is_alive(ps.peer) && self.peers_connected(from_peer, ps.peer)) {
+                        phase2_hops += ticks;
+                        stats += timed_out_fetch_cost(q_bytes, ticks);
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch_timeout",
+                                vec![
+                                    ("peer", ps.peer.into()),
+                                    ("ticks", ticks.into()),
+                                    ("bytes", q_bytes.into()),
+                                ],
+                            );
+                        }
+                        if let Some(m) = tel.metrics() {
+                            m.add("fetch_timeout", 1);
+                        }
+                        continue;
+                    }
+                    if idx >= target {
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch_fallback",
+                                vec![("peer", ps.peer.into()), ("rank", idx.into())],
+                            );
+                        }
+                        if let Some(m) = tel.metrics() {
+                            m.add("fetch_fallback", 1);
+                        }
+                    }
+                    selected.push(ps);
+                }
+                let sum: f64 = selected.iter().map(|s| s.score).sum();
+                let mut fetched = 0usize;
+                for ps in &selected {
+                    if let Some(d) = b.deadline {
+                        if phase2_hops >= d {
+                            truncated = true;
+                            break;
+                        }
+                    }
+                    let share = if sum > 0.0 {
+                        ps.score / sum
+                    } else {
+                        1.0 / selected.len() as f64
+                    };
+                    let want = ((opts.c * k as f64 * share).ceil() as usize).max(1);
+                    let local = self.peer(ps.peer).local_knn(q, want);
+                    let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
+                    stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    phase2_hops += 2;
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", ps.peer.into()),
+                                ("alive", true.into()),
+                                ("want", want.into()),
+                                ("items", local.len().into()),
+                                ("bytes", (q_bytes + resp_bytes).into()),
+                            ],
+                        );
+                    }
+                    retrieved.extend(local.into_iter().map(|(i, d)| ((ps.peer, i), d)));
+                    fetched += 1;
+                }
+                fetched
             }
-            retrieved.extend(local.into_iter().map(|(i, d)| ((ps.peer, i), d)));
-        }
+        };
 
         // Step 10: sort and cut.
         retrieved.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let topk = retrieved.iter().take(k).cloned().collect();
-        let peers_contacted = selected.len();
         if traced {
             tel.end(
                 qspan,
@@ -283,6 +420,7 @@ impl HypermNetwork {
             epsilons,
             ranked,
             peers_contacted,
+            truncated,
             stats,
         }
     }

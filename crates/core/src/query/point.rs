@@ -10,7 +10,7 @@
 
 use crate::config::ScorePolicy;
 use crate::network::HypermNetwork;
-use crate::query::direct_fetch_cost;
+use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use hyperm_sim::{NodeId, OpStats};
 use hyperm_telemetry::{OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
@@ -23,6 +23,9 @@ pub struct PointResult {
     pub matches: Vec<(usize, usize)>,
     /// Candidate peers after aggregation (diagnostics).
     pub candidates: Vec<usize>,
+    /// Whether a [`QueryBudget`] deadline cut the probe loop short — some
+    /// candidates were never asked. Always `false` without a budget.
+    pub truncated: bool,
     /// Total message cost.
     pub stats: OpStats,
 }
@@ -31,7 +34,22 @@ impl HypermNetwork {
     /// Find every peer holding an item exactly equal to `q`.
     pub fn point_query(&self, from_peer: usize, q: &[f64]) -> PointResult {
         let dec = self.decompose_query(q);
-        self.point_query_with(from_peer, q, &dec, self.config.parallel_query)
+        self.point_query_with(from_peer, q, &dec, self.config.parallel_query, None)
+    }
+
+    /// Point query with a failure-tolerance [`QueryBudget`]: probes to
+    /// unreachable (dead or partition-severed) candidates time out after
+    /// `budget.fetch_timeout` ticks, and an optional phase-2 hop deadline
+    /// stops probing early with [`PointResult::truncated`] set. Fallback
+    /// does not apply — every candidate is probed anyway.
+    pub fn point_query_budgeted(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        budget: QueryBudget,
+    ) -> PointResult {
+        let dec = self.decompose_query(q);
+        self.point_query_with(from_peer, q, &dec, self.config.parallel_query, Some(budget))
     }
 
     /// Shared inner point query (public API and [`crate::QueryEngine`]);
@@ -42,6 +60,7 @@ impl HypermNetwork {
         q: &[f64],
         dec: &Decomposition,
         parallel: bool,
+        budget: Option<QueryBudget>,
     ) -> PointResult {
         let tel = self.recorder();
         let traced = tel.is_enabled();
@@ -100,42 +119,96 @@ impl HypermNetwork {
         // Direct exact-match probes.
         let q_bytes = 8 * (q.len() as u64 + 1) + 16;
         let mut matches = Vec::new();
-        for &peer in &candidates {
-            if !self.is_alive(peer) {
-                stats += OpStats {
-                    hops: 1,
-                    messages: 1,
-                    bytes: q_bytes,
-                    ..OpStats::zero()
-                };
-                if traced {
-                    tel.event(
-                        qspan,
-                        "fetch",
-                        vec![
-                            ("peer", peer.into()),
-                            ("alive", false.into()),
-                            ("matched", false.into()),
-                        ],
-                    );
+        let mut truncated = false;
+        match budget {
+            None => {
+                // Legacy probe loop — byte-identical to the pre-budget path.
+                for &peer in &candidates {
+                    if !self.is_alive(peer) {
+                        stats += OpStats {
+                            hops: 1,
+                            messages: 1,
+                            bytes: q_bytes,
+                            ..OpStats::zero()
+                        };
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch",
+                                vec![
+                                    ("peer", peer.into()),
+                                    ("alive", false.into()),
+                                    ("matched", false.into()),
+                                ],
+                            );
+                        }
+                        continue;
+                    }
+                    stats += direct_fetch_cost(q_bytes, 24);
+                    let hit = self.peer(peer).local_point(q);
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", peer.into()),
+                                ("alive", true.into()),
+                                ("matched", hit.is_some().into()),
+                            ],
+                        );
+                    }
+                    if let Some(idx) = hit {
+                        matches.push((peer, idx));
+                    }
                 }
-                continue;
             }
-            stats += direct_fetch_cost(q_bytes, 24);
-            let hit = self.peer(peer).local_point(q);
-            if traced {
-                tel.event(
-                    qspan,
-                    "fetch",
-                    vec![
-                        ("peer", peer.into()),
-                        ("alive", true.into()),
-                        ("matched", hit.is_some().into()),
-                    ],
-                );
-            }
-            if let Some(idx) = hit {
-                matches.push((peer, idx));
+            Some(b) => {
+                let ticks = b.timeout_ticks();
+                let mut phase2_hops = 0u64;
+                for &peer in &candidates {
+                    if let Some(d) = b.deadline {
+                        if phase2_hops >= d {
+                            truncated = true;
+                            break;
+                        }
+                    }
+                    if !(self.is_alive(peer) && self.peers_connected(from_peer, peer)) {
+                        phase2_hops += ticks;
+                        stats += timed_out_fetch_cost(q_bytes, ticks);
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch_timeout",
+                                vec![
+                                    ("peer", peer.into()),
+                                    ("ticks", ticks.into()),
+                                    ("bytes", q_bytes.into()),
+                                ],
+                            );
+                        }
+                        if let Some(m) = tel.metrics() {
+                            m.add("fetch_timeout", 1);
+                        }
+                        continue;
+                    }
+                    stats += direct_fetch_cost(q_bytes, 24);
+                    phase2_hops += 2;
+                    let hit = self.peer(peer).local_point(q);
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", peer.into()),
+                                ("alive", true.into()),
+                                ("matched", hit.is_some().into()),
+                            ],
+                        );
+                    }
+                    if let Some(idx) = hit {
+                        matches.push((peer, idx));
+                    }
+                }
             }
         }
         if traced {
@@ -158,6 +231,7 @@ impl HypermNetwork {
         PointResult {
             matches,
             candidates,
+            truncated,
             stats,
         }
     }

@@ -11,7 +11,7 @@
 //! paper plots in Figure 10a.
 
 use crate::network::HypermNetwork;
-use crate::query::direct_fetch_cost;
+use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use crate::score::{aggregate, level_scores, PeerScore};
 use hyperm_sim::{NodeId, OpStats};
 use hyperm_telemetry::{OpKind, SpanId};
@@ -26,6 +26,9 @@ pub struct RangeResult {
     pub ranked: Vec<PeerScore>,
     /// How many of them were actually contacted.
     pub peers_contacted: usize,
+    /// Whether a [`QueryBudget`] deadline cut phase 2 short — the items are
+    /// a partial (but still exact) answer. Always `false` without a budget.
+    pub truncated: bool,
     /// Total message cost: overlay lookups + direct fetches.
     pub stats: OpStats,
 }
@@ -51,6 +54,35 @@ impl HypermNetwork {
             &dec,
             None,
             self.config.parallel_query,
+            None,
+        )
+    }
+
+    /// Range query with a failure-tolerance [`QueryBudget`]: unanswered
+    /// direct fetches time out after `budget.fetch_timeout` ticks, the
+    /// contact window slides past unreachable (dead or partition-severed)
+    /// peers when `budget.fallback` is set, and an optional phase-2 hop
+    /// `deadline` degrades gracefully to a partial answer with
+    /// [`RangeResult::truncated`] set.
+    pub fn range_query_budgeted(
+        &self,
+        from_peer: usize,
+        q: &[f64],
+        eps: f64,
+        peer_budget: Option<usize>,
+        budget: QueryBudget,
+    ) -> RangeResult {
+        assert!(eps >= 0.0, "negative radius {eps}");
+        let dec = self.decompose_query(q);
+        self.range_query_with(
+            from_peer,
+            q,
+            eps,
+            peer_budget,
+            &dec,
+            None,
+            self.config.parallel_query,
+            Some(budget),
         )
     }
 
@@ -60,7 +92,8 @@ impl HypermNetwork {
     /// per-level key-space radii (the engine precomputes them once per
     /// batch); `parallel` selects per-level scoped threads. All paths
     /// produce bit-identical results: levels are independent and stats are
-    /// merged in level order.
+    /// merged in level order. `budget = None` keeps phase 2 on the legacy
+    /// fetch loop, byte for byte.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn range_query_with(
         &self,
@@ -71,6 +104,7 @@ impl HypermNetwork {
         dec: &Decomposition,
         base_radii: Option<&[f64]>,
         parallel: bool,
+        budget: Option<QueryBudget>,
     ) -> RangeResult {
         let tel = self.recorder();
         let traced = tel.is_enabled();
@@ -145,48 +179,128 @@ impl HypermNetwork {
         }
 
         // Phase 2: contact the selected peers; they answer exactly.
-        let contact = peer_budget.map_or(ranked.len(), |b| b.min(ranked.len()));
+        let target = peer_budget.map_or(ranked.len(), |b| b.min(ranked.len()));
         let mut items = Vec::new();
+        let mut truncated = false;
+        let mut contacted = 0usize;
         let q_bytes = 8 * (q.len() as u64 + 1) + 16;
-        for ps in &ranked[..contact] {
-            if !self.is_alive(ps.peer) {
-                // Timed-out probe: one unanswered request.
-                stats += hyperm_sim::OpStats {
-                    hops: 1,
-                    messages: 1,
-                    bytes: q_bytes,
-                    ..OpStats::zero()
-                };
-                if traced {
-                    tel.event(
-                        qspan,
-                        "fetch",
-                        vec![
-                            ("peer", ps.peer.into()),
-                            ("alive", false.into()),
-                            ("items", 0u64.into()),
-                            ("bytes", q_bytes.into()),
-                        ],
-                    );
+        match budget {
+            None => {
+                // Legacy fetch loop — byte-identical to the pre-budget path.
+                for ps in &ranked[..target] {
+                    if !self.is_alive(ps.peer) {
+                        // Timed-out probe: one unanswered request.
+                        stats += hyperm_sim::OpStats {
+                            hops: 1,
+                            messages: 1,
+                            bytes: q_bytes,
+                            ..OpStats::zero()
+                        };
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch",
+                                vec![
+                                    ("peer", ps.peer.into()),
+                                    ("alive", false.into()),
+                                    ("items", 0u64.into()),
+                                    ("bytes", q_bytes.into()),
+                                ],
+                            );
+                        }
+                        continue;
+                    }
+                    let local = self.peer(ps.peer).local_range(q, eps);
+                    let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
+                    stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", ps.peer.into()),
+                                ("alive", true.into()),
+                                ("items", local.len().into()),
+                                ("bytes", (q_bytes + resp_bytes).into()),
+                            ],
+                        );
+                    }
+                    items.extend(local.into_iter().map(|i| (ps.peer, i)));
                 }
-                continue;
+                contacted = target;
             }
-            let local = self.peer(ps.peer).local_range(q, eps);
-            let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
-            stats += direct_fetch_cost(q_bytes, resp_bytes);
-            if traced {
-                tel.event(
-                    qspan,
-                    "fetch",
-                    vec![
-                        ("peer", ps.peer.into()),
-                        ("alive", true.into()),
-                        ("items", local.len().into()),
-                        ("bytes", (q_bytes + resp_bytes).into()),
-                    ],
-                );
+            Some(b) => {
+                // Failure-aware fetch: answered fetches count toward the
+                // target, unreachable peers cost a timeout, and (with
+                // fallback) the window slides to the next-scored candidate.
+                let ticks = b.timeout_ticks();
+                let mut phase2_hops = 0u64;
+                for (idx, ps) in ranked.iter().enumerate() {
+                    if contacted == target {
+                        break;
+                    }
+                    if !b.fallback && idx >= target {
+                        break;
+                    }
+                    if let Some(d) = b.deadline {
+                        if phase2_hops >= d {
+                            truncated = true;
+                            break;
+                        }
+                    }
+                    let reachable =
+                        self.is_alive(ps.peer) && self.peers_connected(from_peer, ps.peer);
+                    if !reachable {
+                        phase2_hops += ticks;
+                        stats += timed_out_fetch_cost(q_bytes, ticks);
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch_timeout",
+                                vec![
+                                    ("peer", ps.peer.into()),
+                                    ("ticks", ticks.into()),
+                                    ("bytes", q_bytes.into()),
+                                ],
+                            );
+                        }
+                        if let Some(m) = tel.metrics() {
+                            m.add("fetch_timeout", 1);
+                        }
+                        continue;
+                    }
+                    if idx >= target {
+                        if traced {
+                            tel.event(
+                                qspan,
+                                "fetch_fallback",
+                                vec![("peer", ps.peer.into()), ("rank", idx.into())],
+                            );
+                        }
+                        if let Some(m) = tel.metrics() {
+                            m.add("fetch_fallback", 1);
+                        }
+                    }
+                    let local = self.peer(ps.peer).local_range(q, eps);
+                    let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
+                    stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    phase2_hops += 2;
+                    if traced {
+                        tel.event(
+                            qspan,
+                            "fetch",
+                            vec![
+                                ("peer", ps.peer.into()),
+                                ("alive", true.into()),
+                                ("items", local.len().into()),
+                                ("bytes", (q_bytes + resp_bytes).into()),
+                            ],
+                        );
+                    }
+                    items.extend(local.into_iter().map(|i| (ps.peer, i)));
+                    contacted += 1;
+                }
             }
-            items.extend(local.into_iter().map(|i| (ps.peer, i)));
         }
         if traced {
             tel.end(
@@ -197,7 +311,7 @@ impl HypermNetwork {
                     ("messages", stats.messages.into()),
                     ("bytes", stats.bytes.into()),
                     ("items", items.len().into()),
-                    ("peers_contacted", contact.into()),
+                    ("peers_contacted", contacted.into()),
                 ],
             );
             tel.record_op(OpKind::RangeQuery, None, stats);
@@ -208,7 +322,8 @@ impl HypermNetwork {
         RangeResult {
             items,
             ranked,
-            peers_contacted: contact,
+            peers_contacted: contacted,
+            truncated,
             stats,
         }
     }

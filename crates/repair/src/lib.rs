@@ -26,13 +26,14 @@
 #![warn(missing_docs)]
 
 use hyperm_cluster::Dataset;
-use hyperm_core::{ChurnOutcome, HypermNetwork, JoinError};
-use hyperm_sim::{FaultConfig, OpStats};
+use hyperm_core::{ChurnOutcome, HypermNetwork, JoinError, SphereRef};
+use hyperm_sim::{FaultConfig, OpStats, PartitionPlan};
+use hyperm_telemetry::SpanId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Policy knobs of the repair engine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepairConfig {
     /// Master switch: with `false`, crashes leave routing holes (no
     /// takeover) and the refresh loop is off — the paper-faithful baseline
@@ -45,8 +46,18 @@ pub struct RepairConfig {
     pub refresh_interval: u64,
     /// Budget of background merge passes run after each churn event.
     pub max_repair_passes: usize,
+    /// Per-sphere publish attempt budget: a summary whose reliable publish
+    /// keeps failing (route dead-ends under loss or a partition) is retried
+    /// on each refresh round up to this many attempts, then abandoned with
+    /// a `publish_abandoned` trace event.
+    pub max_publish_attempts: usize,
     /// Optional message-level fault plan installed on query traffic.
     pub fault_plan: Option<FaultConfig>,
+    /// Optional network partition: applied when the clock reaches
+    /// `plan.start`, healed at `plan.end`. Healing triggers reconciliation
+    /// (background merges + a full re-publication round) when repair is
+    /// enabled.
+    pub partition_plan: Option<PartitionPlan>,
 }
 
 impl Default for RepairConfig {
@@ -55,7 +66,9 @@ impl Default for RepairConfig {
             enabled: true,
             refresh_interval: 50,
             max_repair_passes: 32,
+            max_publish_attempts: 5,
             fault_plan: None,
+            partition_plan: None,
         }
     }
 }
@@ -79,6 +92,19 @@ impl RepairConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Builder-style partition plan.
+    pub fn with_partition_plan(mut self, plan: PartitionPlan) -> Self {
+        self.partition_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style publish retry budget.
+    pub fn with_max_publish_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "at least one publish attempt is required");
+        self.max_publish_attempts = attempts;
+        self
+    }
 }
 
 /// Aggregate counters of everything the engine did.
@@ -100,6 +126,14 @@ pub struct RepairStats {
     /// Worst takeover latency observed, in sim ticks (detection timeout +
     /// handshake; the ISSUE's "takeover latency in sim time").
     pub max_takeover_rounds: u64,
+    /// Spheres whose reliable publish failed and were queued for retry
+    /// (counted once per sphere entering the queue).
+    pub publishes_deferred: u64,
+    /// Deferred spheres that a later retry or refresh round landed.
+    pub publishes_recovered: u64,
+    /// Deferred spheres given up on after
+    /// [`RepairConfig::max_publish_attempts`].
+    pub publishes_abandoned: u64,
 }
 
 impl RepairStats {
@@ -117,6 +151,12 @@ pub struct RepairEngine {
     now: u64,
     /// Per peer: when its summaries were last (re)published.
     last_refresh: Vec<u64>,
+    /// Spheres whose reliable publish failed, with attempts spent so far.
+    deferred: Vec<(SphereRef, usize)>,
+    /// Partition lifecycle: applied at `plan.start`, healed at `plan.end`.
+    partition_applied: bool,
+    partition_healed: bool,
+    partition_span: SpanId,
     stats: RepairStats,
 }
 
@@ -133,6 +173,10 @@ impl RepairEngine {
             cfg,
             now: 0,
             last_refresh: vec![0; n],
+            deferred: Vec::new(),
+            partition_applied: false,
+            partition_healed: false,
+            partition_span: SpanId::NONE,
             stats: RepairStats::default(),
         }
     }
@@ -163,22 +207,48 @@ impl RepairEngine {
         &self.cfg
     }
 
-    /// Advance the clock to `t`, firing every summary refresh that falls
-    /// due on the way (repair enabled only). Refreshes fire in due-time
-    /// order, peers tie-breaking by id, so runs are deterministic.
+    /// Advance the clock to `t`, firing every engine event that falls due
+    /// on the way, in time order: partition transitions (split at
+    /// `plan.start`, heal at `plan.end` — these fire even with repair
+    /// disabled, they are environment, not policy) and periodic summary
+    /// refreshes (repair enabled only). At equal times a transition fires
+    /// before a refresh; refreshing peers tie-break by id, so runs are
+    /// deterministic.
     pub fn advance_to(&mut self, t: u64) {
         assert!(t >= self.now, "time cannot go backwards");
-        if self.cfg.enabled {
-            loop {
-                // Earliest due refresh within (now, t].
+        loop {
+            // Next engine event within [now, t]: (time, priority, peer).
+            let mut next: Option<(u64, u8, usize)> = None;
+            if let Some(plan) = &self.cfg.partition_plan {
+                if !self.partition_applied && plan.start <= t {
+                    next = Some((plan.start, 0, usize::MAX));
+                } else if self.partition_applied && !self.partition_healed && plan.end <= t {
+                    next = Some((plan.end, 0, usize::MAX));
+                }
+            }
+            if self.cfg.enabled {
                 let due = (0..self.net.len())
                     .filter(|&p| self.net.is_alive(p))
-                    .map(|p| (self.last_refresh[p] + self.cfg.refresh_interval, p))
-                    .filter(|&(d, _)| d <= t)
+                    .map(|p| (self.last_refresh[p] + self.cfg.refresh_interval, 1u8, p))
+                    .filter(|&(d, _, _)| d <= t)
                     .min();
-                let Some((due_t, peer)) = due else { break };
-                self.now = self.now.max(due_t);
-                self.net.recorder().set_time(self.now);
+                next = match (next, due) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some((due_t, prio, peer)) = next else {
+                break;
+            };
+            self.now = self.now.max(due_t);
+            self.net.recorder().set_time(self.now);
+            if prio == 0 {
+                if !self.partition_applied {
+                    self.apply_partition();
+                } else {
+                    self.heal_partition();
+                }
+            } else {
                 self.refresh_peer(peer);
             }
         }
@@ -187,12 +257,158 @@ impl RepairEngine {
         self.net.recorder().set_time(self.now);
     }
 
+    /// Install the configured partition on the network: links across
+    /// components are severed in every overlay and for phase-2 fetches.
+    fn apply_partition(&mut self) {
+        let plan = self.cfg.partition_plan.as_ref().expect("no partition plan");
+        let map = plan.component_map(self.net.len());
+        let components = plan.components.len();
+        let (start, end) = (plan.start, plan.end);
+        self.net.set_partition(Some(map));
+        self.partition_applied = true;
+        let tel = self.net.recorder();
+        if tel.is_enabled() {
+            self.partition_span = tel.span(
+                SpanId::NONE,
+                "partition",
+                vec![
+                    ("components", components.into()),
+                    ("start", start.into()),
+                    ("end", end.into()),
+                ],
+            );
+        }
+        if let Some(m) = tel.metrics() {
+            m.add("partition", 1);
+        }
+    }
+
+    /// Heal the partition and reconcile: background merges, then a retry
+    /// of every deferred publish and a full re-publication round, so
+    /// summaries that could not cross the split land again (repair
+    /// enabled only).
+    fn heal_partition(&mut self) {
+        self.net.set_partition(None);
+        self.partition_healed = true;
+        let tel = self.net.recorder().clone();
+        if tel.is_enabled() {
+            tel.event(self.partition_span, "heal", vec![("t", self.now.into())]);
+            tel.end(
+                self.partition_span,
+                "partition",
+                vec![("healed_at", self.now.into())],
+            );
+        }
+        if let Some(m) = tel.metrics() {
+            m.add("heal", 1);
+        }
+        if self.cfg.enabled {
+            self.stats.repair += self.net.repair_overlays(self.cfg.max_repair_passes);
+            self.retry_deferred();
+            self.refresh_all();
+        }
+    }
+
     /// Republish one peer's summaries now (restores its replicas
-    /// everywhere, including zones re-owned after a crash).
+    /// everywhere, including zones re-owned after a crash). Spheres whose
+    /// fault-aware publish fails are queued for retry on later rounds.
     pub fn refresh_peer(&mut self, peer: usize) {
-        self.stats.refresh += self.net.refresh_peer_summaries(peer);
+        let report = self.net.refresh_peer_summaries_report(peer);
+        self.stats.refresh += report.stats;
         self.stats.refreshes += 1;
         self.last_refresh[peer] = self.now;
+        // The refresh re-publishes the peer's whole summary set, so it
+        // supersedes that peer's queue entries: whatever still failed is
+        // in `report.deferred`, everything else landed.
+        let carried: Vec<(SphereRef, usize)> = self
+            .deferred
+            .iter()
+            .filter(|(d, _)| d.peer == peer)
+            .copied()
+            .collect();
+        self.deferred.retain(|(d, _)| d.peer != peer);
+        self.stats.publishes_recovered += carried
+            .iter()
+            .filter(|(d, _)| !report.deferred.contains(d))
+            .count() as u64;
+        for s in report.deferred {
+            let prev = carried.iter().find(|(d, _)| *d == s).map_or(0, |&(_, a)| a);
+            self.note_deferred(s, prev + 1);
+        }
+    }
+
+    /// Retry every queued publish once, through the fault-aware path.
+    /// Spheres that land leave the queue; the rest burn one more attempt
+    /// and are abandoned past the budget.
+    pub fn retry_deferred(&mut self) {
+        let queue = std::mem::take(&mut self.deferred);
+        for (s, attempts) in queue {
+            if !self.net.is_alive(s.peer) {
+                continue; // the publisher is gone, and so is its data
+            }
+            let tel = self.net.recorder().clone();
+            if tel.is_enabled() {
+                tel.event(
+                    SpanId::NONE,
+                    "publish_retry",
+                    vec![
+                        ("peer", s.peer.into()),
+                        ("level", s.level.into()),
+                        ("cluster", s.cluster.into()),
+                        ("attempt", (attempts + 1).into()),
+                    ],
+                );
+            }
+            if let Some(m) = tel.metrics() {
+                m.add("publish_retry", 1);
+            }
+            let (ok, stats) = self.net.publish_sphere(s);
+            self.stats.refresh += stats;
+            if ok {
+                self.stats.publishes_recovered += 1;
+            } else {
+                self.note_deferred(s, attempts + 1);
+            }
+        }
+    }
+
+    /// Spheres currently awaiting a publish retry.
+    pub fn deferred_publishes(&self) -> Vec<SphereRef> {
+        self.deferred.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Queue `s` for retry with `attempts` already spent, or abandon it if
+    /// the budget is gone.
+    fn note_deferred(&mut self, s: SphereRef, attempts: usize) {
+        if attempts >= self.cfg.max_publish_attempts {
+            self.stats.publishes_abandoned += 1;
+            let tel = self.net.recorder();
+            if tel.is_enabled() {
+                tel.event(
+                    SpanId::NONE,
+                    "publish_abandoned",
+                    vec![
+                        ("peer", s.peer.into()),
+                        ("level", s.level.into()),
+                        ("cluster", s.cluster.into()),
+                        ("attempts", attempts.into()),
+                    ],
+                );
+            }
+            if let Some(m) = tel.metrics() {
+                m.add("publish_abandoned", 1);
+            }
+            return;
+        }
+        if let Some(e) = self.deferred.iter_mut().find(|(d, _)| *d == s) {
+            e.1 = e.1.max(attempts);
+        } else {
+            self.deferred.push((s, attempts));
+            self.stats.publishes_deferred += 1;
+            if let Some(m) = self.net.recorder().metrics() {
+                m.add("publish_deferred", 1);
+            }
+        }
     }
 
     /// Republish every alive peer's summaries now — the "one full refresh
@@ -503,6 +719,78 @@ mod tests {
         for l in 0..eng.network().levels() {
             eng.network().overlay(l).check_invariants();
         }
+    }
+
+    #[test]
+    fn partition_splits_then_heals_with_full_recall() {
+        let net = build(10, 6);
+        let plan = PartitionPlan::halves(10, 20, 120);
+        let cfg = RepairConfig::default()
+            .with_refresh_interval(25)
+            .with_partition_plan(plan);
+        let mut eng = RepairEngine::new(net, cfg);
+
+        // Mid-window the split is in force: cross-component fetches are
+        // severed and refreshes from either side defer the spheres whose
+        // owner zone sits across the divide.
+        eng.advance_to(60);
+        assert!(eng.network().partition_active(), "split not applied");
+        assert!(!eng.network().peers_connected(0, 9));
+        assert!(eng.network().peers_connected(0, 1));
+
+        // Past plan.end the engine heals, reconciles and re-publishes;
+        // recall over every alive peer's data is 1.0 again within the
+        // bounded repair rounds (here: the heal round itself plus one
+        // refresh period).
+        eng.advance_to(200);
+        assert!(!eng.network().partition_active(), "partition never healed");
+        assert!(
+            eng.deferred_publishes().is_empty(),
+            "deferred queue should drain after healing"
+        );
+        let net = eng.network();
+        for p in 0..net.len() {
+            let q = net.peer(p).items.row(0).to_vec();
+            let res = net.range_query(0, &q, 1e-9, None);
+            assert!(res.items.contains(&(p, 0)), "peer {p} item lost post-heal");
+        }
+    }
+
+    #[test]
+    fn partition_transitions_fire_even_with_repair_disabled() {
+        let cfg = RepairConfig::default()
+            .with_enabled(false)
+            .with_partition_plan(PartitionPlan::halves(6, 10, 30));
+        let mut eng = RepairEngine::new(build(6, 7), cfg);
+        eng.advance_to(15);
+        assert!(eng.network().partition_active());
+        eng.advance_to(40);
+        assert!(!eng.network().partition_active());
+        assert_eq!(eng.stats().refreshes, 0, "refresh loop must stay off");
+    }
+
+    #[test]
+    fn total_loss_defers_then_abandons_publishes() {
+        let cfg = RepairConfig::default()
+            .with_refresh_interval(10)
+            .with_max_publish_attempts(3)
+            .with_fault_plan(FaultConfig::lossy(1.0).with_seed(42));
+        let mut eng = RepairEngine::new(build(6, 8), cfg);
+        eng.advance_to(60);
+        let st = eng.stats();
+        assert!(
+            st.publishes_deferred > 0,
+            "nothing deferred under 100% loss"
+        );
+        assert!(
+            st.publishes_abandoned > 0,
+            "attempt budget of 3 should be spent within 6 refresh rounds"
+        );
+        // Every queued sphere is within its attempt budget.
+        assert!(eng
+            .deferred_publishes()
+            .iter()
+            .all(|s| s.peer < eng.network().len()));
     }
 
     #[test]

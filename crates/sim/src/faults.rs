@@ -9,8 +9,10 @@
 //!
 //! Each logical hop is resolved through its own tiny [`EventQueue`]
 //! timeline: the first transmission fires at `t = 0`, every retransmission
-//! is scheduled `retry_timeout` ticks after the drop it answers, and the
-//! returned tick count is the sim-time the hop occupied — so delays and
+//! is scheduled one retry gap after the drop it answers — a fixed
+//! `retry_timeout` spacing by default, or an exponential [`Backoff`]
+//! schedule with deterministic seeded jitter when one is installed — and
+//! the returned tick count is the sim-time the hop occupied, so delays and
 //! retries lengthen an operation's *rounds* (critical path) exactly like
 //! any other queued message in the scheduler model.
 //!
@@ -24,6 +26,103 @@ use crate::event::{EventQueue, SimTime};
 use crate::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Exponential retransmission backoff with deterministic seeded jitter.
+///
+/// Replaces the fixed `retry_timeout` spacing when installed via
+/// [`FaultConfig::with_backoff`]. The gap before retransmission `a + 1`
+/// (i.e. after attempt `a` dropped) is
+///
+/// ```text
+/// gap(a) = min(cap, base · factorᵃ + jitter(a))
+/// ```
+///
+/// where `jitter(a)` is a hash of `(seed, a)` reduced into
+/// `0..=jitter` — no RNG state, so the schedule is a pure function of the
+/// config and replays identically on every run. Gaps are made monotone
+/// non-decreasing in `a` (a running maximum) and never exceed `cap` or
+/// fall below 1 tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Gap before the first retransmission (ticks, clamped to ≥ 1).
+    pub base: u64,
+    /// Multiplier applied per further retry (clamped to ≥ 1).
+    pub factor: u64,
+    /// Ceiling on any single gap (ticks, clamped to ≥ 1).
+    pub cap: u64,
+    /// Maximum extra ticks of deterministic jitter per gap (0 = none).
+    pub jitter: u64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            base: 1,
+            factor: 2,
+            cap: 16,
+            jitter: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 finaliser: a cheap, well-mixed stateless hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Backoff {
+    /// Plain exponential schedule (`base · 2ᵃ`, capped, no jitter).
+    pub fn exponential(base: u64, cap: u64) -> Self {
+        Self {
+            base,
+            cap,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style jitter profile: up to `jitter` extra ticks per gap,
+    /// drawn deterministically from `seed`.
+    pub fn with_jitter(mut self, jitter: u64, seed: u64) -> Self {
+        self.jitter = jitter;
+        self.seed = seed;
+        self
+    }
+
+    /// The gap (ticks) between dropped attempt `attempt` (0-based) and its
+    /// retransmission. Deterministic, monotone non-decreasing in
+    /// `attempt`, in `1..=cap.max(1)`.
+    pub fn gap(&self, attempt: u32) -> u64 {
+        let cap = self.cap.max(1);
+        let base = self.base.max(1);
+        let factor = self.factor.max(1);
+        let mut widest = 0u64;
+        // Running maximum keeps the schedule monotone even when jitter
+        // draws shrink between consecutive attempts.
+        for a in 0..=attempt {
+            let raw = base.saturating_mul(factor.saturating_pow(a));
+            let j = if self.jitter == 0 {
+                0
+            } else {
+                splitmix64(self.seed ^ u64::from(a).wrapping_mul(0xA24B_AED4_963E_E407))
+                    % (self.jitter + 1)
+            };
+            widest = widest.max(raw.saturating_add(j).min(cap));
+        }
+        widest
+    }
+
+    /// The first `retries` gaps, in order — the full retransmission
+    /// schedule for a hop with that retry budget.
+    pub fn schedule(&self, retries: u32) -> Vec<u64> {
+        (0..retries).map(|a| self.gap(a)).collect()
+    }
+}
 
 /// Per-hop fault probabilities and the retry budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,8 +141,13 @@ pub struct FaultConfig {
     pub dead_prob: f64,
     /// Retransmissions allowed per hop before giving up.
     pub max_retries: u32,
-    /// Ticks between a drop and its retransmission.
+    /// Ticks between a drop and its retransmission (fixed spacing; at
+    /// least one tick is always burnt per retry gap). Superseded by
+    /// [`FaultConfig::backoff`] when one is installed.
     pub retry_timeout: u64,
+    /// Exponential retransmission schedule; `None` keeps the fixed
+    /// `retry_timeout` spacing.
+    pub backoff: Option<Backoff>,
     /// RNG seed for the fault rolls.
     pub seed: u64,
 }
@@ -57,6 +161,7 @@ impl Default for FaultConfig {
             dead_prob: 0.0,
             max_retries: 3,
             retry_timeout: 1,
+            backoff: None,
             seed: 0,
         }
     }
@@ -91,6 +196,21 @@ impl FaultConfig {
     pub fn with_dead_prob(mut self, dead_prob: f64) -> Self {
         assert!((0.0..=1.0).contains(&dead_prob), "probability range");
         self.dead_prob = dead_prob;
+        self
+    }
+
+    /// Builder-style exponential backoff (replaces the fixed
+    /// `retry_timeout` spacing).
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Builder-style per-hop retransmit budget. Residual loss after the
+    /// ack/retransmit loop is `drop_prob^(1 + retries)`, so the budget
+    /// directly sets the delivery guarantee a lossy link can offer.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
         self
     }
 
@@ -163,6 +283,18 @@ impl FaultInjector {
         self.report
     }
 
+    /// The retry gap after dropped attempt `attempt`: the [`Backoff`]
+    /// schedule when installed, else the fixed `retry_timeout` spacing.
+    /// Clamped to ≥ 1 tick — the same gap is burnt whether the hop
+    /// retransmits or gives up, so `retry_timeout = 0` can no longer
+    /// under-count the sim time an abandoned hop occupied.
+    fn gap(&self, attempt: u32) -> u64 {
+        match self.cfg.backoff {
+            Some(b) => b.gap(attempt),
+            None => self.cfg.retry_timeout.max(1),
+        }
+    }
+
     /// Resolve one logical hop: play the transmission/retry timeline on an
     /// event queue and report how (and whether) the message got through.
     pub fn hop(&mut self) -> HopDelivery {
@@ -173,18 +305,19 @@ impl FaultInjector {
             let attempt = ev.payload;
             self.report.attempts += 1;
             if self.rng.gen::<f64>() < self.cfg.dead_prob {
-                // Recipient is down: retrying cannot help.
+                // Recipient is down: retrying cannot help, but the sender
+                // still waits out one ack gap before concluding that.
                 self.report.dead_hops += 1;
                 return HopDelivery::Unreachable {
                     attempts: attempt + 1,
-                    ticks: ev.time.0 + self.cfg.retry_timeout,
+                    ticks: ev.time.0 + self.gap(attempt),
                 };
             }
             if self.rng.gen::<f64>() < self.cfg.drop_prob {
                 self.report.drops += 1;
                 if attempt < self.cfg.max_retries {
                     queue.push(
-                        SimTime(ev.time.0 + self.cfg.retry_timeout.max(1)),
+                        SimTime(ev.time.0 + self.gap(attempt)),
                         NodeId(0),
                         attempt + 1,
                     );
@@ -193,7 +326,7 @@ impl FaultInjector {
                 self.report.exhausted += 1;
                 return HopDelivery::Unreachable {
                     attempts: attempt + 1,
-                    ticks: ev.time.0 + self.cfg.retry_timeout,
+                    ticks: ev.time.0 + self.gap(attempt),
                 };
             }
             let mut ticks = ev.time.0 + 1;
@@ -299,5 +432,86 @@ mod tests {
             assert_eq!(a.hop(), b.hop());
         }
         assert_eq!(a.report(), b.report());
+    }
+
+    /// Regression: with `retry_timeout = 0` the retransmissions were
+    /// scheduled with a clamped (≥ 1 tick) gap but the `Unreachable`
+    /// accounting used the raw value, under-counting burnt sim time by one
+    /// tick per hop. Both sides now share the clamped gap.
+    #[test]
+    fn zero_retry_timeout_still_burns_a_tick_per_gap() {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            retry_timeout: 0,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg);
+        match inj.hop() {
+            HopDelivery::Unreachable { attempts, ticks } => {
+                assert_eq!(attempts, 4);
+                // Retransmits at t = 1, 2, 3; final gap burnt before
+                // giving up lands the hop at t = 4, not 3.
+                assert_eq!(ticks, 4);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        let dead = FaultConfig {
+            dead_prob: 1.0,
+            retry_timeout: 0,
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(dead);
+        match inj.hop() {
+            HopDelivery::Unreachable { attempts, ticks } => {
+                assert_eq!(attempts, 1);
+                assert_eq!(ticks, 1, "a dead hop still burns its ack gap");
+            }
+            other => panic!("expected unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_gaps_grow_and_cap() {
+        let b = Backoff::exponential(2, 10);
+        assert_eq!(b.schedule(5), vec![2, 4, 8, 10, 10]);
+        // Degenerate inputs are clamped rather than wedging the timeline.
+        let z = Backoff {
+            base: 0,
+            factor: 0,
+            cap: 0,
+            jitter: 0,
+            seed: 0,
+        };
+        assert_eq!(z.schedule(3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let b = Backoff::exponential(1, 64).with_jitter(3, 42);
+        let first = b.schedule(6);
+        assert_eq!(first, b.schedule(6), "same seed must replay exactly");
+        for w in first.windows(2) {
+            assert!(w[0] <= w[1], "gaps must be monotone: {first:?}");
+        }
+        assert!(first.iter().all(|&g| (1..=64).contains(&g)));
+        let other = Backoff::exponential(1, 64).with_jitter(3, 43);
+        assert_ne!(first, other.schedule(6), "different seeds should differ");
+    }
+
+    #[test]
+    fn backoff_spaces_retransmissions_in_hop_timeline() {
+        let cfg = FaultConfig::lossy(1.0)
+            .with_seed(1)
+            .with_backoff(Backoff::exponential(2, 100));
+        let mut inj = FaultInjector::new(cfg);
+        match inj.hop() {
+            HopDelivery::Unreachable { attempts, ticks } => {
+                assert_eq!(attempts, 4);
+                // Drops at t = 0, 2, 6, 14; the last gap (16) is burnt
+                // before the hop is abandoned.
+                assert_eq!(ticks, 14 + 16);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 }

@@ -34,9 +34,9 @@ pub mod underlay;
 
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue, Scheduler, SimTime};
-pub use faults::{FaultConfig, FaultInjector, FaultReport, HopDelivery};
+pub use faults::{Backoff, FaultConfig, FaultInjector, FaultReport, HopDelivery};
 pub use stats::{LatencyStats, LatencySummary, NetStats, OpKind, OpStats};
-pub use underlay::{Underlay, UnderlayConfig};
+pub use underlay::{PartitionPlan, Underlay, UnderlayConfig};
 
 /// Identifier of a simulated node. Nodes are dense indices into the
 /// overlay/underlay tables.

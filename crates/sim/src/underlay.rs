@@ -46,6 +46,85 @@ impl Default for UnderlayConfig {
     }
 }
 
+/// A scheduled network partition: the node set splits into disjoint
+/// components for a tick window `[start, end)`, then heals.
+///
+/// The plan is pure data — the sim layer defines *what* is severed and
+/// *when*; enforcement lives with whoever routes messages (the CAN overlay
+/// skips cross-component neighbours while a partition is active, exactly
+/// like dead nodes but reversible). Nodes not named in any component form
+/// an implicit extra component of their own, so plans stay valid as peers
+/// join after the plan was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Disjoint node-id components; membership in different components
+    /// severs every link between the two sides while active.
+    pub components: Vec<Vec<usize>>,
+    /// First tick the split is in force.
+    pub start: u64,
+    /// First tick after healing (exclusive end of the window).
+    pub end: u64,
+}
+
+impl PartitionPlan {
+    /// Split `nodes` ids (`0..nodes`) into two contiguous halves for the
+    /// window `[start, end)` — the canonical "room divides" scenario.
+    pub fn halves(nodes: usize, start: u64, end: u64) -> Self {
+        assert!(start < end, "partition window must be non-empty");
+        let mid = nodes / 2;
+        Self {
+            components: vec![(0..mid).collect(), (mid..nodes).collect()],
+            start,
+            end,
+        }
+    }
+
+    /// Whether the split is in force at tick `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+
+    /// The component index of `node`, or `None` if the plan does not name
+    /// it (implicitly its own singleton side).
+    pub fn component_of(&self, node: usize) -> Option<usize> {
+        self.components.iter().position(|c| c.contains(&node))
+    }
+
+    /// Whether `a` and `b` can exchange messages while the split is in
+    /// force. Unnamed nodes are severed from everyone but themselves.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.component_of(a), self.component_of(b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// Dense component map for `n` nodes: `map[i]` is the component index
+    /// of node `i`, with unnamed nodes assigned fresh singleton indices.
+    /// This is the form overlays consume on the routing hot path.
+    pub fn component_map(&self, n: usize) -> Vec<u32> {
+        let mut map = vec![u32::MAX; n];
+        for (ci, comp) in self.components.iter().enumerate() {
+            for &node in comp {
+                if node < n {
+                    map[node] = ci as u32;
+                }
+            }
+        }
+        let mut next = self.components.len() as u32;
+        for slot in map.iter_mut() {
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        map
+    }
+}
+
 /// The physical network: positions, adjacency and all-pairs hop counts.
 #[derive(Debug, Clone)]
 pub struct Underlay {
@@ -336,6 +415,28 @@ mod tests {
         for i in 0..u.len() {
             assert_eq!(u.hops(NodeId(i), NodeId(i)), 0);
         }
+    }
+
+    #[test]
+    fn partition_plan_halves_and_heals() {
+        let p = PartitionPlan::halves(10, 5, 20);
+        assert!(!p.active_at(4));
+        assert!(p.active_at(5));
+        assert!(p.active_at(19));
+        assert!(!p.active_at(20));
+        assert!(p.connected(0, 4));
+        assert!(p.connected(5, 9));
+        assert!(!p.connected(4, 5));
+        assert!(p.connected(3, 3));
+        // A latecomer (id 10) is severed from everyone but itself.
+        assert!(!p.connected(0, 10));
+        assert!(p.connected(10, 10));
+        let map = p.component_map(12);
+        assert_eq!(map[0], map[4]);
+        assert_eq!(map[5], map[9]);
+        assert_ne!(map[0], map[5]);
+        assert_ne!(map[10], map[11]);
+        assert_ne!(map[10], map[0]);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Property-based tests for the retransmission backoff schedule.
+
+use hyperm_sim::Backoff;
+use proptest::prelude::*;
+
+fn arb_backoff() -> impl Strategy<Value = Backoff> {
+    (0u64..64, 0u64..8, 0u64..256, 0u64..32, any::<u64>()).prop_map(
+        |(base, factor, cap, jitter, seed)| Backoff {
+            base,
+            factor,
+            cap,
+            jitter,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The schedule is a pure function of the config: two identical
+    /// configs replay identically.
+    #[test]
+    fn schedule_is_deterministic(b in arb_backoff(), retries in 0u32..12) {
+        prop_assert_eq!(b.schedule(retries), b.schedule(retries));
+    }
+
+    /// Gaps never shrink between consecutive attempts.
+    #[test]
+    fn gaps_are_monotone(b in arb_backoff(), retries in 1u32..12) {
+        let sched = b.schedule(retries);
+        prop_assert!(sched.windows(2).all(|w| w[0] <= w[1]), "{sched:?}");
+    }
+
+    /// Every gap burns at least one tick and never exceeds the cap.
+    #[test]
+    fn gaps_are_capped_and_positive(b in arb_backoff(), attempt in 0u32..16) {
+        let g = b.gap(attempt);
+        prop_assert!(g >= 1);
+        prop_assert!(g <= b.cap.max(1));
+    }
+
+    /// The jitter seed only perturbs within the configured width: two
+    /// seeds of the same profile stay within `jitter` of each other
+    /// before capping, so the zero-jitter schedule is a lower bound.
+    #[test]
+    fn jitter_never_undershoots_the_raw_schedule(b in arb_backoff(), attempt in 0u32..12) {
+        let plain = Backoff { jitter: 0, seed: 0, ..b };
+        prop_assert!(b.gap(attempt) >= plain.gap(attempt));
+    }
+}

@@ -71,6 +71,8 @@ impl VbiOverlay {
         InsertOutcome {
             owner,
             replicas,
+            // Tree publishes are reliable: every intended replica lands.
+            targets: replicas,
             stats,
             rounds: route_hops + flood_depth,
         }

@@ -48,9 +48,9 @@ pub use hyperm_baseline::{precision_recall, FlatIndex, PrecisionRecall};
 pub use hyperm_cluster::{ClusterSphere, Dataset, KMeansConfig};
 pub use hyperm_core::{
     BuildReport, EvalHarness, HypermConfig, HypermNetwork, InsertPolicy, KnnOptions, Overlay,
-    OverlayBackend, ScorePolicy,
+    OverlayBackend, PublishReport, QueryBudget, ScorePolicy, SphereRef,
 };
 pub use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
-pub use hyperm_sim::{EnergyModel, FaultConfig, NodeId, OpKind, OpStats};
+pub use hyperm_sim::{Backoff, EnergyModel, FaultConfig, NodeId, OpKind, OpStats, PartitionPlan};
 pub use hyperm_telemetry::{MetricsSnapshot, Recorder, Trace};
 pub use hyperm_wavelet::Normalization;

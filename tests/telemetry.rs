@@ -5,7 +5,7 @@
 
 use hyperm::datagen::{generate_aloi_like, AloiConfig};
 use hyperm::telemetry::{Event, Recorder, RingHandle, Trace};
-use hyperm::{Dataset, HypermConfig, HypermNetwork, KnnOptions, OpKind};
+use hyperm::{Dataset, HypermConfig, HypermNetwork, KnnOptions, OpKind, QueryBudget};
 
 const DIM: usize = 32;
 const LEVELS: usize = 4;
@@ -104,6 +104,99 @@ fn tracing_never_perturbs_simulated_results() {
     assert_eq!(pp.matches, tp.matches);
     assert_eq!(pp.stats, op.stats);
     assert_eq!(pp.stats, tp.stats);
+}
+
+#[test]
+fn budgeted_queries_match_legacy_bit_for_bit_without_faults() {
+    // The failure-tolerance budget must be provably free when nothing
+    // fails: with every peer alive, no injector and no partition, the
+    // budgeted entry points return the same results and burn the same
+    // OpStats as the legacy fetch loops, and never set `truncated`.
+    let seed = 23;
+    let (net, _) = HypermNetwork::build(peers(seed), config(seed)).unwrap();
+    let q = peers(seed)[4].row(1).to_vec();
+    let b = QueryBudget::default();
+
+    let r1 = net.range_query(0, &q, 0.25, Some(5));
+    let r2 = net.range_query_budgeted(0, &q, 0.25, Some(5), b);
+    assert_eq!(r1.items, r2.items);
+    assert_eq!(r1.stats, r2.stats, "budget changed range OpStats");
+    assert_eq!(r1.peers_contacted, r2.peers_contacted);
+    assert!(!r2.truncated);
+
+    let k1 = net.knn_query(1, &q, 4, KnnOptions::default());
+    let k2 = net.knn_query_budgeted(1, &q, 4, KnnOptions::default(), b);
+    assert_eq!(k1.topk, k2.topk);
+    assert_eq!(k1.retrieved, k2.retrieved);
+    assert_eq!(k1.stats, k2.stats, "budget changed knn OpStats");
+    assert_eq!(k1.peers_contacted, k2.peers_contacted);
+    assert!(!k2.truncated);
+
+    let p1 = net.point_query(2, &q);
+    let p2 = net.point_query_budgeted(2, &q, b);
+    assert_eq!(p1.matches, p2.matches);
+    assert_eq!(p1.stats, p2.stats, "budget changed point OpStats");
+    assert!(!p2.truncated);
+}
+
+#[test]
+fn budgeted_event_stream_identical_without_faults() {
+    // Same assertion one layer down: the traced event stream of a
+    // budgeted query is byte-identical to the legacy one when no fault
+    // can fire — no fetch_timeout/fetch_fallback events, same spans,
+    // same field values, same order.
+    let seed = 29;
+    let run = |budgeted: bool| -> Vec<Event> {
+        let (rec, ring) = Recorder::ring(1 << 16);
+        let (net, _) = HypermNetwork::build_traced(peers(seed), config(seed), rec).unwrap();
+        ring.drain(); // discard build-phase events
+        let q = peers(seed)[3].row(0).to_vec();
+        if budgeted {
+            net.range_query_budgeted(0, &q, 0.2, None, QueryBudget::default());
+            net.point_query_budgeted(1, &q, QueryBudget::default());
+        } else {
+            net.range_query(0, &q, 0.2, None);
+            net.point_query(1, &q);
+        }
+        ring.events()
+    };
+    let legacy = run(false);
+    let budgeted = run(true);
+    assert!(!legacy.is_empty());
+    assert_eq!(legacy, budgeted, "budgeted trace diverged with faults off");
+}
+
+#[test]
+fn reliable_refresh_reports_full_delivery_without_faults() {
+    // The report-returning refresh is the same code path the legacy
+    // wrapper drives; with no faults every sphere must land completely
+    // (delivered == published clusters, nothing deferred or abandoned)
+    // and the wrapper must return exactly the report's stats.
+    let seed = 31;
+    let (mut a, _) = HypermNetwork::build(peers(seed), config(seed)).unwrap();
+    let (mut b, _) = HypermNetwork::build(peers(seed), config(seed)).unwrap();
+    let peer = 3;
+    let legacy = a.refresh_peer_summaries(peer);
+    let report = b.refresh_peer_summaries_report(peer);
+    assert_eq!(legacy, report.stats, "wrapper and report paths diverged");
+    assert!(
+        report.deferred.is_empty(),
+        "nothing can defer without faults"
+    );
+    assert!(report.abandoned.is_empty());
+    let clusters: u64 = (0..b.levels())
+        .map(|l| b.peer(peer).summaries[l].len() as u64)
+        .sum();
+    assert_eq!(report.delivered, clusters, "every sphere must land fully");
+
+    // And the refreshed networks still answer identically.
+    let q = peers(seed)[peer].row(0).to_vec();
+    let (ra, rb) = (
+        a.range_query(0, &q, 0.2, None),
+        b.range_query(0, &q, 0.2, None),
+    );
+    assert_eq!(ra.items, rb.items);
+    assert_eq!(ra.stats, rb.stats);
 }
 
 #[test]
