@@ -16,6 +16,7 @@
 //!   share) behind the Figure 9 analysis.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod canitem;
 pub mod distribution;

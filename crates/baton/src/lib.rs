@@ -28,6 +28,7 @@
 //! of scope here exactly as they are in the paper's experiments.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ops;
 pub mod tree;

@@ -19,7 +19,7 @@
 
 use hyperm_cluster::Dataset;
 use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, QueryBudget};
-use hyperm_telemetry::{JsonlSink, OpKind, Recorder, RingHandle, TeeSink, Trace};
+use hyperm_telemetry::{names, JsonlSink, OpKind, Recorder, RingHandle, TeeSink, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,7 +128,7 @@ fn main() {
     assert!(!events.is_empty(), "query must emit trace events");
     let trace = Trace::from_events(&events);
     assert_eq!(
-        trace.spans_named("overlay_lookup").len(),
+        trace.spans_named(names::OVERLAY_LOOKUP).len(),
         LEVELS,
         "one overlay_lookup span per wavelet level"
     );
@@ -221,18 +221,18 @@ fn main() {
     println!("== degraded route tree ({} events) ==", degraded.len());
     print!("{}", dtrace.render());
     assert!(
-        dtrace.event_count("fetch_timeout") >= 1,
+        dtrace.event_count(names::FETCH_TIMEOUT) >= 1,
         "crashed peer must surface as a fetch_timeout in the route tree"
     );
     if matches!(expect_kind, OpKind::RangeQuery | OpKind::KnnQuery) {
         assert!(
-            dtrace.event_count("fetch_fallback") >= 1,
+            dtrace.event_count(names::FETCH_FALLBACK) >= 1,
             "the contact window must slide past the crashed peer"
         );
     }
     let m = rec.metrics().expect("recorder enabled");
     assert!(
-        m.counter("fetch_timeout") >= 1,
+        m.counter(names::FETCH_TIMEOUT) >= 1,
         "fetch_timeout must be counted in the metrics registry"
     );
 }

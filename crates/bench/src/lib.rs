@@ -8,6 +8,7 @@
 //! over 50 nodes for retrieval).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use hyperm_cluster::Dataset;
 use hyperm_datagen::{

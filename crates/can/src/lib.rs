@@ -30,6 +30,7 @@
 //!   simulators' byte counts equal these encoders' output lengths.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod keymap;

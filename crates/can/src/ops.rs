@@ -11,10 +11,11 @@
 //! newly reached node (real gossip would add duplicate-suppression traffic,
 //! which affects constants, not shapes).
 
+// hyperm-lint: allow-file(panic-index) — flood slot indices are binary_search hits into the candidate list built in the same scope
 use crate::overlay::CanOverlay;
 use crate::zone::Zone;
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::SpanId;
+use hyperm_telemetry::{names, SpanId};
 use std::collections::VecDeque;
 
 /// Render a zone's box for trace events (`[0.000,0.250)x[0.500,1.000)`).
@@ -118,6 +119,7 @@ impl CanOverlay {
     ) -> InsertOutcome {
         match self.insert_sphere_impl(from, centre, radius, payload, replicate, false) {
             Ok(out) => out,
+            // hyperm-lint: allow(panic-explicit) — infallible entry point by contract: callers on this path run on repaired topologies (see doc comment); fault-aware callers use try_insert_sphere
             Err(_) => panic!("publish route failed on the reliable path"),
         }
     }
@@ -174,7 +176,7 @@ impl CanOverlay {
         let flood_span = if traced {
             tel.span(
                 tel.scope(),
-                "flood",
+                names::FLOOD,
                 vec![
                     ("kind", "publish".into()),
                     ("owner", owner.0.into()),
@@ -203,6 +205,7 @@ impl CanOverlay {
             let slot_of = |id: NodeId| candidates.binary_search(&(id.0 as u32)).ok();
             let mut visited = vec![false; candidates.len()];
             let mut queue = VecDeque::new();
+            // hyperm-lint: allow(panic-unwrap) — owner's zone overlaps the object it stores, so owner is always in candidates
             visited[slot_of(owner).expect("owner zone overlaps its own object")] = true;
             queue.push_back((owner, 0u64));
             while let Some((n, depth)) = queue.pop_front() {
@@ -212,7 +215,7 @@ impl CanOverlay {
                 if traced {
                     tel.event(
                         flood_span,
-                        "replica",
+                        names::REPLICA,
                         vec![("node", n.0.into()), ("depth", depth.into())],
                     );
                 }
@@ -231,7 +234,7 @@ impl CanOverlay {
                             if traced && attempts > 1 {
                                 tel.event(
                                     flood_span,
-                                    "retry",
+                                    names::RETRY,
                                     vec![
                                         ("from", n.0.into()),
                                         ("to", nb.0.into()),
@@ -245,7 +248,7 @@ impl CanOverlay {
                                 if traced {
                                     tel.event(
                                         flood_span,
-                                        "flood_edge",
+                                        names::FLOOD_EDGE,
                                         vec![
                                             ("from", n.0.into()),
                                             ("to", nb.0.into()),
@@ -257,7 +260,7 @@ impl CanOverlay {
                             } else if traced {
                                 tel.event(
                                     flood_span,
-                                    "drop",
+                                    names::DROP,
                                     vec![("from", n.0.into()), ("to", nb.0.into())],
                                 );
                             }
@@ -271,14 +274,14 @@ impl CanOverlay {
             if traced {
                 tel.event(
                     flood_span,
-                    "replica",
+                    names::REPLICA,
                     vec![("node", owner.0.into()), ("depth", 0u64.into())],
                 );
             }
         }
         tel.end(
             flood_span,
-            "flood",
+            names::FLOOD,
             vec![("replicas", replicas.into()), ("depth", flood_depth.into())],
         );
         Ok(InsertOutcome {
@@ -343,7 +346,7 @@ impl CanOverlay {
         if tel.is_enabled() {
             tel.event(
                 tel.scope(),
-                "visit",
+                names::VISIT,
                 vec![
                     ("node", owner.0.into()),
                     ("zone", zone_str(&self.node(owner).zone).into()),
@@ -407,7 +410,7 @@ impl CanOverlay {
         let flood_span = if traced {
             tel.span(
                 tel.scope(),
-                "flood",
+                names::FLOOD,
                 vec![
                     ("kind", "range".into()),
                     ("owner", owner.0.into()),
@@ -426,6 +429,7 @@ impl CanOverlay {
         let slot_of = |id: NodeId| candidates.binary_search(&(id.0 as u32)).ok();
         let mut visited = vec![false; candidates.len()];
         let mut queue = VecDeque::new();
+        // hyperm-lint: allow(panic-unwrap) — route postcondition: the owner's zone contains the query centre, so it is in candidates
         visited[slot_of(owner).expect("owner zone contains the query centre")] = true;
         queue.push_back(owner);
         let mut seen_ids = std::collections::HashSet::new();
@@ -455,7 +459,7 @@ impl CanOverlay {
             if traced {
                 tel.event(
                     flood_span,
-                    "visit",
+                    names::VISIT,
                     vec![
                         ("node", n.0.into()),
                         ("matched", (matches.len() - before).into()),
@@ -477,7 +481,7 @@ impl CanOverlay {
                         if traced && attempts > 1 {
                             tel.event(
                                 flood_span,
-                                "retry",
+                                names::RETRY,
                                 vec![
                                     ("from", n.0.into()),
                                     ("to", nb.0.into()),
@@ -491,7 +495,7 @@ impl CanOverlay {
                             if traced {
                                 tel.event(
                                     flood_span,
-                                    "flood_edge",
+                                    names::FLOOD_EDGE,
                                     vec![("from", n.0.into()), ("to", nb.0.into())],
                                 );
                             }
@@ -499,7 +503,7 @@ impl CanOverlay {
                         } else if traced {
                             tel.event(
                                 flood_span,
-                                "drop",
+                                names::DROP,
                                 vec![("from", n.0.into()), ("to", nb.0.into())],
                             );
                         }
@@ -516,7 +520,7 @@ impl CanOverlay {
         };
         tel.end(
             flood_span,
-            "flood",
+            names::FLOOD,
             vec![
                 ("visited", nodes_visited.into()),
                 ("matches", matches.len().into()),

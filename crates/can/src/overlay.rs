@@ -11,11 +11,12 @@
 //! split node itself, so each join touches only the local neighbourhood —
 //! no global recomputation.
 
+// hyperm-lint: allow-file(panic-index) — node ids are dense indices into self.nodes by construction, and zone/neighbour offsets come from checked position() hits
 use crate::ops::StoredObject;
 use crate::zone::Zone;
 use crate::zoneindex::ZoneIndex;
 use hyperm_sim::{FaultConfig, FaultInjector, FaultReport, NodeId, OpStats};
-use hyperm_telemetry::Recorder;
+use hyperm_telemetry::{names, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -119,6 +120,7 @@ impl Clone for FaultSlot {
         FaultSlot(
             self.0
                 .as_ref()
+                // hyperm-lint: allow(panic-unwrap) — mutex poison only follows a panic elsewhere; propagating it is correct
                 .map(|m| Mutex::new(m.lock().expect("fault injector poisoned").clone())),
         )
     }
@@ -291,6 +293,7 @@ impl CanOverlay {
     /// for tests; real lookups go through [`CanOverlay::route`]). Panics on
     /// unrepaired holes — use [`CanOverlay::try_owner_of`] under damage.
     pub fn owner_of(&self, point: &[f64]) -> NodeId {
+        // hyperm-lint: allow(panic-unwrap) — documented contract: infallible owner_of requires tiled zones; damage-aware callers use try_owner_of
         self.try_owner_of(point).expect("zones tile the space")
     }
 
@@ -349,6 +352,7 @@ impl CanOverlay {
         self.faults
             .0
             .as_ref()
+            // hyperm-lint: allow(panic-unwrap) — mutex poison only follows a panic elsewhere; propagating it is correct
             .map(|m| m.lock().expect("fault injector poisoned").report())
     }
 
@@ -358,6 +362,7 @@ impl CanOverlay {
         match &self.faults.0 {
             None => (true, 1, 1),
             Some(m) => {
+                // hyperm-lint: allow(panic-unwrap) — mutex poison only follows a panic elsewhere; propagating it is correct
                 let mut inj = m.lock().expect("fault injector poisoned");
                 match inj.hop() {
                     hyperm_sim::HopDelivery::Delivered { attempts, ticks } => {
@@ -408,7 +413,7 @@ impl CanOverlay {
             if traced {
                 tel.event(
                     tel.scope(),
-                    "dead_end",
+                    names::DEAD_END,
                     vec![("at", from.0.into()), ("reason", "origin_dead".into())],
                 );
             }
@@ -462,7 +467,7 @@ impl CanOverlay {
                         if traced {
                             tel.event(
                                 tel.scope(),
-                                "route_hop",
+                                names::ROUTE_HOP,
                                 vec![
                                     ("from", current.0.into()),
                                     ("to", owner.0.into()),
@@ -482,7 +487,7 @@ impl CanOverlay {
                 if traced {
                     tel.event(
                         tel.scope(),
-                        "dead_end",
+                        names::DEAD_END,
                         vec![("at", current.0.into()), ("reason", "no_neighbour".into())],
                     );
                 }
@@ -505,7 +510,7 @@ impl CanOverlay {
             if traced && attempts > 1 {
                 tel.event(
                     tel.scope(),
-                    "retry",
+                    names::RETRY,
                     vec![
                         ("from", current.0.into()),
                         ("to", next.0.into()),
@@ -519,7 +524,7 @@ impl CanOverlay {
                 if traced {
                     tel.event(
                         tel.scope(),
-                        "drop",
+                        names::DROP,
                         vec![("from", current.0.into()), ("to", next.0.into())],
                     );
                 }
@@ -530,7 +535,7 @@ impl CanOverlay {
             if traced {
                 tel.event(
                     tel.scope(),
-                    "route_hop",
+                    names::ROUTE_HOP,
                     vec![("from", current.0.into()), ("to", next.0.into())],
                 );
             }
@@ -541,7 +546,7 @@ impl CanOverlay {
         if traced {
             tel.event(
                 tel.scope(),
-                "dead_end",
+                names::DEAD_END,
                 vec![("at", current.0.into()), ("reason", "hop_limit".into())],
             );
         }
@@ -565,8 +570,10 @@ impl CanOverlay {
         match out.outcome {
             RouteOutcome::Delivered => (out.node, out.stats),
             RouteOutcome::DeadEnd => {
+                // hyperm-lint: allow(panic-explicit) — documented contract: infallible route() is only for repaired topologies; fallible callers use route_result
                 panic!("route to owner failed: dead end at {}", out.node)
             }
+            // hyperm-lint: allow(panic-explicit) — same contract as the dead-end arm above
             RouteOutcome::HopLimit => panic!(
                 "routing exceeded {} hops — broken overlay topology",
                 self.config.max_route_hops
@@ -601,6 +608,7 @@ impl CanOverlay {
                     .adopted
                     .iter()
                     .position(|z| z.contains(point))
+                    // hyperm-lint: allow(panic-unwrap) — owner_of postcondition: the owner covers the join point in primary or an adopted zone
                     .expect("owner covers the join point"),
             )
         };
@@ -675,6 +683,7 @@ impl CanOverlay {
                             .neighbours
                             .iter()
                             .position(|&x| x == c)
+                            // hyperm-lint: allow(panic-unwrap) — neighbour lists are kept symmetric by every mutation in this module
                             .expect("symmetric neighbour lists");
                         self.nodes[owner.0].neighbours.swap_remove(pos2);
                     }
@@ -784,6 +793,7 @@ impl CanOverlay {
             .adopted
             .iter()
             .position(|z| z.same_box(zone))
+            // hyperm-lint: allow(panic-unwrap) — caller verified the fragment is adopted by this node before dropping it
             .expect("fragment present");
         self.nodes[id.0].adopted.swap_remove(pos);
     }

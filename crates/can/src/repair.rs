@@ -29,6 +29,7 @@
 use crate::overlay::CanOverlay;
 use crate::zone::Zone;
 use hyperm_sim::{NodeId, OpStats};
+use hyperm_telemetry::names;
 
 /// Heartbeat rounds a neighbour waits before declaring a node dead.
 pub const DETECT_TICKS: u64 = 3;
@@ -101,7 +102,7 @@ impl CanOverlay {
         if tel.is_enabled() {
             tel.event(
                 tel.scope(),
-                "takeover",
+                names::TAKEOVER,
                 vec![
                     ("node", id.0.into()),
                     ("kind", kind.into()),
@@ -157,6 +158,7 @@ impl CanOverlay {
                     .min_by(|&a, &b| {
                         let va = self.node(a).total_volume();
                         let vb = self.node(b).total_volume();
+                        // hyperm-lint: allow(panic-unwrap) — zone volumes are finite positive products of box extents; partial_cmp cannot see NaN
                         va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
                     })
                 else {
@@ -310,6 +312,7 @@ impl CanOverlay {
             .find(|w| !w.same_box(v) && v.try_merge(w).is_some())
             .cloned();
         if let Some(w) = partner {
+            // hyperm-lint: allow(panic-unwrap) — the find() predicate just checked try_merge(w).is_some() for this partner
             let parent = v.try_merge(&w).expect("checked");
             self.drop_fragment(y, v);
             self.drop_fragment(y, &w);
@@ -322,6 +325,7 @@ impl CanOverlay {
         // 3. The sibling is somebody's exact primary: hand the fragment
         //    over and let them merge up.
         if let Some(w) = self.primary_owner_of(&sib) {
+            // hyperm-lint: allow(panic-unwrap) — a sibling exists, so the zone is not the root and has a parent
             let parent = v.parent().expect("sibling exists, so parent does");
             *stats += self.transfer_replicas(y, w, v);
             self.drop_fragment(y, v);
@@ -352,6 +356,7 @@ impl CanOverlay {
         if w1 == z2 {
             return false;
         }
+        // hyperm-lint: allow(panic-unwrap) — sibling_of returned Some, so z2's zone is not the root and has a parent
         let parent2 = z2_zone.parent().expect("sibling exists");
         // W1 absorbs Z2's zone (and takes over its replicas)…
         *stats += self.transfer_replicas(z2, w1, &z2_zone);
@@ -394,6 +399,7 @@ impl CanOverlay {
             .min_by(|&a, &b| {
                 let va = self.node(a).zone.volume();
                 let vb = self.node(b).zone.volume();
+                // hyperm-lint: allow(panic-unwrap) — zone volumes are finite positive products of box extents; partial_cmp cannot see NaN
                 va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
             })
     }

@@ -22,6 +22,7 @@
 //!   (main-index + delta-buffer; the paper's phase-2 retrieval).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod dataset;
 pub mod kdtree;

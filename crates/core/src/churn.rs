@@ -31,9 +31,10 @@
 //!   become routing holes and queries degrade, which is the baseline the
 //!   `churn_failures` experiment quantifies.
 
+// hyperm-lint: allow-file(panic-index) — node indices come from the dense live-node table this module maintains
 use crate::network::HypermNetwork;
 use hyperm_sim::{FaultConfig, FaultReport, NodeId, OpStats};
-use hyperm_telemetry::{OpKind, SpanId};
+use hyperm_telemetry::{names, OpKind, SpanId};
 
 /// Cost record of an overlay-level membership change, summed over the
 /// per-level overlays.
@@ -69,7 +70,7 @@ impl HypermNetwork {
         let span = if tel.is_enabled() {
             tel.span(
                 SpanId::NONE,
-                "repair_step",
+                names::REPAIR_STEP,
                 vec![
                     ("kind", "crash".into()),
                     ("peer", peer.into()),
@@ -101,7 +102,7 @@ impl HypermNetwork {
         if tel.is_enabled() {
             tel.end(
                 span,
-                "repair_step",
+                names::REPAIR_STEP,
                 vec![
                     ("messages", out.stats.messages.into()),
                     ("bytes", out.stats.bytes.into()),
@@ -124,7 +125,7 @@ impl HypermNetwork {
         let span = if tel.is_enabled() {
             tel.span(
                 SpanId::NONE,
-                "repair_step",
+                names::REPAIR_STEP,
                 vec![("kind", "depart".into()), ("peer", peer.into())],
             )
         } else {
@@ -157,7 +158,7 @@ impl HypermNetwork {
         if tel.is_enabled() {
             tel.end(
                 span,
-                "repair_step",
+                names::REPAIR_STEP,
                 vec![
                     ("messages", out.stats.messages.into()),
                     ("bytes", out.stats.bytes.into()),
@@ -175,7 +176,11 @@ impl HypermNetwork {
     pub fn repair_overlays(&mut self, max_passes: usize) -> OpStats {
         let tel = self.recorder().clone();
         let span = if tel.is_enabled() {
-            tel.span(SpanId::NONE, "repair_step", vec![("kind", "merge".into())])
+            tel.span(
+                SpanId::NONE,
+                names::REPAIR_STEP,
+                vec![("kind", "merge".into())],
+            )
         } else {
             SpanId::NONE
         };
@@ -190,7 +195,7 @@ impl HypermNetwork {
         if tel.is_enabled() {
             tel.end(
                 span,
-                "repair_step",
+                names::REPAIR_STEP,
                 vec![
                     ("messages", stats.messages.into()),
                     ("bytes", stats.bytes.into()),

@@ -8,6 +8,7 @@
 //! "parallel execution" view of dissemination time, while total hops is its
 //! Figure-8 metric.
 
+// hyperm-lint: allow-file(panic-index) — level indices iterate 0..levels() and peer ids index the dense peer table built at construction
 use crate::config::HypermConfig;
 use crate::overlay::Overlay;
 use crate::peer::Peer;
@@ -15,7 +16,7 @@ use crate::HypermError;
 use hyperm_can::{KeyMap, ObjectRef};
 use hyperm_cluster::Dataset;
 use hyperm_sim::{NodeId, OpStats, Scheduler};
-use hyperm_telemetry::{OpKind, Recorder, SpanId};
+use hyperm_telemetry::{names, OpKind, Recorder, SpanId};
 use hyperm_wavelet::{decompose, radius_contraction, Decomposition, Subspace};
 
 /// Cost report of a network build.
@@ -167,7 +168,7 @@ impl HypermNetwork {
                     let span = if ltel.is_enabled() {
                         let s = ltel.span(
                             SpanId::NONE,
-                            "publish",
+                            names::PUBLISH,
                             vec![("peer", peer.id.into()), ("cluster", c.into())],
                         );
                         ltel.set_scope(s);
@@ -190,7 +191,7 @@ impl HypermNetwork {
                         ltel.set_scope(SpanId::NONE);
                         ltel.end(
                             span,
-                            "publish",
+                            names::PUBLISH,
                             vec![
                                 ("hops", out.stats.hops.into()),
                                 ("messages", out.stats.messages.into()),
@@ -365,11 +366,13 @@ impl HypermNetwork {
     /// Decompose a query vector once for all levels.
     pub fn decompose_query(&self, q: &[f64]) -> Decomposition {
         assert_eq!(q.len(), self.config.data_dim, "query dimension mismatch");
+        // hyperm-lint: allow(panic-unwrap) — config builder asserts data_dim is a power of two at construction
         decompose(q, self.config.normalization).expect("power-of-two dim")
     }
 
     /// The query's coefficients in a level's subspace, as a key-space point.
     pub fn query_key(&self, dec: &Decomposition, level: usize) -> Vec<f64> {
+        // hyperm-lint: allow(panic-unwrap) — level index comes from 0..self.levels(), which indexes self.subspaces
         let coeffs = dec.subspace(self.subspaces[level]).expect("level exists");
         self.keymaps[level].to_key(coeffs)
     }
@@ -386,6 +389,7 @@ impl HypermNetwork {
     /// widening the key-space search radius by the returned slack restores
     /// the covering property. Slack is 0 for in-bounds queries.
     pub fn query_key_with_slack(&self, dec: &Decomposition, level: usize) -> (Vec<f64>, f64) {
+        // hyperm-lint: allow(panic-unwrap) — level index comes from 0..self.levels(), which indexes self.subspaces
         let coeffs = dec.subspace(self.subspaces[level]).expect("level exists");
         self.keymaps[level].to_key_slack(coeffs)
     }
@@ -411,13 +415,16 @@ impl HypermNetwork {
                 .map(|l| scope.spawn(move |_| (l, f(l))))
                 .collect();
             for h in handles {
+                // hyperm-lint: allow(panic-unwrap) — re-raising a worker panic on the coordinator thread is the intended propagation
                 let (l, v) = h.join().expect("level query thread panicked");
                 slots[l] = Some(v);
             }
         })
+        // hyperm-lint: allow(panic-unwrap) — crossbeam scope only errs when a child panicked; propagating is intended
         .expect("crossbeam scope");
         slots
             .into_iter()
+            // hyperm-lint: allow(panic-unwrap) — the join loop above filled every slot or panicked
             .map(|s| s.expect("every level produced a result"))
             .collect()
     }
@@ -485,10 +492,12 @@ fn summarize_all(peers_data: Vec<Dataset>, config: &HypermConfig) -> Vec<Peer> {
             })
             .collect();
         for h in handles {
+            // hyperm-lint: allow(panic-unwrap) — re-raising a worker panic on the coordinator thread is the intended propagation
             out.extend(h.join().expect("summarisation thread panicked"));
         }
         out.sort_by_key(|p| p.id);
     })
+    // hyperm-lint: allow(panic-unwrap) — crossbeam scope only errs when a child panicked; propagating is intended
     .expect("crossbeam scope");
     out
 }

@@ -16,10 +16,11 @@
 //! bit-identical to the legacy unconditional republish — asserted by the
 //! `tests/telemetry.rs` equivalence suite.
 
+// hyperm-lint: allow-file(panic-index) — per-level vectors are built with len == levels() and indexed by the same 0..levels() range
 use crate::network::HypermNetwork;
 use hyperm_can::ObjectRef;
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::{OpKind, SpanId};
+use hyperm_telemetry::{names, OpKind, SpanId};
 
 /// A published cluster sphere, by position: `peer`'s cluster `cluster` at
 /// wavelet level `level`. The unit of delivery accounting.
@@ -115,7 +116,7 @@ impl HypermNetwork {
         assert!(self.is_alive(peer), "dead peers cannot refresh");
         let tel = self.recorder().clone();
         let span = if tel.is_enabled() {
-            tel.span(SpanId::NONE, "refresh", vec![("peer", peer.into())])
+            tel.span(SpanId::NONE, names::REFRESH, vec![("peer", peer.into())])
         } else {
             SpanId::NONE
         };
@@ -179,7 +180,7 @@ impl HypermNetwork {
         if tel.is_enabled() {
             tel.end(
                 span,
-                "refresh",
+                names::REFRESH,
                 vec![
                     ("hops", report.stats.hops.into()),
                     ("messages", report.stats.messages.into()),

@@ -13,6 +13,7 @@
 //! results in input order and each result is bit-identical to the
 //! corresponding single-shot call (asserted by `tests/parallel_query.rs`).
 
+// hyperm-lint: allow-file(panic-index) — slot vectors are pre-sized to the batch length and indexed by enumerate()
 use crate::network::HypermNetwork;
 use crate::query::knn::{KnnOptions, KnnResult};
 use crate::query::point::PointResult;
@@ -71,14 +72,17 @@ impl<'a> QueryEngine<'a> {
                 })
                 .collect();
             for h in handles {
+                // hyperm-lint: allow(panic-unwrap) — re-raising a worker panic on the coordinator thread is the intended propagation
                 for (i, v) in h.join().expect("query worker panicked") {
                     slots[i] = Some(v);
                 }
             }
         })
+        // hyperm-lint: allow(panic-unwrap) — crossbeam scope only errs when a child panicked; propagating is intended
         .expect("crossbeam scope");
         slots
             .into_iter()
+            // hyperm-lint: allow(panic-unwrap) — the join loop above filled every slot or panicked
             .map(|s| s.expect("every query answered"))
             .collect()
     }

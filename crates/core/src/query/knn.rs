@@ -19,13 +19,14 @@
 //! overlay query (doubling radius until enough summarised items are in
 //! view), then run the estimation on what was found.
 
+// hyperm-lint: allow-file(panic-index) — per-level vectors are built with len == levels() and indexed by the same 0..levels() range
 use crate::network::HypermNetwork;
 use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use crate::score::{aggregate, level_scores, peers_to_cover, PeerScore};
 use hyperm_geometry::vecmath::dist;
 use hyperm_geometry::{solve_epsilon_for_k, ClusterView};
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::{OpKind, SpanId};
+use hyperm_telemetry::{names, OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
 
 /// Tuning of the k-nn heuristic.
@@ -138,11 +139,12 @@ impl HypermNetwork {
         assert!(k > 0, "k must be positive");
         let tel = self.recorder();
         let traced = tel.is_enabled();
+        // hyperm-lint: allow(det-wall-clock) — host-latency metric for the trace only; never feeds simulated results or routing decisions
         let t0 = traced.then(std::time::Instant::now);
         let qspan = if traced {
             tel.span(
                 SpanId::NONE,
-                "query",
+                names::QUERY,
                 vec![
                     ("kind", "knn".into()),
                     ("from", from_peer.into()),
@@ -160,7 +162,7 @@ impl HypermNetwork {
             let diag = (dim as f64).sqrt();
             let ltel = self.overlay(l).recorder();
             let lspan = if ltel.is_enabled() {
-                let s = ltel.span(qspan, "overlay_lookup", vec![]);
+                let s = ltel.span(qspan, names::OVERLAY_LOOKUP, vec![]);
                 ltel.set_scope(s);
                 s
             } else {
@@ -179,7 +181,7 @@ impl HypermNetwork {
                 if ltel.is_enabled() {
                     ltel.event(
                         lspan,
-                        "probe",
+                        names::PROBE,
                         vec![("radius", probe.into()), ("in_view", in_view.into())],
                     );
                 }
@@ -208,7 +210,7 @@ impl HypermNetwork {
                 ltel.set_scope(SpanId::NONE);
                 ltel.end(
                     lspan,
-                    "overlay_lookup",
+                    names::OVERLAY_LOOKUP,
                     vec![
                         ("hops", lstats.hops.into()),
                         ("messages", lstats.messages.into()),
@@ -263,7 +265,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch",
+                                names::FETCH,
                                 vec![
                                     ("peer", ps.peer.into()),
                                     ("alive", false.into()),
@@ -286,7 +288,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", ps.peer.into()),
                                 ("alive", true.into()),
@@ -328,7 +330,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch_timeout",
+                                names::FETCH_TIMEOUT,
                                 vec![
                                     ("peer", ps.peer.into()),
                                     ("ticks", ticks.into()),
@@ -337,7 +339,7 @@ impl HypermNetwork {
                             );
                         }
                         if let Some(m) = tel.metrics() {
-                            m.add("fetch_timeout", 1);
+                            m.add(names::FETCH_TIMEOUT, 1);
                         }
                         continue;
                     }
@@ -345,12 +347,12 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch_fallback",
+                                names::FETCH_FALLBACK,
                                 vec![("peer", ps.peer.into()), ("rank", idx.into())],
                             );
                         }
                         if let Some(m) = tel.metrics() {
-                            m.add("fetch_fallback", 1);
+                            m.add(names::FETCH_FALLBACK, 1);
                         }
                     }
                     selected.push(ps);
@@ -377,7 +379,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", ps.peer.into()),
                                 ("alive", true.into()),
@@ -395,12 +397,13 @@ impl HypermNetwork {
         };
 
         // Step 10: sort and cut.
+        // hyperm-lint: allow(panic-unwrap) — distances are finite (inputs validated, no NaN can reach the sort key)
         retrieved.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let topk = retrieved.iter().take(k).cloned().collect();
         if traced {
             tel.end(
                 qspan,
-                "query",
+                names::QUERY,
                 vec![
                     ("hops", stats.hops.into()),
                     ("messages", stats.messages.into()),

@@ -12,9 +12,9 @@ use crate::config::ScorePolicy;
 use crate::network::HypermNetwork;
 use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::{OpKind, SpanId};
+use hyperm_telemetry::{names, OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of a point query.
 #[derive(Debug, Clone)]
@@ -64,11 +64,12 @@ impl HypermNetwork {
     ) -> PointResult {
         let tel = self.recorder();
         let traced = tel.is_enabled();
+        // hyperm-lint: allow(det-wall-clock) — host-latency metric for the trace only; never feeds simulated results or routing decisions
         let t0 = traced.then(std::time::Instant::now);
         let qspan = if traced {
             tel.span(
                 SpanId::NONE,
-                "query",
+                names::QUERY,
                 vec![("kind", "point".into()), ("from", from_peer.into())],
             )
         } else {
@@ -80,14 +81,14 @@ impl HypermNetwork {
             let key = self.query_key(dec, l);
             let ltel = self.overlay(l).recorder();
             let lspan = if ltel.is_enabled() {
-                let s = ltel.span(qspan, "overlay_lookup", vec![]);
+                let s = ltel.span(qspan, names::OVERLAY_LOOKUP, vec![]);
                 ltel.set_scope(s);
                 s
             } else {
                 SpanId::NONE
             };
             let (hits, op) = self.overlay(l).point_lookup(NodeId(from_peer), &key);
-            let mut level: HashMap<usize, f64> = HashMap::new();
+            let mut level: BTreeMap<usize, f64> = BTreeMap::new();
             for obj in &hits {
                 *level.entry(obj.payload.peer).or_insert(0.0) += obj.payload.items as f64;
             }
@@ -95,7 +96,7 @@ impl HypermNetwork {
                 ltel.set_scope(SpanId::NONE);
                 ltel.end(
                     lspan,
-                    "overlay_lookup",
+                    names::OVERLAY_LOOKUP,
                     vec![
                         ("hops", op.hops.into()),
                         ("messages", op.messages.into()),
@@ -108,7 +109,7 @@ impl HypermNetwork {
             (op, level)
         });
         let mut stats = OpStats::zero();
-        let mut per_level: Vec<HashMap<usize, f64>> = Vec::with_capacity(level_out.len());
+        let mut per_level: Vec<BTreeMap<usize, f64>> = Vec::with_capacity(level_out.len());
         for (op, level) in level_out {
             stats += op;
             per_level.push(level);
@@ -134,7 +135,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch",
+                                names::FETCH,
                                 vec![
                                     ("peer", peer.into()),
                                     ("alive", false.into()),
@@ -149,7 +150,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", peer.into()),
                                 ("alive", true.into()),
@@ -178,7 +179,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch_timeout",
+                                names::FETCH_TIMEOUT,
                                 vec![
                                     ("peer", peer.into()),
                                     ("ticks", ticks.into()),
@@ -187,7 +188,7 @@ impl HypermNetwork {
                             );
                         }
                         if let Some(m) = tel.metrics() {
-                            m.add("fetch_timeout", 1);
+                            m.add(names::FETCH_TIMEOUT, 1);
                         }
                         continue;
                     }
@@ -197,7 +198,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", peer.into()),
                                 ("alive", true.into()),
@@ -214,7 +215,7 @@ impl HypermNetwork {
         if traced {
             tel.end(
                 qspan,
-                "query",
+                names::QUERY,
                 vec![
                     ("hops", stats.hops.into()),
                     ("messages", stats.messages.into()),

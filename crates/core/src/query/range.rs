@@ -10,11 +10,12 @@
 //! only the top-scored ones, which is the recall-vs-peers trade-off the
 //! paper plots in Figure 10a.
 
+// hyperm-lint: allow-file(panic-index) — per-level vectors are built with len == levels() and indexed by the same 0..levels() range
 use crate::network::HypermNetwork;
 use crate::query::{direct_fetch_cost, timed_out_fetch_cost, QueryBudget};
 use crate::score::{aggregate, level_scores, PeerScore};
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::{OpKind, SpanId};
+use hyperm_telemetry::{names, OpKind, SpanId};
 use hyperm_wavelet::Decomposition;
 
 /// Outcome of a distributed range query.
@@ -108,11 +109,12 @@ impl HypermNetwork {
     ) -> RangeResult {
         let tel = self.recorder();
         let traced = tel.is_enabled();
+        // hyperm-lint: allow(det-wall-clock) — host-latency metric for the trace only; never feeds simulated results or routing decisions
         let t0 = traced.then(std::time::Instant::now);
         let qspan = if traced {
             tel.span(
                 SpanId::NONE,
-                "query",
+                names::QUERY,
                 vec![
                     ("kind", "range".into()),
                     ("from", from_peer.into()),
@@ -134,7 +136,11 @@ impl HypermNetwork {
             let key_eps = base + slack;
             let ltel = self.overlay(l).recorder();
             let lspan = if ltel.is_enabled() {
-                let s = ltel.span(qspan, "overlay_lookup", vec![("key_eps", key_eps.into())]);
+                let s = ltel.span(
+                    qspan,
+                    names::OVERLAY_LOOKUP,
+                    vec![("key_eps", key_eps.into())],
+                );
                 ltel.set_scope(s);
                 s
             } else {
@@ -148,7 +154,7 @@ impl HypermNetwork {
                 ltel.set_scope(SpanId::NONE);
                 ltel.end(
                     lspan,
-                    "overlay_lookup",
+                    names::OVERLAY_LOOKUP,
                     vec![
                         ("hops", out.stats.hops.into()),
                         ("messages", out.stats.messages.into()),
@@ -172,7 +178,7 @@ impl HypermNetwork {
             for ps in &ranked {
                 tel.event(
                     qspan,
-                    "score",
+                    names::SCORE,
                     vec![("peer", ps.peer.into()), ("score", ps.score.into())],
                 );
             }
@@ -199,7 +205,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch",
+                                names::FETCH,
                                 vec![
                                     ("peer", ps.peer.into()),
                                     ("alive", false.into()),
@@ -216,7 +222,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", ps.peer.into()),
                                 ("alive", true.into()),
@@ -256,7 +262,7 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch_timeout",
+                                names::FETCH_TIMEOUT,
                                 vec![
                                     ("peer", ps.peer.into()),
                                     ("ticks", ticks.into()),
@@ -265,7 +271,7 @@ impl HypermNetwork {
                             );
                         }
                         if let Some(m) = tel.metrics() {
-                            m.add("fetch_timeout", 1);
+                            m.add(names::FETCH_TIMEOUT, 1);
                         }
                         continue;
                     }
@@ -273,12 +279,12 @@ impl HypermNetwork {
                         if traced {
                             tel.event(
                                 qspan,
-                                "fetch_fallback",
+                                names::FETCH_FALLBACK,
                                 vec![("peer", ps.peer.into()), ("rank", idx.into())],
                             );
                         }
                         if let Some(m) = tel.metrics() {
-                            m.add("fetch_fallback", 1);
+                            m.add(names::FETCH_FALLBACK, 1);
                         }
                     }
                     let local = self.peer(ps.peer).local_range(q, eps);
@@ -288,7 +294,7 @@ impl HypermNetwork {
                     if traced {
                         tel.event(
                             qspan,
-                            "fetch",
+                            names::FETCH,
                             vec![
                                 ("peer", ps.peer.into()),
                                 ("alive", true.into()),
@@ -305,7 +311,7 @@ impl HypermNetwork {
         if traced {
             tel.end(
                 qspan,
-                "query",
+                names::QUERY,
                 vec![
                     ("hops", stats.hops.into()),
                     ("messages", stats.messages.into()),

@@ -15,7 +15,7 @@ use crate::config::ScorePolicy;
 use hyperm_can::StoredObject;
 use hyperm_geometry::intersection_fraction;
 use hyperm_geometry::vecmath::dist;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A peer and its aggregated relevance score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,8 +34,8 @@ pub fn level_scores(
     q_key: &[f64],
     eps_key: f64,
     dim: u32,
-) -> HashMap<usize, f64> {
-    let mut scores: HashMap<usize, f64> = HashMap::new();
+) -> BTreeMap<usize, f64> {
+    let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
     for obj in matches {
         let b = dist(&obj.centre, q_key);
         // A zero-radius query degenerates to containment: the volume
@@ -61,7 +61,7 @@ pub fn level_scores(
 /// With [`ScorePolicy::Min`], a peer must appear with positive score at
 /// **every** level to survive (absence ⇒ score 0 ⇒ pruned). `Avg`/`Max`
 /// treat missing levels as 0 but do not prune.
-pub fn aggregate(levels: &[HashMap<usize, f64>], policy: ScorePolicy) -> Vec<PeerScore> {
+pub fn aggregate(levels: &[BTreeMap<usize, f64>], policy: ScorePolicy) -> Vec<PeerScore> {
     if levels.is_empty() {
         return Vec::new();
     }
@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn min_policy_prunes_missing_levels() {
-        let l0: HashMap<usize, f64> = [(1, 10.0), (2, 5.0)].into_iter().collect();
-        let l1: HashMap<usize, f64> = [(1, 4.0)].into_iter().collect(); // peer 2 absent
+        let l0: BTreeMap<usize, f64> = [(1, 10.0), (2, 5.0)].into_iter().collect();
+        let l1: BTreeMap<usize, f64> = [(1, 4.0)].into_iter().collect(); // peer 2 absent
         let ranked = aggregate(&[l0.clone(), l1.clone()], ScorePolicy::Min);
         assert_eq!(ranked.len(), 1);
         assert_eq!(
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn ranking_is_deterministic_on_ties() {
-        let l: HashMap<usize, f64> = [(3, 1.0), (1, 1.0), (2, 1.0)].into_iter().collect();
+        let l: BTreeMap<usize, f64> = [(3, 1.0), (1, 1.0), (2, 1.0)].into_iter().collect();
         let ranked = aggregate(&[l], ScorePolicy::Min);
         let ids: Vec<usize> = ranked.iter().map(|p| p.peer).collect();
         assert_eq!(ids, vec![1, 2, 3]);
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn empty_levels_produce_empty_ranking() {
         assert!(aggregate(&[], ScorePolicy::Min).is_empty());
-        let empty: HashMap<usize, f64> = HashMap::new();
+        let empty: BTreeMap<usize, f64> = BTreeMap::new();
         assert!(aggregate(&[empty], ScorePolicy::Min).is_empty());
     }
 }

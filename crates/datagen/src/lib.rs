@@ -22,6 +22,7 @@
 //! Every generator takes an explicit seed and is bit-for-bit reproducible.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod aloi;
 pub mod distribute;

@@ -28,6 +28,7 @@
 //! test-suite.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cap;
 pub mod intersect;

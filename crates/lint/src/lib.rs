@@ -1,0 +1,158 @@
+//! `hyperm-lint` — in-tree static analysis for the Hyper-M workspace.
+//!
+//! The correctness story of this repo (Theorems 3.1/4.1, the parallel ==
+//! serial and faults-off == legacy acceptance suites, byte-equal
+//! telemetry streams) rests on **bit-identical replay**. Nothing in the
+//! type system stops a future change from iterating a `HashMap` into a
+//! result, reading the wall clock on a scoring path, or inventing a
+//! telemetry event name the forensics tooling has never heard of — so
+//! this crate machine-checks those project invariants the way mature
+//! systems repos encode review folklore as custom lints. Dep-free (the
+//! workspace builds offline) and token-level: a small lexer
+//! ([`lexer`]), not a full parser.
+//!
+//! Passes (rule slugs in parentheses):
+//! * **determinism** ([`passes::determinism`]) — unordered-container
+//!   iteration (`det-unordered-iter`), wall-clock reads
+//!   (`det-wall-clock`) and unseeded RNG (`det-unseeded-rng`) in
+//!   result-affecting crates;
+//! * **panic-path** ([`passes::panics`]) — `unwrap`/`expect`
+//!   (`panic-unwrap`), `panic!`-family macros (`panic-explicit`) and
+//!   direct indexing (`panic-index`) on the query/publish/repair hot
+//!   paths;
+//! * **telemetry taxonomy** ([`passes::taxonomy`]) — emit-site names
+//!   must come from `hyperm_telemetry::names::ALL` (`tel-taxonomy`);
+//! * **facade** ([`passes::facade`]) — root public types of core crates
+//!   are re-exported from `hyperm` or excluded in
+//!   `crates/lint/facade.allow` (`facade-export`).
+//!
+//! Suppressions: `// hyperm-lint: allow(<rule>) — <reason>` on the
+//! flagged line or the line above; `allow-file(<rule>) — <reason>`
+//! anywhere for a whole file. The reason is mandatory, and unused or
+//! malformed directives are themselves violations (`lint-directive`).
+//!
+//! Run `cargo run -p hyperm-lint --release`; it prints
+//! `file:line: rule: message` diagnostics, writes `LINT_report.json`,
+//! and exits non-zero on violations.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod passes;
+pub mod report;
+
+use passes::FileCtx;
+use report::{apply_suppressions, parse_directives, Report, Suppressed, Violation};
+use std::path::{Path, PathBuf};
+
+/// Every rule slug the tool can emit.
+pub const RULES: &[&str] = &[
+    "det-unordered-iter",
+    "det-wall-clock",
+    "det-unseeded-rng",
+    "panic-unwrap",
+    "panic-explicit",
+    "panic-index",
+    "tel-taxonomy",
+    "facade-export",
+    "lint-directive",
+];
+
+/// Directory names never scanned: generated output, vendored stand-ins,
+/// test code (integration tests may do anything), and lint fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
+
+/// Lint one source text as if it lived at `rel_path` in crate
+/// `crate_name`. Returns surviving violations and applied suppressions.
+/// This is the unit the fixture tests drive.
+pub fn lint_source(
+    rel_path: &str,
+    crate_name: &str,
+    src: &str,
+) -> (Vec<Violation>, Vec<Suppressed>) {
+    let lexed = lexer::lex(src);
+    let mask = lexer::test_module_mask(&lexed.tokens);
+    let ctx = FileCtx {
+        path: rel_path,
+        crate_name,
+        tokens: &lexed.tokens,
+        in_test: &mask,
+    };
+    let mut raw = Vec::new();
+    raw.extend(passes::determinism::run(&ctx));
+    raw.extend(passes::panics::run(&ctx));
+    raw.extend(passes::taxonomy::run(&ctx));
+    raw.sort();
+    let directives = parse_directives(&lexed.comments);
+    apply_suppressions(rel_path, raw, &directives)
+}
+
+/// Crate name for a workspace-relative path: `crates/<name>/…` maps to
+/// `<name>`, everything else (root `src/`, `examples/`) to `hyperm`.
+pub fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("hyperm")
+}
+
+/// Scannable Rust sources under `root`, workspace-relative, sorted (the
+/// lint's own output must be deterministic too).
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["src", "crates", "examples"] {
+        walk(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, root, out);
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Run every pass over the workspace at `root`.
+pub fn run_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    for rel in workspace_sources(root) {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let (mut viol, mut supp) = lint_source(&rel_str, crate_of(&rel_str), &src);
+        report.violations.append(&mut viol);
+        report.suppressed.append(&mut supp);
+    }
+    report.violations.extend(passes::facade::run(root));
+    report.violations.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/core/src/query/range.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "hyperm");
+        assert_eq!(crate_of("examples/quickstart.rs"), "hyperm");
+    }
+}

@@ -1,0 +1,67 @@
+//! The `hyperm-lint` binary: lint the workspace, print diagnostics,
+//! write `LINT_report.json`, exit non-zero on violations.
+//!
+//! Usage: `cargo run -p hyperm-lint --release [-- --root <dir>]`
+//! (default root: the nearest ancestor of the current directory that
+//! holds a `Cargo.toml` with a `[workspace]` table).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_path = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument {other:?} (expected --root <dir> / --json <file>)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let report = hyperm_lint::run_workspace(&root);
+
+    for v in &report.violations {
+        println!("{}", v.render());
+    }
+    let json = report.to_json(hyperm_lint::RULES);
+    let json_path = json_path.unwrap_or_else(|| root.join("LINT_report.json"));
+    if let Err(e) = std::fs::write(&json_path, json) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "hyperm-lint: {} files, {} violation(s), {} justified suppression(s) — report: {}",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        json_path.display(),
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor (including cwd) with a `[workspace]` Cargo.toml.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Determinism pass: in result-affecting crates, flag the three classic
+//! ways a refactor silently breaks bit-identical replay.
+//!
+//! * `det-unordered-iter` — iterating a `HashMap`/`HashSet`. Bindings are
+//!   tracked intraprocedurally (let-bindings and fn params whose type or
+//!   initialiser names an unordered container); iteration is any
+//!   `for … in` over such a binding or a call of an order-exposing method
+//!   (`iter`, `keys`, `values`, `drain`, …) on one.
+//! * `det-wall-clock` — `SystemTime::now` / `Instant::now`: host time
+//!   must never feed simulated results (sim-clock only).
+//! * `det-unseeded-rng` — RNG constructed from ambient entropy
+//!   (`thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`): all
+//!   randomness must be seeded so runs replay.
+
+use super::FileCtx;
+use crate::lexer::Tok;
+use crate::report::Violation;
+
+/// Crates whose code paths feed query results, published summaries or
+/// serialised snapshots — the bit-identical-replay surface.
+pub const RESULT_CRATES: &[&str] = &[
+    "core", "can", "repair", "cluster", "wavelet", "geometry", "vbi", "baton",
+];
+
+const UNORDERED: &[&str] = &["HashMap", "HashSet"];
+const ORDER_EXPOSING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+const UNSEEDED: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+/// Run the pass over one file.
+pub fn run(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !RESULT_CRATES.contains(&ctx.crate_name) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let unordered_bindings = collect_unordered_bindings(ctx);
+
+    let toks = ctx.tokens;
+    let mut ix = 0usize;
+    while ix < toks.len() {
+        if ctx.in_test[ix] {
+            ix += 1;
+            continue;
+        }
+        match &toks[ix].tok {
+            // SystemTime::now / Instant::now
+            Tok::Ident(id)
+                if (id == "SystemTime" || id == "Instant")
+                    && ctx.path_sep(ix + 1)
+                    && ctx.ident(ix + 3) == Some("now") =>
+            {
+                out.push(ctx.violation(
+                    ix,
+                    "det-wall-clock",
+                    format!(
+                        "`{id}::now` reads host wall-clock time in a result-affecting crate; \
+                         use the sim clock (Recorder::set_time) or justify with a suppression"
+                    ),
+                ));
+                ix += 4;
+                continue;
+            }
+            Tok::Ident(id) if UNSEEDED.contains(&id.as_str()) => {
+                out.push(ctx.violation(
+                    ix,
+                    "det-unseeded-rng",
+                    format!(
+                        "`{id}` constructs ambient-entropy randomness; seed explicitly \
+                         (StdRng::seed_from_u64) so runs replay bit-identically"
+                    ),
+                ));
+            }
+            // for <pat> in <expr> { — flag when <expr> mentions an
+            // unordered binding.
+            Tok::Ident(id) if id == "for" => {
+                if let Some((in_ix, body_ix)) = for_clause(ctx, ix) {
+                    for (jx, t) in toks.iter().enumerate().take(body_ix).skip(in_ix + 1) {
+                        if ctx.in_test[jx] {
+                            continue;
+                        }
+                        if let Tok::Ident(name) = &t.tok {
+                            if unordered_bindings.contains(&name.as_str())
+                                && !is_field_access(ctx, jx)
+                            {
+                                out.push(ctx.violation(
+                                    jx,
+                                    "det-unordered-iter",
+                                    format!(
+                                        "iteration over unordered container `{name}`; use BTreeMap/\
+                                         BTreeSet or sort the keys first (hash order is not \
+                                         deterministic across runs)"
+                                    ),
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // <name>.iter() / .keys() / … on an unordered binding.
+            Tok::Ident(name)
+                if unordered_bindings.contains(&name.as_str())
+                    && !is_field_access(ctx, ix)
+                    && ctx.punct(ix + 1, '.') =>
+            {
+                if let Some(m) = ctx.ident(ix + 2) {
+                    if ORDER_EXPOSING.contains(&m) && ctx.punct(ix + 3, '(') {
+                        out.push(ctx.violation(
+                            ix,
+                            "det-unordered-iter",
+                            format!(
+                                "`{name}.{m}()` exposes hash iteration order; use BTreeMap/BTreeSet \
+                                 or collect-and-sort before iterating"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        ix += 1;
+    }
+    dedup_by_line(out)
+}
+
+/// `name` is used as `something.name` (a field access, not the binding).
+fn is_field_access(ctx: &FileCtx<'_>, ix: usize) -> bool {
+    ix > 0 && ctx.punct(ix - 1, '.')
+}
+
+/// For a `for` keyword at `ix`, return (index of `in`, index of the loop
+/// body `{`). `None` when the clause cannot be delimited.
+fn for_clause(ctx: &FileCtx<'_>, ix: usize) -> Option<(usize, usize)> {
+    let toks = ctx.tokens;
+    let mut jx = ix + 1;
+    let mut depth = 0i32;
+    let mut in_ix = None;
+    while jx < toks.len() {
+        match &toks[jx].tok {
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Ident(id) if id == "in" && depth == 0 && in_ix.is_none() => in_ix = Some(jx),
+            Tok::Punct('{') if depth == 0 => {
+                return in_ix.map(|i| (i, jx));
+            }
+            Tok::Punct(';') if depth == 0 => return None, // not a for-loop (e.g. `for` in macro)
+            _ => {}
+        }
+        jx += 1;
+    }
+    None
+}
+
+/// Names bound (by `let` or fn param) to a HashMap/HashSet in this file.
+fn collect_unordered_bindings<'a>(ctx: &FileCtx<'a>) -> Vec<&'a str> {
+    let toks = ctx.tokens;
+    let mut names: Vec<&str> = Vec::new();
+    let mut ix = 0usize;
+    while ix < toks.len() {
+        match &toks[ix].tok {
+            Tok::Ident(id) if id == "let" => {
+                // let [mut] NAME [: ty] = init ;
+                let mut jx = ix + 1;
+                if ctx.ident(jx) == Some("mut") {
+                    jx += 1;
+                }
+                let Some(name) = ctx.ident(jx) else {
+                    ix += 1;
+                    continue;
+                };
+                // Scan the statement (to `;` at balanced depth) for an
+                // unordered container name.
+                let mut depth = 0i32;
+                let mut kx = jx + 1;
+                let mut found = false;
+                while kx < toks.len() {
+                    match &toks[kx].tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                        Tok::Punct(';') if depth <= 0 => break,
+                        Tok::Ident(t) if UNORDERED.contains(&t.as_str()) => found = true,
+                        _ => {}
+                    }
+                    kx += 1;
+                }
+                if found {
+                    names.push(name);
+                }
+                ix = jx + 1;
+                continue;
+            }
+            Tok::Ident(id) if id == "fn" => {
+                // fn name ( params ) — mark params typed HashMap/HashSet.
+                let mut jx = ix + 1;
+                while jx < toks.len() && !ctx.punct(jx, '(') {
+                    // Stop at `{`/`;` — a `fn` pointer type, not an item.
+                    if ctx.punct(jx, '{') || ctx.punct(jx, ';') {
+                        break;
+                    }
+                    jx += 1;
+                }
+                if jx < toks.len() && ctx.punct(jx, '(') {
+                    if let Some(args) = super::call_args(toks, jx) {
+                        for (from, to) in args {
+                            // Param shape: [mut] name : <type tokens>
+                            let mut px = from;
+                            if ctx.ident(px) == Some("mut") {
+                                px += 1;
+                            }
+                            let Some(name) = ctx.ident(px) else { continue };
+                            if !ctx.punct(px + 1, ':') {
+                                continue;
+                            }
+                            let typed_unordered = (px + 2..to).any(|t| {
+                                matches!(&toks[t].tok, Tok::Ident(i) if UNORDERED.contains(&i.as_str()))
+                            });
+                            if typed_unordered {
+                                names.push(name);
+                            }
+                        }
+                    }
+                }
+                ix = jx + 1;
+                continue;
+            }
+            _ => {}
+        }
+        ix += 1;
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+fn dedup_by_line(mut v: Vec<Violation>) -> Vec<Violation> {
+    v.sort();
+    v.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    v
+}

@@ -1,0 +1,227 @@
+//! Facade pass: every public type a core crate exports at its root must
+//! either be re-exported by name from the `hyperm` umbrella crate or be
+//! explicitly excluded (with a reason) in `crates/lint/facade.allow`.
+//! This keeps the user-facing API surface a deliberate decision instead
+//! of an accident of crate layout.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::report::Violation;
+use std::path::Path;
+
+/// Crates whose root API the facade must account for.
+pub const FACADE_CRATES: &[&str] = &[
+    "core",
+    "can",
+    "repair",
+    "cluster",
+    "wavelet",
+    "geometry",
+    "sim",
+    "telemetry",
+];
+
+/// Run the pass. `root` is the workspace root.
+pub fn run(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let facade_src = match std::fs::read_to_string(root.join("src/lib.rs")) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Violation {
+                file: "src/lib.rs".to_string(),
+                line: 1,
+                rule: "facade-export",
+                message: format!("cannot read facade crate: {e}"),
+            }]
+        }
+    };
+    let flattened = flattened_names(&lex(&facade_src).tokens);
+
+    let manifest_path = root.join("crates/lint/facade.allow");
+    let (allowed, mut manifest_problems) = parse_manifest(&manifest_path);
+    out.append(&mut manifest_problems);
+
+    for krate in FACADE_CRATES {
+        let rel = format!("crates/{krate}/src/lib.rs");
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        for (name, line) in root_public_types(&lex(&src).tokens) {
+            let qualified = format!("{krate}::{name}");
+            if flattened.contains(&name) || allowed.contains(&qualified) {
+                continue;
+            }
+            out.push(Violation {
+                file: rel.clone(),
+                line,
+                rule: "facade-export",
+                message: format!(
+                    "public type `{qualified}` is not re-exported from the `hyperm` facade; \
+                     add it to src/lib.rs or exclude it in crates/lint/facade.allow"
+                ),
+            });
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Type names flattened by the facade: `pub use hyperm_x::{A, B as C};`
+/// at root depth (module aliases `pub use hyperm_x as x;` don't count).
+fn flattened_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (_, item) in root_items(toks, "use") {
+        // Skip `… as alias;` module re-exports: a trailing `as` outside
+        // a brace group.
+        collect_use_names(item, &mut names);
+    }
+    names.retain(|n| is_type_name(n));
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Root-level public type names of a crate: declarations and by-name
+/// re-exports, with their lines.
+fn root_public_types(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (line, item) in root_items(toks, "struct")
+        .into_iter()
+        .chain(root_items(toks, "enum"))
+        .chain(root_items(toks, "trait"))
+        .chain(root_items(toks, "type"))
+    {
+        if let Some(Tok::Ident(name)) = item.first().map(|t| &t.tok) {
+            if is_type_name(name) {
+                out.push((name.clone(), line));
+            }
+        }
+    }
+    for (line, item) in root_items(toks, "use") {
+        let mut names = Vec::new();
+        collect_use_names(item, &mut names);
+        for n in names {
+            if is_type_name(&n) {
+                out.push((n, line));
+            }
+        }
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// Slices of tokens following root-level (brace depth 0) `pub <kw>`,
+/// up to the terminating `;` or `{`. Returns (line of kw, item tokens).
+fn root_items<'a>(toks: &'a [Token], kw: &str) -> Vec<(u32, &'a [Token])> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut ix = 0usize;
+    while ix < toks.len() {
+        match &toks[ix].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Ident(id) if id == "pub" && depth == 0 => {
+                // `pub` / `pub(crate)` — a visibility-scoped export is
+                // not public API, skip it.
+                let mut jx = ix + 1;
+                if matches!(&toks.get(jx).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                    ix += 1;
+                    continue;
+                }
+                if toks.get(jx).map(|t| &t.tok) == Some(&Tok::Ident(kw.to_string())) {
+                    jx += 1;
+                    let start = jx;
+                    let mut d = 0i32;
+                    while jx < toks.len() {
+                        match &toks[jx].tok {
+                            Tok::Punct('{') if kw != "use" => break,
+                            Tok::Punct('{') => d += 1,
+                            Tok::Punct('}') => d -= 1,
+                            Tok::Punct(';') if d == 0 => break,
+                            Tok::Punct('<') if kw != "use" => break, // generics: name ends
+                            _ => {}
+                        }
+                        jx += 1;
+                    }
+                    out.push((toks[ix].line, &toks[start..jx.min(toks.len())]));
+                    // `use` groups contain braces; account for any we
+                    // skipped so root depth stays correct.
+                    ix = jx;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        ix += 1;
+    }
+    out
+}
+
+/// Names exported by one `use` item body (path with optional group and
+/// `as` aliases). `vendor::x::{A, B as C}` yields A, C.
+fn collect_use_names(item: &[Token], out: &mut Vec<String>) {
+    // Split on top-level-in-group commas; per element, the exported name
+    // is the ident after a trailing `as`, otherwise the last ident.
+    let mut element: Vec<&str> = Vec::new();
+    let mut commit = |element: &mut Vec<&str>| {
+        if element.is_empty() {
+            return;
+        }
+        let name = if let Some(pos) = element.iter().rposition(|w| *w == "as") {
+            element.get(pos + 1).copied()
+        } else {
+            element.last().copied()
+        };
+        if let Some(n) = name {
+            if n != "self" && n != "*" {
+                out.push(n.to_string());
+            }
+        }
+        element.clear();
+    };
+    for t in item {
+        match &t.tok {
+            Tok::Ident(id) => element.push(id.as_str()),
+            Tok::Punct(',') => commit(&mut element),
+            _ => {}
+        }
+    }
+    commit(&mut element);
+}
+
+/// CamelCase type names only: starts uppercase and has a lowercase char
+/// (filters out SCREAMING consts and lowercase fns/mods).
+fn is_type_name(n: &str) -> bool {
+    n.starts_with(|c: char| c.is_ascii_uppercase()) && n.contains(|c: char| c.is_ascii_lowercase())
+}
+
+/// Parse `facade.allow`: lines `crate::Type — reason`; `#` comments.
+fn parse_manifest(path: &Path) -> (Vec<String>, Vec<Violation>) {
+    let mut allowed = Vec::new();
+    let mut problems = Vec::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (allowed, problems);
+    };
+    for (ix, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (entry, reason) = match line.split_once('—').or_else(|| line.split_once(" - ")) {
+            Some((e, r)) => (e.trim(), r.trim()),
+            None => (line, ""),
+        };
+        if reason.is_empty() {
+            problems.push(Violation {
+                file: "crates/lint/facade.allow".to_string(),
+                line: (ix + 1) as u32,
+                rule: "lint-directive",
+                message: format!("manifest entry `{entry}` needs a `— <reason>`"),
+            });
+            continue;
+        }
+        allowed.push(entry.to_string());
+    }
+    (allowed, problems)
+}

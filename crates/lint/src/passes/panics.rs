@@ -1,0 +1,115 @@
+//! Panic-path pass: on the query/publish/repair hot paths, library code
+//! must not panic without a written justification. A panic mid-query
+//! takes down a peer thread; a panic mid-repair can strand a zone.
+//!
+//! Rules:
+//! * `panic-unwrap` — `.unwrap()` / `.expect(…)`;
+//! * `panic-explicit` — `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!`;
+//! * `panic-index` — direct slice/array indexing `x[i]` (prefer `.get`
+//!   on untrusted indices; pervasively-indexed files carry a file-level
+//!   allow explaining why their indices are invariant-protected).
+
+use super::FileCtx;
+use crate::lexer::Tok;
+use crate::report::Violation;
+
+/// Workspace-relative path prefixes of the hot paths.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/core/src/query/",
+    "crates/core/src/publish.rs",
+    "crates/core/src/network.rs",
+    "crates/core/src/churn.rs",
+    "crates/can/src/ops.rs",
+    "crates/can/src/overlay.rs",
+    "crates/can/src/repair.rs",
+    "crates/repair/src/lib.rs",
+];
+
+const EXPLICIT: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the pass over one file.
+pub fn run(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !HOT_PATHS.iter().any(|p| ctx.path.starts_with(p)) {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    for ix in 0..toks.len() {
+        if ctx.in_test[ix] {
+            continue;
+        }
+        match &toks[ix].tok {
+            Tok::Ident(id)
+                if (id == "unwrap" || id == "expect")
+                    && ix > 0
+                    && ctx.punct(ix - 1, '.')
+                    && ctx.punct(ix + 1, '(') =>
+            {
+                out.push(ctx.violation(
+                    ix,
+                    "panic-unwrap",
+                    format!(
+                        "`.{id}()` on a hot path; handle the None/Err (or justify why it \
+                         cannot occur with a suppression)"
+                    ),
+                ));
+            }
+            Tok::Ident(id) if EXPLICIT.contains(&id.as_str()) && ctx.punct(ix + 1, '!') => {
+                out.push(ctx.violation(
+                    ix,
+                    "panic-explicit",
+                    format!("`{id}!` on a hot path; return an error or justify with a suppression"),
+                ));
+            }
+            Tok::Punct('[') if ix > 0 && is_index_receiver(&toks[ix - 1].tok) => {
+                out.push(
+                    ctx.violation(
+                        ix,
+                        "panic-index",
+                        "direct indexing can panic on a hot path; prefer `.get()` or justify"
+                            .to_string(),
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    out
+}
+
+/// `[` is an *index* operation when the previous token can end an
+/// expression: an identifier, a close bracket, or a literal. Everything
+/// else (`#[attr]`, `: [T; N]`, `&[…]`, `= […]`, `vec![…]`… — the last
+/// is preceded by `!`) is a type, attribute or array literal.
+fn is_index_receiver(prev: &Tok) -> bool {
+    match prev {
+        // A keyword before `[` introduces an array literal/pattern, not
+        // an indexing expression (`return [..]`, `in [..]`, …).
+        Tok::Ident(id) => !matches!(
+            id.as_str(),
+            "return"
+                | "in"
+                | "mut"
+                | "ref"
+                | "as"
+                | "if"
+                | "else"
+                | "match"
+                | "move"
+                | "break"
+                | "continue"
+                | "loop"
+                | "where"
+                | "dyn"
+                | "impl"
+                | "const"
+                | "static"
+        ),
+        Tok::Str(_) | Tok::Num => true,
+        Tok::Punct(c) => matches!(c, ')' | ']'),
+        _ => false,
+    }
+}

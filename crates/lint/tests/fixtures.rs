@@ -1,0 +1,202 @@
+//! Fixture tests: one deliberately bad snippet per rule, asserted at the
+//! exact line; a clean fixture; a justified-suppression fixture; a facade
+//! fixture workspace; an injection test that plants a `HashMap` iteration
+//! into a real hot-path source; and a self-run asserting the workspace
+//! itself is lint-clean.
+
+use hyperm_lint::{lint_source, passes, run_workspace};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as if it lived on a hot path of a result-affecting
+/// crate, so every pass is active.
+fn lint_hot(name: &str) -> (Vec<hyperm_lint::report::Violation>, usize) {
+    let src = fixture(name);
+    let (violations, suppressed) = lint_source("crates/core/src/query/fixture.rs", "core", &src);
+    (violations, suppressed.len())
+}
+
+fn assert_single(name: &str, rule: &str, line: u32) {
+    let (violations, _) = lint_hot(name);
+    assert_eq!(
+        violations.len(),
+        1,
+        "{name}: expected exactly one violation, got {violations:?}"
+    );
+    assert_eq!(violations[0].rule, rule, "{name}: wrong rule");
+    assert_eq!(violations[0].line, line, "{name}: wrong line");
+}
+
+#[test]
+fn det_unordered_iter_fixture() {
+    assert_single("det_unordered_iter.rs", "det-unordered-iter", 7);
+}
+
+#[test]
+fn det_wall_clock_fixture() {
+    assert_single("det_wall_clock.rs", "det-wall-clock", 5);
+}
+
+#[test]
+fn det_unseeded_rng_fixture() {
+    assert_single("det_unseeded_rng.rs", "det-unseeded-rng", 3);
+}
+
+#[test]
+fn panic_unwrap_fixture() {
+    assert_single("panic_unwrap.rs", "panic-unwrap", 3);
+}
+
+#[test]
+fn panic_explicit_fixture() {
+    assert_single("panic_explicit.rs", "panic-explicit", 3);
+}
+
+#[test]
+fn panic_index_fixture() {
+    assert_single("panic_index.rs", "panic-index", 3);
+}
+
+#[test]
+fn tel_taxonomy_fixture() {
+    assert_single("tel_taxonomy.rs", "tel-taxonomy", 3);
+}
+
+#[test]
+fn lint_directive_fixture() {
+    assert_single("lint_directive.rs", "lint-directive", 2);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (violations, suppressed) = lint_hot("clean.rs");
+    assert!(
+        violations.is_empty(),
+        "clean fixture flagged: {violations:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn justified_suppression_is_honoured() {
+    let (violations, suppressed) = lint_hot("suppressed.rs");
+    assert!(
+        violations.is_empty(),
+        "suppressed fixture flagged: {violations:?}"
+    );
+    assert_eq!(suppressed, 1, "the suppression must be recorded as used");
+}
+
+#[test]
+fn determinism_pass_is_scoped_to_result_crates() {
+    // The same bad source in a non-result crate (datagen) is not flagged.
+    let src = fixture("det_unordered_iter.rs");
+    let (violations, _) = lint_source("crates/datagen/src/lib.rs", "datagen", &src);
+    assert!(
+        violations.is_empty(),
+        "datagen is not a result crate: {violations:?}"
+    );
+}
+
+#[test]
+fn panic_pass_is_scoped_to_hot_paths() {
+    let src = fixture("panic_unwrap.rs");
+    let (violations, _) = lint_source("crates/core/src/score.rs", "core", &src);
+    assert!(
+        violations.is_empty(),
+        "score.rs is not a hot path: {violations:?}"
+    );
+}
+
+#[test]
+fn facade_fixture_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/facade_ws");
+    let mut violations = passes::facade::run(&root);
+    violations.sort();
+    // `Exported` is flattened, `Excluded` is manifested with a reason;
+    // `Hidden` must be flagged at its declaration line, and the
+    // reason-less manifest entry is a lint-directive violation.
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert_eq!(violations[0].file, "crates/can/src/lib.rs");
+    assert_eq!(violations[0].rule, "facade-export");
+    assert_eq!(violations[0].line, 2);
+    assert!(violations[0].message.contains("can::Hidden"));
+    assert_eq!(violations[1].file, "crates/lint/facade.allow");
+    assert_eq!(violations[1].rule, "lint-directive");
+    assert_eq!(violations[1].line, 2);
+}
+
+/// Acceptance criterion: a deliberately introduced `HashMap` iteration in
+/// a real `crates/core/src/query/` source is caught at the planted line.
+#[test]
+fn injected_hashmap_iteration_in_query_engine_is_caught() {
+    let repo_root = workspace_root();
+    let rel = "crates/core/src/query/engine.rs";
+    let original = std::fs::read_to_string(repo_root.join(rel)).expect("read engine.rs");
+
+    // The pristine source must be det-clean (suppressions included).
+    let (violations, _) = lint_source(rel, "core", &original);
+    let det: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule.starts_with("det-"))
+        .collect();
+    assert!(
+        det.is_empty(),
+        "engine.rs already has det violations: {det:?}"
+    );
+
+    // Plant a HashMap iteration at a known line past the end.
+    let planted = format!(
+        "{original}\nfn planted() -> f64 {{\n    let m: std::collections::HashMap<u32, f64> = \
+         std::collections::HashMap::new();\n    let mut acc = 0.0;\n    for (_k, v) in m.iter() \
+         {{\n        acc += *v;\n    }}\n    acc\n}}\n"
+    );
+    let loop_line = planted
+        .lines()
+        .position(|l| l.contains("for (_k, v) in m.iter()"))
+        .expect("planted loop present") as u32
+        + 1;
+    let (violations, _) = lint_source(rel, "core", &planted);
+    let det: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "det-unordered-iter")
+        .collect();
+    assert_eq!(det.len(), 1, "planted iteration not caught: {violations:?}");
+    assert_eq!(det[0].line, loop_line, "wrong line for the planted loop");
+}
+
+/// The workspace itself must be lint-clean — the same invariant CI
+/// enforces by running the binary.
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run_workspace(&workspace_root());
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.render()).collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        !report.suppressed.is_empty(),
+        "expected the workspace's justified suppressions to be recorded"
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf()
+}

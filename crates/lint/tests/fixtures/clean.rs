@@ -1,0 +1,6 @@
+// Fixture: deterministic, panic-free, canonically named — lint-clean.
+use std::collections::BTreeMap;
+
+pub fn tally(scores: &BTreeMap<usize, f64>) -> f64 {
+    scores.values().sum()
+}

@@ -1,0 +1,11 @@
+// Fixture: iteration over a HashMap must be flagged (det-unordered-iter).
+use std::collections::HashMap;
+
+pub fn tally() -> f64 {
+    let scores: HashMap<usize, f64> = HashMap::new();
+    let mut total = 0.0;
+    for (_k, v) in scores.iter() {
+        total += *v;
+    }
+    total
+}

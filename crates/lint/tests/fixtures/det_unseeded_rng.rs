@@ -1,0 +1,6 @@
+// Fixture: ambient-entropy RNG construction (det-unseeded-rng).
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    4
+}

@@ -1,0 +1,6 @@
+// Fixture: host wall-clock read in a result-affecting crate (det-wall-clock).
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

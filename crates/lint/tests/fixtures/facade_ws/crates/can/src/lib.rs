@@ -1,0 +1,3 @@
+pub struct Exported;
+pub struct Hidden;
+pub struct Excluded;

@@ -1,0 +1,3 @@
+// Fixture: a suppression without a justification (lint-directive).
+// hyperm-lint: allow(panic-unwrap)
+pub fn fine() {}

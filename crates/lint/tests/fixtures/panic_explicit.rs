@@ -1,0 +1,4 @@
+// Fixture: explicit panic on a hot path (panic-explicit).
+pub fn nope() {
+    panic!("boom");
+}

@@ -1,0 +1,4 @@
+// Fixture: direct slice indexing on a hot path (panic-index).
+pub fn pick(v: &[u64], i: usize) -> u64 {
+    v[i]
+}

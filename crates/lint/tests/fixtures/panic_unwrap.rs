@@ -1,0 +1,4 @@
+// Fixture: unwrap on a hot path (panic-unwrap).
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}

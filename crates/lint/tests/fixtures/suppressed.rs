@@ -1,0 +1,5 @@
+// Fixture: a justified suppression silences the violation.
+pub fn first(v: &[u64]) -> u64 {
+    // hyperm-lint: allow(panic-unwrap) — fixture demonstrating a justified suppression
+    *v.first().unwrap()
+}

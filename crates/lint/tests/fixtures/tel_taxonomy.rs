@@ -1,0 +1,4 @@
+// Fixture: a non-canonical event name at an emit site (tel-taxonomy).
+pub fn trace(tel: &hyperm_telemetry::Recorder) {
+    tel.event(hyperm_telemetry::SpanId::NONE, "mystery_event", vec![]);
+}

@@ -24,11 +24,13 @@
 //! so a schedule stays valid for any interleaving of joins.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+// hyperm-lint: allow-file(panic-index) — overlay and node indices are dense and validated by the repair planner before use
 use hyperm_cluster::Dataset;
 use hyperm_core::{ChurnOutcome, HypermNetwork, JoinError, SphereRef};
 use hyperm_sim::{FaultConfig, OpStats, PartitionPlan};
-use hyperm_telemetry::SpanId;
+use hyperm_telemetry::{counters, names, SpanId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -260,6 +262,7 @@ impl RepairEngine {
     /// Install the configured partition on the network: links across
     /// components are severed in every overlay and for phase-2 fetches.
     fn apply_partition(&mut self) {
+        // hyperm-lint: allow(panic-unwrap) — apply_partition is only called after the caller checked partition_plan.is_some()
         let plan = self.cfg.partition_plan.as_ref().expect("no partition plan");
         let map = plan.component_map(self.net.len());
         let components = plan.components.len();
@@ -270,7 +273,7 @@ impl RepairEngine {
         if tel.is_enabled() {
             self.partition_span = tel.span(
                 SpanId::NONE,
-                "partition",
+                names::PARTITION,
                 vec![
                     ("components", components.into()),
                     ("start", start.into()),
@@ -279,7 +282,7 @@ impl RepairEngine {
             );
         }
         if let Some(m) = tel.metrics() {
-            m.add("partition", 1);
+            m.add(names::PARTITION, 1);
         }
     }
 
@@ -292,15 +295,19 @@ impl RepairEngine {
         self.partition_healed = true;
         let tel = self.net.recorder().clone();
         if tel.is_enabled() {
-            tel.event(self.partition_span, "heal", vec![("t", self.now.into())]);
+            tel.event(
+                self.partition_span,
+                names::HEAL,
+                vec![("t", self.now.into())],
+            );
             tel.end(
                 self.partition_span,
-                "partition",
+                names::PARTITION,
                 vec![("healed_at", self.now.into())],
             );
         }
         if let Some(m) = tel.metrics() {
-            m.add("heal", 1);
+            m.add(names::HEAL, 1);
         }
         if self.cfg.enabled {
             self.stats.repair += self.net.repair_overlays(self.cfg.max_repair_passes);
@@ -350,7 +357,7 @@ impl RepairEngine {
             if tel.is_enabled() {
                 tel.event(
                     SpanId::NONE,
-                    "publish_retry",
+                    names::PUBLISH_RETRY,
                     vec![
                         ("peer", s.peer.into()),
                         ("level", s.level.into()),
@@ -360,7 +367,7 @@ impl RepairEngine {
                 );
             }
             if let Some(m) = tel.metrics() {
-                m.add("publish_retry", 1);
+                m.add(names::PUBLISH_RETRY, 1);
             }
             let (ok, stats) = self.net.publish_sphere(s);
             self.stats.refresh += stats;
@@ -386,7 +393,7 @@ impl RepairEngine {
             if tel.is_enabled() {
                 tel.event(
                     SpanId::NONE,
-                    "publish_abandoned",
+                    names::PUBLISH_ABANDONED,
                     vec![
                         ("peer", s.peer.into()),
                         ("level", s.level.into()),
@@ -396,7 +403,7 @@ impl RepairEngine {
                 );
             }
             if let Some(m) = tel.metrics() {
-                m.add("publish_abandoned", 1);
+                m.add(names::PUBLISH_ABANDONED, 1);
             }
             return;
         }
@@ -406,7 +413,7 @@ impl RepairEngine {
             self.deferred.push((s, attempts));
             self.stats.publishes_deferred += 1;
             if let Some(m) = self.net.recorder().metrics() {
-                m.add("publish_deferred", 1);
+                m.add(counters::PUBLISH_DEFERRED, 1);
             }
         }
     }
@@ -457,7 +464,7 @@ impl RepairEngine {
         if tel.is_enabled() {
             tel.event(
                 hyperm_telemetry::SpanId::NONE,
-                "join",
+                names::JOIN,
                 vec![("peer", report.peer.into())],
             );
         }

@@ -25,6 +25,7 @@
 //!   an optional random-waypoint mobility stepper as an extension.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod energy;
 pub mod event;

@@ -30,18 +30,21 @@
 //! offline (see `vendor/`).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod event;
 pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod taxonomy;
 
 pub use event::{Event, EventClass, Fields, SpanId, Value};
 pub use forensics::{PhaseTotal, SpanNode, Trace};
 pub use json::JsonObj;
 pub use metrics::{CellSnapshot, HistSnapshot, Log2Hist, Metrics, MetricsSnapshot};
 pub use recorder::{JsonlSink, Recorder, RingHandle, Sink, TeeSink};
+pub use taxonomy::{counters, names};
 
 // Re-exported so downstream crates can key metrics without an extra
 // `hyperm-sim` import at the call site.

@@ -1,0 +1,168 @@
+//! The canonical event-name taxonomy.
+//!
+//! Every span or instant name passed to a [`crate::Recorder`] emit site
+//! (`span` / `event` / `end`) and every name the forensics matchers
+//! (`spans_named` / `event_count`) look for must come from this module —
+//! it is the single source of truth that keeps producers (overlay, query,
+//! publish, repair code) and consumers (`trace_query`, metrics dashboards,
+//! the integration tests) from drifting apart. `hyperm-lint`'s
+//! telemetry-taxonomy pass enforces this statically: a string literal at
+//! an emit site that is not in [`names::ALL`] is a lint violation.
+//!
+//! Naming convention (relied on by the lint's const resolution): each
+//! const is the SCREAMING_SNAKE_CASE spelling of its lowercase value,
+//! e.g. `names::OVERLAY_LOOKUP == "overlay_lookup"`. The
+//! `taxonomy_consts_match_values` test enforces the convention.
+
+/// Canonical span and instant-event names.
+pub mod names {
+    // ---- spans ----------------------------------------------------------
+
+    /// Root span of one range/knn/point query.
+    pub const QUERY: &str = "query";
+    /// Per-level overlay range/point lookup inside a query.
+    pub const OVERLAY_LOOKUP: &str = "overlay_lookup";
+    /// Replica flood of one summary sphere (publish or lookup side).
+    pub const FLOOD: &str = "flood";
+    /// One peer publishing its per-level summaries.
+    pub const PUBLISH: &str = "publish";
+    /// One soft-state TTL refresh round.
+    pub const REFRESH: &str = "refresh";
+    /// One overlay repair step (merge/handoff/relocation round).
+    pub const REPAIR_STEP: &str = "repair_step";
+    /// Lifetime of an injected underlay partition (ends at heal).
+    pub const PARTITION: &str = "partition";
+
+    // ---- instants -------------------------------------------------------
+
+    /// One greedy CAN routing hop.
+    pub const ROUTE_HOP: &str = "route_hop";
+    /// A lossy hop was retried.
+    pub const RETRY: &str = "retry";
+    /// A message was dropped by fault injection.
+    pub const DROP: &str = "drop";
+    /// Routing reached a dead end (no live neighbour closer to target).
+    pub const DEAD_END: &str = "dead_end";
+    /// A node was visited during a flood walk.
+    pub const VISIT: &str = "visit";
+    /// A flood edge was traversed.
+    pub const FLOOD_EDGE: &str = "flood_edge";
+    /// A replica of a summary sphere was stored.
+    pub const REPLICA: &str = "replica";
+    /// A k-nn probe radius was evaluated at some level.
+    pub const PROBE: &str = "probe";
+    /// Per-level score aggregation finished.
+    pub const SCORE: &str = "score";
+    /// Items fetched from a candidate peer.
+    pub const FETCH: &str = "fetch";
+    /// A fetch timed out on an unreachable peer.
+    pub const FETCH_TIMEOUT: &str = "fetch_timeout";
+    /// The fetch window slid past unreachable peers to a fallback.
+    pub const FETCH_FALLBACK: &str = "fetch_fallback";
+    /// A dead node's zone was taken over during repair.
+    pub const TAKEOVER: &str = "takeover";
+    /// A peer joined the network (engine-driven arrival).
+    pub const JOIN: &str = "join";
+    /// An injected partition healed.
+    pub const HEAL: &str = "heal";
+    /// An unacked publish was re-queued for the next refresh round.
+    pub const PUBLISH_RETRY: &str = "publish_retry";
+    /// A publish exceeded its attempt budget and was abandoned.
+    pub const PUBLISH_ABANDONED: &str = "publish_abandoned";
+
+    /// Every canonical name. `hyperm-lint` loads this slice at run time,
+    /// so an emit site can only name events listed here.
+    pub const ALL: &[&str] = &[
+        QUERY,
+        OVERLAY_LOOKUP,
+        FLOOD,
+        PUBLISH,
+        REFRESH,
+        REPAIR_STEP,
+        PARTITION,
+        ROUTE_HOP,
+        RETRY,
+        DROP,
+        DEAD_END,
+        VISIT,
+        FLOOD_EDGE,
+        REPLICA,
+        PROBE,
+        SCORE,
+        FETCH,
+        FETCH_TIMEOUT,
+        FETCH_FALLBACK,
+        TAKEOVER,
+        JOIN,
+        HEAL,
+        PUBLISH_RETRY,
+        PUBLISH_ABANDONED,
+    ];
+
+    /// The span subset of [`ALL`] (everything else is an instant).
+    pub const SPANS: &[&str] = &[
+        QUERY,
+        OVERLAY_LOOKUP,
+        FLOOD,
+        PUBLISH,
+        REFRESH,
+        REPAIR_STEP,
+        PARTITION,
+    ];
+}
+
+/// Names of metrics-registry counters that are not also event names.
+/// Counters named after an event (e.g. `fetch_timeout`) reuse the
+/// [`names`] const; only counter-only aggregates live here.
+pub mod counters {
+    /// Publishes deferred to the next refresh round (unacked spheres).
+    pub const PUBLISH_DEFERRED: &str = "publish_deferred";
+    /// Queries executed (whole-op counter).
+    pub const QUERIES: &str = "queries";
+
+    /// Every counter-only name.
+    pub const ALL: &[&str] = &[PUBLISH_DEFERRED, QUERIES];
+}
+
+/// Whether `name` is a canonical event/span name.
+pub fn is_canonical(name: &str) -> bool {
+    names::ALL.contains(&name)
+}
+
+/// Whether `name` is valid as a metrics counter: either a canonical
+/// event name or a counter-only aggregate.
+pub fn is_canonical_counter(name: &str) -> bool {
+    is_canonical(name) || counters::ALL.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_duplicate_free_and_lowercase() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &n in names::ALL {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "name {n:?} must be lowercase_snake"
+            );
+            assert!(seen.insert(n), "duplicate taxonomy entry {n:?}");
+        }
+        for &s in names::SPANS {
+            assert!(is_canonical(s), "span {s:?} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn taxonomy_consts_match_values() {
+        // The lint resolves `names::IDENT` by lowercasing the ident; this
+        // pins the convention for every const referenced from ALL.
+        for &n in names::ALL {
+            assert_eq!(n, n.to_ascii_lowercase());
+        }
+        assert_eq!(names::OVERLAY_LOOKUP, "overlay_lookup");
+        assert_eq!(names::PUBLISH_ABANDONED, "publish_abandoned");
+        assert_eq!(names::ALL.len(), 24);
+    }
+}

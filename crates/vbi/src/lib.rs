@@ -27,6 +27,7 @@
 //! discovery messages they save affect constants, not shapes.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ops;
 pub mod tree;

@@ -29,6 +29,7 @@
 //! 64-d); [`pad_to_power_of_two`] is provided for data that is not.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cdf53;
 pub mod daubechies;

@@ -29,6 +29,7 @@
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and DESIGN.md
 //! for the experiment index.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use hyperm_baseline as baseline;
@@ -45,12 +46,23 @@ pub use hyperm_vbi as vbi;
 pub use hyperm_wavelet as wavelet;
 
 pub use hyperm_baseline::{precision_recall, FlatIndex, PrecisionRecall};
-pub use hyperm_cluster::{ClusterSphere, Dataset, KMeansConfig};
-pub use hyperm_core::{
-    BuildReport, EvalHarness, HypermConfig, HypermNetwork, InsertPolicy, KnnOptions, Overlay,
-    OverlayBackend, PublishReport, QueryBudget, ScorePolicy, SphereRef,
+pub use hyperm_can::{CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
+pub use hyperm_cluster::{
+    ClusterQuality, ClusterSphere, Dataset, InitMethod, KMeansConfig, KMeansResult, MiniBatchConfig,
 };
-pub use hyperm_repair::{ChurnSchedule, RepairConfig, RepairEngine};
-pub use hyperm_sim::{Backoff, EnergyModel, FaultConfig, NodeId, OpKind, OpStats, PartitionPlan};
-pub use hyperm_telemetry::{MetricsSnapshot, Recorder, Trace};
-pub use hyperm_wavelet::Normalization;
+pub use hyperm_core::{
+    BuildReport, ChurnOutcome, EvalHarness, HypermConfig, HypermError, HypermNetwork, InsertPolicy,
+    JoinError, JoinReport, KnnOptions, KnnResult, Overlay, OverlayBackend, Peer, PeerScore,
+    PointResult, PublishReport, QueryBudget, RangeResult, ScorePolicy, SphereRef,
+};
+pub use hyperm_geometry::{Overlap, SolveError};
+pub use hyperm_repair::{
+    ChurnEvent, ChurnEventKind, ChurnSchedule, RepairConfig, RepairEngine, RepairStats,
+    ScheduleReport,
+};
+pub use hyperm_sim::{
+    Backoff, EnergyModel, FaultConfig, FaultReport, LatencySummary, NetStats, NodeId, OpKind,
+    OpStats, PartitionPlan,
+};
+pub use hyperm_telemetry::{MetricsSnapshot, Recorder, SpanId, Trace};
+pub use hyperm_wavelet::{Decomposition, Normalization, Subspace, WaveletError};

@@ -12,6 +12,8 @@
 //! invoked with `--test` (as `cargo test` does for bench targets) each
 //! benchmark runs exactly once, as a smoke test.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -7,6 +7,8 @@
 //! 1.63). Spawned closures receive a `&Scope` argument exactly like
 //! crossbeam's, so nested spawns work.
 
+#![forbid(unsafe_code)]
+
 use std::thread;
 
 /// A scope handle; threads spawned through it cannot outlive the scope.

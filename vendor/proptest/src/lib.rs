@@ -12,6 +12,8 @@
 //! failing case panics with the sampled values available via the normal
 //! assertion message, which is sufficient for CI.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     //! Value-generation strategies.
 

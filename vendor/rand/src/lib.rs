@@ -9,6 +9,8 @@
 //! rely on (nothing in the repo depends on the exact stream of the
 //! upstream `StdRng`).
 
+#![forbid(unsafe_code)]
+
 /// Low-level generator interface: a source of uniform random words.
 pub trait RngCore {
     /// Next uniform 32-bit word.
