@@ -1,12 +1,23 @@
 //! Binary wire codec for overlay messages.
 //!
 //! The simulators charge byte costs per message; this module makes those
-//! costs *real* by defining the actual on-wire encoding of the two payload
-//! types that cross the network — published cluster objects and range
-//! queries — instead of an analytic size formula. All sizes reported by
-//! [`StoredObject::wire_bytes`] equal the encoder's output length exactly
-//! (asserted by tests), so the simulated byte counts are what a real
-//! deployment would transmit.
+//! costs *real* by defining the actual on-wire encoding of everything that
+//! crosses the network. It started as two payload records — published
+//! cluster objects and range queries — and grew into the full [`Message`]
+//! enum the `hyperm-transport` crate frames over channels and loopback
+//! TCP: join/route/publish/get/fetch/query traffic and their acks. All
+//! sizes reported by [`StoredObject::wire_bytes`] equal the encoder's
+//! output length exactly (asserted by tests), so the simulated byte counts
+//! are what a real deployment transmits.
+//!
+//! Hardening contract (every byte may come from an untrusted peer):
+//!
+//! * decoding **never panics** — every failure is a typed [`CodecError`];
+//! * length fields are validated against the remaining buffer *before*
+//!   any allocation sized by them (a 2-byte header cannot make us reserve
+//!   512 KiB for a 10-byte frame);
+//! * encoding is fallible too: a dimension that does not fit the `u16`
+//!   wire field is [`CodecError::DimTooLarge`], not an `assert!`.
 //!
 //! Layout (little-endian, fixed width — these are small records, varints
 //! would save ≤ 10% at the cost of branchy decode on battery devices):
@@ -14,11 +25,12 @@
 //! ```text
 //! object:  id u64 | dim u16 | centre f64×dim | radius f64 | peer u64 | tag u64 | items u32
 //! query:   dim u16 | centre f64×dim | radius f64
+//! message: kind u8 | kind-specific body (see the frame table in DESIGN.md)
 //! ```
 
 use crate::ops::{ObjectRef, StoredObject};
 
-/// Errors from decoding.
+/// Errors from encoding or decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The buffer ended before the record did.
@@ -30,8 +42,13 @@ pub enum CodecError {
     },
     /// The buffer is longer than one record.
     TrailingBytes(usize),
-    /// A floating-point field decoded to NaN/∞ or a count overflowed.
+    /// A floating-point field decoded to NaN/∞, a count overflowed, or a
+    /// field value is outside its domain.
     CorruptField(&'static str),
+    /// Encode-side: a dimension does not fit the `u16` wire field.
+    DimTooLarge(usize),
+    /// A message frame's kind byte names no known [`Message`] variant.
+    UnknownKind(u8),
 }
 
 impl std::fmt::Display for CodecError {
@@ -42,6 +59,10 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
             CodecError::CorruptField(name) => write!(f, "corrupt field {name}"),
+            CodecError::DimTooLarge(d) => {
+                write!(f, "dimension {d} exceeds the u16 wire format")
+            }
+            CodecError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
         }
     }
 }
@@ -58,16 +79,34 @@ impl<'a> Reader<'a> {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.pos + n > self.buf.len() {
-            return Err(CodecError::Truncated {
-                needed: self.pos + n,
+    /// Pre-validate that `n` more bytes exist *without* consuming them —
+    /// called before any allocation sized by a wire-derived count.
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        match self.pos.checked_add(n) {
+            Some(end) if end <= self.buf.len() => Ok(()),
+            Some(end) => Err(CodecError::Truncated {
+                needed: end,
                 got: self.buf.len(),
-            });
+            }),
+            // `pos + n` overflowed usize: the frame cannot possibly hold it.
+            None => Err(CodecError::Truncated {
+                needed: usize::MAX,
+                got: self.buf.len(),
+            }),
         }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        // Checked: once length-prefixed framing feeds wire-derived lengths
+        // through here, `pos + n` can overflow on hostile input.
+        self.need(n)?;
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, CodecError> {
@@ -80,6 +119,12 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A peer/node index: `u64` on the wire, checked into `usize` (a
+    /// 32-bit host must reject ids it cannot even address).
+    fn peer_id(&mut self, field: &'static str) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::CorruptField(field))
     }
 
     fn f64(&mut self, field: &'static str) -> Result<f64, CodecError> {
@@ -110,14 +155,16 @@ pub fn query_wire_len(dim: usize) -> usize {
     2 + 8 * dim + 8
 }
 
-/// Encode a stored object for transmission.
-pub fn encode_object(obj: &StoredObject) -> Vec<u8> {
+/// Bytes of an object record after the `id | dim` header.
+fn object_tail_len(dim: usize) -> usize {
+    8 * dim + 8 + 8 + 8 + 4
+}
+
+fn write_object(out: &mut Vec<u8>, obj: &StoredObject) -> Result<(), CodecError> {
     let dim = obj.centre.len();
-    assert!(
-        dim <= u16::MAX as usize,
-        "dimension too large for wire format"
-    );
-    let mut out = Vec::with_capacity(object_wire_len(dim));
+    if dim > u16::MAX as usize {
+        return Err(CodecError::DimTooLarge(dim));
+    }
     out.extend_from_slice(&obj.id.to_le_bytes());
     out.extend_from_slice(&(dim as u16).to_le_bytes());
     for &x in &obj.centre {
@@ -127,15 +174,16 @@ pub fn encode_object(obj: &StoredObject) -> Vec<u8> {
     out.extend_from_slice(&(obj.payload.peer as u64).to_le_bytes());
     out.extend_from_slice(&obj.payload.tag.to_le_bytes());
     out.extend_from_slice(&obj.payload.items.to_le_bytes());
-    debug_assert_eq!(out.len(), object_wire_len(dim));
-    out
+    Ok(())
 }
 
-/// Decode one object record.
-pub fn decode_object(buf: &[u8]) -> Result<StoredObject, CodecError> {
-    let mut r = Reader::new(buf);
+fn read_object(r: &mut Reader<'_>) -> Result<StoredObject, CodecError> {
     let id = r.u64()?;
     let dim = r.u16()? as usize;
+    // Pre-validate the whole remaining record against the declared
+    // dimension before allocating `dim` slots: a 2-byte header must not
+    // size an allocation the buffer cannot back.
+    r.need(object_tail_len(dim))?;
     let mut centre = Vec::with_capacity(dim);
     for _ in 0..dim {
         centre.push(r.f64("centre")?);
@@ -144,10 +192,9 @@ pub fn decode_object(buf: &[u8]) -> Result<StoredObject, CodecError> {
     if radius < 0.0 {
         return Err(CodecError::CorruptField("radius"));
     }
-    let peer = r.u64()? as usize;
+    let peer = r.peer_id("peer")?;
     let tag = r.u64()?;
     let items = r.u32()?;
-    r.finish()?;
     Ok(StoredObject {
         id,
         centre,
@@ -156,35 +203,622 @@ pub fn decode_object(buf: &[u8]) -> Result<StoredObject, CodecError> {
     })
 }
 
-/// Encode a range-query record.
-pub fn encode_query(centre: &[f64], radius: f64) -> Vec<u8> {
-    assert!(
-        centre.len() <= u16::MAX as usize,
-        "dimension too large for wire format"
-    );
-    let mut out = Vec::with_capacity(query_wire_len(centre.len()));
-    out.extend_from_slice(&(centre.len() as u16).to_le_bytes());
-    for &x in centre {
+fn write_vec_f64(out: &mut Vec<u8>, v: &[f64]) -> Result<(), CodecError> {
+    if v.len() > u16::MAX as usize {
+        return Err(CodecError::DimTooLarge(v.len()));
+    }
+    out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+    for &x in v {
         out.extend_from_slice(&x.to_le_bytes());
     }
+    Ok(())
+}
+
+fn read_vec_f64(r: &mut Reader<'_>, field: &'static str) -> Result<Vec<f64>, CodecError> {
+    let dim = r.u16()? as usize;
+    r.need(8 * dim)?;
+    let mut v = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        v.push(r.f64(field)?);
+    }
+    Ok(v)
+}
+
+fn read_radius(r: &mut Reader<'_>, field: &'static str) -> Result<f64, CodecError> {
+    let radius = r.f64(field)?;
+    if radius < 0.0 {
+        return Err(CodecError::CorruptField(field));
+    }
+    Ok(radius)
+}
+
+/// Encode a stored object for transmission.
+pub fn encode_object(obj: &StoredObject) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(object_wire_len(obj.centre.len().min(u16::MAX as usize)));
+    write_object(&mut out, obj)?;
+    debug_assert_eq!(out.len(), object_wire_len(obj.centre.len()));
+    Ok(out)
+}
+
+/// Decode one object record.
+pub fn decode_object(buf: &[u8]) -> Result<StoredObject, CodecError> {
+    let mut r = Reader::new(buf);
+    let obj = read_object(&mut r)?;
+    r.finish()?;
+    Ok(obj)
+}
+
+/// Encode a range-query record.
+pub fn encode_query(centre: &[f64], radius: f64) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(query_wire_len(centre.len().min(u16::MAX as usize)));
+    write_vec_f64(&mut out, centre)?;
     out.extend_from_slice(&radius.to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// Decode one range-query record into `(centre, radius)`.
 pub fn decode_query(buf: &[u8]) -> Result<(Vec<f64>, f64), CodecError> {
     let mut r = Reader::new(buf);
     let dim = r.u16()? as usize;
+    // Pre-validate centre + radius before allocating `dim` slots.
+    r.need(8 * dim + 8)?;
     let mut centre = Vec::with_capacity(dim);
     for _ in 0..dim {
         centre.push(r.f64("centre")?);
     }
-    let radius = r.f64("radius")?;
-    if radius < 0.0 {
-        return Err(CodecError::CorruptField("radius"));
-    }
+    let radius = read_radius(&mut r, "radius")?;
     r.finish()?;
     Ok((centre, radius))
+}
+
+// ---------------------------------------------------------------------------
+// The full message enum framed by `hyperm-transport`.
+// ---------------------------------------------------------------------------
+
+/// Message kind bytes (the first byte of every encoded message).
+pub mod kind {
+    /// [`super::Message::Hello`].
+    pub const HELLO: u8 = 0;
+    /// [`super::Message::Join`].
+    pub const JOIN: u8 = 1;
+    /// [`super::Message::JoinAck`].
+    pub const JOIN_ACK: u8 = 2;
+    /// [`super::Message::Route`].
+    pub const ROUTE: u8 = 3;
+    /// [`super::Message::RouteAck`].
+    pub const ROUTE_ACK: u8 = 4;
+    /// [`super::Message::Publish`].
+    pub const PUBLISH: u8 = 5;
+    /// [`super::Message::PublishAck`].
+    pub const PUBLISH_ACK: u8 = 6;
+    /// [`super::Message::Query`].
+    pub const QUERY: u8 = 7;
+    /// [`super::Message::QueryAck`].
+    pub const QUERY_ACK: u8 = 8;
+    /// [`super::Message::Get`].
+    pub const GET: u8 = 9;
+    /// [`super::Message::GetAck`].
+    pub const GET_ACK: u8 = 10;
+    /// [`super::Message::Fetch`].
+    pub const FETCH: u8 = 11;
+    /// [`super::Message::FetchAck`].
+    pub const FETCH_ACK: u8 = 12;
+    /// [`super::Message::Ack`].
+    pub const ACK: u8 = 13;
+    /// [`super::Message::Monitor`].
+    pub const MONITOR: u8 = 14;
+    /// [`super::Message::MonitorAck`].
+    pub const MONITOR_ACK: u8 = 15;
+    /// [`super::Message::Shutdown`].
+    pub const SHUTDOWN: u8 = 16;
+    /// [`super::Message::Put`].
+    pub const PUT: u8 = 17;
+    /// [`super::Message::PutAck`].
+    pub const PUT_ACK: u8 = 18;
+}
+
+/// Every message the transport layer frames between peers.
+///
+/// Requests and replies pair up: `Join`→`JoinAck`, `Route`→`RouteAck`,
+/// `Publish`→`PublishAck`, `Query`→`QueryAck`, `Get`→`GetAck`,
+/// `Fetch`→`FetchAck`, `Monitor`→`MonitorAck`. `Ack { seq, ok: false }`
+/// is the generic failure reply, with `seq` echoing the *expected* reply
+/// kind so forwarding nodes can route it back to the right requester.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Transport-level introduction: the first frame on every connection,
+    /// naming the sender so replies can be addressed.
+    Hello {
+        /// Sender's transport peer id.
+        peer: u64,
+    },
+    /// A latecomer joins the network, carrying its collection (row-major).
+    Join {
+        /// Joining node's transport peer id.
+        peer: u64,
+        /// Data dimensionality of each row.
+        dim: u16,
+        /// `rows.len() / dim` items, flattened row-major.
+        rows: Vec<f64>,
+    },
+    /// Join accepted.
+    JoinAck {
+        /// Assigned dense peer id (== overlay node id at every level).
+        peer: u64,
+        /// Network size after the join.
+        members: u64,
+    },
+    /// Owner lookup: who owns this key at this overlay level?
+    Route {
+        /// Overlay level.
+        level: u16,
+        /// Key-space point.
+        key: Vec<f64>,
+    },
+    /// Owner lookup reply.
+    RouteAck {
+        /// Overlay level echoed.
+        level: u16,
+        /// Owning overlay node id.
+        owner: u64,
+    },
+    /// Publish one sphere object into an overlay level.
+    Publish {
+        /// Overlay level.
+        level: u16,
+        /// Replicate into every overlapping zone (Section 5 semantics).
+        replicate: bool,
+        /// The object; its `id` is publisher-local and echoed in the ack.
+        object: StoredObject,
+    },
+    /// Publish accepted.
+    PublishAck {
+        /// Overlay level echoed.
+        level: u16,
+        /// Publisher-local object id echoed from the request.
+        object_id: u64,
+        /// Zones that stored a replica.
+        replicas: u32,
+        /// Zones the sphere overlaps (`replicas < targets` = coverage hole).
+        targets: u32,
+    },
+    /// Full Hyper-M range query in original data space.
+    Query {
+        /// Query centre (data space, `data_dim` wide).
+        centre: Vec<f64>,
+        /// Search radius ε ≥ 0.
+        eps: f64,
+        /// Peer contact budget; `u32::MAX` = contact every candidate.
+        budget: u32,
+    },
+    /// Range-query reply.
+    QueryAck {
+        /// Retrieved items as `(peer, local index)` pairs.
+        items: Vec<(u64, u64)>,
+        /// Simulated overlay hops charged.
+        hops: u64,
+        /// Simulated messages charged.
+        messages: u64,
+        /// Simulated bytes charged.
+        bytes: u64,
+    },
+    /// Overlay-level point lookup: stored spheres covering a key.
+    Get {
+        /// Overlay level.
+        level: u16,
+        /// Key-space point.
+        key: Vec<f64>,
+    },
+    /// Point-lookup reply.
+    GetAck {
+        /// Overlay level echoed.
+        level: u16,
+        /// Stored objects whose spheres cover the key.
+        objects: Vec<StoredObject>,
+    },
+    /// Direct phase-2 fetch against one peer's local collection.
+    Fetch {
+        /// Target peer id.
+        peer: u64,
+        /// Query centre (data space).
+        centre: Vec<f64>,
+        /// Search radius ε ≥ 0.
+        eps: f64,
+    },
+    /// Fetch reply.
+    FetchAck {
+        /// Target peer echoed.
+        peer: u64,
+        /// Matching local item indices.
+        indices: Vec<u64>,
+    },
+    /// Generic acknowledgement / failure notice.
+    Ack {
+        /// Request-specific tag; for failures, the expected reply kind.
+        seq: u64,
+        /// Whether the request succeeded.
+        ok: bool,
+    },
+    /// Ask a node for its live overlay state.
+    Monitor,
+    /// Overlay state dump.
+    MonitorAck {
+        /// JSON document (zones, neighbours, summary counts).
+        json: String,
+    },
+    /// Orderly shutdown request; acked before the node exits its loop.
+    Shutdown,
+    /// Insert one data item into a peer's live collection.
+    Put {
+        /// Target peer id.
+        peer: u64,
+        /// The item, in original data space.
+        item: Vec<f64>,
+        /// Re-publish the absorbed cluster sphere (vs. stale summaries).
+        republish: bool,
+    },
+    /// Put accepted.
+    PutAck {
+        /// Target peer echoed.
+        peer: u64,
+        /// The item's new local index in the peer's collection.
+        index: u64,
+    },
+}
+
+impl Message {
+    /// The kind byte this message encodes with (see [`kind`]).
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => kind::HELLO,
+            Message::Join { .. } => kind::JOIN,
+            Message::JoinAck { .. } => kind::JOIN_ACK,
+            Message::Route { .. } => kind::ROUTE,
+            Message::RouteAck { .. } => kind::ROUTE_ACK,
+            Message::Publish { .. } => kind::PUBLISH,
+            Message::PublishAck { .. } => kind::PUBLISH_ACK,
+            Message::Query { .. } => kind::QUERY,
+            Message::QueryAck { .. } => kind::QUERY_ACK,
+            Message::Get { .. } => kind::GET,
+            Message::GetAck { .. } => kind::GET_ACK,
+            Message::Fetch { .. } => kind::FETCH,
+            Message::FetchAck { .. } => kind::FETCH_ACK,
+            Message::Ack { .. } => kind::ACK,
+            Message::Monitor => kind::MONITOR,
+            Message::MonitorAck { .. } => kind::MONITOR_ACK,
+            Message::Shutdown => kind::SHUTDOWN,
+            Message::Put { .. } => kind::PUT,
+            Message::PutAck { .. } => kind::PUT_ACK,
+        }
+    }
+
+    /// Human-readable kind name (for logs and monitor output).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Join { .. } => "join",
+            Message::JoinAck { .. } => "join_ack",
+            Message::Route { .. } => "route",
+            Message::RouteAck { .. } => "route_ack",
+            Message::Publish { .. } => "publish",
+            Message::PublishAck { .. } => "publish_ack",
+            Message::Query { .. } => "query",
+            Message::QueryAck { .. } => "query_ack",
+            Message::Get { .. } => "get",
+            Message::GetAck { .. } => "get_ack",
+            Message::Fetch { .. } => "fetch",
+            Message::FetchAck { .. } => "fetch_ack",
+            Message::Ack { .. } => "ack",
+            Message::Monitor => "monitor",
+            Message::MonitorAck { .. } => "monitor_ack",
+            Message::Shutdown => "shutdown",
+            Message::Put { .. } => "put",
+            Message::PutAck { .. } => "put_ack",
+        }
+    }
+
+    /// The reply kind a request of kind `k` expects, if it expects one.
+    pub fn reply_kind_of(k: u8) -> Option<u8> {
+        match k {
+            kind::JOIN => Some(kind::JOIN_ACK),
+            kind::ROUTE => Some(kind::ROUTE_ACK),
+            kind::PUBLISH => Some(kind::PUBLISH_ACK),
+            kind::QUERY => Some(kind::QUERY_ACK),
+            kind::GET => Some(kind::GET_ACK),
+            kind::FETCH => Some(kind::FETCH_ACK),
+            kind::MONITOR => Some(kind::MONITOR_ACK),
+            kind::SHUTDOWN => Some(kind::ACK),
+            kind::PUT => Some(kind::PUT_ACK),
+            _ => None,
+        }
+    }
+}
+
+fn write_u32_count(out: &mut Vec<u8>, n: usize, field: &'static str) -> Result<(), CodecError> {
+    let n = u32::try_from(n).map_err(|_| CodecError::CorruptField(field))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
+
+/// Encode a message body (kind byte + payload, no length prefix — the
+/// transport layer adds framing).
+pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(16);
+    out.push(msg.kind());
+    match msg {
+        Message::Hello { peer } => out.extend_from_slice(&peer.to_le_bytes()),
+        Message::Join { peer, dim, rows } => {
+            if *dim == 0 || rows.len() % (*dim as usize) != 0 {
+                return Err(CodecError::CorruptField("rows"));
+            }
+            out.extend_from_slice(&peer.to_le_bytes());
+            out.extend_from_slice(&dim.to_le_bytes());
+            write_u32_count(&mut out, rows.len() / (*dim as usize), "rows")?;
+            for &x in rows {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Message::JoinAck { peer, members } => {
+            out.extend_from_slice(&peer.to_le_bytes());
+            out.extend_from_slice(&members.to_le_bytes());
+        }
+        Message::Route { level, key } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            write_vec_f64(&mut out, key)?;
+        }
+        Message::RouteAck { level, owner } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            out.extend_from_slice(&owner.to_le_bytes());
+        }
+        Message::Publish {
+            level,
+            replicate,
+            object,
+        } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            out.push(u8::from(*replicate));
+            write_object(&mut out, object)?;
+        }
+        Message::PublishAck {
+            level,
+            object_id,
+            replicas,
+            targets,
+        } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            out.extend_from_slice(&object_id.to_le_bytes());
+            out.extend_from_slice(&replicas.to_le_bytes());
+            out.extend_from_slice(&targets.to_le_bytes());
+        }
+        Message::Query {
+            centre,
+            eps,
+            budget,
+        } => {
+            write_vec_f64(&mut out, centre)?;
+            out.extend_from_slice(&eps.to_le_bytes());
+            out.extend_from_slice(&budget.to_le_bytes());
+        }
+        Message::QueryAck {
+            items,
+            hops,
+            messages,
+            bytes,
+        } => {
+            write_u32_count(&mut out, items.len(), "items")?;
+            for &(p, i) in items {
+                out.extend_from_slice(&p.to_le_bytes());
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            out.extend_from_slice(&hops.to_le_bytes());
+            out.extend_from_slice(&messages.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        Message::Get { level, key } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            write_vec_f64(&mut out, key)?;
+        }
+        Message::GetAck { level, objects } => {
+            out.extend_from_slice(&level.to_le_bytes());
+            write_u32_count(&mut out, objects.len(), "objects")?;
+            for obj in objects {
+                write_object(&mut out, obj)?;
+            }
+        }
+        Message::Fetch { peer, centre, eps } => {
+            out.extend_from_slice(&peer.to_le_bytes());
+            write_vec_f64(&mut out, centre)?;
+            out.extend_from_slice(&eps.to_le_bytes());
+        }
+        Message::FetchAck { peer, indices } => {
+            out.extend_from_slice(&peer.to_le_bytes());
+            write_u32_count(&mut out, indices.len(), "indices")?;
+            for &i in indices {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        Message::Ack { seq, ok } => {
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(u8::from(*ok));
+        }
+        Message::Monitor | Message::Shutdown => {}
+        Message::MonitorAck { json } => {
+            write_u32_count(&mut out, json.len(), "json")?;
+            out.extend_from_slice(json.as_bytes());
+        }
+        Message::Put {
+            peer,
+            item,
+            republish,
+        } => {
+            out.extend_from_slice(&peer.to_le_bytes());
+            write_vec_f64(&mut out, item)?;
+            out.push(u8::from(*republish));
+        }
+        Message::PutAck { peer, index } => {
+            out.extend_from_slice(&peer.to_le_bytes());
+            out.extend_from_slice(&index.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn read_bool(r: &mut Reader<'_>, field: &'static str) -> Result<bool, CodecError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::CorruptField(field)),
+    }
+}
+
+/// Decode one message body (as produced by [`encode_message`]). Every
+/// count is validated against the remaining bytes before allocation, and
+/// any leftover bytes are a [`CodecError::TrailingBytes`] error.
+pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
+    let mut r = Reader::new(buf);
+    let k = r.u8()?;
+    let msg = match k {
+        kind::HELLO => Message::Hello { peer: r.u64()? },
+        kind::JOIN => {
+            let peer = r.u64()?;
+            let dim = r.u16()?;
+            if dim == 0 {
+                return Err(CodecError::CorruptField("dim"));
+            }
+            let nrows = r.u32()? as usize;
+            let values = nrows
+                .checked_mul(dim as usize)
+                .ok_or(CodecError::CorruptField("rows"))?;
+            r.need(
+                values
+                    .checked_mul(8)
+                    .ok_or(CodecError::CorruptField("rows"))?,
+            )?;
+            let mut rows = Vec::with_capacity(values);
+            for _ in 0..values {
+                rows.push(r.f64("rows")?);
+            }
+            Message::Join { peer, dim, rows }
+        }
+        kind::JOIN_ACK => Message::JoinAck {
+            peer: r.u64()?,
+            members: r.u64()?,
+        },
+        kind::ROUTE => Message::Route {
+            level: r.u16()?,
+            key: read_vec_f64(&mut r, "key")?,
+        },
+        kind::ROUTE_ACK => Message::RouteAck {
+            level: r.u16()?,
+            owner: r.u64()?,
+        },
+        kind::PUBLISH => Message::Publish {
+            level: r.u16()?,
+            replicate: read_bool(&mut r, "replicate")?,
+            object: read_object(&mut r)?,
+        },
+        kind::PUBLISH_ACK => Message::PublishAck {
+            level: r.u16()?,
+            object_id: r.u64()?,
+            replicas: r.u32()?,
+            targets: r.u32()?,
+        },
+        kind::QUERY => {
+            let centre = read_vec_f64(&mut r, "centre")?;
+            let eps = read_radius(&mut r, "eps")?;
+            let budget = r.u32()?;
+            Message::Query {
+                centre,
+                eps,
+                budget,
+            }
+        }
+        kind::QUERY_ACK => {
+            let count = r.u32()? as usize;
+            r.need(
+                count
+                    .checked_mul(16)
+                    .ok_or(CodecError::CorruptField("items"))?,
+            )?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push((r.u64()?, r.u64()?));
+            }
+            Message::QueryAck {
+                items,
+                hops: r.u64()?,
+                messages: r.u64()?,
+                bytes: r.u64()?,
+            }
+        }
+        kind::GET => Message::Get {
+            level: r.u16()?,
+            key: read_vec_f64(&mut r, "key")?,
+        },
+        kind::GET_ACK => {
+            let level = r.u16()?;
+            let count = r.u32()? as usize;
+            // An object record is at least `object_wire_len(0)` bytes, so
+            // the declared count is bounded by the buffer before we
+            // reserve anything.
+            r.need(
+                count
+                    .checked_mul(object_wire_len(0))
+                    .ok_or(CodecError::CorruptField("objects"))?,
+            )?;
+            let mut objects = Vec::with_capacity(count);
+            for _ in 0..count {
+                objects.push(read_object(&mut r)?);
+            }
+            Message::GetAck { level, objects }
+        }
+        kind::FETCH => {
+            let peer = r.u64()?;
+            let centre = read_vec_f64(&mut r, "centre")?;
+            let eps = read_radius(&mut r, "eps")?;
+            Message::Fetch { peer, centre, eps }
+        }
+        kind::FETCH_ACK => {
+            let peer = r.u64()?;
+            let count = r.u32()? as usize;
+            r.need(
+                count
+                    .checked_mul(8)
+                    .ok_or(CodecError::CorruptField("indices"))?,
+            )?;
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(r.u64()?);
+            }
+            Message::FetchAck { peer, indices }
+        }
+        kind::ACK => Message::Ack {
+            seq: r.u64()?,
+            ok: read_bool(&mut r, "ok")?,
+        },
+        kind::MONITOR => Message::Monitor,
+        kind::MONITOR_ACK => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| CodecError::CorruptField("json"))?
+                .to_string();
+            Message::MonitorAck { json }
+        }
+        kind::SHUTDOWN => Message::Shutdown,
+        kind::PUT => Message::Put {
+            peer: r.u64()?,
+            item: read_vec_f64(&mut r, "item")?,
+            republish: read_bool(&mut r, "republish")?,
+        },
+        kind::PUT_ACK => Message::PutAck {
+            peer: r.u64()?,
+            index: r.u64()?,
+        },
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -208,7 +842,7 @@ mod tests {
     fn object_roundtrip_many_dims() {
         for dim in [1usize, 2, 4, 8, 64, 512] {
             let o = obj(dim);
-            let bytes = encode_object(&o);
+            let bytes = encode_object(&o).unwrap();
             assert_eq!(bytes.len(), object_wire_len(dim));
             assert_eq!(bytes.len() as u64, o.wire_bytes());
             let back = decode_object(&bytes).unwrap();
@@ -219,7 +853,7 @@ mod tests {
     #[test]
     fn query_roundtrip() {
         let centre = vec![0.1, 0.9, 0.5];
-        let bytes = encode_query(&centre, 0.25);
+        let bytes = encode_query(&centre, 0.25).unwrap();
         assert_eq!(bytes.len(), query_wire_len(3));
         let (c, r) = decode_query(&bytes).unwrap();
         assert_eq!(c, centre);
@@ -227,8 +861,22 @@ mod tests {
     }
 
     #[test]
+    fn oversized_dimension_is_an_error_not_a_panic() {
+        let o = obj(u16::MAX as usize + 1);
+        assert_eq!(
+            encode_object(&o).unwrap_err(),
+            CodecError::DimTooLarge(u16::MAX as usize + 1)
+        );
+        let centre = vec![0.0; u16::MAX as usize + 1];
+        assert_eq!(
+            encode_query(&centre, 0.1).unwrap_err(),
+            CodecError::DimTooLarge(u16::MAX as usize + 1)
+        );
+    }
+
+    #[test]
     fn truncated_buffers_error_cleanly() {
-        let bytes = encode_object(&obj(4));
+        let bytes = encode_object(&obj(4)).unwrap();
         for cut in 0..bytes.len() {
             let err = decode_object(&bytes[..cut]).unwrap_err();
             assert!(
@@ -239,8 +887,26 @@ mod tests {
     }
 
     #[test]
+    fn huge_declared_dim_does_not_allocate() {
+        // 2-byte header declaring dim = 65535 on a tiny buffer must fail
+        // the pre-validation, not reserve 512 KiB.
+        let mut buf = vec![0u8; 10];
+        buf[8] = 0xFF;
+        buf[9] = 0xFF; // object: id(8) then dim = 0xFFFF
+        assert!(matches!(
+            decode_object(&buf).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        let qbuf = [0xFFu8, 0xFF, 0, 0]; // query: dim = 0xFFFF, 2 spare bytes
+        assert!(matches!(
+            decode_query(&qbuf).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+    }
+
+    #[test]
     fn trailing_bytes_rejected() {
-        let mut bytes = encode_object(&obj(2));
+        let mut bytes = encode_object(&obj(2)).unwrap();
         bytes.push(0);
         assert_eq!(
             decode_object(&bytes).unwrap_err(),
@@ -250,7 +916,7 @@ mod tests {
 
     #[test]
     fn corrupt_floats_rejected() {
-        let mut bytes = encode_object(&obj(2));
+        let mut bytes = encode_object(&obj(2)).unwrap();
         // Overwrite the first centre coordinate with NaN.
         bytes[10..18].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(
@@ -258,7 +924,7 @@ mod tests {
             CodecError::CorruptField("centre")
         );
         // Negative radius.
-        let mut bytes = encode_object(&obj(2));
+        let mut bytes = encode_object(&obj(2)).unwrap();
         let radius_off = 8 + 2 + 16;
         bytes[radius_off..radius_off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
         assert_eq!(
@@ -280,6 +946,180 @@ mod tests {
                 .collect();
             let _ = decode_object(&buf);
             let _ = decode_query(&buf);
+            let _ = decode_message(&buf);
         }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { peer: 9 },
+            Message::Join {
+                peer: 3,
+                dim: 2,
+                rows: vec![0.1, 0.2, 0.3, 0.4],
+            },
+            Message::JoinAck {
+                peer: 12,
+                members: 13,
+            },
+            Message::Route {
+                level: 1,
+                key: vec![0.5, 0.25],
+            },
+            Message::RouteAck { level: 1, owner: 4 },
+            Message::Publish {
+                level: 0,
+                replicate: true,
+                object: obj(4),
+            },
+            Message::PublishAck {
+                level: 0,
+                object_id: 77,
+                replicas: 3,
+                targets: 3,
+            },
+            Message::Query {
+                centre: vec![0.4; 8],
+                eps: 0.125,
+                budget: u32::MAX,
+            },
+            Message::QueryAck {
+                items: vec![(0, 5), (2, 9)],
+                hops: 17,
+                messages: 21,
+                bytes: 4096,
+            },
+            Message::Get {
+                level: 2,
+                key: vec![0.75],
+            },
+            Message::GetAck {
+                level: 2,
+                objects: vec![obj(1), obj(3)],
+            },
+            Message::Fetch {
+                peer: 6,
+                centre: vec![0.9, 0.1],
+                eps: 0.0,
+            },
+            Message::FetchAck {
+                peer: 6,
+                indices: vec![0, 4, 9],
+            },
+            Message::Ack { seq: 8, ok: false },
+            Message::Monitor,
+            Message::MonitorAck {
+                json: "{\"zones\": 4}".to_string(),
+            },
+            Message::Shutdown,
+            Message::Put {
+                peer: 2,
+                item: vec![0.25, 0.5, 0.75],
+                republish: true,
+            },
+            Message::PutAck { peer: 2, index: 20 },
+        ]
+    }
+
+    #[test]
+    fn message_roundtrip_every_kind() {
+        let msgs = sample_messages();
+        // Every kind byte appears exactly once.
+        let kinds: std::collections::BTreeSet<u8> = msgs.iter().map(Message::kind).collect();
+        assert_eq!(kinds.len(), msgs.len());
+        for msg in msgs {
+            let bytes = encode_message(&msg).unwrap();
+            assert_eq!(bytes[0], msg.kind());
+            let back = decode_message(&bytes).unwrap();
+            assert_eq!(back, msg, "{}", msg.kind_name());
+        }
+    }
+
+    #[test]
+    fn message_truncations_error_cleanly() {
+        for msg in sample_messages() {
+            let bytes = encode_message(&msg).unwrap();
+            for cut in 0..bytes.len() {
+                match decode_message(&bytes[..cut]) {
+                    Err(_) => {}
+                    // A prefix that happens to be a complete shorter
+                    // message (e.g. cutting all of Hello's payload would
+                    // still need the kind byte) cannot roundtrip to the
+                    // original — but must never panic.
+                    Ok(m) => assert_ne!(m, msg),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // QueryAck declaring u32::MAX items in a 9-byte frame.
+        let mut buf = vec![kind::QUERY_ACK];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_message(&buf).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        // GetAck declaring 1M objects.
+        let mut buf = vec![kind::GET_ACK, 0, 0];
+        buf.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            decode_message(&buf).unwrap_err(),
+            CodecError::Truncated { .. }
+        ));
+        // Join declaring rows whose byte size overflows usize.
+        let mut buf = vec![kind::JOIN];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u16::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_message(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(
+            decode_message(&[200]).unwrap_err(),
+            CodecError::UnknownKind(200)
+        );
+    }
+
+    #[test]
+    fn semantic_fields_validated() {
+        // Query with negative eps.
+        let bytes = encode_message(&Message::Query {
+            centre: vec![0.5],
+            eps: 0.25,
+            budget: 0,
+        })
+        .unwrap();
+        let mut bad = bytes.clone();
+        let eps_off = 1 + 2 + 8;
+        bad[eps_off..eps_off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert_eq!(
+            decode_message(&bad).unwrap_err(),
+            CodecError::CorruptField("eps")
+        );
+        // Publish with a replicate byte outside {0, 1}.
+        let bytes = encode_message(&Message::Publish {
+            level: 0,
+            replicate: false,
+            object: obj(1),
+        })
+        .unwrap();
+        let mut bad = bytes.clone();
+        bad[3] = 2;
+        assert_eq!(
+            decode_message(&bad).unwrap_err(),
+            CodecError::CorruptField("replicate")
+        );
+        // Ack with a bad bool.
+        let bytes = encode_message(&Message::Ack { seq: 1, ok: true }).unwrap();
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() = 9;
+        assert_eq!(
+            decode_message(&bad).unwrap_err(),
+            CodecError::CorruptField("ok")
+        );
     }
 }

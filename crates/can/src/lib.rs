@@ -40,7 +40,10 @@ pub mod repair;
 pub mod zone;
 pub mod zoneindex;
 
-pub use codec::{decode_object, decode_query, encode_object, encode_query, CodecError};
+pub use codec::{
+    decode_message, decode_object, decode_query, encode_message, encode_object, encode_query,
+    object_wire_len, query_wire_len, CodecError, Message,
+};
 pub use keymap::KeyMap;
 pub use ops::{InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
 pub use overlay::{CanConfig, CanNode, CanOverlay, RouteOutcome, RouteResult};

@@ -338,6 +338,12 @@ impl HypermNetwork {
         self.subspaces.len()
     }
 
+    /// Original-space data dimensionality (what queries and items must
+    /// match).
+    pub fn data_dim(&self) -> usize {
+        self.config.data_dim
+    }
+
     /// The subspace of a level.
     pub fn subspace(&self, level: usize) -> Subspace {
         self.subspaces[level]
@@ -351,6 +357,44 @@ impl HypermNetwork {
     /// Mutably borrow a level's overlay (used by maintenance).
     pub(crate) fn overlay_mut(&mut self, level: usize) -> &mut Overlay {
         &mut self.overlays[level]
+    }
+
+    /// Transport entry point: publish a raw sphere `object` into the
+    /// level-`level` overlay. Unlike the internal publication paths this
+    /// validates every field — the object may have been decoded from an
+    /// untrusted frame — and returns `None` (instead of panicking) when
+    /// the level is out of range, the centre dimensionality does not match
+    /// the overlay, a coordinate is non-finite, or the publishing peer is
+    /// unknown or dead.
+    pub fn publish_object(
+        &mut self,
+        level: usize,
+        object: hyperm_can::StoredObject,
+        replicate: bool,
+    ) -> Option<hyperm_can::InsertOutcome> {
+        if level >= self.levels() {
+            return None;
+        }
+        if object.centre.len() != self.overlay(level).dim() {
+            return None;
+        }
+        if !object.centre.iter().all(|c| c.is_finite())
+            || !object.radius.is_finite()
+            || object.radius < 0.0
+        {
+            return None;
+        }
+        if object.payload.peer >= self.len() || !self.is_alive(object.payload.peer) {
+            return None;
+        }
+        let from = NodeId(object.payload.peer);
+        Some(self.overlay_mut(level).insert_sphere(
+            from,
+            object.centre,
+            object.radius,
+            object.payload,
+            replicate,
+        ))
     }
 
     /// Borrow a level's key map.

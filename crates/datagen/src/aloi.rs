@@ -102,7 +102,9 @@ fn class_base_histogram(bins: usize, rng: &mut StdRng) -> Vec<f64> {
     let bumps = rng.gen_range(2..=4);
     for _ in 0..bumps {
         let centre = rng.gen_range(0.0..bins as f64);
-        let width = rng.gen_range(1.5..(bins as f64 / 8.0));
+        // Clamp so few-bin histograms don't invert the range (the clamp
+        // only binds for bins < 16, leaving larger workloads unchanged).
+        let width = rng.gen_range(1.5..(bins as f64 / 8.0).max(2.0));
         let weight = rng.gen_range(0.5..2.0);
         for (b, v) in h.iter_mut().enumerate() {
             // Circular distance on the hue wheel.

@@ -18,6 +18,7 @@ pub const FACADE_CRATES: &[&str] = &[
     "geometry",
     "sim",
     "telemetry",
+    "transport",
 ];
 
 /// Run the pass. `root` is the workspace root.

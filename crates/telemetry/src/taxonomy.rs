@@ -32,6 +32,10 @@ pub mod names {
     pub const REPAIR_STEP: &str = "repair_step";
     /// Lifetime of an injected underlay partition (ends at heal).
     pub const PARTITION: &str = "partition";
+    /// Lifetime of one transport endpoint (bind → close).
+    pub const TRANSPORT: &str = "transport";
+    /// One request served by a node runtime (recv → reply sent).
+    pub const SERVE: &str = "serve";
 
     // ---- instants -------------------------------------------------------
 
@@ -69,6 +73,20 @@ pub mod names {
     pub const PUBLISH_RETRY: &str = "publish_retry";
     /// A publish exceeded its attempt budget and was abandoned.
     pub const PUBLISH_ABANDONED: &str = "publish_abandoned";
+    /// A frame was sent by a transport endpoint.
+    pub const FRAME_TX: &str = "frame_tx";
+    /// A frame was received by a transport endpoint.
+    pub const FRAME_RX: &str = "frame_rx";
+    /// A frame was rejected (undecodable, oversized, or unroutable).
+    pub const FRAME_DROP: &str = "frame_drop";
+    /// A bounded inbox blocked or refused a sender (backpressure).
+    pub const BACKPRESSURE: &str = "backpressure";
+    /// A transport connection was established.
+    pub const CONNECT: &str = "connect";
+    /// A transport connection closed.
+    pub const DISCONNECT: &str = "disconnect";
+    /// A node runtime relayed a request/reply on behalf of another peer.
+    pub const FORWARD: &str = "forward";
 
     /// Every canonical name. `hyperm-lint` loads this slice at run time,
     /// so an emit site can only name events listed here.
@@ -97,6 +115,15 @@ pub mod names {
         HEAL,
         PUBLISH_RETRY,
         PUBLISH_ABANDONED,
+        TRANSPORT,
+        SERVE,
+        FRAME_TX,
+        FRAME_RX,
+        FRAME_DROP,
+        BACKPRESSURE,
+        CONNECT,
+        DISCONNECT,
+        FORWARD,
     ];
 
     /// The span subset of [`ALL`] (everything else is an instant).
@@ -108,6 +135,8 @@ pub mod names {
         REFRESH,
         REPAIR_STEP,
         PARTITION,
+        TRANSPORT,
+        SERVE,
     ];
 }
 
@@ -163,6 +192,6 @@ mod tests {
         }
         assert_eq!(names::OVERLAY_LOOKUP, "overlay_lookup");
         assert_eq!(names::PUBLISH_ABANDONED, "publish_abandoned");
-        assert_eq!(names::ALL.len(), 24);
+        assert_eq!(names::ALL.len(), 33);
     }
 }

@@ -1,0 +1,118 @@
+//! Length-prefixed framing of [`Message`] bodies over byte streams.
+//!
+//! ```text
+//! frame: len u32 (little-endian, body length) | body (kind u8 | payload)
+//! ```
+//!
+//! The length prefix is wire-derived and therefore untrusted: it is
+//! checked against [`MAX_FRAME`] *before* the body buffer is allocated,
+//! mirroring the codec's own pre-validation discipline. Everything past
+//! the prefix is `hyperm_can::codec`'s message encoding, so corrupt
+//! bodies surface as typed [`CodecError`]s, never panics.
+
+use hyperm_can::codec::{decode_message, encode_message};
+use hyperm_can::Message;
+
+use crate::TransportError;
+use std::io::{Read, Write};
+
+/// Largest accepted frame body, in bytes. Generous for every legitimate
+/// message (a 65 535-d object record is ~512 KiB; `Join` carries whole
+/// collections) while still bounding what a hostile length prefix can
+/// make a reader allocate.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Encode `msg` and write it as one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<usize, TransportError> {
+    let body = encode_message(msg).map_err(TransportError::Codec)?;
+    if body.len() > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge(body.len()));
+    }
+    let len = u32::try_from(body.len()).map_err(|_| TransportError::FrameTooLarge(body.len()))?;
+    w.write_all(&len.to_le_bytes())
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    w.write_all(&body)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    w.flush().map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(4 + body.len())
+}
+
+/// Read one length-prefixed frame and decode its body.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Message, TransportError> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    decode_message(&body).map_err(TransportError::Codec)
+}
+
+/// Encoded frame length (prefix + body) of a message, for byte
+/// accounting. Errors if the message is unencodable.
+pub fn frame_len(msg: &Message) -> Result<u64, TransportError> {
+    let body = encode_message(msg).map_err(TransportError::Codec)?;
+    Ok(4 + body.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Message::Query {
+            centre: vec![0.25, 0.5],
+            eps: 0.125,
+            budget: u32::MAX,
+        };
+        let mut buf = Vec::new();
+        let n = write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(n, buf.len());
+        assert_eq!(n as u64, frame_len(&msg).unwrap());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            TransportError::FrameTooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let msg = Message::Monitor;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        buf.pop();
+        buf[0] = 2; // still claims 2-byte body, stream has 1
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_body_is_codec_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(250); // unknown kind
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            TransportError::Codec(_)
+        ));
+    }
+}

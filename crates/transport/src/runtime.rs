@@ -1,0 +1,643 @@
+//! The node runtime: serving the Hyper-M message protocol over any
+//! [`Transport`], plus the request/response [`Client`] the CLI bins use.
+//!
+//! Deployment shape (the chordht-style node/client/monitor split): one
+//! **head** node owns the [`HypermNetwork`] — the overlay state the
+//! single-process simulator always owned — and serves every protocol
+//! request against it, running exactly the same entry points
+//! (`range_query`, `insert_item`, `join_peer`, …) a direct caller would,
+//! so transport-mediated answers are bit-identical to in-process ones
+//! (asserted by the `transport_equivalence` test). **Member** nodes hold
+//! a transport address and relay protocol traffic to the head; they join
+//! the overlay with [`NodeRuntime::join_network`], which ships their
+//! collection in a `Join` frame. Clients may connect to *any* node:
+//! members forward requests head-ward and relay the replies back, so the
+//! cluster behaves as one service.
+//!
+//! Every inbound frame was decoded by the hardened codec, but the
+//! runtime still validates semantics (levels in range, dimensions
+//! matching, peers alive) before touching the network — a remote frame
+//! must never be able to panic a node.
+
+use crate::{Envelope, PeerId, Transport, TransportError};
+use hyperm_can::codec::kind;
+use hyperm_can::{Message, StoredObject};
+use hyperm_cluster::Dataset;
+use hyperm_core::{HypermNetwork, InsertPolicy};
+use hyperm_telemetry::{names, JsonObj, Recorder, SpanId};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// What one [`NodeRuntime::serve_one`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// A message was received and handled.
+    Handled,
+    /// Nothing arrived within the timeout.
+    Idle,
+    /// A `Shutdown` request was served; the loop should exit.
+    Shutdown,
+}
+
+/// What this node is in the cluster.
+pub enum Role {
+    /// Owns the [`HypermNetwork`] and answers protocol requests.
+    Head(Box<HypermNetwork>),
+    /// Relays protocol traffic to the head node.
+    Member {
+        /// Transport id of the head node.
+        head: PeerId,
+        /// Overlay peer id assigned by a successful join (if any).
+        peer: Option<u64>,
+    },
+}
+
+/// A protocol server bound to one transport endpoint.
+pub struct NodeRuntime<T: Transport> {
+    transport: T,
+    role: Role,
+    recorder: Recorder,
+    span: SpanId,
+    backlog: VecDeque<Envelope>,
+    /// How long a member waits for the head to answer a forwarded
+    /// request before failing the client with `Ack { ok: false }`.
+    pub forward_timeout: Duration,
+}
+
+impl<T: Transport> NodeRuntime<T> {
+    /// A runtime serving `role` over `transport`.
+    pub fn new(transport: T, role: Role) -> Self {
+        Self {
+            transport,
+            role,
+            recorder: Recorder::disabled(),
+            span: SpanId::NONE,
+            backlog: VecDeque::new(),
+            forward_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Attach a telemetry recorder: the runtime emits a `serve` span per
+    /// handled request and `forward`/`frame_drop` instants. This recorder
+    /// is the *runtime's* — it is deliberately separate from any recorder
+    /// installed in the wrapped [`HypermNetwork`], so transport tracing
+    /// never perturbs the network's own event stream.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The wrapped network (head only).
+    pub fn network(&self) -> Option<&HypermNetwork> {
+        match &self.role {
+            Role::Head(net) => Some(net),
+            Role::Member { .. } => None,
+        }
+    }
+
+    /// The underlying transport endpoint.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The overlay peer id this member joined as (members only).
+    pub fn member_peer(&self) -> Option<u64> {
+        match &self.role {
+            Role::Head(_) => None,
+            Role::Member { peer, .. } => *peer,
+        }
+    }
+
+    /// Member bootstrap: ship `items` to the head in a `Join` frame and
+    /// record the overlay peer id it assigns.
+    pub fn join_network(
+        &mut self,
+        items: &Dataset,
+        timeout: Duration,
+    ) -> Result<u64, TransportError> {
+        let Role::Member { head, .. } = &self.role else {
+            return Err(TransportError::Rejected("head nodes do not join"));
+        };
+        let head = *head;
+        let dim =
+            u16::try_from(items.dim()).map_err(|_| TransportError::Rejected("dim too large"))?;
+        let mut rows = Vec::with_capacity(items.len() * items.dim());
+        for i in 0..items.len() {
+            rows.extend_from_slice(items.row(i));
+        }
+        self.transport.send(
+            head,
+            &Message::Join {
+                peer: self.transport.local(),
+                dim,
+                rows,
+            },
+        )?;
+        let reply = self.await_reply(head, kind::JOIN_ACK, timeout)?;
+        match reply {
+            Message::JoinAck { peer, .. } => {
+                if let Role::Member { peer: slot, .. } = &mut self.role {
+                    *slot = Some(peer);
+                }
+                Ok(peer)
+            }
+            _ => Err(TransportError::Rejected("join refused")),
+        }
+    }
+
+    /// Wait for a `want`-kind (or failure-`Ack`) message from `from`,
+    /// parking unrelated traffic in the backlog for the serve loop.
+    fn await_reply(
+        &mut self,
+        from: PeerId,
+        want: u8,
+        timeout: Duration,
+    ) -> Result<Message, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let env = self.transport.recv_timeout(deadline - now)?;
+            if env.from == from && env.msg.kind() == want {
+                return Ok(env.msg);
+            }
+            if env.from == from {
+                if let Message::Ack { ok: false, .. } = env.msg {
+                    return Err(TransportError::Rejected("request refused by peer"));
+                }
+            }
+            self.backlog.push_back(env);
+        }
+    }
+
+    /// Serve until a `Shutdown` request arrives or the transport closes.
+    pub fn serve_until_shutdown(&mut self) -> Result<(), TransportError> {
+        loop {
+            match self.serve_one(Duration::from_millis(200)) {
+                Ok(ServeOutcome::Shutdown) => return Ok(()),
+                Ok(_) => {}
+                Err(TransportError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Handle at most one inbound message (backlogged traffic first).
+    pub fn serve_one(&mut self, timeout: Duration) -> Result<ServeOutcome, TransportError> {
+        let env = match self.backlog.pop_front() {
+            Some(env) => env,
+            None => match self.transport.recv_timeout(timeout) {
+                Ok(env) => env,
+                Err(TransportError::Timeout) => return Ok(ServeOutcome::Idle),
+                Err(e) => return Err(e),
+            },
+        };
+        let span = self.recorder.span(
+            self.span,
+            names::SERVE,
+            vec![
+                ("from", env.from.into()),
+                ("kind", env.msg.kind_name().into()),
+            ],
+        );
+        let outcome = self.dispatch(env);
+        self.recorder.end(span, names::SERVE, vec![]);
+        outcome
+    }
+
+    fn dispatch(&mut self, env: Envelope) -> Result<ServeOutcome, TransportError> {
+        let Envelope { from, msg } = env;
+        if matches!(msg, Message::Hello { .. }) {
+            return Ok(ServeOutcome::Handled);
+        }
+        if matches!(msg, Message::Shutdown) {
+            let _ = self.transport.send(
+                from,
+                &Message::Ack {
+                    seq: u64::from(kind::SHUTDOWN),
+                    ok: true,
+                },
+            );
+            self.transport.close();
+            return Ok(ServeOutcome::Shutdown);
+        }
+        if matches!(msg, Message::Monitor) {
+            let json = self.monitor_json();
+            let _ = self.transport.send(from, &Message::MonitorAck { json });
+            return Ok(ServeOutcome::Handled);
+        }
+        let request_kind = msg.kind();
+        match &mut self.role {
+            Role::Head(net) => {
+                match Message::reply_kind_of(request_kind) {
+                    Some(expected) => {
+                        let reply = handle_on_network(net, msg).unwrap_or(Message::Ack {
+                            seq: u64::from(expected),
+                            ok: false,
+                        });
+                        let _ = self.transport.send(from, &reply);
+                    }
+                    // A reply or unsolicited ack landed at the head:
+                    // nothing awaits it, drop it visibly.
+                    None => {
+                        self.recorder.event(
+                            self.span,
+                            names::FRAME_DROP,
+                            vec![("from", from.into()), ("kind", msg.kind_name().into())],
+                        );
+                    }
+                }
+                Ok(ServeOutcome::Handled)
+            }
+            Role::Member { head, .. } => {
+                let head = *head;
+                match Message::reply_kind_of(request_kind) {
+                    Some(expected) if from != head => {
+                        // A client request: relay head-ward and pipe the
+                        // answer back.
+                        self.recorder.event(
+                            self.span,
+                            names::FORWARD,
+                            vec![("from", from.into()), ("kind", msg.kind_name().into())],
+                        );
+                        let reply = self
+                            .transport
+                            .send(head, &msg)
+                            .and_then(|()| self.await_reply(head, expected, self.forward_timeout))
+                            .unwrap_or(Message::Ack {
+                                seq: u64::from(expected),
+                                ok: false,
+                            });
+                        let _ = self.transport.send(from, &reply);
+                    }
+                    _ => {
+                        self.recorder.event(
+                            self.span,
+                            names::FRAME_DROP,
+                            vec![("from", from.into()), ("kind", msg.kind_name().into())],
+                        );
+                    }
+                }
+                Ok(ServeOutcome::Handled)
+            }
+        }
+    }
+
+    /// Live overlay state as JSON: role, membership, and per-level zones,
+    /// neighbour lists and summary counts (heads); role and head address
+    /// (members).
+    pub fn monitor_json(&self) -> String {
+        let mut obj = JsonObj::new().u("transport_peer", self.transport.local());
+        match &self.role {
+            Role::Member { head, peer } => {
+                obj = obj.s("role", "member").u("head", *head);
+                if let Some(p) = peer {
+                    obj = obj.u("overlay_peer", *p);
+                }
+            }
+            Role::Head(net) => {
+                obj = obj
+                    .s("role", "head")
+                    .u("members", net.len() as u64)
+                    .u("levels", net.levels() as u64)
+                    .u("data_dim", net.data_dim() as u64);
+                let mut overlays = Vec::with_capacity(net.levels());
+                for l in 0..net.levels() {
+                    let ov = net.overlay(l);
+                    let mut level_obj = JsonObj::new()
+                        .u("level", l as u64)
+                        .u("dim", ov.dim() as u64)
+                        .u(
+                            "summaries",
+                            ov.stored_items_per_node().iter().copied().sum::<u64>(),
+                        );
+                    if let Some(can) = ov.as_can() {
+                        level_obj = level_obj.u("alive", can.alive_count() as u64);
+                        let nodes: Vec<String> = can
+                            .nodes()
+                            .map(|n| {
+                                JsonObj::new()
+                                    .u("id", n.id.0 as u64)
+                                    .b("alive", n.alive)
+                                    .raw("zone_lo", render_coords(n.zone.lo()))
+                                    .raw("zone_hi", render_coords(n.zone.hi()))
+                                    .raw(
+                                        "neighbours",
+                                        format!(
+                                            "[{}]",
+                                            n.neighbours
+                                                .iter()
+                                                .map(|p| p.0.to_string())
+                                                .collect::<Vec<_>>()
+                                                .join(",")
+                                        ),
+                                    )
+                                    .u("stored", n.store.len() as u64)
+                                    .render()
+                            })
+                            .collect();
+                        level_obj = level_obj.arr("nodes", &nodes);
+                    }
+                    overlays.push(level_obj.render());
+                }
+                obj = obj.arr("overlays", &overlays);
+            }
+        }
+        obj.render_pretty()
+    }
+}
+
+fn render_coords(v: &[f64]) -> String {
+    format!(
+        "[{}]",
+        v.iter()
+            .map(|x| format!("{x:.6}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// The first alive peer, for use as routing/query origin when the
+/// requester is a client with no overlay presence.
+fn entry_peer(net: &HypermNetwork) -> Option<usize> {
+    (0..net.len()).find(|&p| net.is_alive(p))
+}
+
+/// Serve one protocol request against the network. `None` = the request
+/// was invalid (bad level/dimension/peer) and becomes a failure ack.
+/// Every call here is the same public entry point an in-process caller
+/// would use — this function adds validation, never behaviour.
+fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
+    match msg {
+        Message::Join { dim, rows, .. } => {
+            if dim == 0 || usize::from(dim) != net.data_dim() {
+                return None;
+            }
+            if !rows.iter().all(|x| x.is_finite()) {
+                return None;
+            }
+            let items = Dataset::from_flat(rows, usize::from(dim));
+            let report = net.join_peer(items).ok()?;
+            Some(Message::JoinAck {
+                peer: report.peer as u64,
+                members: net.len() as u64,
+            })
+        }
+        Message::Route { level, key } => {
+            let l = usize::from(level);
+            if l >= net.levels() || key.len() != net.overlay(l).dim() {
+                return None;
+            }
+            let owner = net.overlay(l).as_can()?.try_owner_of(&key)?;
+            Some(Message::RouteAck {
+                level,
+                owner: owner.0 as u64,
+            })
+        }
+        Message::Publish {
+            level,
+            replicate,
+            object,
+        } => {
+            let object_id = object.id;
+            let out = net.publish_object(usize::from(level), object, replicate)?;
+            Some(Message::PublishAck {
+                level,
+                object_id,
+                replicas: u32::try_from(out.replicas).unwrap_or(u32::MAX),
+                targets: u32::try_from(out.targets).unwrap_or(u32::MAX),
+            })
+        }
+        Message::Put {
+            peer,
+            item,
+            republish,
+        } => {
+            let p = usize::try_from(peer).ok()?;
+            if p >= net.len() || !net.is_alive(p) || item.len() != net.data_dim() {
+                return None;
+            }
+            if !item.iter().all(|x| x.is_finite()) {
+                return None;
+            }
+            let index = net.peer(p).items.len() as u64;
+            let policy = if republish {
+                InsertPolicy::Republish
+            } else {
+                InsertPolicy::StaleSummaries
+            };
+            net.insert_item(p, &item, policy);
+            Some(Message::PutAck { peer, index })
+        }
+        Message::Get { level, key } => {
+            let l = usize::from(level);
+            if l >= net.levels() || key.len() != net.overlay(l).dim() {
+                return None;
+            }
+            if !key.iter().all(|x| x.is_finite()) {
+                return None;
+            }
+            let from = hyperm_sim::NodeId(entry_peer(net)?);
+            let (objects, _stats) = net.overlay(l).point_lookup(from, &key);
+            Some(Message::GetAck { level, objects })
+        }
+        Message::Query {
+            centre,
+            eps,
+            budget,
+        } => {
+            if centre.len() != net.data_dim() {
+                return None;
+            }
+            let from_peer = entry_peer(net)?;
+            let peer_budget = if budget == u32::MAX {
+                None
+            } else {
+                Some(budget as usize)
+            };
+            let res = net.range_query(from_peer, &centre, eps, peer_budget);
+            Some(Message::QueryAck {
+                items: res
+                    .items
+                    .iter()
+                    .map(|&(p, i)| (p as u64, i as u64))
+                    .collect(),
+                hops: res.stats.hops,
+                messages: res.stats.messages,
+                bytes: res.stats.bytes,
+            })
+        }
+        Message::Fetch { peer, centre, eps } => {
+            let p = usize::try_from(peer).ok()?;
+            if p >= net.len() || !net.is_alive(p) || centre.len() != net.data_dim() {
+                return None;
+            }
+            let indices = net
+                .peer(p)
+                .local_range(&centre, eps)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            Some(Message::FetchAck { peer, indices })
+        }
+        // Hello/Monitor/Shutdown are handled before dispatch; replies
+        // have no reply_kind and never reach here.
+        _ => None,
+    }
+}
+
+/// Request/response wrapper over a [`Transport`]: what `hyperm-client`
+/// and `hyperm-monitor` (and the integration tests) speak.
+pub struct Client<T: Transport> {
+    transport: T,
+    node: PeerId,
+    /// Per-request timeout.
+    pub timeout: Duration,
+}
+
+impl<T: Transport> Client<T> {
+    /// A client whose requests go to transport peer `node`.
+    pub fn new(transport: T, node: PeerId) -> Self {
+        Self {
+            transport,
+            node,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// The underlying transport endpoint.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    fn request(&self, msg: &Message) -> Result<Message, TransportError> {
+        let expected = Message::reply_kind_of(msg.kind())
+            .ok_or(TransportError::Rejected("not a request message"))?;
+        self.transport.send(self.node, msg)?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let env = self.transport.recv_timeout(deadline - now)?;
+            if env.from != self.node {
+                continue;
+            }
+            if env.msg.kind() == expected {
+                return Ok(env.msg);
+            }
+            if let Message::Ack { ok: false, .. } = env.msg {
+                return Err(TransportError::Rejected("request refused by node"));
+            }
+        }
+    }
+
+    /// Insert `item` into peer `peer`'s collection. Returns the item's
+    /// new local index.
+    pub fn put(&self, peer: u64, item: &[f64], republish: bool) -> Result<u64, TransportError> {
+        match self.request(&Message::Put {
+            peer,
+            item: item.to_vec(),
+            republish,
+        })? {
+            Message::PutAck { index, .. } => Ok(index),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Stored summary spheres covering `key` in the level-`level` overlay.
+    pub fn get(&self, level: u16, key: &[f64]) -> Result<Vec<StoredObject>, TransportError> {
+        match self.request(&Message::Get {
+            level,
+            key: key.to_vec(),
+        })? {
+            Message::GetAck { objects, .. } => Ok(objects),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Range query: items within `eps` of `centre`, as
+    /// `(peer, local index)` pairs, plus `(hops, messages, bytes)` cost.
+    #[allow(clippy::type_complexity)]
+    pub fn query(
+        &self,
+        centre: &[f64],
+        eps: f64,
+        budget: Option<u32>,
+    ) -> Result<(Vec<(u64, u64)>, (u64, u64, u64)), TransportError> {
+        match self.request(&Message::Query {
+            centre: centre.to_vec(),
+            eps,
+            budget: budget.unwrap_or(u32::MAX),
+        })? {
+            Message::QueryAck {
+                items,
+                hops,
+                messages,
+                bytes,
+            } => Ok((items, (hops, messages, bytes))),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Who owns `key` at overlay level `level`.
+    pub fn route(&self, level: u16, key: &[f64]) -> Result<u64, TransportError> {
+        match self.request(&Message::Route {
+            level,
+            key: key.to_vec(),
+        })? {
+            Message::RouteAck { owner, .. } => Ok(owner),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Publish a raw sphere object. Returns `(replicas, targets)`.
+    pub fn publish(
+        &self,
+        level: u16,
+        object: StoredObject,
+        replicate: bool,
+    ) -> Result<(u32, u32), TransportError> {
+        match self.request(&Message::Publish {
+            level,
+            replicate,
+            object,
+        })? {
+            Message::PublishAck {
+                replicas, targets, ..
+            } => Ok((replicas, targets)),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Direct phase-2 fetch from one peer's collection.
+    pub fn fetch(&self, peer: u64, centre: &[f64], eps: f64) -> Result<Vec<u64>, TransportError> {
+        match self.request(&Message::Fetch {
+            peer,
+            centre: centre.to_vec(),
+            eps,
+        })? {
+            Message::FetchAck { indices, .. } => Ok(indices),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// The node's live overlay state as JSON.
+    pub fn monitor(&self) -> Result<String, TransportError> {
+        match self.request(&Message::Monitor)? {
+            Message::MonitorAck { json } => Ok(json),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// Ask the node to shut down; waits for its ack.
+    pub fn shutdown(&self) -> Result<(), TransportError> {
+        match self.request(&Message::Shutdown)? {
+            Message::Ack { ok: true, .. } => Ok(()),
+            _ => Err(TransportError::Rejected("shutdown refused")),
+        }
+    }
+}

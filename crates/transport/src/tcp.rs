@@ -1,0 +1,356 @@
+//! Loopback/LAN TCP transport with length-prefixed frames.
+//!
+//! One [`TcpEndpoint`] per process: it binds a listener, spawns an accept
+//! thread, and gives every connection a reader thread that decodes frames
+//! ([`crate::frame`]) into the endpoint's bounded inbox. The first frame
+//! on every connection must be [`Message::Hello`] naming the sender —
+//! that id stamps all subsequent envelopes from the connection, and
+//! registers its write half so replies can be addressed by peer id.
+//!
+//! Outbound connections open on demand: `send(to, …)` uses a registered
+//! route (`add_route`) when no connection to `to` exists yet, and sends
+//! its own `Hello` first. Backpressure: a reader thread whose inbox is
+//! full *blocks* (it stops reading the socket), so the kernel's receive
+//! window fills and the remote writer stalls — bounded buffering end to
+//! end, no unbounded queues.
+
+use crate::frame::{read_frame, write_frame};
+use crate::mailbox::{Mailbox, RecvError};
+use crate::{Envelope, PeerId, Transport, TransportError};
+use hyperm_can::Message;
+use hyperm_telemetry::{names, Recorder, SpanId};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default inbox bound (frames, not bytes).
+pub const DEFAULT_INBOX: usize = 256;
+
+struct Shared {
+    id: PeerId,
+    inbox: Mailbox<Envelope>,
+    /// Write halves of live connections, by announced peer id.
+    conns: Mutex<BTreeMap<PeerId, TcpStream>>,
+    /// Dial addresses for peers we may need to connect to.
+    routes: Mutex<BTreeMap<PeerId, SocketAddr>>,
+    closed: AtomicBool,
+    recorder: Recorder,
+    span: SpanId,
+}
+
+impl Shared {
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, BTreeMap<PeerId, TcpStream>> {
+        match self.conns.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn lock_routes(&self) -> std::sync::MutexGuard<'_, BTreeMap<PeerId, SocketAddr>> {
+        match self.routes.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Serve one accepted or dialed connection: handshake (inbound only),
+    /// then pump frames into the inbox until EOF/close.
+    fn run_reader(self: &Arc<Self>, stream: TcpStream, announced: Option<PeerId>) {
+        let peer = match announced {
+            Some(p) => p,
+            None => {
+                // Inbound connection: the first frame must be Hello.
+                let mut r = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                match read_frame(&mut r) {
+                    Ok(Message::Hello { peer }) => {
+                        self.register(peer, &stream);
+                        self.pump(peer, r);
+                        return;
+                    }
+                    Ok(_) | Err(_) => {
+                        self.recorder.event(
+                            self.span,
+                            names::FRAME_DROP,
+                            vec![("reason", "no_hello".into())],
+                        );
+                        return;
+                    }
+                }
+            }
+        };
+        let r = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        self.register(peer, &stream);
+        self.pump(peer, r);
+    }
+
+    fn register(&self, peer: PeerId, stream: &TcpStream) {
+        if let Ok(write_half) = stream.try_clone() {
+            self.lock_conns().insert(peer, write_half);
+            self.recorder
+                .event(self.span, names::CONNECT, vec![("peer", peer.into())]);
+        }
+    }
+
+    fn pump(&self, peer: PeerId, mut r: BufReader<TcpStream>) {
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                break;
+            }
+            match read_frame(&mut r) {
+                Ok(msg) => {
+                    self.recorder
+                        .event(self.span, names::FRAME_RX, vec![("from", peer.into())]);
+                    // Blocking push: a full inbox stops this reader, the
+                    // socket buffer fills, and TCP flow control pushes
+                    // back on the remote writer.
+                    if self
+                        .inbox
+                        .send_blocking(Envelope { from: peer, msg })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(TransportError::Codec(_)) | Err(TransportError::FrameTooLarge(_)) => {
+                    // Undecodable peer: drop the connection, not the node.
+                    self.recorder
+                        .event(self.span, names::FRAME_DROP, vec![("from", peer.into())]);
+                    break;
+                }
+                Err(_) => break, // EOF or socket error
+            }
+        }
+        self.lock_conns().remove(&peer);
+        self.recorder
+            .event(self.span, names::DISCONNECT, vec![("peer", peer.into())]);
+    }
+}
+
+/// A TCP transport endpoint (listener + connection pool + bounded inbox).
+pub struct TcpEndpoint {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+impl TcpEndpoint {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) as peer `id` and start accepting.
+    pub fn bind(id: PeerId, addr: &str) -> Result<Self, TransportError> {
+        Self::bind_traced(id, addr, DEFAULT_INBOX, Recorder::disabled())
+    }
+
+    /// [`TcpEndpoint::bind`] with an explicit inbox bound and a telemetry
+    /// recorder for `connect`/`disconnect`/`frame_*` events.
+    pub fn bind_traced(
+        id: PeerId,
+        addr: &str,
+        inbox_capacity: usize,
+        recorder: Recorder,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let span = recorder.span(SpanId::NONE, names::TRANSPORT, vec![("peer", id.into())]);
+        let shared = Arc::new(Shared {
+            id,
+            inbox: Mailbox::bounded(inbox_capacity),
+            conns: Mutex::new(BTreeMap::new()),
+            routes: Mutex::new(BTreeMap::new()),
+            closed: AtomicBool::new(false),
+            recorder,
+            span,
+        });
+        let accept_shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.closed.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || conn_shared.run_reader(stream, None));
+            }
+        });
+        Ok(Self { shared, local_addr })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Register where `peer` can be dialed. `send` connects on demand.
+    pub fn add_route(&self, peer: PeerId, addr: SocketAddr) {
+        self.shared.lock_routes().insert(peer, addr);
+    }
+
+    /// Dial `peer` now (handshaking with `Hello`) instead of waiting for
+    /// the first send. Also registers the route.
+    pub fn connect(&self, peer: PeerId, addr: SocketAddr) -> Result<(), TransportError> {
+        self.add_route(peer, addr);
+        self.ensure_conn(peer)?;
+        Ok(())
+    }
+
+    fn ensure_conn(&self, peer: PeerId) -> Result<TcpStream, TransportError> {
+        if let Some(s) = self.shared.lock_conns().get(&peer) {
+            if let Ok(clone) = s.try_clone() {
+                return Ok(clone);
+            }
+        }
+        let addr = self
+            .shared
+            .lock_routes()
+            .get(&peer)
+            .copied()
+            .ok_or(TransportError::UnknownPeer(peer))?;
+        let mut stream = TcpStream::connect(addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        write_frame(
+            &mut stream,
+            &Message::Hello {
+                peer: self.shared.id,
+            },
+        )?;
+        let reader_stream = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let shared = Arc::clone(&self.shared);
+        std::thread::spawn(move || shared.run_reader(reader_stream, Some(peer)));
+        let clone = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        self.shared.lock_conns().insert(peer, stream);
+        self.shared.recorder.event(
+            self.shared.span,
+            names::CONNECT,
+            vec![("peer", peer.into())],
+        );
+        Ok(clone)
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn local(&self) -> PeerId {
+        self.shared.id
+    }
+
+    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(TransportError::Closed);
+        }
+        let mut stream = self.ensure_conn(to)?;
+        match write_frame(&mut stream, msg) {
+            Ok(n) => {
+                self.shared.recorder.event(
+                    self.shared.span,
+                    names::FRAME_TX,
+                    vec![("to", to.into()), ("bytes", (n as u64).into())],
+                );
+                Ok(())
+            }
+            Err(e) => {
+                // The pooled connection died; drop it so the next send
+                // redials.
+                self.shared.lock_conns().remove(&to);
+                Err(e)
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {
+        match self.shared.inbox.recv_timeout(timeout) {
+            Ok(env) => Ok(env),
+            Err(RecvError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvError::Closed) => Err(TransportError::Closed),
+        }
+    }
+
+    fn peers(&self) -> Vec<PeerId> {
+        let mut ids: Vec<PeerId> = self.shared.lock_conns().keys().copied().collect();
+        for &p in self.shared.lock_routes().keys() {
+            if !ids.contains(&p) {
+                ids.push(p);
+            }
+        }
+        ids.sort_unstable();
+        ids.retain(|&p| p != self.shared.id);
+        ids
+    }
+
+    fn close(&self) {
+        if self.shared.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.inbox.close();
+        let conns = std::mem::take(&mut *self.shared.lock_conns());
+        for (_, s) in conns {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the accept thread so it observes `closed` and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared
+            .recorder
+            .end(self.shared.span, names::TRANSPORT, vec![]);
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip_with_hello_handshake() {
+        let a = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        let b = TcpEndpoint::bind(2, "127.0.0.1:0").unwrap();
+        a.add_route(2, b.local_addr());
+        a.send(2, &Message::Ack { seq: 5, ok: true }).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, 1);
+        assert_eq!(env.msg, Message::Ack { seq: 5, ok: true });
+        // b can reply over the same connection without a route to a.
+        b.send(1, &Message::Ack { seq: 6, ok: false }).unwrap();
+        let env = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.from, 2);
+        assert_eq!(env.msg, Message::Ack { seq: 6, ok: false });
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn send_without_route_is_unknown_peer() {
+        let a = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        assert_eq!(
+            a.send(9, &Message::Monitor).unwrap_err(),
+            TransportError::UnknownPeer(9)
+        );
+    }
+
+    #[test]
+    fn closed_endpoint_refuses() {
+        let a = TcpEndpoint::bind(1, "127.0.0.1:0").unwrap();
+        a.close();
+        assert_eq!(
+            a.send(1, &Message::Monitor).unwrap_err(),
+            TransportError::Closed
+        );
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            TransportError::Closed
+        );
+    }
+}

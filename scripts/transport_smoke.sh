@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Transport smoke test: boot a 3-node loopback cluster with the real
+# binaries (1 head + 2 members), drive put/get/query through both the
+# head and a member (exercising request forwarding), check the monitor
+# dump, and shut every node down cleanly via the protocol.
+#
+# Requires release binaries (cargo build --release). Run from the repo
+# root: bash scripts/transport_smoke.sh
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+HEAD=127.0.0.1:7451
+M1=127.0.0.1:7452
+M2=127.0.0.1:7453
+DIM=8
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() { echo "transport_smoke: FAIL: $1" >&2; exit 1; }
+
+# Poll a log file for a marker line.
+await() { # await <file> <pattern> <what>
+  for _ in $(seq 1 100); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "--- $1 ---" >&2; cat "$1" >&2 || true
+  fail "timed out waiting for $3"
+}
+
+# One JSON object per client call; every call must report ok:true.
+# Callers capture with $(client ...) and grep the result — never pipe
+# this function into `grep -q` (early-exit SIGPIPE + pipefail = flake).
+client() { # client <args...>
+  local out
+  out=$("$BIN/hyperm-client" "$@")
+  echo "$out"
+  echo "$out" >&2
+  case "$out" in *'"ok": true'*) ;; *) fail "client $* -> $out" ;; esac
+}
+
+echo "== booting head ($HEAD) and members ($M1, $M2)"
+"$BIN/hyperm-node" head --listen "$HEAD" --peers 3 --items 20 --dim $DIM \
+  --levels 3 >"$WORK/head.log" 2>&1 &
+await "$WORK/head.log" "listening on" "head to bind"
+
+"$BIN/hyperm-node" member --listen "$M1" --head "$HEAD" --id 1 --items 20 \
+  --dim $DIM >"$WORK/m1.log" 2>&1 &
+await "$WORK/m1.log" "joined as overlay peer" "member 1 to join"
+
+"$BIN/hyperm-node" member --listen "$M2" --head "$HEAD" --id 2 --items 20 \
+  --dim $DIM >"$WORK/m2.log" 2>&1 &
+await "$WORK/m2.log" "joined as overlay peer" "member 2 to join"
+
+ITEM="0.3,0.3,0.3,0.3,0.3,0.3,0.3,0.3"
+
+echo "== put a fresh item on peer 0 (via the head)"
+OUT=$(client put --node "$HEAD" --peer 0 --item "$ITEM" --republish)
+case "$OUT" in *'"index": 20'*) ;; *) fail "expected the put item at index 20" ;; esac
+
+echo "== query centred on the put item via the head: must retrieve it"
+OUT=$(client query --node "$HEAD" --centre "$ITEM" --eps 0.05)
+case "$OUT" in *'[0,20]'*) ;; *) fail "head query missed the put item (recall < 1)" ;; esac
+
+echo "== same query forwarded through member 1: identical recall"
+OUT=$(client query --node "$M1" --centre "$ITEM" --eps 0.05)
+case "$OUT" in *'[0,20]'*) ;; *) fail "member-forwarded query missed the put item" ;; esac
+
+echo "== monitor: head reports all 5 overlay members"
+MON=$("$BIN/hyperm-monitor" --node "$HEAD")
+echo "$MON" | grep -q '"role": "head"' || fail "monitor role: $MON"
+echo "$MON" | grep -q '"members": 5' || fail "monitor members: $MON"
+
+echo "== get: level-0 summary spheres (key in the level's subspace)"
+L0DIM=$(echo "$MON" | grep -o '"dim": [0-9]*' | head -1 | grep -o '[0-9]*')
+KEY=$(seq $L0DIM | sed 's/.*/0.5/' | paste -sd, -)
+client get --node "$HEAD" --level 0 --key "$KEY" >/dev/null
+
+echo "== clean protocol shutdown, members first"
+client shutdown --node "$M2" >/dev/null
+client shutdown --node "$M1" >/dev/null
+client shutdown --node "$HEAD" >/dev/null
+await "$WORK/m2.log" "shut down cleanly" "member 2 shutdown"
+await "$WORK/m1.log" "shut down cleanly" "member 1 shutdown"
+await "$WORK/head.log" "shut down cleanly" "head shutdown"
+wait
+
+echo "transport_smoke: PASS"

@@ -1,0 +1,215 @@
+//! `hyperm-client` — put/get/query CLI against a running `hyperm-node`.
+//!
+//! ```text
+//! hyperm-client put      --node ADDR --peer P --item V1,V2,... [--republish]
+//! hyperm-client get      --node ADDR --level L --key V1,V2,...
+//! hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B]
+//! hyperm-client fetch    --node ADDR --peer P --centre V1,V2,... --eps E
+//! hyperm-client route    --node ADDR --level L --key V1,V2,...
+//! hyperm-client shutdown --node ADDR
+//! hyperm-client help
+//! ```
+//!
+//! Every subcommand prints a single JSON object, so output is scriptable
+//! (the CI transport smoke job parses it).
+
+use hyperm::telemetry::JsonObj;
+use hyperm::transport::{Client, TcpEndpoint};
+use std::collections::HashMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "help".into());
+    let opts = parse_flags(args.collect());
+    if cmd == "help" {
+        help();
+        return;
+    }
+    let client = match connect(&opts) {
+        Ok(c) => c,
+        Err(e) => return fail(&cmd, &e),
+    };
+    let result = match cmd.as_str() {
+        "put" => put(&client, &opts),
+        "get" => get_cmd(&client, &opts),
+        "query" => query(&client, &opts),
+        "fetch" => fetch(&client, &opts),
+        "route" => route(&client, &opts),
+        "shutdown" => client
+            .shutdown()
+            .map(|()| JsonObj::new().b("ok", true))
+            .map_err(|e| e.to_string()),
+        _ => {
+            help();
+            return;
+        }
+    };
+    match result {
+        Ok(obj) => println!("{}", obj.s("cmd", &cmd).render()),
+        Err(e) => fail(&cmd, &e),
+    }
+}
+
+/// Failures are still one parseable JSON object (exit code stays 0; the
+/// smoke scripts branch on the `ok` field).
+fn fail(cmd: &str, err: &str) {
+    println!(
+        "{}",
+        JsonObj::new()
+            .b("ok", false)
+            .s("cmd", cmd)
+            .s("error", err)
+            .render()
+    );
+}
+
+fn parse_flags(raw: Vec<String>) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut it = raw.into_iter().peekable();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("ignoring stray argument {flag:?}");
+            continue;
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
+            _ => "true".into(),
+        };
+        opts.insert(name.to_string(), value);
+    }
+    opts
+}
+
+fn connect(opts: &HashMap<String, String>) -> Result<Client<TcpEndpoint>, String> {
+    let node = opts
+        .get("node")
+        .ok_or_else(|| "--node ADDR is required".to_string())?;
+    let addr = node
+        .parse()
+        .map_err(|e| format!("bad --node address {node}: {e}"))?;
+    // Client transport ids live far above node ids; uniqueness per
+    // process is enough for reply routing.
+    let id = 1_000_000 + u64::from(std::process::id());
+    let endpoint = TcpEndpoint::bind(id, "127.0.0.1:0").map_err(|e| e.to_string())?;
+    endpoint
+        .connect(0, addr)
+        .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
+    Ok(Client::new(endpoint, 0))
+}
+
+fn vector(opts: &HashMap<String, String>, key: &str) -> Result<Vec<f64>, String> {
+    let raw = opts
+        .get(key)
+        .ok_or_else(|| format!("--{key} V1,V2,... is required"))?;
+    raw.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad --{key} component {t:?}: {e}"))
+        })
+        .collect()
+}
+
+fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Result<T, String> {
+    opts.get(key)
+        .ok_or_else(|| format!("--{key} is required"))?
+        .parse()
+        .map_err(|_| format!("bad --{key} value"))
+}
+
+fn put(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+    let peer: u64 = num(opts, "peer")?;
+    let item = vector(opts, "item")?;
+    let republish = opts.contains_key("republish");
+    let index = client
+        .put(peer, &item, republish)
+        .map_err(|e| e.to_string())?;
+    Ok(JsonObj::new()
+        .b("ok", true)
+        .u("peer", peer)
+        .u("index", index)
+        .b("republished", republish))
+}
+
+fn get_cmd(
+    client: &Client<TcpEndpoint>,
+    opts: &HashMap<String, String>,
+) -> Result<JsonObj, String> {
+    let level: u16 = num(opts, "level")?;
+    let key = vector(opts, "key")?;
+    let objects = client.get(level, &key).map_err(|e| e.to_string())?;
+    let rendered: Vec<String> = objects
+        .iter()
+        .map(|o| {
+            JsonObj::new()
+                .u("peer", o.payload.peer as u64)
+                .u("tag", o.payload.tag)
+                .u("items", u64::from(o.payload.items))
+                .g("radius", o.radius)
+                .render()
+        })
+        .collect();
+    Ok(JsonObj::new()
+        .b("ok", true)
+        .u("level", u64::from(level))
+        .u("matches", rendered.len() as u64)
+        .arr("objects", &rendered))
+}
+
+fn query(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+    let centre = vector(opts, "centre")?;
+    let eps: f64 = num(opts, "eps")?;
+    let budget: Option<u32> = opts.get("budget").and_then(|v| v.parse().ok());
+    let (items, (hops, messages, bytes)) = client
+        .query(&centre, eps, budget)
+        .map_err(|e| e.to_string())?;
+    let rendered: Vec<String> = items.iter().map(|&(p, i)| format!("[{p},{i}]")).collect();
+    Ok(JsonObj::new()
+        .b("ok", true)
+        .u("matches", items.len() as u64)
+        .u("hops", hops)
+        .u("messages", messages)
+        .u("bytes", bytes)
+        .arr("items", &rendered))
+}
+
+fn fetch(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+    let peer: u64 = num(opts, "peer")?;
+    let centre = vector(opts, "centre")?;
+    let eps: f64 = num(opts, "eps")?;
+    let indices = client
+        .fetch(peer, &centre, eps)
+        .map_err(|e| e.to_string())?;
+    let rendered: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+    Ok(JsonObj::new()
+        .b("ok", true)
+        .u("peer", peer)
+        .u("matches", indices.len() as u64)
+        .arr("indices", &rendered))
+}
+
+fn route(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+    let level: u16 = num(opts, "level")?;
+    let key = vector(opts, "key")?;
+    let owner = client.route(level, &key).map_err(|e| e.to_string())?;
+    Ok(JsonObj::new()
+        .b("ok", true)
+        .u("level", u64::from(level))
+        .u("owner", owner))
+}
+
+fn help() {
+    println!(
+        "hyperm-client — put/get/query CLI for a running hyperm-node
+
+USAGE:
+  hyperm-client put      --node ADDR --peer P --item V1,V2,... [--republish]
+  hyperm-client get      --node ADDR --level L --key V1,V2,...
+  hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B]
+  hyperm-client fetch    --node ADDR --peer P --centre V1,V2,... --eps E
+  hyperm-client route    --node ADDR --level L --key V1,V2,...
+  hyperm-client shutdown --node ADDR
+
+Output is one JSON object per invocation."
+    );
+}

@@ -1,0 +1,49 @@
+//! `hyperm-monitor` — dump a running node's live overlay state as JSON.
+//!
+//! ```text
+//! hyperm-monitor --node ADDR
+//! ```
+//!
+//! Heads report membership, per-level zones, neighbour lists and summary
+//! counts; members report their role and head address. Output is the
+//! node's `MonitorAck` JSON document, printed verbatim.
+
+use hyperm::telemetry::JsonObj;
+use hyperm::transport::{Client, TcpEndpoint};
+
+fn main() {
+    let mut node = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--node" => node = args.next(),
+            "help" | "--help" => {
+                println!("hyperm-monitor — dump live overlay state\n\nUSAGE:\n  hyperm-monitor --node ADDR");
+                return;
+            }
+            other => eprintln!("ignoring stray argument {other:?}"),
+        }
+    }
+    let Some(node) = node else {
+        eprintln!("hyperm-monitor: --node ADDR is required");
+        return;
+    };
+    match run(&node) {
+        Ok(json) => print!("{json}"),
+        Err(e) => println!("{}", JsonObj::new().b("ok", false).s("error", &e).render()),
+    }
+}
+
+fn run(node: &str) -> Result<String, String> {
+    let addr = node
+        .parse()
+        .map_err(|e| format!("bad --node address {node}: {e}"))?;
+    let id = 2_000_000 + u64::from(std::process::id());
+    let endpoint = TcpEndpoint::bind(id, "127.0.0.1:0").map_err(|e| e.to_string())?;
+    endpoint
+        .connect(0, addr)
+        .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
+    Client::new(endpoint, 0)
+        .monitor()
+        .map_err(|e| e.to_string())
+}

@@ -1,0 +1,199 @@
+//! `hyperm-node` — a Hyper-M node daemon speaking length-prefixed frames
+//! over TCP.
+//!
+//! ```text
+//! hyperm-node head   --listen ADDR [--peers N] [--items M] [--dim D]
+//!                    [--levels L] [--clusters K] [--seed S]
+//! hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D] [--seed S]
+//! hyperm-node help
+//! ```
+//!
+//! A **head** node builds a [`HypermNetwork`] from `--peers` deterministic
+//! synthetic collections and serves the full protocol (put/get/query/
+//! join/route/publish/fetch/monitor/shutdown). A **member** node
+//! generates its own collection, joins the head's overlay with a `Join`
+//! frame (becoming a real overlay peer), then serves as a relay: clients
+//! may point `hyperm-client` at either node. Transport ids: the head is
+//! peer 0 by convention; members pick a unique `--id` ≥ 1.
+//!
+//! All workloads are seeded, so a restarted cluster is bit-identical.
+
+use hyperm::datagen::{generate_aloi_like, AloiConfig};
+use hyperm::transport::{NodeRuntime, Role, TcpEndpoint};
+use hyperm::{Dataset, HypermConfig, HypermNetwork};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "help".into());
+    let opts = parse_flags(args.collect());
+    match cmd.as_str() {
+        "head" => head(&opts),
+        "member" => member(&opts),
+        _ => help(),
+    }
+}
+
+fn parse_flags(raw: Vec<String>) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut it = raw.into_iter().peekable();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("ignoring stray argument {flag:?}");
+            continue;
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap_or_default(),
+            _ => "true".into(),
+        };
+        opts.insert(name.to_string(), value);
+    }
+    opts
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    opts.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A peer collection: `items` rows of the deterministic histogram-style
+/// corpus, disjoint per (seed, slot) so every node brings distinct data.
+fn collection(slot: usize, items: usize, dim: usize, seed: u64) -> Dataset {
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 1,
+        views_per_class: items,
+        bins: dim,
+        view_jitter: 0.15,
+        seed: seed.wrapping_add(slot as u64),
+    });
+    corpus.data
+}
+
+fn head(opts: &HashMap<String, String>) {
+    let listen = opts
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7401".into());
+    let peers: usize = get(opts, "peers", 3);
+    let items: usize = get(opts, "items", 40);
+    let dim: usize = get(opts, "dim", 16);
+    let levels: usize = get(opts, "levels", 3);
+    let clusters: usize = get(opts, "clusters", 4);
+    let seed: u64 = get(opts, "seed", 7);
+
+    let data: Vec<Dataset> = (0..peers)
+        .map(|p| collection(p, items, dim, seed))
+        .collect();
+    let cfg = HypermConfig::new(dim)
+        .with_levels(levels)
+        .with_clusters_per_peer(clusters)
+        .with_seed(seed);
+    let (net, report) = match HypermNetwork::build(data, cfg) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("hyperm-node: build failed: {e}");
+            return;
+        }
+    };
+    let endpoint = match TcpEndpoint::bind(0, &listen) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("hyperm-node: cannot bind {listen}: {e}");
+            return;
+        }
+    };
+    println!(
+        "hyperm-node head: {} peers, {} levels, {} clusters published, listening on {}",
+        net.len(),
+        net.levels(),
+        report.clusters_published,
+        endpoint.local_addr()
+    );
+    let mut runtime = NodeRuntime::new(endpoint, Role::Head(Box::new(net)));
+    if let Err(e) = runtime.serve_until_shutdown() {
+        eprintln!("hyperm-node: serve loop failed: {e}");
+        return;
+    }
+    println!("hyperm-node head: shut down cleanly");
+}
+
+fn member(opts: &HashMap<String, String>) {
+    let listen = opts
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let Some(head_addr) = opts.get("head") else {
+        eprintln!("hyperm-node member: --head ADDR is required");
+        return;
+    };
+    let id: u64 = get(opts, "id", 1);
+    let items: usize = get(opts, "items", 40);
+    let dim: usize = get(opts, "dim", 16);
+    let seed: u64 = get(opts, "seed", 7);
+    if id == 0 {
+        eprintln!("hyperm-node member: --id must be ≥ 1 (0 is the head)");
+        return;
+    }
+
+    let endpoint = match TcpEndpoint::bind(id, &listen) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("hyperm-node: cannot bind {listen}: {e}");
+            return;
+        }
+    };
+    let head_sock = match head_addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hyperm-node: bad --head address {head_addr}: {e}");
+            return;
+        }
+    };
+    if let Err(e) = endpoint.connect(0, head_sock) {
+        eprintln!("hyperm-node: cannot reach head at {head_addr}: {e}");
+        return;
+    }
+    println!(
+        "hyperm-node member {id}: listening on {}, head at {head_addr}",
+        endpoint.local_addr()
+    );
+
+    // Join with our own collection: slot 1000+id keeps member data
+    // disjoint from the head's initial peers.
+    let data = collection(1000 + id as usize, items, dim, seed);
+    let mut runtime = NodeRuntime::new(
+        endpoint,
+        Role::Member {
+            head: 0,
+            peer: None,
+        },
+    );
+    match runtime.join_network(&data, Duration::from_secs(30)) {
+        Ok(peer) => println!("hyperm-node member {id}: joined as overlay peer {peer}"),
+        Err(e) => {
+            eprintln!("hyperm-node member {id}: join failed: {e}");
+            return;
+        }
+    }
+    if let Err(e) = runtime.serve_until_shutdown() {
+        eprintln!("hyperm-node: serve loop failed: {e}");
+        return;
+    }
+    println!("hyperm-node member {id}: shut down cleanly");
+}
+
+fn help() {
+    println!(
+        "hyperm-node — Hyper-M node daemon (TCP, length-prefixed frames)
+
+USAGE:
+  hyperm-node head   --listen ADDR [--peers N] [--items M] [--dim D] \\
+                     [--levels L] [--clusters K] [--seed S]
+  hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D] [--seed S]
+
+The head owns the overlay network; members join it over the wire and
+relay client requests. Stop any node with `hyperm-client --node ADDR shutdown`."
+    );
+}

@@ -24,7 +24,12 @@
 //!   zone takeover and soft-state replica refresh;
 //! * [`telemetry`](mod@telemetry) — structured event tracing, the
 //!   per-`(op kind, level)` metrics registry, and query forensics
-//!   (disabled by default and provably free for the simulation).
+//!   (disabled by default and provably free for the simulation);
+//! * [`transport`](mod@transport) — the `Transport` trait with sim,
+//!   in-memory and loopback-TCP implementations, length-prefixed message
+//!   framing with bounded-inbox backpressure, and the node runtime
+//!   behind the `hyperm-node` / `hyperm-client` / `hyperm-monitor`
+//!   binaries.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough and DESIGN.md
 //! for the experiment index.
@@ -42,10 +47,12 @@ pub use hyperm_geometry as geometry;
 pub use hyperm_repair as repair;
 pub use hyperm_sim as sim;
 pub use hyperm_telemetry as telemetry;
+pub use hyperm_transport as transport;
 pub use hyperm_vbi as vbi;
 pub use hyperm_wavelet as wavelet;
 
 pub use hyperm_baseline::{precision_recall, FlatIndex, PrecisionRecall};
+pub use hyperm_can::Message;
 pub use hyperm_can::{CanConfig, CanOverlay, InsertOutcome, ObjectRef, RangeOutcome, StoredObject};
 pub use hyperm_cluster::{
     ClusterQuality, ClusterSphere, Dataset, InitMethod, KMeansConfig, KMeansResult, MiniBatchConfig,
@@ -65,4 +72,8 @@ pub use hyperm_sim::{
     OpStats, PartitionPlan,
 };
 pub use hyperm_telemetry::{MetricsSnapshot, Recorder, SpanId, Trace};
+pub use hyperm_transport::{
+    Client, Envelope, MemEndpoint, MemHub, NodeRuntime, PeerId, Role, ServeOutcome, SimEndpoint,
+    SimHub, TcpEndpoint, Transport, TransportError,
+};
 pub use hyperm_wavelet::{Decomposition, Normalization, Subspace, WaveletError};
