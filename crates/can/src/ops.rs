@@ -343,6 +343,9 @@ impl CanOverlay {
             return (Vec::new(), res.stats);
         }
         let (owner, mut stats) = (res.node, res.stats);
+        // Load attribution: the owner both admits and answers a point
+        // lookup (one query_served; the reply is charged below).
+        self.load.query_served(owner.0);
         if tel.is_enabled() {
             tel.event(
                 tel.scope(),
@@ -376,6 +379,7 @@ impl CanOverlay {
             .sum::<u64>()
             .max(16);
         stats += OpStats::one_hop(resp_bytes);
+        self.load.flood_visit(owner.0, resp_bytes);
         (matches, stats)
     }
 
@@ -407,6 +411,9 @@ impl CanOverlay {
             };
         }
         let (owner, mut stats) = (res.node, res.stats);
+        // Load attribution: the owner admits the query (exactly one
+        // query_served charge per delivered lookup).
+        self.load.query_served(owner.0);
         let flood_span = if traced {
             tel.span(
                 tel.scope(),
@@ -456,6 +463,9 @@ impl CanOverlay {
                 }
             }
             resp_bytes += local_bytes.max(16); // every visited node replies
+                                               // Load attribution: the visited node scans its store and
+                                               // transmits the reply — charged once, to it alone.
+            self.load.flood_visit(n.0, local_bytes.max(16));
             if traced {
                 tel.event(
                     flood_span,
@@ -478,6 +488,9 @@ impl CanOverlay {
                         stats.messages += attempts;
                         stats.bytes += attempts * qb;
                         stats.retries += attempts.saturating_sub(1);
+                        // Retransmissions are paid by the flood-edge
+                        // sender `n`, never also by the receiver.
+                        self.load.retries(n.0, attempts.saturating_sub(1));
                         if traced && attempts > 1 {
                             tel.event(
                                 flood_span,

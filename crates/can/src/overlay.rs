@@ -15,7 +15,7 @@
 use crate::ops::StoredObject;
 use crate::zone::Zone;
 use crate::zoneindex::ZoneIndex;
-use hyperm_sim::{FaultConfig, FaultInjector, FaultReport, NodeId, OpStats};
+use hyperm_sim::{FaultConfig, FaultInjector, FaultReport, LoadProbe, NodeId, OpStats};
 use hyperm_telemetry::{names, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -184,6 +184,11 @@ pub struct CanOverlay {
     /// events attach to whatever span the caller pointed the handle's
     /// scope at (see `hyperm_telemetry::Recorder::set_scope`).
     telemetry: Recorder,
+    /// Per-peer load attribution hook (disabled by default — free).
+    /// Installed per level by the network layer via
+    /// [`CanOverlay::set_load_probe`]; charging is strictly observational
+    /// and never changes results, costs or telemetry.
+    pub(crate) load: LoadProbe,
 }
 
 impl CanOverlay {
@@ -214,6 +219,7 @@ impl CanOverlay {
             faults: FaultSlot::default(),
             partition: None,
             telemetry: Recorder::disabled(),
+            load: LoadProbe::disabled(),
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         for _ in 1..n {
@@ -345,6 +351,18 @@ impl CanOverlay {
     /// should attach to before invoking an operation.
     pub fn recorder(&self) -> &Recorder {
         &self.telemetry
+    }
+
+    /// Install a per-peer load attribution probe (usually one per wavelet
+    /// level — see `hyperm_sim::LoadProbe::new`). Pass
+    /// `LoadProbe::disabled()` to turn accounting off again.
+    pub fn set_load_probe(&mut self, probe: LoadProbe) {
+        self.load = probe;
+    }
+
+    /// The overlay's load probe (disabled by default).
+    pub fn load_probe(&self) -> &LoadProbe {
+        &self.load
     }
 
     /// Fault counters accumulated so far (`None` when injection is off).
@@ -506,6 +524,9 @@ impl CanOverlay {
             stats.messages += attempts;
             stats.bytes += attempts * msg_bytes;
             stats.retries += attempts.saturating_sub(1);
+            // Retransmissions are paid by the hop sender `current`,
+            // never also by the receiver.
+            self.load.retries(current.0, attempts.saturating_sub(1));
             rounds += ticks;
             if traced && attempts > 1 {
                 tel.event(

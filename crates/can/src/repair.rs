@@ -429,6 +429,152 @@ impl CanOverlay {
             ..OpStats::zero()
         }
     }
+
+    /// Load-relief split: halve the zone covering `point` and grant the
+    /// half containing `point` to `to` (GeoP2P-style adaptive
+    /// subdivision, driven by the load ledger instead of churn).
+    ///
+    /// The current owner keeps the other half (its primary shrinks in
+    /// place, or the covering fragment is replaced); replicas overlapping
+    /// the granted half are copied along, so the flood covering property
+    /// — every node whose zone intersects a query ball holds the
+    /// overlapping replicas — is preserved and Theorem 4.1 still admits
+    /// every true candidate. [`CanOverlay::check_invariants`] holds on
+    /// return. Also the join-time placement primitive for virtual nodes:
+    /// each extra "virtual zone" of a host is carved out of the covering
+    /// owner at a seeded random point.
+    ///
+    /// Returns the message cost, or `None` when the split is impossible:
+    /// `to` is dead, the point is in dead space, `to` already owns the
+    /// covering zone, or the zone is too thin to halve meaningfully.
+    pub fn split_adopt(&mut self, point: &[f64], to: NodeId) -> Option<OpStats> {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        /// Narrower than this along the split axis stays unsplit: the
+        /// midpoint would no longer be strictly between the faces.
+        const MIN_SPLIT_EXTENT: f64 = 1e-6;
+        if !self.node(to).alive {
+            return None;
+        }
+        let owner = self.try_owner_of(point)?;
+        if owner == to {
+            return None;
+        }
+        // The exact covering zone (primary or fragment) of the owner.
+        let zone = self
+            .node(owner)
+            .zones()
+            .find(|z| z.contains(point))?
+            .clone();
+        let axis = zone.longest_dim();
+        // hyperm-lint: allow(panic-index) — longest_dim returns an in-bounds axis of this zone
+        if zone.hi()[axis] - zone.lo()[axis] < MIN_SPLIT_EXTENT {
+            return None;
+        }
+        let (lo_half, hi_half) = zone.split(axis);
+        let (keep, give) = if lo_half.contains(point) {
+            (hi_half, lo_half)
+        } else {
+            (lo_half, hi_half)
+        };
+        // Shrink the owner onto `keep` (index updated by the primitives).
+        if zone.same_box(&self.node(owner).zone) {
+            self.replace_primary(owner, keep);
+        } else {
+            self.drop_fragment(owner, &zone);
+            self.add_zone(owner, keep);
+        }
+        // Replicas overlapping the granted half travel along (copy — the
+        // owner keeping spares only ever *adds* candidates).
+        let mut stats = self.transfer_replicas(owner, to, &give);
+        let merged = self.grant_zone(to, give.clone());
+        let mut affected = self.nodes_around(&[zone]);
+        affected.push(owner);
+        affected.push(to);
+        self.refresh_neighbours(&affected);
+        let distinct: std::collections::BTreeSet<NodeId> = affected.into_iter().collect();
+        // Split handshake + one neighbour update per affected node.
+        stats += OpStats {
+            messages: 2 + distinct.len() as u64,
+            bytes: (2 + distinct.len() as u64) * CTRL_MSG_BYTES,
+            ..OpStats::zero()
+        };
+        let tel = self.recorder();
+        if tel.is_enabled() {
+            tel.event(
+                tel.scope(),
+                names::ZONE_SPLIT,
+                vec![
+                    ("from", owner.0.into()),
+                    ("to", to.0.into()),
+                    ("axis", axis.into()),
+                    ("merged", merged.into()),
+                ],
+            );
+            if merged {
+                // The granted half was the beneficiary's dyadic sibling
+                // and folded straight into its primary.
+                tel.event(
+                    tel.scope(),
+                    names::ZONE_MERGE,
+                    vec![("node", to.0.into()), ("axis", axis.into())],
+                );
+            }
+        }
+        Some(stats)
+    }
+
+    /// Load-relief migration: move `from`'s largest adopted fragment (a
+    /// "virtual zone") to `to`, through the same replica handoff the
+    /// leave/takeover machinery uses. [`CanOverlay::check_invariants`]
+    /// holds on return.
+    ///
+    /// Returns the migrated zone and the message cost, or `None` when
+    /// either node is dead, `from == to`, or `from` holds no fragments
+    /// (the balancer then falls back to [`CanOverlay::split_adopt`] on
+    /// the primary).
+    pub fn migrate_fragment(&mut self, from: NodeId, to: NodeId) -> Option<(Zone, OpStats)> {
+        if from == to || !self.node(from).alive || !self.node(to).alive {
+            return None;
+        }
+        let frag = self
+            .node(from)
+            .adopted
+            .iter()
+            .max_by(|a, b| {
+                // hyperm-lint: allow(panic-unwrap) — zone volumes are finite positive products of box extents; partial_cmp cannot see NaN
+                a.volume().partial_cmp(&b.volume()).unwrap()
+            })?
+            .clone();
+        let mut stats = self.transfer_replicas(from, to, &frag);
+        self.drop_fragment(from, &frag);
+        let merged = self.grant_zone(to, frag.clone());
+        let mut affected = self.nodes_around(std::slice::from_ref(&frag));
+        affected.push(from);
+        affected.push(to);
+        self.refresh_neighbours(&affected);
+        let distinct: std::collections::BTreeSet<NodeId> = affected.into_iter().collect();
+        stats += OpStats {
+            messages: 2 + distinct.len() as u64,
+            bytes: (2 + distinct.len() as u64) * CTRL_MSG_BYTES,
+            ..OpStats::zero()
+        };
+        let tel = self.recorder();
+        if tel.is_enabled() {
+            tel.event(
+                tel.scope(),
+                names::VNODE_MIGRATE,
+                vec![
+                    ("from", from.0.into()),
+                    ("to", to.0.into()),
+                    ("merged", merged.into()),
+                ],
+            );
+            if merged {
+                tel.event(tel.scope(), names::ZONE_MERGE, vec![("node", to.0.into())]);
+            }
+        }
+        Some((frag, stats))
+    }
 }
 
 #[cfg(test)]
@@ -559,5 +705,117 @@ mod tests {
             o.leave(NodeId(1));
         }));
         assert!(result.is_err(), "last node must not leave");
+    }
+
+    #[test]
+    fn split_adopt_keeps_invariants_and_replicas() {
+        let mut o = overlay(2, 8, 21);
+        let obj = crate::ops::ObjectRef {
+            peer: 0,
+            tag: 0,
+            items: 1,
+        };
+        o.insert_sphere(NodeId(0), vec![0.5, 0.5], 0.3, obj, true);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut splits = 0usize;
+        for _ in 0..24 {
+            let point = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            let alive = o.alive_ids();
+            let to = alive[rng.gen_range(0..alive.len())];
+            if o.split_adopt(&point, to).is_some() {
+                splits += 1;
+            }
+            o.check_invariants();
+        }
+        assert!(splits > 0, "some splits must land");
+        // The covering property survives: every node whose zone overlaps
+        // the sphere holds its replica.
+        for n in o.nodes().filter(|n| n.alive) {
+            if n.intersects_sphere(&[0.5, 0.5], 0.3) {
+                assert!(
+                    n.store.iter().any(|s| s.id == 0),
+                    "replica missing at {} after splits",
+                    n.id
+                );
+            }
+        }
+        // Range results are a superset of the pre-split candidates: the
+        // single inserted sphere is still found from anywhere.
+        let out = o.range_query(NodeId(1), &[0.5, 0.5], 0.05);
+        assert!(out.matches.iter().any(|m| m.id == 0));
+    }
+
+    #[test]
+    fn split_adopt_rejects_degenerate_targets() {
+        let mut o = overlay(2, 4, 23);
+        let owner = o.try_owner_of(&[0.1, 0.1]).unwrap();
+        assert!(o.split_adopt(&[0.1, 0.1], owner).is_none(), "self-split");
+        let other = o.alive_ids().into_iter().find(|&n| n != owner).unwrap();
+        let out = o.fail_no_takeover(other);
+        let _ = out;
+        assert!(
+            o.split_adopt(&[0.9, 0.9], other).is_none(),
+            "dead beneficiary"
+        );
+    }
+
+    #[test]
+    fn migrate_fragment_keeps_invariants_and_replicas() {
+        let mut o = overlay(2, 12, 25);
+        let obj = crate::ops::ObjectRef {
+            peer: 1,
+            tag: 0,
+            items: 1,
+        };
+        o.insert_sphere(NodeId(0), vec![0.4, 0.6], 0.25, obj, true);
+        // Manufacture fragments via splits, then migrate them around.
+        let mut rng = StdRng::seed_from_u64(26);
+        for _ in 0..8 {
+            let point = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            let alive = o.alive_ids();
+            let to = alive[rng.gen_range(0..alive.len())];
+            let _ = o.split_adopt(&point, to);
+        }
+        o.check_invariants();
+        let mut migrated = 0usize;
+        for _ in 0..16 {
+            let holders: Vec<NodeId> = o
+                .nodes()
+                .filter(|n| n.alive && !n.adopted.is_empty())
+                .map(|n| n.id)
+                .collect();
+            let Some(&from) = holders.first() else { break };
+            let alive = o.alive_ids();
+            let to = alive[rng.gen_range(0..alive.len())];
+            if let Some((zone, _)) = o.migrate_fragment(from, to) {
+                migrated += 1;
+                // The new holder owns the zone now.
+                assert!(o
+                    .node(to)
+                    .zones()
+                    .any(|z| z.same_box(&zone) || z.contains_zone(&zone)));
+            }
+            o.check_invariants();
+        }
+        assert!(migrated > 0, "some migrations must land");
+        for n in o.nodes().filter(|n| n.alive) {
+            if n.intersects_sphere(&[0.4, 0.6], 0.25) {
+                assert!(
+                    n.store.iter().any(|s| s.id == 0),
+                    "replica missing at {} after migrations",
+                    n.id
+                );
+            }
+        }
+        // Fragments always merge back to quiescence afterwards.
+        o.repair_to_quiescence(32);
+        o.check_invariants();
+    }
+
+    #[test]
+    fn migrate_without_fragments_returns_none() {
+        let mut o = overlay(2, 4, 27);
+        assert_eq!(o.fragment_count(), 0);
+        assert!(o.migrate_fragment(NodeId(0), NodeId(1)).is_none());
     }
 }

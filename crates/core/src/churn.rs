@@ -234,6 +234,13 @@ impl HypermNetwork {
             self.overlay_mut(l)
                 .set_faults(cfg.map(|c| c.with_seed(c.seed.wrapping_add(l as u64))));
         }
+        // The popular-summary cache sits out fault injection: a hit skips
+        // the injector's per-hop RNG draws, which would desynchronise the
+        // fault timeline of every later query. (The `overlay_mut` calls
+        // above already invalidated its entries.)
+        if let Some(cache) = self.summary_cache() {
+            cache.set_active(cfg.is_none());
+        }
     }
 
     /// Fault counters summed over all levels (`None` when injection is

@@ -12,12 +12,14 @@
 use crate::config::HypermConfig;
 use crate::overlay::Overlay;
 use crate::peer::Peer;
+use crate::query::cache::SummaryCache;
 use crate::HypermError;
 use hyperm_can::{KeyMap, ObjectRef};
 use hyperm_cluster::Dataset;
-use hyperm_sim::{NodeId, OpStats, Scheduler};
+use hyperm_sim::{LoadLedger, LoadProbe, NodeId, OpStats, Scheduler};
 use hyperm_telemetry::{names, OpKind, Recorder, SpanId};
 use hyperm_wavelet::{decompose, radius_contraction, Decomposition, Subspace};
+use std::sync::Arc;
 
 /// Cost report of a network build.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +78,14 @@ pub struct HypermNetwork {
     partition: Option<Vec<u32>>,
     /// Telemetry handle (disabled by default; see `hyperm_telemetry`).
     recorder: Recorder,
+    /// Popular-summary cache consulted by phase-1 range lookups (`None` —
+    /// the default — keeps the query path bit-identical to the uncached
+    /// build; see `hyperm-load`). Clones share the cache via the `Arc`.
+    cache: Option<Arc<SummaryCache>>,
+    /// Per-peer load ledger (`None` — the default — charges nothing).
+    /// Installed via [`HypermNetwork::set_load_ledger`], which also hands
+    /// each level's overlay a level-scoped probe. Clones share the ledger.
+    load: Option<Arc<LoadLedger>>,
 }
 
 impl HypermNetwork {
@@ -238,6 +248,8 @@ impl HypermNetwork {
                 failed,
                 partition: None,
                 recorder,
+                cache: None,
+                load: None,
             },
             report,
         ))
@@ -291,6 +303,11 @@ impl HypermNetwork {
     pub fn set_partition(&mut self, map: Option<Vec<u32>>) {
         for overlay in self.overlays.iter_mut() {
             overlay.set_partition(map.clone());
+        }
+        // Partition install *and* heal change which candidates a flood can
+        // reach — cached phase-1 answers are stale either way.
+        if let Some(c) = &self.cache {
+            c.bump_epoch();
         }
         self.partition = map;
     }
@@ -354,9 +371,82 @@ impl HypermNetwork {
         &self.overlays[level]
     }
 
-    /// Mutably borrow a level's overlay (used by maintenance).
+    /// Mutably borrow a level's overlay (used by maintenance). Every
+    /// mutable access conservatively invalidates the popular-summary
+    /// cache: publish, refresh, churn and repair all route through here,
+    /// so a cached phase-1 answer can never outlive the overlay state it
+    /// was computed against.
     pub(crate) fn overlay_mut(&mut self, level: usize) -> &mut Overlay {
+        if let Some(c) = &self.cache {
+            c.bump_epoch();
+        }
         &mut self.overlays[level]
+    }
+
+    /// Install (or clear) the popular-summary cache consulted by phase-1
+    /// range lookups. `None` (the default) keeps queries bit-identical to
+    /// an uncached network. The cache is shared: clones of this network
+    /// see the same `Arc`, so comparative experiments should install
+    /// separate caches (or `None`) per clone.
+    pub fn set_summary_cache(&mut self, cache: Option<Arc<SummaryCache>>) {
+        self.cache = cache;
+    }
+
+    /// The installed popular-summary cache, if any.
+    pub fn summary_cache(&self) -> Option<&Arc<SummaryCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Install (or clear) the per-peer load ledger: each level's overlay
+    /// gets a level-scoped [`LoadProbe`] so floods, served lookups and
+    /// retries are attributed exactly once; phase-2 direct fetches are
+    /// charged by the query path. `None` (the default) charges nothing
+    /// and keeps the hot path free.
+    pub fn set_load_ledger(&mut self, ledger: Option<Arc<LoadLedger>>) {
+        for (l, overlay) in self.overlays.iter_mut().enumerate() {
+            let probe = ledger
+                .as_ref()
+                .map_or_else(LoadProbe::disabled, |lg| LoadProbe::new(lg.clone(), l));
+            overlay.set_load_probe(probe);
+        }
+        self.load = ledger;
+    }
+
+    /// The installed load ledger, if any.
+    pub fn load_ledger(&self) -> Option<&Arc<LoadLedger>> {
+        self.load.as_ref()
+    }
+
+    /// Load-balancing hook: split the level-`level` zone covering `point`
+    /// and grant the half containing it to `to_peer` (replicas are
+    /// *copied*, so the candidate set only grows — Theorem 4.1 holds).
+    /// `None` when the substrate is not CAN, the point is unowned, the
+    /// beneficiary is dead, or the zone is too thin to split. The overlay
+    /// mutation invalidates the summary cache like any other.
+    pub fn split_zone(&mut self, level: usize, point: &[f64], to_peer: usize) -> Option<OpStats> {
+        if level >= self.levels() || to_peer >= self.len() {
+            return None;
+        }
+        self.overlay_mut(level).split_adopt(point, NodeId(to_peer))
+    }
+
+    /// Load-balancing hook: migrate the largest zone fragment adopted by
+    /// `from_peer` in the level-`level` overlay to `to_peer`, reusing the
+    /// leave/takeover handoff (replicas copied first). `None` when the
+    /// substrate is not CAN, either peer is dead, or `from_peer` holds no
+    /// fragments.
+    pub fn migrate_zone(
+        &mut self,
+        level: usize,
+        from_peer: usize,
+        to_peer: usize,
+    ) -> Option<OpStats> {
+        if level >= self.levels() || from_peer >= self.len() || to_peer >= self.len() {
+            return None;
+        }
+        self.overlay_mut(level)
+            .migrate_fragment(NodeId(from_peer), NodeId(to_peer))
+            .map(|(_, stats)| stats)
     }
 
     /// Transport entry point: publish a raw sphere `object` into the

@@ -254,6 +254,38 @@ impl Overlay {
         }
     }
 
+    /// Install the per-peer load probe (CAN only; the tree substrates are
+    /// not instrumented, like fault injection and telemetry).
+    pub fn set_load_probe(&mut self, probe: hyperm_sim::LoadProbe) {
+        if let Overlay::Can(o) = self {
+            o.set_load_probe(probe);
+        }
+    }
+
+    /// Load-balancing split: halve the zone covering `point` and grant the
+    /// half containing it to `to` (CAN only; `None` elsewhere). Replicas
+    /// are copied, never moved — the candidate set only grows.
+    pub fn split_adopt(&mut self, point: &[f64], to: NodeId) -> Option<OpStats> {
+        match self {
+            Overlay::Can(o) => o.split_adopt(point, to),
+            _ => None,
+        }
+    }
+
+    /// Load-balancing migration: hand `from`'s largest adopted zone
+    /// fragment to `to` via the leave/takeover handoff (CAN only; `None`
+    /// elsewhere or when `from` holds no fragments).
+    pub fn migrate_fragment(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<(hyperm_can::Zone, OpStats)> {
+        match self {
+            Overlay::Can(o) => o.migrate_fragment(from, to),
+            _ => None,
+        }
+    }
+
     /// Install (or clear) message-level fault injection on query traffic
     /// (CAN only; ignored elsewhere).
     pub fn set_faults(&mut self, cfg: Option<FaultConfig>) {

@@ -20,7 +20,7 @@
 use crate::network::HypermNetwork;
 use hyperm_can::ObjectRef;
 use hyperm_sim::{NodeId, OpStats};
-use hyperm_telemetry::{names, OpKind, SpanId};
+use hyperm_telemetry::{counters, names, OpKind, SpanId};
 
 /// A published cluster sphere, by position: `peer`'s cluster `cluster` at
 /// wavelet level `level`. The unit of delivery accounting.
@@ -176,6 +176,21 @@ impl HypermNetwork {
             self.overlay(l).set_scope(SpanId::NONE);
             tel.record_op(OpKind::Refresh, Some(l), lstats);
             report.stats += lstats;
+        }
+        // One refresh advances the popular-summary cache's TTL clock:
+        // entries older than the configured number of rounds are swept
+        // (epoch bumps above already invalidated everything this refresh
+        // republished — the sweep reclaims the memory and counts it).
+        if let Some(cache) = self.summary_cache() {
+            let evicted = cache.advance_round();
+            if evicted > 0 {
+                if tel.is_enabled() {
+                    tel.event(span, names::CACHE_EVICT, vec![("evicted", evicted.into())]);
+                }
+                if let Some(m) = tel.metrics() {
+                    m.add(counters::CACHE_EVICTIONS, evicted);
+                }
+            }
         }
         if tel.is_enabled() {
             tel.end(

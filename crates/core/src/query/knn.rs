@@ -285,6 +285,10 @@ impl HypermNetwork {
                     let local = self.peer(ps.peer).local_knn(q, want);
                     let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
                     stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    // Exactly-once load attribution: the answering peer.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(ps.peer, resp_bytes);
+                    }
                     if traced {
                         tel.event(
                             qspan,
@@ -375,6 +379,10 @@ impl HypermNetwork {
                     let local = self.peer(ps.peer).local_knn(q, want);
                     let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
                     stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    // Exactly-once load attribution: the answering peer.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(ps.peer, resp_bytes);
+                    }
                     phase2_hops += 2;
                     if traced {
                         tel.event(

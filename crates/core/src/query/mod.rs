@@ -14,8 +14,11 @@
 //!   the `C` precision/recall knob;
 //! * [`point`] — exact-match lookups;
 //! * [`engine`] — batch execution over a query workload, amortising the
-//!   per-level radius translation and fanning queries out over threads.
+//!   per-level radius translation and fanning queries out over threads;
+//! * [`cache`] — the popular-summary cache entry peers may consult before
+//!   a phase-1 overlay lookup (hot-spot relief; see `hyperm-load`).
 
+pub mod cache;
 pub mod engine;
 pub mod knn;
 pub mod point;

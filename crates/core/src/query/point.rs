@@ -146,6 +146,10 @@ impl HypermNetwork {
                         continue;
                     }
                     stats += direct_fetch_cost(q_bytes, 24);
+                    // Exactly-once load attribution: the answering peer.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(peer, 24);
+                    }
                     let hit = self.peer(peer).local_point(q);
                     if traced {
                         tel.event(
@@ -193,6 +197,10 @@ impl HypermNetwork {
                         continue;
                     }
                     stats += direct_fetch_cost(q_bytes, 24);
+                    // Exactly-once load attribution: the answering peer.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(peer, 24);
+                    }
                     phase2_hops += 2;
                     let hit = self.peer(peer).local_point(q);
                     if traced {

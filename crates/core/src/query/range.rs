@@ -135,6 +135,23 @@ impl HypermNetwork {
             let base = base_radii.map_or_else(|| self.query_key_radius(eps, l), |r| r[l]);
             let key_eps = base + slack;
             let ltel = self.overlay(l).recorder();
+            // Popular-summary cache (hot-spot relief): an identical
+            // phase-1 lookup seen since the last overlay mutation is
+            // answered from the entry peer's cache — the exact score map
+            // the cold path produced, at zero overlay cost. See
+            // `query::cache` for why a hit can never be stale.
+            if let Some(cache) = self.summary_cache() {
+                if let Some(scores) = cache.lookup(from_peer, l, &key, key_eps) {
+                    if ltel.is_enabled() {
+                        ltel.event(
+                            qspan,
+                            names::CACHE_HIT,
+                            vec![("level", l.into()), ("peers", scores.len().into())],
+                        );
+                    }
+                    return (OpStats::zero(), scores);
+                }
+            }
             let lspan = if ltel.is_enabled() {
                 let s = ltel.span(
                     qspan,
@@ -164,6 +181,12 @@ impl HypermNetwork {
                     ],
                 );
                 ltel.record_op(OpKind::RangeQuery, Some(l), out.stats);
+            }
+            if let Some(cache) = self.summary_cache() {
+                cache.insert(from_peer, l, &key, key_eps, &scores);
+                if ltel.is_enabled() {
+                    ltel.event(qspan, names::CACHE_MISS, vec![("level", l.into())]);
+                }
             }
             (out.stats, scores)
         });
@@ -219,6 +242,11 @@ impl HypermNetwork {
                     let local = self.peer(ps.peer).local_range(q, eps);
                     let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
                     stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    // The answering peer (and only it) is charged for the
+                    // phase-2 fetch; timed-out probes charge no one.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(ps.peer, resp_bytes);
+                    }
                     if traced {
                         tel.event(
                             qspan,
@@ -290,6 +318,11 @@ impl HypermNetwork {
                     let local = self.peer(ps.peer).local_range(q, eps);
                     let resp_bytes = 8 * q.len() as u64 * local.len() as u64 + 16;
                     stats += direct_fetch_cost(q_bytes, resp_bytes);
+                    // The answering peer (and only it) is charged for the
+                    // phase-2 fetch; timed-out probes charge no one.
+                    if let Some(ledger) = self.load_ledger() {
+                        ledger.charge_fetch_answered(ps.peer, resp_bytes);
+                    }
                     phase2_hops += 2;
                     if traced {
                         tel.event(

@@ -1,0 +1,67 @@
+//! Property-based tests for the Zipf query workload: every drawn centre
+//! stays inside the configured (clamped) key domain, the rank stream is a
+//! pure function of the seed, and the pmf is a valid distribution for any
+//! skew exponent.
+
+use hyperm_datagen::{ZipfConfig, ZipfWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drawn centres always land in `[lo, hi]^dim`, for any domain, skew
+    /// and seed — the clamped key domain the overlays expect.
+    #[test]
+    fn centers_in_clamped_domain(
+        ranks in 1usize..80,
+        s in 0.0..2.5f64,
+        dim in 1usize..12,
+        lo in -2.0..1.0f64,
+        width in 0.01..3.0f64,
+        seed in any::<u64>(),
+        draws in 1usize..64,
+    ) {
+        let cfg = ZipfConfig { ranks, s, dim, lo, hi: lo + width, seed };
+        let mut w = ZipfWorkload::generate(&cfg);
+        for _ in 0..draws {
+            let c = w.next_center();
+            prop_assert_eq!(c.len(), dim);
+            for &x in &c {
+                prop_assert!((cfg.lo..=cfg.hi).contains(&x), "{x} outside [{}, {}]", cfg.lo, cfg.hi);
+            }
+        }
+    }
+
+    /// The rank stream is deterministic in the seed and always in range.
+    #[test]
+    fn rank_stream_is_seed_deterministic(
+        ranks in 1usize..60,
+        s in 0.0..2.0f64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ZipfConfig { ranks, s, dim: 4, lo: 0.0, hi: 1.0, seed };
+        let mut a = ZipfWorkload::generate(&cfg);
+        let mut b = ZipfWorkload::generate(&cfg);
+        let ra = a.ranks_iter(128);
+        let rb = b.ranks_iter(128);
+        prop_assert_eq!(&ra, &rb);
+        prop_assert!(ra.iter().all(|&r| r < ranks));
+    }
+
+    /// The pmf is non-negative, non-increasing in rank, and sums to 1.
+    #[test]
+    fn pmf_is_a_distribution(ranks in 1usize..100, s in 0.0..3.0f64) {
+        let cfg = ZipfConfig { ranks, s, dim: 2, lo: 0.0, hi: 1.0, seed: 0 };
+        let w = ZipfWorkload::generate(&cfg);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for r in 0..w.ranks() {
+            let p = w.pmf(r);
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= prev + 1e-15);
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -19,6 +19,8 @@ pub const FACADE_CRATES: &[&str] = &[
     "sim",
     "telemetry",
     "transport",
+    "datagen",
+    "load",
 ];
 
 /// Run the pass. `root` is the workspace root.

@@ -1,0 +1,306 @@
+//! The balancer: installs measurement, places virtual nodes, and runs
+//! relief rounds against a live [`HypermNetwork`].
+
+use crate::{LoadConfig, LoadSnapshot};
+use hyperm_core::{HypermNetwork, SummaryCache};
+use hyperm_sim::{LoadLedger, NodeId, OpStats};
+use hyperm_telemetry::{counters, names, SpanId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// What one [`LoadBalancer::relieve`] round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliefReport {
+    /// Virtual zones migrated off overloaded hosts.
+    pub migrations: u64,
+    /// Hot zones split (one half granted to a cold host).
+    pub splits: u64,
+    /// Fragments merged back by the flat-load quiescence pass.
+    pub merges: u64,
+    /// Control-message cost of all of the above.
+    pub stats: OpStats,
+}
+
+impl ReliefReport {
+    /// Whether the round changed any overlay structure.
+    pub fn acted(&self) -> bool {
+        self.migrations + self.splits + self.merges > 0
+    }
+}
+
+/// Measures per-peer load and applies the configured relief mechanisms.
+/// See the crate docs for the mechanism catalogue.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    cfg: LoadConfig,
+    ledger: Arc<LoadLedger>,
+    cache: Option<Arc<SummaryCache>>,
+    placement: OpStats,
+    rng: StdRng,
+    /// Per-peer event totals at the end of the previous relieve round:
+    /// decisions act on the load *since then*, not on all history — a
+    /// peer that just absorbed a hot fragment must not keep looking
+    /// cold (and keep receiving) because of its quiet past.
+    last_events: Vec<u64>,
+    /// Per-level, per-peer flood-heat totals at the previous round.
+    last_heat: Vec<Vec<u64>>,
+}
+
+impl LoadBalancer {
+    /// Wire a fresh ledger (and, per `cfg`, the summary cache and virtual
+    /// nodes) into `net`. Measurement alone — `LoadConfig::default()` —
+    /// changes no result and no telemetry byte; the ledger rides the
+    /// overlay hot paths on relaxed atomics.
+    pub fn install(net: &mut HypermNetwork, cfg: LoadConfig) -> Self {
+        let ledger = Arc::new(LoadLedger::new(net.len(), net.levels()));
+        net.set_load_ledger(Some(ledger.clone()));
+        let cache = if cfg.cache {
+            let c = Arc::new(SummaryCache::new(
+                cfg.cache_ttl_rounds,
+                cfg.cache_max_entries,
+            ));
+            net.set_summary_cache(Some(c.clone()));
+            Some(c)
+        } else {
+            None
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x10AD_BA1A));
+        let last_events = vec![0; net.len()];
+        let last_heat = vec![vec![0; net.len()]; net.levels()];
+        let mut balancer = LoadBalancer {
+            cfg,
+            ledger,
+            cache,
+            placement: OpStats::zero(),
+            rng,
+            last_events,
+            last_heat,
+        };
+        if balancer.cfg.virtual_nodes > 0 {
+            balancer.place_virtual_nodes(net);
+        }
+        balancer
+    }
+
+    /// Detach all load machinery from `net`: the ledger stops charging,
+    /// the cache is removed. (The balancer keeps its handles for final
+    /// reporting.)
+    pub fn uninstall(net: &mut HypermNetwork) {
+        net.set_load_ledger(None);
+        net.set_summary_cache(None);
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LoadConfig {
+        &self.cfg
+    }
+
+    /// The shared per-peer ledger.
+    pub fn ledger(&self) -> &Arc<LoadLedger> {
+        &self.ledger
+    }
+
+    /// The shared summary cache, when `cfg.cache` enabled it.
+    pub fn cache(&self) -> Option<&Arc<SummaryCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Control-message cost of the join-time virtual-node placement.
+    pub fn placement_cost(&self) -> OpStats {
+        self.placement
+    }
+
+    /// Current load distribution over `net`'s alive peers.
+    pub fn snapshot(&self, net: &HypermNetwork) -> LoadSnapshot {
+        LoadSnapshot::compute(&self.ledger, |p| net.is_alive(p))
+    }
+
+    /// Join-time placement: carve `cfg.virtual_nodes` extra zones per
+    /// level at seeded random points, granted round-robin to alive peers.
+    /// Each placement reuses the split/adopt handoff, so
+    /// `check_invariants` holds after every single step.
+    fn place_virtual_nodes(&mut self, net: &mut HypermNetwork) {
+        let alive: Vec<usize> = (0..net.len()).filter(|&p| net.is_alive(p)).collect();
+        if alive.len() < 2 {
+            return;
+        }
+        let mut grantee = 0usize;
+        for l in 0..net.levels() {
+            let dim = net.overlay(l).dim();
+            let mut placed = 0;
+            // A placement attempt fails when the drawn point lands in the
+            // grantee's own zone (or in a sliver too thin to halve); the
+            // budget bounds the retry loop deterministically.
+            let mut attempts = 0;
+            while placed < self.cfg.virtual_nodes && attempts < self.cfg.virtual_nodes * 16 {
+                attempts += 1;
+                let point: Vec<f64> = (0..dim).map(|_| self.rng.gen()).collect();
+                let to = alive[grantee % alive.len()];
+                grantee += 1;
+                if let Some(stats) = net.split_zone(l, &point, to) {
+                    self.placement += stats;
+                    placed += 1;
+                }
+            }
+        }
+    }
+
+    /// One relief round, triggered on the snapshot's events-based
+    /// `max_median_ratio` (the same headline metric the merge-back gate
+    /// and the benches read — per-level flood heat is far too sparse to
+    /// threshold on, its median is routinely zero). When the ratio
+    /// exceeds `cfg.split_ratio`, each level's hottest alive host (by
+    /// flood heat) sheds load towards its coldest: migrate a virtual
+    /// zone off it (`cfg.rebalance`) or split its primary
+    /// (`cfg.splits`). When the ratio has dropped inside the merge
+    /// hysteresis and no virtual nodes are in play, fold split
+    /// fragments back through the dyadic sibling merge. Overlay
+    /// invariants hold after every step (asserted in this crate's tests
+    /// after each action).
+    pub fn relieve(&mut self, net: &mut HypermNetwork) -> ReliefReport {
+        let mut report = ReliefReport::default();
+        let alive: Vec<usize> = (0..net.len()).filter(|&p| net.is_alive(p)).collect();
+        if alive.len() < 2 {
+            return report;
+        }
+        // Decisions act on the load *window* since the previous relieve
+        // round, not on all history: cumulative totals would keep
+        // charging relief at peers that were hot long ago and keep
+        // granting zones to a receiver whose quiet past masks the hot
+        // fragments it just absorbed.
+        let cur_events: Vec<u64> = self.ledger.per_peer().iter().map(|p| p.events()).collect();
+        let delta_events: Vec<u64> = cur_events
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| c.saturating_sub(self.last_events.get(p).copied().unwrap_or(0)))
+            .collect();
+        let cur_heat: Vec<Vec<u64>> = (0..net.levels()).map(|l| self.ledger.heat_of(l)).collect();
+        let delta_heat: Vec<Vec<u64>> = cur_heat
+            .iter()
+            .enumerate()
+            .map(|(l, heat)| {
+                heat.iter()
+                    .enumerate()
+                    .map(|(p, &h)| {
+                        h.saturating_sub(
+                            self.last_heat
+                                .get(l)
+                                .and_then(|row| row.get(p))
+                                .copied()
+                                .unwrap_or(0),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        self.last_events = cur_events;
+        self.last_heat = cur_heat;
+
+        let mut window: Vec<u64> = alive.iter().map(|&p| delta_events[p]).collect();
+        window.sort_unstable();
+        let total: u64 = window.iter().sum();
+        if total == 0 {
+            return report;
+        }
+        // (`alive.len() >= 2` was checked above, so the window is
+        // non-empty and the expect cannot fire.)
+        let win_max = *window.last().expect("non-empty window");
+        let win_median = window[window.len() / 2].max(1);
+        let ratio = win_max as f64 / win_median as f64;
+        if ratio >= self.cfg.split_ratio {
+            // Act on the peers that actually drive the max/median ratio:
+            // everyone whose window load clears the trigger, hottest
+            // first (capped per round). Each sheds load at its own
+            // hottest level, to a receiver chosen by window events —
+            // and a receiver is used at most once per round, so one
+            // quiet peer cannot absorb the hot side of every action.
+            let mut over: Vec<(u64, usize)> = alive
+                .iter()
+                .map(|&p| (delta_events.get(p).copied().unwrap_or(0), p))
+                .filter(|&(e, _)| e as f64 / win_median as f64 >= self.cfg.split_ratio)
+                .collect();
+            over.sort_unstable_by_key(|&(e, p)| (std::cmp::Reverse(e), p));
+            // Larger fleets spread the same skew over more hot peers;
+            // the per-round action budget scales with the fleet.
+            over.truncate(net.levels().max(4).max(alive.len() / 16));
+            let mut used: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+            for &(_, hot) in &over {
+                let cold = alive
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != hot && !used.contains(&p))
+                    .min_by_key(|&p| (delta_events.get(p).copied().unwrap_or(0), p));
+                let Some(cold) = cold else { continue };
+                // The hot peer's levels, hottest flood heat first; the
+                // first level where an action lands wins.
+                let mut levels: Vec<(u64, usize)> = delta_heat
+                    .iter()
+                    .enumerate()
+                    .map(|(l, heat)| (heat.get(hot).copied().unwrap_or(0), l))
+                    .collect();
+                levels.sort_unstable_by_key(|&(h, l)| (std::cmp::Reverse(h), l));
+                for &(heat, l) in &levels {
+                    if heat == 0 {
+                        break;
+                    }
+                    // Migrating a whole fragment sheds its entire flood
+                    // footprint; splitting only stops charging the hot
+                    // host for the half it gives away. Prefer the
+                    // migration whenever the hot host has one to give.
+                    if self.cfg.rebalance {
+                        if let Some(stats) = net.migrate_zone(l, hot, cold) {
+                            report.migrations += 1;
+                            report.stats += stats;
+                            used.insert(cold);
+                            if let Some(m) = net.recorder().metrics() {
+                                m.add(counters::VNODE_MIGRATIONS, 1);
+                            }
+                            break;
+                        }
+                    }
+                    if self.cfg.splits {
+                        // Halve the hot host's primary towards the cold one.
+                        let point = net
+                            .overlay(l)
+                            .as_can()
+                            .map(|c| c.node(NodeId(hot)).zone.centre());
+                        if let Some(point) = point {
+                            if let Some(stats) = net.split_zone(l, &point, cold) {
+                                report.splits += 1;
+                                report.stats += stats;
+                                used.insert(cold);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            return report;
+        }
+        // Flat-load merge-back: once imbalance has subsided, let the
+        // background dyadic sibling merge reclaim the split fragments.
+        // Gated off while virtual nodes are placed — the quiescence pass
+        // would fold those too. Hysteresis: merge only once the
+        // imbalance has dropped half-way below the split trigger, so
+        // split/merge cannot oscillate while the ratio hovers around
+        // the trigger.
+        let merge_below = 1.0 + (self.cfg.split_ratio - 1.0) * 0.5;
+        if self.cfg.splits && self.cfg.virtual_nodes == 0 && ratio < merge_below {
+            let frags = net.fragment_count();
+            if frags > 0 {
+                report.stats += net.repair_overlays(8);
+                report.merges = frags.saturating_sub(net.fragment_count()) as u64;
+                let tel = net.recorder();
+                if report.merges > 0 && tel.is_enabled() {
+                    tel.event(
+                        SpanId::NONE,
+                        names::ZONE_MERGE,
+                        vec![("merged", report.merges.into())],
+                    );
+                }
+            }
+        }
+        report
+    }
+}

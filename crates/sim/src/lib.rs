@@ -20,6 +20,10 @@
 //! * [`energy`] — per-byte/per-message radio energy accounting with
 //!   Bluetooth-class constants, used to substantiate the "energy efficient"
 //!   claim of the abstract;
+//! * [`load`] — the per-peer [`LoadLedger`]: exactly-once attribution of
+//!   served queries, flood relays and fetches (plus bytes, retries and a
+//!   radio-energy estimate), charged through the disabled-by-default
+//!   [`LoadProbe`] overlay hook;
 //! * [`underlay`] — a static unit-disk random-geometric-graph MANET: overlay
 //!   hops are translated into physical radio hops via BFS path lengths, with
 //!   an optional random-waypoint mobility stepper as an extension.
@@ -30,12 +34,14 @@
 pub mod energy;
 pub mod event;
 pub mod faults;
+pub mod load;
 pub mod stats;
 pub mod underlay;
 
 pub use energy::EnergyModel;
 pub use event::{Event, EventQueue, Scheduler, SimTime};
 pub use faults::{Backoff, FaultConfig, FaultInjector, FaultReport, HopDelivery};
+pub use load::{LoadLedger, LoadProbe, PeerLoad};
 pub use stats::{LatencyStats, LatencySummary, NetStats, OpKind, OpStats};
 pub use underlay::{PartitionPlan, Underlay, UnderlayConfig};
 

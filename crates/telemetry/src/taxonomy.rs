@@ -87,6 +87,18 @@ pub mod names {
     pub const DISCONNECT: &str = "disconnect";
     /// A node runtime relayed a request/reply on behalf of another peer.
     pub const FORWARD: &str = "forward";
+    /// A phase-1 level lookup was answered from the popular-summary cache.
+    pub const CACHE_HIT: &str = "cache_hit";
+    /// A phase-1 level lookup missed the popular-summary cache.
+    pub const CACHE_MISS: &str = "cache_miss";
+    /// Cached summaries were evicted (TTL expiry on a refresh round).
+    pub const CACHE_EVICT: &str = "cache_evict";
+    /// A hot zone was split and half granted to a colder host.
+    pub const ZONE_SPLIT: &str = "zone_split";
+    /// Zone fragments were merged back (load-triggered quiescence pass).
+    pub const ZONE_MERGE: &str = "zone_merge";
+    /// A virtual zone migrated off an overloaded host.
+    pub const VNODE_MIGRATE: &str = "vnode_migrate";
 
     /// Every canonical name. `hyperm-lint` loads this slice at run time,
     /// so an emit site can only name events listed here.
@@ -124,6 +136,12 @@ pub mod names {
         CONNECT,
         DISCONNECT,
         FORWARD,
+        CACHE_HIT,
+        CACHE_MISS,
+        CACHE_EVICT,
+        ZONE_SPLIT,
+        ZONE_MERGE,
+        VNODE_MIGRATE,
     ];
 
     /// The span subset of [`ALL`] (everything else is an instant).
@@ -148,9 +166,13 @@ pub mod counters {
     pub const PUBLISH_DEFERRED: &str = "publish_deferred";
     /// Queries executed (whole-op counter).
     pub const QUERIES: &str = "queries";
+    /// Summaries evicted from the popular-summary cache (aggregate).
+    pub const CACHE_EVICTIONS: &str = "cache_evictions";
+    /// Virtual-zone migrations executed by the load balancer.
+    pub const VNODE_MIGRATIONS: &str = "vnode_migrations";
 
     /// Every counter-only name.
-    pub const ALL: &[&str] = &[PUBLISH_DEFERRED, QUERIES];
+    pub const ALL: &[&str] = &[PUBLISH_DEFERRED, QUERIES, CACHE_EVICTIONS, VNODE_MIGRATIONS];
 }
 
 /// Whether `name` is a canonical event/span name.
@@ -192,6 +214,6 @@ mod tests {
         }
         assert_eq!(names::OVERLAY_LOOKUP, "overlay_lookup");
         assert_eq!(names::PUBLISH_ABANDONED, "publish_abandoned");
-        assert_eq!(names::ALL.len(), 33);
+        assert_eq!(names::ALL.len(), 39);
     }
 }

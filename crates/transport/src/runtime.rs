@@ -343,6 +343,27 @@ impl<T: Transport> NodeRuntime<T> {
                     overlays.push(level_obj.render());
                 }
                 obj = obj.arr("overlays", &overlays);
+                // Live per-peer load, when a `hyperm-load` ledger is
+                // installed on the head's network.
+                if let Some(ledger) = net.load_ledger() {
+                    let loads: Vec<String> = ledger
+                        .per_peer()
+                        .iter()
+                        .enumerate()
+                        .map(|(p, l)| {
+                            JsonObj::new()
+                                .u("peer", p as u64)
+                                .u("events", l.events())
+                                .u("queries_served", l.queries_served)
+                                .u("floods_relayed", l.floods_relayed)
+                                .u("fetches_answered", l.fetches_answered)
+                                .u("bytes", l.bytes)
+                                .u("retries", l.retries)
+                                .render()
+                        })
+                        .collect();
+                    obj = obj.arr("load", &loads);
+                }
             }
         }
         obj.render_pretty()

@@ -5,8 +5,11 @@
 //! ```
 //!
 //! Heads report membership, per-level zones, neighbour lists and summary
-//! counts; members report their role and head address. Output is the
-//! node's `MonitorAck` JSON document, printed verbatim.
+//! counts — plus a `load` array with live per-peer counters (served
+//! queries, flood relays, answered fetches, bytes, retries) whenever a
+//! `hyperm-load` ledger is installed on the head. Members report their
+//! role and head address. Output is the node's `MonitorAck` JSON
+//! document, printed verbatim.
 
 use hyperm::telemetry::JsonObj;
 use hyperm::transport::{Client, TcpEndpoint};

@@ -22,6 +22,9 @@
 //!   ground-truth index;
 //! * [`repair`](mod@repair) — the overlay repair engine: churn schedules,
 //!   zone takeover and soft-state replica refresh;
+//! * [`load`](mod@load) — per-peer load accounting and hot-spot relief:
+//!   virtual nodes, load-triggered zone splits/merges and the
+//!   popular-summary cache (all off by default);
 //! * [`telemetry`](mod@telemetry) — structured event tracing, the
 //!   per-`(op kind, level)` metrics registry, and query forensics
 //!   (disabled by default and provably free for the simulation);
@@ -44,6 +47,7 @@ pub use hyperm_cluster as cluster;
 pub use hyperm_core as core;
 pub use hyperm_datagen as datagen;
 pub use hyperm_geometry as geometry;
+pub use hyperm_load as load;
 pub use hyperm_repair as repair;
 pub use hyperm_sim as sim;
 pub use hyperm_telemetry as telemetry;
@@ -60,16 +64,18 @@ pub use hyperm_cluster::{
 pub use hyperm_core::{
     BuildReport, ChurnOutcome, EvalHarness, HypermConfig, HypermError, HypermNetwork, InsertPolicy,
     JoinError, JoinReport, KnnOptions, KnnResult, Overlay, OverlayBackend, Peer, PeerScore,
-    PointResult, PublishReport, QueryBudget, RangeResult, ScorePolicy, SphereRef,
+    PointResult, PublishReport, QueryBudget, RangeResult, ScorePolicy, SphereRef, SummaryCache,
 };
+pub use hyperm_datagen::{ZipfConfig, ZipfWorkload};
 pub use hyperm_geometry::{Overlap, SolveError};
+pub use hyperm_load::{LoadBalancer, LoadConfig, LoadSnapshot, ReliefReport};
 pub use hyperm_repair::{
     ChurnEvent, ChurnEventKind, ChurnSchedule, RepairConfig, RepairEngine, RepairStats,
     ScheduleReport,
 };
 pub use hyperm_sim::{
-    Backoff, EnergyModel, FaultConfig, FaultReport, LatencySummary, NetStats, NodeId, OpKind,
-    OpStats, PartitionPlan,
+    Backoff, EnergyModel, FaultConfig, FaultReport, LatencySummary, LoadLedger, NetStats, NodeId,
+    OpKind, OpStats, PartitionPlan, PeerLoad,
 };
 pub use hyperm_telemetry::{MetricsSnapshot, Recorder, SpanId, Trace};
 pub use hyperm_transport::{
