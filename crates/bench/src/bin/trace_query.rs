@@ -16,12 +16,26 @@
 //! The bin self-asserts (non-empty stream, per-level lookup spans,
 //! populated metrics cells), so CI can use a plain run as a telemetry
 //! smoke test.
+//!
+//! `trace_query cluster` replays a query against a **live loopback
+//! cluster** instead: a head and a member node served over real TCP
+//! frames, each tracing to its own JSONL stream
+//! (`TRACE_node_head.jsonl` / `TRACE_node_member.jsonl`). A client
+//! queries *via the member* with a wire-level trace context; afterwards
+//! the per-node streams are parsed back and stitched with
+//! [`merge_streams`] into ONE cross-process route tree (member serve →
+//! head serve → overlay query), printed and self-asserted.
 
 use hyperm_cluster::Dataset;
 use hyperm_core::{HypermConfig, HypermNetwork, KnnOptions, QueryBudget};
-use hyperm_telemetry::{names, JsonlSink, OpKind, Recorder, RingHandle, TeeSink, Trace};
+use hyperm_telemetry::{
+    merge_streams, names, parse_jsonl, Event, EventClass, JsonlSink, OpKind, Recorder, RingHandle,
+    TeeSink, Trace, TraceCtx,
+};
+use hyperm_transport::{Client, NodeRuntime, Role, TcpEndpoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 const PEERS: usize = 24;
 const ITEMS: usize = 30;
@@ -52,9 +66,13 @@ fn main() {
         .or_else(|| std::env::var("HYPERM_TRACE_KIND").ok())
         .unwrap_or_else(|| "range".to_string());
     assert!(
-        matches!(kind.as_str(), "range" | "knn" | "point"),
-        "usage: trace_query [range|knn|point]"
+        matches!(kind.as_str(), "range" | "knn" | "point" | "cluster"),
+        "usage: trace_query [range|knn|point|cluster]"
     );
+    if kind == "cluster" {
+        cluster_replay();
+        return;
+    }
 
     // Ring buffer for offline reconstruction + JSONL file for the raw
     // stream; the recorder tees into both.
@@ -235,4 +253,166 @@ fn main() {
         m.counter(names::FETCH_TIMEOUT) >= 1,
         "fetch_timeout must be counted in the metrics registry"
     );
+}
+
+/// Replay a traced query against a live loopback cluster: head + member
+/// over real TCP frames, one JSONL stream per node, stitched offline
+/// into a single cross-process route tree.
+fn cluster_replay() {
+    const HEAD: u64 = 0;
+    const MEMBER: u64 = 1;
+    const TRACE_ID: u64 = 0x00C0_FFEE;
+
+    let peers = build_peers(41);
+    let cfg = HypermConfig::new(DIM)
+        .with_levels(LEVELS)
+        .with_clusters_per_peer(4)
+        .with_seed(43)
+        .with_parallel_query(false);
+    let (head_rec, head_ring) = Recorder::ring(1 << 16);
+    let (net, report) = HypermNetwork::build_traced(peers.clone(), cfg, head_rec.clone()).unwrap();
+    println!(
+        "built: {PEERS} peers x {ITEMS} items, {DIM}-d, {LEVELS} levels — {} clusters published",
+        report.clusters_published
+    );
+
+    let head_ep = TcpEndpoint::bind(HEAD, "127.0.0.1:0").expect("bind head");
+    let head_addr = head_ep.local_addr();
+    let mut head_rt =
+        NodeRuntime::new(head_ep, Role::Head(Box::new(net))).with_recorder(head_rec.clone());
+    let head_thread = std::thread::spawn(move || head_rt.serve_until_shutdown());
+
+    let member_ep = TcpEndpoint::bind(MEMBER, "127.0.0.1:0").expect("bind member");
+    member_ep
+        .connect(HEAD, head_addr)
+        .expect("member reaches head");
+    let member_addr = member_ep.local_addr();
+    let (member_rec, member_ring) = Recorder::ring(1 << 16);
+    let mut member_rt = NodeRuntime::new(
+        member_ep,
+        Role::Member {
+            head: HEAD,
+            peer: None,
+        },
+    )
+    .with_recorder(member_rec.clone());
+    let member_data = build_peers(91).swap_remove(0);
+    let joined = member_rt
+        .join_network(&member_data, Duration::from_secs(30))
+        .expect("member joins the overlay");
+    println!("member joined as overlay peer {joined}");
+    let member_thread = std::thread::spawn(move || member_rt.serve_until_shutdown());
+
+    // Build + join noise stays out of the stitched artifact: the streams
+    // under study start at the traced query.
+    let _ = head_ring.drain();
+    let _ = member_ring.drain();
+
+    // The traced query, relayed: client -> member -> head.
+    let client_ep = TcpEndpoint::bind(99, "127.0.0.1:0").expect("bind client");
+    client_ep
+        .connect(MEMBER, member_addr)
+        .expect("client reaches member");
+    let client = Client::new(client_ep, MEMBER).with_trace(TraceCtx {
+        trace_id: TRACE_ID,
+        parent_span: 0,
+    });
+    let q = peers[3].row(0).to_vec();
+    let (items, (hops, messages, bytes)) = client.query(&q, 0.25, None).expect("relayed query");
+    println!(
+        "relayed range query: {} items ({hops} hops, {messages} messages, {bytes} bytes)",
+        items.len()
+    );
+    assert!(!items.is_empty(), "stored row must match its own query");
+
+    // Serve spans end just after the reply frame leaves, so the streams
+    // may trail the client's return by a beat.
+    let head_events = wait_for_serve_end(&head_ring);
+    let member_events = wait_for_serve_end(&member_ring);
+
+    client.shutdown().expect("member shutdown");
+    let head_stop_ep = TcpEndpoint::bind(98, "127.0.0.1:0").expect("bind shutdown client");
+    head_stop_ep.connect(HEAD, head_addr).expect("reach head");
+    Client::new(head_stop_ep, HEAD)
+        .shutdown()
+        .expect("head shutdown");
+    head_thread
+        .join()
+        .expect("head thread")
+        .expect("head serve loop");
+    member_thread
+        .join()
+        .expect("member thread")
+        .expect("member serve loop");
+
+    // Round-trip each node's stream through its JSONL artifact, exactly
+    // as an operator scraping `hyperm-node --trace` files would.
+    let streams = [
+        ("TRACE_node_head.jsonl", HEAD, &head_events),
+        ("TRACE_node_member.jsonl", MEMBER, &member_events),
+    ];
+    let mut parsed: Vec<(u64, Vec<Event>)> = Vec::new();
+    for (path, node, events) in streams {
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json_line()))
+            .collect();
+        std::fs::write(path, &text).expect("write per-node trace artifact");
+        parsed.push((node, parse_jsonl(&text).expect("parse per-node JSONL")));
+    }
+    // Member stream first: the stitch is order-independent, and leading
+    // with the relay proves it.
+    parsed.reverse();
+    let stitched = merge_streams(&parsed);
+
+    println!("\n== stitched cross-process route tree ==");
+    print!("{}", stitched.render());
+
+    assert_eq!(
+        stitched.roots.len(),
+        1,
+        "the relayed query must stitch into ONE route tree"
+    );
+    let root = &stitched.spans[stitched.roots[0]];
+    assert_eq!(root.name, names::SERVE, "root is the member's serve span");
+    assert_eq!(root.start.u64_field("node"), Some(MEMBER));
+    assert_eq!(root.start.u64_field("ctx_trace"), Some(TRACE_ID));
+    let head_serve = root
+        .children
+        .iter()
+        .map(|&c| &stitched.spans[c])
+        .find(|s| s.name == names::SERVE)
+        .expect("head serve span nested under the member's");
+    assert_eq!(head_serve.start.u64_field("node"), Some(HEAD));
+    assert_eq!(head_serve.start.u64_field("ctx_trace"), Some(TRACE_ID));
+    assert!(
+        head_serve
+            .children
+            .iter()
+            .any(|&c| stitched.spans[c].name == names::QUERY),
+        "overlay query span parents under the head's serve span"
+    );
+    println!(
+        "\nwrote TRACE_node_head.jsonl ({} events) and TRACE_node_member.jsonl ({} events); \
+         stitched {} spans under one root",
+        head_events.len(),
+        member_events.len(),
+        stitched.spans.len()
+    );
+}
+
+/// Poll `ring` until a completed `serve` span shows up (the reply frame
+/// races the recorder by a few microseconds).
+fn wait_for_serve_end(ring: &RingHandle) -> Vec<Event> {
+    for _ in 0..400 {
+        let events = ring.events();
+        if events
+            .iter()
+            .any(|e| e.class == EventClass::End && e.name == names::SERVE)
+        {
+            return events;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("serve span never completed on a node ring");
 }

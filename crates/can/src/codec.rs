@@ -26,9 +26,16 @@
 //! object:  id u64 | dim u16 | centre f64×dim | radius f64 | peer u64 | tag u64 | items u32
 //! query:   dim u16 | centre f64×dim | radius f64
 //! message: kind u8 | kind-specific body (see the frame table in DESIGN.md)
+//! ctx:     trace_id u64 | parent_span u64   (tail of query/fetch/publish)
 //! ```
+//!
+//! Query, fetch and publish bodies end with a 16-byte
+//! [`hyperm_telemetry::TraceCtx`] that is **always encoded** — all zeroes
+//! when untraced — so frame layout, and therefore the byte streams the
+//! bit-identity tests compare, is independent of whether tracing is on.
 
 use crate::ops::{ObjectRef, StoredObject};
+use hyperm_telemetry::TraceCtx;
 
 /// Errors from encoding or decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,6 +322,10 @@ pub mod kind {
     pub const PUT: u8 = 17;
     /// [`super::Message::PutAck`].
     pub const PUT_ACK: u8 = 18;
+    /// [`super::Message::Stats`].
+    pub const STATS: u8 = 19;
+    /// [`super::Message::StatsAck`].
+    pub const STATS_ACK: u8 = 20;
 }
 
 /// Every message the transport layer frames between peers.
@@ -370,6 +381,8 @@ pub enum Message {
         replicate: bool,
         /// The object; its `id` is publisher-local and echoed in the ack.
         object: StoredObject,
+        /// Distributed trace context (all zeroes when untraced).
+        ctx: TraceCtx,
     },
     /// Publish accepted.
     PublishAck {
@@ -390,6 +403,8 @@ pub enum Message {
         eps: f64,
         /// Peer contact budget; `u32::MAX` = contact every candidate.
         budget: u32,
+        /// Distributed trace context (all zeroes when untraced).
+        ctx: TraceCtx,
     },
     /// Range-query reply.
     QueryAck {
@@ -424,6 +439,8 @@ pub enum Message {
         centre: Vec<f64>,
         /// Search radius ε ≥ 0.
         eps: f64,
+        /// Distributed trace context (all zeroes when untraced).
+        ctx: TraceCtx,
     },
     /// Fetch reply.
     FetchAck {
@@ -464,6 +481,13 @@ pub enum Message {
         /// The item's new local index in the peer's collection.
         index: u64,
     },
+    /// Ask a node for its sliding-window metrics snapshot.
+    Stats,
+    /// Window-metrics snapshot dump.
+    StatsAck {
+        /// JSON document (one [`hyperm_telemetry::WindowSnapshot`]).
+        json: String,
+    },
 }
 
 impl Message {
@@ -489,6 +513,8 @@ impl Message {
             Message::Shutdown => kind::SHUTDOWN,
             Message::Put { .. } => kind::PUT,
             Message::PutAck { .. } => kind::PUT_ACK,
+            Message::Stats => kind::STATS,
+            Message::StatsAck { .. } => kind::STATS_ACK,
         }
     }
 
@@ -514,6 +540,8 @@ impl Message {
             Message::Shutdown => "shutdown",
             Message::Put { .. } => "put",
             Message::PutAck { .. } => "put_ack",
+            Message::Stats => "stats",
+            Message::StatsAck { .. } => "stats_ack",
         }
     }
 
@@ -529,6 +557,7 @@ impl Message {
             kind::MONITOR => Some(kind::MONITOR_ACK),
             kind::SHUTDOWN => Some(kind::ACK),
             kind::PUT => Some(kind::PUT_ACK),
+            kind::STATS => Some(kind::STATS_ACK),
             _ => None,
         }
     }
@@ -538,6 +567,21 @@ fn write_u32_count(out: &mut Vec<u8>, n: usize, field: &'static str) -> Result<(
     let n = u32::try_from(n).map_err(|_| CodecError::CorruptField(field))?;
     out.extend_from_slice(&n.to_le_bytes());
     Ok(())
+}
+
+/// Trace context: two fixed words at the *end* of the body, always
+/// present (zeroes = untraced), so every other field keeps its offset and
+/// frame length is independent of whether tracing is enabled.
+fn write_ctx(out: &mut Vec<u8>, ctx: TraceCtx) {
+    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    out.extend_from_slice(&ctx.parent_span.to_le_bytes());
+}
+
+fn read_ctx(r: &mut Reader<'_>) -> Result<TraceCtx, CodecError> {
+    Ok(TraceCtx {
+        trace_id: r.u64()?,
+        parent_span: r.u64()?,
+    })
 }
 
 /// Encode a message body (kind byte + payload, no length prefix — the
@@ -574,10 +618,12 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
             level,
             replicate,
             object,
+            ctx,
         } => {
             out.extend_from_slice(&level.to_le_bytes());
             out.push(u8::from(*replicate));
             write_object(&mut out, object)?;
+            write_ctx(&mut out, *ctx);
         }
         Message::PublishAck {
             level,
@@ -594,10 +640,12 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
             centre,
             eps,
             budget,
+            ctx,
         } => {
             write_vec_f64(&mut out, centre)?;
             out.extend_from_slice(&eps.to_le_bytes());
             out.extend_from_slice(&budget.to_le_bytes());
+            write_ctx(&mut out, *ctx);
         }
         Message::QueryAck {
             items,
@@ -625,10 +673,16 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
                 write_object(&mut out, obj)?;
             }
         }
-        Message::Fetch { peer, centre, eps } => {
+        Message::Fetch {
+            peer,
+            centre,
+            eps,
+            ctx,
+        } => {
             out.extend_from_slice(&peer.to_le_bytes());
             write_vec_f64(&mut out, centre)?;
             out.extend_from_slice(&eps.to_le_bytes());
+            write_ctx(&mut out, *ctx);
         }
         Message::FetchAck { peer, indices } => {
             out.extend_from_slice(&peer.to_le_bytes());
@@ -641,8 +695,8 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
             out.extend_from_slice(&seq.to_le_bytes());
             out.push(u8::from(*ok));
         }
-        Message::Monitor | Message::Shutdown => {}
-        Message::MonitorAck { json } => {
+        Message::Monitor | Message::Shutdown | Message::Stats => {}
+        Message::MonitorAck { json } | Message::StatsAck { json } => {
             write_u32_count(&mut out, json.len(), "json")?;
             out.extend_from_slice(json.as_bytes());
         }
@@ -716,6 +770,7 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
             level: r.u16()?,
             replicate: read_bool(&mut r, "replicate")?,
             object: read_object(&mut r)?,
+            ctx: read_ctx(&mut r)?,
         },
         kind::PUBLISH_ACK => Message::PublishAck {
             level: r.u16()?,
@@ -727,10 +782,12 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
             let centre = read_vec_f64(&mut r, "centre")?;
             let eps = read_radius(&mut r, "eps")?;
             let budget = r.u32()?;
+            let ctx = read_ctx(&mut r)?;
             Message::Query {
                 centre,
                 eps,
                 budget,
+                ctx,
             }
         }
         kind::QUERY_ACK => {
@@ -776,7 +833,13 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
             let peer = r.u64()?;
             let centre = read_vec_f64(&mut r, "centre")?;
             let eps = read_radius(&mut r, "eps")?;
-            Message::Fetch { peer, centre, eps }
+            let ctx = read_ctx(&mut r)?;
+            Message::Fetch {
+                peer,
+                centre,
+                eps,
+                ctx,
+            }
         }
         kind::FETCH_ACK => {
             let peer = r.u64()?;
@@ -815,6 +878,15 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
             peer: r.u64()?,
             index: r.u64()?,
         },
+        kind::STATS => Message::Stats,
+        kind::STATS_ACK => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| CodecError::CorruptField("json"))?
+                .to_string();
+            Message::StatsAck { json }
+        }
         other => return Err(CodecError::UnknownKind(other)),
     };
     r.finish()?;
@@ -971,6 +1043,7 @@ mod tests {
                 level: 0,
                 replicate: true,
                 object: obj(4),
+                ctx: TraceCtx::new(0xAB, hyperm_telemetry::SpanId(3)),
             },
             Message::PublishAck {
                 level: 0,
@@ -982,6 +1055,10 @@ mod tests {
                 centre: vec![0.4; 8],
                 eps: 0.125,
                 budget: u32::MAX,
+                ctx: TraceCtx {
+                    trace_id: u64::MAX,
+                    parent_span: 1,
+                },
             },
             Message::QueryAck {
                 items: vec![(0, 5), (2, 9)],
@@ -1001,6 +1078,7 @@ mod tests {
                 peer: 6,
                 centre: vec![0.9, 0.1],
                 eps: 0.0,
+                ctx: TraceCtx::NONE,
             },
             Message::FetchAck {
                 peer: 6,
@@ -1018,6 +1096,10 @@ mod tests {
                 republish: true,
             },
             Message::PutAck { peer: 2, index: 20 },
+            Message::Stats,
+            Message::StatsAck {
+                json: "{\"ops\": 9}".to_string(),
+            },
         ]
     }
 
@@ -1091,6 +1173,7 @@ mod tests {
             centre: vec![0.5],
             eps: 0.25,
             budget: 0,
+            ctx: TraceCtx::NONE,
         })
         .unwrap();
         let mut bad = bytes.clone();
@@ -1105,6 +1188,7 @@ mod tests {
             level: 0,
             replicate: false,
             object: obj(1),
+            ctx: TraceCtx::NONE,
         })
         .unwrap();
         let mut bad = bytes.clone();
@@ -1121,5 +1205,38 @@ mod tests {
             decode_message(&bad).unwrap_err(),
             CodecError::CorruptField("ok")
         );
+    }
+
+    #[test]
+    fn trace_ctx_rides_the_frame_tail() {
+        // Untraced and traced frames have identical length; the tail of an
+        // untraced frame is 16 zero bytes.
+        let untraced = Message::Query {
+            centre: vec![0.5, 0.5],
+            eps: 0.1,
+            budget: 4,
+            ctx: TraceCtx::NONE,
+        };
+        let traced = Message::Query {
+            centre: vec![0.5, 0.5],
+            eps: 0.1,
+            budget: 4,
+            ctx: TraceCtx {
+                trace_id: 7,
+                parent_span: 21,
+            },
+        };
+        let a = encode_message(&untraced).unwrap();
+        let b = encode_message(&traced).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(&a[..a.len() - 16], &b[..b.len() - 16]);
+        assert!(a[a.len() - 16..].iter().all(|&x| x == 0));
+        match decode_message(&b).unwrap() {
+            Message::Query { ctx, .. } => {
+                assert_eq!(ctx.trace_id, 7);
+                assert_eq!(ctx.parent_span, 21);
+            }
+            other => panic!("decoded {other:?}"),
+        }
     }
 }

@@ -9,6 +9,7 @@ use hyperm_can::{
     decode_message, decode_object, decode_query, encode_message, encode_object, encode_query,
     Message, ObjectRef, StoredObject,
 };
+use hyperm_telemetry::TraceCtx;
 use proptest::prelude::*;
 
 fn obj(dim: usize) -> StoredObject {
@@ -47,6 +48,10 @@ fn sample_messages() -> Vec<Message> {
             level: 0,
             replicate: true,
             object: obj(4),
+            ctx: TraceCtx {
+                trace_id: 0xAB,
+                parent_span: 3,
+            },
         },
         Message::PublishAck {
             level: 0,
@@ -58,6 +63,10 @@ fn sample_messages() -> Vec<Message> {
             centre: vec![0.4; 8],
             eps: 0.125,
             budget: u32::MAX,
+            ctx: TraceCtx {
+                trace_id: u64::MAX,
+                parent_span: 1,
+            },
         },
         Message::QueryAck {
             items: vec![(0, 5), (2, 9)],
@@ -77,6 +86,7 @@ fn sample_messages() -> Vec<Message> {
             peer: 6,
             centre: vec![0.9, 0.1],
             eps: 0.0,
+            ctx: TraceCtx::NONE,
         },
         Message::FetchAck {
             peer: 6,
@@ -94,6 +104,10 @@ fn sample_messages() -> Vec<Message> {
             republish: true,
         },
         Message::PutAck { peer: 2, index: 20 },
+        Message::Stats,
+        Message::StatsAck {
+            json: "{\"ops\": 9}".to_string(),
+        },
     ]
 }
 

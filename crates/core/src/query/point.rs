@@ -68,7 +68,8 @@ impl HypermNetwork {
         let t0 = traced.then(std::time::Instant::now);
         let qspan = if traced {
             tel.span(
-                SpanId::NONE,
+                // Roots under the ambient scope (serve span when remote).
+                tel.scope(),
                 names::QUERY,
                 vec![("kind", "point".into()), ("from", from_peer.into())],
             )

@@ -113,7 +113,9 @@ impl HypermNetwork {
         let t0 = traced.then(std::time::Instant::now);
         let qspan = if traced {
             tel.span(
-                SpanId::NONE,
+                // Roots under the recorder's ambient scope — NONE standalone,
+                // the serve span when a node runtime is dispatching us.
+                tel.scope(),
                 names::QUERY,
                 vec![
                     ("kind", "range".into()),

@@ -25,6 +25,55 @@ impl SpanId {
     }
 }
 
+/// Compact distributed trace context carried inside wire frames
+/// (query/fetch/publish) so spans opened on the receiving node can be
+/// stitched under the sender's span after the fact.
+///
+/// `TraceCtx::NONE` (all zeroes) means "untraced": the codec always
+/// encodes the two words, so frame layout — and therefore the byte
+/// streams the bit-identity tests compare — is independent of whether
+/// tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceCtx {
+    /// Identity shared by every span of one distributed operation. 0 =
+    /// untraced.
+    pub trace_id: u64,
+    /// Span id *in the sending node's stream* that the receiver's serve
+    /// span should be stitched under. 0 = no parent.
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context (all zeroes on the wire).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// A context rooted at `parent` within trace `trace_id`.
+    pub fn new(trace_id: u64, parent: SpanId) -> Self {
+        Self {
+            trace_id,
+            parent_span: parent.0,
+        }
+    }
+
+    /// Whether this is the untraced context.
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+
+    /// This context with the parent span replaced — what a relaying node
+    /// does before forwarding a frame, so the next hop parents under the
+    /// relay's own serve span.
+    pub fn reparent(self, parent: SpanId) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            parent_span: parent.0,
+        }
+    }
+}
+
 /// Whether an event opens a span, closes one, or is instantaneous.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventClass {

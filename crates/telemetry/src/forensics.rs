@@ -5,9 +5,21 @@
 //! buffer, [`Trace::from_events`] them back into a tree, then
 //! [`Trace::render`] the per-level route tree and
 //! [`Trace::phase_totals`] the per-phase cost breakdown.
+//!
+//! The cluster observability plane (PR 8) added the cross-process side:
+//! [`parse_jsonl`] reads a node's JSONL sink back into events, and
+//! [`merge_streams`] stitches several nodes' streams into ONE route tree.
+//! Stitching keys off the wire-level trace context: a serve span whose
+//! start record carries `ctx_span > 0` is re-parented under span
+//! `ctx_span` of the stream belonging to the peer named by its `from`
+//! field. Span ids are remapped to a fresh namespace (per-node allocators
+//! all start at 1), and every span gains a `node` field naming its origin.
 
 use crate::event::{Event, EventClass, SpanId, Value};
+use crate::json::JsonValue;
+use crate::taxonomy;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// A reconstructed span: its start record, optional end record, child
 /// spans and attached instant events, in emission order.
@@ -197,6 +209,201 @@ impl Trace {
     }
 }
 
+/// Intern a string so it can live in [`Event::name`] / field keys
+/// (`&'static str`). Canonical taxonomy names resolve without leaking;
+/// anything else leaks once per distinct string, bounded by the
+/// vocabulary of the parsed streams.
+fn intern(s: &str) -> &'static str {
+    for &n in taxonomy::names::ALL {
+        if n == s {
+            return n;
+        }
+    }
+    for &n in taxonomy::counters::ALL {
+        if n == s {
+            return n;
+        }
+    }
+    static CACHE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut cache = match CACHE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if let Some(&hit) = cache.iter().find(|&&c| c == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    cache.push(leaked);
+    leaked
+}
+
+/// Decode one JSONL line (as written by [`Event::to_json_line`]) back
+/// into an [`Event`]. `None` when required keys are missing/ill-typed.
+fn event_from_json(v: &JsonValue) -> Option<Event> {
+    let fields_in = v.as_obj()?;
+    let u = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+    let class = match v.get("ev")?.as_str()? {
+        "start" => EventClass::Start,
+        "end" => EventClass::End,
+        "event" => EventClass::Instant,
+        _ => return None,
+    };
+    let level = match v.get("level") {
+        Some(l) => Some(u8::try_from(l.as_u64()?).ok()?),
+        None => None,
+    };
+    let mut ev = Event {
+        seq: u("seq")?,
+        t: u("t")?,
+        class,
+        name: intern(v.get("name")?.as_str()?),
+        span: SpanId(u("span")?),
+        parent: SpanId(u("parent")?),
+        level,
+        fields: Vec::new(),
+    };
+    for (k, val) in fields_in {
+        if matches!(
+            k.as_str(),
+            "seq" | "t" | "ev" | "name" | "span" | "parent" | "level"
+        ) {
+            continue;
+        }
+        let value = match val {
+            JsonValue::Bool(b) => Value::Bool(*b),
+            JsonValue::Str(s) => Value::Str(s.clone()),
+            JsonValue::Num(n) => match val.as_u64() {
+                Some(x) => Value::U64(x),
+                None if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                    Value::I64(*n as i64)
+                }
+                None => Value::F64(*n),
+            },
+            // Events never carry nested containers; tolerate and skip.
+            _ => continue,
+        };
+        ev.fields.push((intern(k), value));
+    }
+    Some(ev)
+}
+
+/// Parse a JSONL sink's contents back into events. Blank lines are
+/// skipped; a malformed line is an error naming its line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(event_from_json(&v).ok_or_else(|| format!("line {}: not an event", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Merge per-node event streams — `(node id, events)` pairs, where the
+/// node id is the peer's **transport id** (what `from`/`ctx` fields on
+/// the wire refer to) — into one cross-process [`Trace`].
+///
+/// Unlike [`Trace::from_events`], linking is order-independent: a child
+/// span is attached to its parent even when the parent's start appears
+/// later in the merged order (per-node clocks are not synchronised).
+pub fn merge_streams(streams: &[(u64, Vec<Event>)]) -> Trace {
+    // Pass 1: give every span a fresh id unique across nodes.
+    let mut id_map: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut next = 1u64;
+    for (node, events) in streams {
+        for ev in events {
+            if ev.class == EventClass::Start && id_map.insert((*node, ev.span.0), next).is_none() {
+                next += 1;
+            }
+        }
+    }
+    // Pass 2: rewrite events — remapped ids, a global seq preserving
+    // per-stream order, cross-process re-parenting, and a `node` tag.
+    let mut merged = Vec::new();
+    let mut seq = 0u64;
+    for (node, events) in streams {
+        for ev in events {
+            let mut out = ev.clone();
+            out.seq = seq;
+            seq += 1;
+            out.span = SpanId(id_map.get(&(*node, ev.span.0)).copied().unwrap_or(0));
+            out.parent = SpanId(id_map.get(&(*node, ev.parent.0)).copied().unwrap_or(0));
+            if ev.class == EventClass::Start {
+                // Wire trace context: re-parent under the sender's span.
+                if out.parent.is_none() {
+                    if let (Some(ctx_span), Some(sender)) =
+                        (ev.u64_field("ctx_span"), ev.u64_field("from"))
+                    {
+                        if let Some(&p) = id_map.get(&(sender, ctx_span)) {
+                            out.parent = SpanId(p);
+                        }
+                    }
+                }
+                if ev.field("node").is_none() {
+                    out.fields.push(("node", Value::U64(*node)));
+                }
+            }
+            merged.push(out);
+        }
+    }
+    link_events(&merged)
+}
+
+/// Order-independent tree build: create every span first, then attach
+/// ends/instants and link children (sorted by start seq).
+fn link_events(events: &[Event]) -> Trace {
+    let mut trace = Trace::default();
+    let mut index: BTreeMap<SpanId, usize> = BTreeMap::new();
+    for ev in events {
+        if ev.class == EventClass::Start {
+            let idx = trace.spans.len();
+            trace.spans.push(SpanNode {
+                id: ev.span,
+                name: ev.name,
+                level: ev.level,
+                start: ev.clone(),
+                end: None,
+                children: Vec::new(),
+                events: Vec::new(),
+            });
+            index.insert(ev.span, idx);
+        }
+    }
+    for ev in events {
+        match ev.class {
+            EventClass::Start => {}
+            EventClass::End => match index.get(&ev.span) {
+                Some(&idx) => {
+                    // First end wins (a well-formed stream has one).
+                    if trace.spans[idx].end.is_none() {
+                        trace.spans[idx].end = Some(ev.clone());
+                    }
+                }
+                None => trace.orphans.push(ev.clone()),
+            },
+            EventClass::Instant => match index.get(&ev.span) {
+                Some(&idx) => trace.spans[idx].events.push(ev.clone()),
+                None => trace.orphans.push(ev.clone()),
+            },
+        }
+    }
+    for idx in 0..trace.spans.len() {
+        let parent = trace.spans[idx].start.parent;
+        match index.get(&parent) {
+            Some(&p) if !parent.is_none() && p != idx => trace.spans[p].children.push(idx),
+            _ => trace.roots.push(idx),
+        }
+    }
+    // Span indices ascend in start order, so sorted children render in
+    // merged-stream order.
+    for s in &mut trace.spans {
+        s.children.sort_unstable();
+    }
+    trace
+}
+
 fn render_line(ev: &Event) -> String {
     let mut line = ev.name.to_string();
     if let Some(l) = ev.level {
@@ -273,5 +480,108 @@ mod tests {
         assert_eq!(trace.orphans.len(), 1);
         assert_eq!(trace.event_count("drop"), 1);
         assert!(trace.render().contains("(unparented)"));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_parser() {
+        let (rec, ring) = Recorder::ring(16);
+        rec.set_time(5);
+        let q = rec.span(SpanId::NONE, "query", vec![("eps", 0.25f64.into())]);
+        let l1 = rec.scoped(1);
+        l1.event(
+            q,
+            "route_hop",
+            vec![
+                ("from", 2u64.into()),
+                ("ok", true.into()),
+                ("why", "detour".into()),
+                ("bias", (-3i64).into()),
+            ],
+        );
+        rec.end(q, "query", vec![("hops", 1u64.into())]);
+        let events = ring.events();
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_json_line()))
+            .collect();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+        // Interning is stable: parsing twice yields pointer-equal names.
+        let again = parse_jsonl(&text).unwrap();
+        assert!(std::ptr::eq(parsed[0].name, again[0].name));
+        assert!(parse_jsonl("{\"seq\": 1}\n").is_err());
+        assert!(parse_jsonl("not json\n").is_err());
+        assert!(parse_jsonl("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_stitches_streams_via_trace_ctx() {
+        // Member node 20: a serve span that forwarded a query.
+        let (mrec, mring) = Recorder::ring(16);
+        let mserve = mrec.span(
+            SpanId::NONE,
+            "serve",
+            vec![("from", 99u64.into()), ("kind", "query".into())],
+        );
+        mrec.event(mserve, "forward", vec![("kind", "query".into())]);
+        mrec.end(mserve, "serve", vec![]);
+
+        // Head node 10: its serve span carries the member's trace context
+        // (ctx_span = member serve span id, from = member's peer id), and
+        // the query span nests under the serve span in the same stream.
+        let (hrec, hring) = Recorder::ring(16);
+        let hserve = hrec.span(
+            SpanId::NONE,
+            "serve",
+            vec![
+                ("from", 20u64.into()),
+                ("kind", "query".into()),
+                ("ctx_trace", 42u64.into()),
+                ("ctx_span", mserve.0.into()),
+            ],
+        );
+        let q = hrec.span(hserve, "query", vec![("eps", 0.2f64.into())]);
+        hrec.end(q, "query", vec![("hops", 3u64.into())]);
+        hrec.end(hserve, "serve", vec![]);
+
+        // Head stream listed FIRST: linking must not depend on order.
+        let trace = merge_streams(&[(10, hring.events()), (20, mring.events())]);
+        assert_eq!(
+            trace.roots.len(),
+            1,
+            "one stitched tree:\n{}",
+            trace.render()
+        );
+        let root = &trace.spans[trace.roots[0]];
+        assert_eq!(root.name, "serve");
+        assert_eq!(root.start.u64_field("node"), Some(20));
+        assert_eq!(root.children.len(), 1);
+        let head_serve = &trace.spans[root.children[0]];
+        assert_eq!(head_serve.name, "serve");
+        assert_eq!(head_serve.start.u64_field("node"), Some(10));
+        assert_eq!(head_serve.start.u64_field("ctx_trace"), Some(42));
+        assert_eq!(head_serve.children.len(), 1);
+        let query = &trace.spans[head_serve.children[0]];
+        assert_eq!(query.name, "query");
+        assert!(query.end.is_some());
+        assert!(trace.orphans.is_empty());
+        // Remapped ids are unique.
+        let mut ids: Vec<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.spans.len());
+    }
+
+    #[test]
+    fn merge_without_ctx_keeps_streams_as_separate_roots() {
+        let mk = |name: &'static str| {
+            let (rec, ring) = Recorder::ring(8);
+            let s = rec.span(SpanId::NONE, name, vec![]);
+            rec.end(s, name, vec![]);
+            ring.events()
+        };
+        let trace = merge_streams(&[(1, mk("query")), (2, mk("publish"))]);
+        assert_eq!(trace.roots.len(), 2);
+        assert_eq!(trace.spans.len(), 2);
     }
 }

@@ -19,9 +19,17 @@
 //!   serialisable [`MetricsSnapshot`].
 //! * [`forensics`] — rebuilds a span tree from a flat event stream; the
 //!   `trace_query` bin (in `hyperm-bench`) uses it to print a query's
-//!   full per-level route tree and per-phase cost breakdown.
-//! * [`json`] — the tiny JSON writer shared with the bench bins (the
-//!   workspace has no serde).
+//!   full per-level route tree and per-phase cost breakdown. With
+//!   [`forensics::merge_streams`] it also stitches per-node JSONL streams
+//!   from a live cluster into one cross-process tree, joined on the
+//!   [`TraceCtx`] carried inside wire frames.
+//! * [`window`] — fixed-size sliding-window time series (qps, latency
+//!   quantiles, bytes, retries, per-level heat) cheap enough to stay on
+//!   by default in every node runtime; [`slo`] evaluates declarative
+//!   rules (`p99_ms < 50, failed_routes == 0`) over its snapshots.
+//! * [`json`] — the tiny JSON writer (and, for scrape pipelines, a
+//!   bounded-depth reader) shared with the bench bins (the workspace has
+//!   no serde).
 //!
 //! Event taxonomy and span hierarchy are documented in DESIGN.md
 //! ("Observability"); sink formats in EXPERIMENTS.md.
@@ -37,14 +45,18 @@ pub mod forensics;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod slo;
 pub mod taxonomy;
+pub mod window;
 
-pub use event::{Event, EventClass, Fields, SpanId, Value};
-pub use forensics::{PhaseTotal, SpanNode, Trace};
-pub use json::JsonObj;
+pub use event::{Event, EventClass, Fields, SpanId, TraceCtx, Value};
+pub use forensics::{merge_streams, parse_jsonl, PhaseTotal, SpanNode, Trace};
+pub use json::{JsonError, JsonObj, JsonValue};
 pub use metrics::{CellSnapshot, HistSnapshot, Log2Hist, Metrics, MetricsSnapshot};
 pub use recorder::{JsonlSink, Recorder, RingHandle, Sink, TeeSink};
+pub use slo::{CmpOp, SloCheck, SloReport, SloRule};
 pub use taxonomy::{counters, names};
+pub use window::{Window, WindowConfig, WindowSnapshot};
 
 // Re-exported so downstream crates can key metrics without an extra
 // `hyperm-sim` import at the call site.

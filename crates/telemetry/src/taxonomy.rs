@@ -99,6 +99,8 @@ pub mod names {
     pub const ZONE_MERGE: &str = "zone_merge";
     /// A virtual zone migrated off an overloaded host.
     pub const VNODE_MIGRATE: &str = "vnode_migrate";
+    /// A node runtime served a window-stats scrape request.
+    pub const STATS: &str = "stats";
 
     /// Every canonical name. `hyperm-lint` loads this slice at run time,
     /// so an emit site can only name events listed here.
@@ -142,6 +144,7 @@ pub mod names {
         ZONE_SPLIT,
         ZONE_MERGE,
         VNODE_MIGRATE,
+        STATS,
     ];
 
     /// The span subset of [`ALL`] (everything else is an instant).
@@ -170,9 +173,17 @@ pub mod counters {
     pub const CACHE_EVICTIONS: &str = "cache_evictions";
     /// Virtual-zone migrations executed by the load balancer.
     pub const VNODE_MIGRATIONS: &str = "vnode_migrations";
+    /// Window-stats scrapes served by a node runtime (aggregate).
+    pub const STATS_SERVED: &str = "stats_served";
 
     /// Every counter-only name.
-    pub const ALL: &[&str] = &[PUBLISH_DEFERRED, QUERIES, CACHE_EVICTIONS, VNODE_MIGRATIONS];
+    pub const ALL: &[&str] = &[
+        PUBLISH_DEFERRED,
+        QUERIES,
+        CACHE_EVICTIONS,
+        VNODE_MIGRATIONS,
+        STATS_SERVED,
+    ];
 }
 
 /// Whether `name` is a canonical event/span name.
@@ -214,6 +225,6 @@ mod tests {
         }
         assert_eq!(names::OVERLAY_LOOKUP, "overlay_lookup");
         assert_eq!(names::PUBLISH_ABANDONED, "publish_abandoned");
-        assert_eq!(names::ALL.len(), 39);
+        assert_eq!(names::ALL.len(), 40);
     }
 }

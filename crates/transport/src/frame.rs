@@ -69,6 +69,10 @@ mod tests {
             centre: vec![0.25, 0.5],
             eps: 0.125,
             budget: u32::MAX,
+            ctx: hyperm_telemetry::TraceCtx {
+                trace_id: 5,
+                parent_span: 9,
+            },
         };
         let mut buf = Vec::new();
         let n = write_frame(&mut buf, &msg).unwrap();

@@ -24,7 +24,10 @@ use hyperm_can::codec::kind;
 use hyperm_can::{Message, StoredObject};
 use hyperm_cluster::Dataset;
 use hyperm_core::{HypermNetwork, InsertPolicy};
-use hyperm_telemetry::{names, JsonObj, Recorder, SpanId};
+use hyperm_sim::OpStats;
+use hyperm_telemetry::{
+    counters, names, JsonObj, Recorder, SpanId, TraceCtx, Window, WindowConfig,
+};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -59,6 +62,14 @@ pub struct NodeRuntime<T: Transport> {
     recorder: Recorder,
     span: SpanId,
     backlog: VecDeque<Envelope>,
+    /// Sliding-window metrics, always on: the `Stats` protocol request
+    /// snapshots it, `hyperm-monitor --watch` aggregates it cluster-wide.
+    window: Window,
+    /// Frames handled so far — the window's (and runtime recorder's)
+    /// clock, so window contents depend only on traffic, not wall time.
+    frames: u64,
+    /// Monotone scrape sequence stamped into monitor/stats JSON.
+    scrape_seq: u64,
     /// How long a member waits for the head to answer a forwarded
     /// request before failing the client with `Ack { ok: false }`.
     pub forward_timeout: Duration,
@@ -67,14 +78,29 @@ pub struct NodeRuntime<T: Transport> {
 impl<T: Transport> NodeRuntime<T> {
     /// A runtime serving `role` over `transport`.
     pub fn new(transport: T, role: Role) -> Self {
+        let window = Window::new(WindowConfig {
+            levels: match &role {
+                Role::Head(net) => net.levels(),
+                Role::Member { .. } => WindowConfig::default().levels,
+            },
+            ..WindowConfig::default()
+        });
         Self {
             transport,
             role,
             recorder: Recorder::disabled(),
             span: SpanId::NONE,
             backlog: VecDeque::new(),
+            window,
+            frames: 0,
+            scrape_seq: 0,
             forward_timeout: Duration::from_secs(30),
         }
+    }
+
+    /// The runtime's sliding-window metrics.
+    pub fn window(&self) -> &Window {
+        &self.window
     }
 
     /// Attach a telemetry recorder: the runtime emits a `serve` span per
@@ -194,20 +220,34 @@ impl<T: Transport> NodeRuntime<T> {
                 Err(e) => return Err(e),
             },
         };
-        let span = self.recorder.span(
-            self.span,
-            names::SERVE,
-            vec![
-                ("from", env.from.into()),
-                ("kind", env.msg.kind_name().into()),
-            ],
-        );
-        let outcome = self.dispatch(env);
+        // The frame counter is the runtime's clock: it stamps trace events
+        // and drives the window, so neither depends on wall time.
+        self.frames += 1;
+        self.window.advance(self.frames);
+        self.recorder.set_time(self.frames);
+        let ctx = msg_ctx(&env.msg);
+        let mut fields = vec![
+            ("from", env.from.into()),
+            ("kind", env.msg.kind_name().into()),
+        ];
+        if !ctx.is_none() {
+            // The cross-process stitch key: `forensics::merge_streams`
+            // re-parents this serve span under span `ctx_span` of the
+            // stream scraped from node `from`.
+            fields.push(("ctx_trace", ctx.trace_id.into()));
+            fields.push(("ctx_span", ctx.parent_span.into()));
+        }
+        let span = self.recorder.span(self.span, names::SERVE, fields);
+        let outcome = self.dispatch(env, span);
         self.recorder.end(span, names::SERVE, vec![]);
         outcome
     }
 
-    fn dispatch(&mut self, env: Envelope) -> Result<ServeOutcome, TransportError> {
+    fn dispatch(
+        &mut self,
+        env: Envelope,
+        serve_span: SpanId,
+    ) -> Result<ServeOutcome, TransportError> {
         let Envelope { from, msg } = env;
         if matches!(msg, Message::Hello { .. }) {
             return Ok(ServeOutcome::Handled);
@@ -224,8 +264,25 @@ impl<T: Transport> NodeRuntime<T> {
             return Ok(ServeOutcome::Shutdown);
         }
         if matches!(msg, Message::Monitor) {
+            self.scrape_seq += 1;
             let json = self.monitor_json();
             let _ = self.transport.send(from, &Message::MonitorAck { json });
+            return Ok(ServeOutcome::Handled);
+        }
+        if matches!(msg, Message::Stats) {
+            // Both roles serve their own window: the monitor scrapes every
+            // node and merges, it does not ask the head about members.
+            self.scrape_seq += 1;
+            let json = self.stats_json();
+            if let Some(m) = self.recorder.metrics() {
+                m.add(counters::STATS_SERVED, 1);
+            }
+            self.recorder.event(
+                serve_span,
+                names::STATS,
+                vec![("seq", self.scrape_seq.into())],
+            );
+            let _ = self.transport.send(from, &Message::StatsAck { json });
             return Ok(ServeOutcome::Handled);
         }
         let request_kind = msg.kind();
@@ -233,10 +290,31 @@ impl<T: Transport> NodeRuntime<T> {
             Role::Head(net) => {
                 match Message::reply_kind_of(request_kind) {
                     Some(expected) => {
-                        let reply = handle_on_network(net, msg).unwrap_or(Message::Ack {
-                            seq: u64::from(expected),
-                            ok: false,
-                        });
+                        record_heat(&self.window, &msg, net.levels());
+                        let t0 = Instant::now();
+                        // Scope the network's recorder to this serve span
+                        // for the duration of the call: query/publish root
+                        // spans parent under it, joining transport and
+                        // overlay into one tree. When the runtime recorder
+                        // is disabled `serve_span` is NONE, so the scope
+                        // stays at its default and streams are untouched.
+                        net.recorder().set_scope(serve_span);
+                        let out = handle_on_network(net, msg);
+                        net.recorder().set_scope(SpanId::NONE);
+                        let latency_us = elapsed_us(t0);
+                        let reply = match out {
+                            Some((reply, stats)) => {
+                                self.window.record_op(&stats, latency_us);
+                                reply
+                            }
+                            None => {
+                                self.window.record_rejected();
+                                Message::Ack {
+                                    seq: u64::from(expected),
+                                    ok: false,
+                                }
+                            }
+                        };
                         let _ = self.transport.send(from, &reply);
                     }
                     // A reply or unsolicited ack landed at the head:
@@ -258,10 +336,22 @@ impl<T: Transport> NodeRuntime<T> {
                         // A client request: relay head-ward and pipe the
                         // answer back.
                         self.recorder.event(
-                            self.span,
+                            serve_span,
                             names::FORWARD,
                             vec![("from", from.into()), ("kind", msg.kind_name().into())],
                         );
+                        // Re-parent the frame's trace context under this
+                        // relay's serve span — but ONLY when this runtime
+                        // is tracing. Untraced relays forward the frame
+                        // byte-identical to what they received, which is
+                        // what keeps the transported bit-identity test
+                        // honest with TraceCtx on the wire.
+                        let msg = if self.recorder.is_enabled() {
+                            reparent_ctx(msg, serve_span)
+                        } else {
+                            msg
+                        };
+                        let t0 = Instant::now();
                         let reply = self
                             .transport
                             .send(head, &msg)
@@ -270,6 +360,7 @@ impl<T: Transport> NodeRuntime<T> {
                                 seq: u64::from(expected),
                                 ok: false,
                             });
+                        record_reply(&self.window, &reply, elapsed_us(t0));
                         let _ = self.transport.send(from, &reply);
                     }
                     _ => {
@@ -285,11 +376,24 @@ impl<T: Transport> NodeRuntime<T> {
         }
     }
 
+    /// This node's window snapshot as JSON (what `StatsAck` carries):
+    /// stamped with the transport peer id, the monotone scrape sequence
+    /// and the frame clock for joinability with monitor output.
+    pub fn stats_json(&self) -> String {
+        self.window
+            .snapshot(self.transport.local(), self.scrape_seq)
+            .to_json()
+    }
+
     /// Live overlay state as JSON: role, membership, and per-level zones,
     /// neighbour lists and summary counts (heads); role and head address
     /// (members).
     pub fn monitor_json(&self) -> String {
-        let mut obj = JsonObj::new().u("transport_peer", self.transport.local());
+        let mut obj = JsonObj::new()
+            .u("transport_peer", self.transport.local())
+            .u("node", self.transport.local())
+            .u("seq", self.scrape_seq)
+            .u("frame", self.frames);
         match &self.role {
             Role::Member { head, peer } => {
                 obj = obj.s("role", "member").u("head", *head);
@@ -370,6 +474,107 @@ impl<T: Transport> NodeRuntime<T> {
     }
 }
 
+/// The trace context a frame carries, if its kind does.
+fn msg_ctx(msg: &Message) -> TraceCtx {
+    match msg {
+        Message::Query { ctx, .. } | Message::Fetch { ctx, .. } | Message::Publish { ctx, .. } => {
+            *ctx
+        }
+        _ => TraceCtx::NONE,
+    }
+}
+
+/// The frame with its trace context re-parented under `span` (relay
+/// stitching). Frames without a context slot pass through unchanged.
+fn reparent_ctx(msg: Message, span: SpanId) -> Message {
+    match msg {
+        Message::Query {
+            centre,
+            eps,
+            budget,
+            ctx,
+        } => Message::Query {
+            centre,
+            eps,
+            budget,
+            ctx: ctx.reparent(span),
+        },
+        Message::Fetch {
+            peer,
+            centre,
+            eps,
+            ctx,
+        } => Message::Fetch {
+            peer,
+            centre,
+            eps,
+            ctx: ctx.reparent(span),
+        },
+        Message::Publish {
+            level,
+            replicate,
+            object,
+            ctx,
+        } => Message::Publish {
+            level,
+            replicate,
+            object,
+            ctx: ctx.reparent(span),
+        },
+        other => other,
+    }
+}
+
+/// Microseconds since `t0`, saturating.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Charge the request's wavelet levels to the window's heat series: a
+/// range query's phase 1 touches every level; publish/get/route name one.
+fn record_heat(window: &Window, msg: &Message, levels: usize) {
+    match msg {
+        Message::Query { .. } => {
+            for l in 0..levels {
+                window.record_level(l);
+            }
+        }
+        Message::Publish { level, .. }
+        | Message::Get { level, .. }
+        | Message::Route { level, .. } => {
+            window.record_level(usize::from(*level));
+        }
+        _ => {}
+    }
+}
+
+/// Record one served request in the window: failure acks count as
+/// rejected; query replies carry their simulated overlay cost, everything
+/// else charges host latency only.
+fn record_reply(window: &Window, reply: &Message, latency_us: u64) {
+    match reply {
+        Message::Ack { ok: false, .. } => window.record_rejected(),
+        Message::QueryAck {
+            hops,
+            messages,
+            bytes,
+            ..
+        } => {
+            window.record_op(
+                &OpStats {
+                    hops: *hops,
+                    messages: *messages,
+                    bytes: *bytes,
+                    retries: 0,
+                    failed_routes: 0,
+                },
+                latency_us,
+            );
+        }
+        _ => window.record_op(&OpStats::zero(), latency_us),
+    }
+}
+
 fn render_coords(v: &[f64]) -> String {
     format!(
         "[{}]",
@@ -389,8 +594,10 @@ fn entry_peer(net: &HypermNetwork) -> Option<usize> {
 /// Serve one protocol request against the network. `None` = the request
 /// was invalid (bad level/dimension/peer) and becomes a failure ack.
 /// Every call here is the same public entry point an in-process caller
-/// would use — this function adds validation, never behaviour.
-fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
+/// would use — this function adds validation, never behaviour. The
+/// returned [`OpStats`] is the op's simulated overlay cost (zero for ops
+/// that have none), which the runtime feeds its metrics window.
+fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<(Message, OpStats)> {
     match msg {
         Message::Join { dim, rows, .. } => {
             if dim == 0 || usize::from(dim) != net.data_dim() {
@@ -401,10 +608,13 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
             }
             let items = Dataset::from_flat(rows, usize::from(dim));
             let report = net.join_peer(items).ok()?;
-            Some(Message::JoinAck {
-                peer: report.peer as u64,
-                members: net.len() as u64,
-            })
+            Some((
+                Message::JoinAck {
+                    peer: report.peer as u64,
+                    members: net.len() as u64,
+                },
+                OpStats::zero(),
+            ))
         }
         Message::Route { level, key } => {
             let l = usize::from(level);
@@ -412,24 +622,31 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
                 return None;
             }
             let owner = net.overlay(l).as_can()?.try_owner_of(&key)?;
-            Some(Message::RouteAck {
-                level,
-                owner: owner.0 as u64,
-            })
+            Some((
+                Message::RouteAck {
+                    level,
+                    owner: owner.0 as u64,
+                },
+                OpStats::zero(),
+            ))
         }
         Message::Publish {
             level,
             replicate,
             object,
+            ..
         } => {
             let object_id = object.id;
             let out = net.publish_object(usize::from(level), object, replicate)?;
-            Some(Message::PublishAck {
-                level,
-                object_id,
-                replicas: u32::try_from(out.replicas).unwrap_or(u32::MAX),
-                targets: u32::try_from(out.targets).unwrap_or(u32::MAX),
-            })
+            Some((
+                Message::PublishAck {
+                    level,
+                    object_id,
+                    replicas: u32::try_from(out.replicas).unwrap_or(u32::MAX),
+                    targets: u32::try_from(out.targets).unwrap_or(u32::MAX),
+                },
+                out.stats,
+            ))
         }
         Message::Put {
             peer,
@@ -450,7 +667,7 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
                 InsertPolicy::StaleSummaries
             };
             net.insert_item(p, &item, policy);
-            Some(Message::PutAck { peer, index })
+            Some((Message::PutAck { peer, index }, OpStats::zero()))
         }
         Message::Get { level, key } => {
             let l = usize::from(level);
@@ -461,13 +678,14 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
                 return None;
             }
             let from = hyperm_sim::NodeId(entry_peer(net)?);
-            let (objects, _stats) = net.overlay(l).point_lookup(from, &key);
-            Some(Message::GetAck { level, objects })
+            let (objects, stats) = net.overlay(l).point_lookup(from, &key);
+            Some((Message::GetAck { level, objects }, stats))
         }
         Message::Query {
             centre,
             eps,
             budget,
+            ..
         } => {
             if centre.len() != net.data_dim() {
                 return None;
@@ -479,18 +697,23 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
                 Some(budget as usize)
             };
             let res = net.range_query(from_peer, &centre, eps, peer_budget);
-            Some(Message::QueryAck {
-                items: res
-                    .items
-                    .iter()
-                    .map(|&(p, i)| (p as u64, i as u64))
-                    .collect(),
-                hops: res.stats.hops,
-                messages: res.stats.messages,
-                bytes: res.stats.bytes,
-            })
+            Some((
+                Message::QueryAck {
+                    items: res
+                        .items
+                        .iter()
+                        .map(|&(p, i)| (p as u64, i as u64))
+                        .collect(),
+                    hops: res.stats.hops,
+                    messages: res.stats.messages,
+                    bytes: res.stats.bytes,
+                },
+                res.stats,
+            ))
         }
-        Message::Fetch { peer, centre, eps } => {
+        Message::Fetch {
+            peer, centre, eps, ..
+        } => {
             let p = usize::try_from(peer).ok()?;
             if p >= net.len() || !net.is_alive(p) || centre.len() != net.data_dim() {
                 return None;
@@ -501,10 +724,10 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<Message> {
                 .into_iter()
                 .map(|i| i as u64)
                 .collect();
-            Some(Message::FetchAck { peer, indices })
+            Some((Message::FetchAck { peer, indices }, OpStats::zero()))
         }
-        // Hello/Monitor/Shutdown are handled before dispatch; replies
-        // have no reply_kind and never reach here.
+        // Hello/Monitor/Stats/Shutdown are handled before dispatch;
+        // replies have no reply_kind and never reach here.
         _ => None,
     }
 }
@@ -516,6 +739,11 @@ pub struct Client<T: Transport> {
     node: PeerId,
     /// Per-request timeout.
     pub timeout: Duration,
+    /// Trace context stamped into query/fetch/publish frames. Default
+    /// [`TraceCtx::NONE`] (untraced — frames carry zeroes); set a
+    /// non-zero `trace_id` to tag a distributed operation so the nodes'
+    /// streams stitch into one tree.
+    pub trace: TraceCtx,
 }
 
 impl<T: Transport> Client<T> {
@@ -525,7 +753,14 @@ impl<T: Transport> Client<T> {
             transport,
             node,
             timeout: Duration::from_secs(30),
+            trace: TraceCtx::NONE,
         }
+    }
+
+    /// This client with `trace` stamped into every traceable request.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The underlying transport endpoint.
@@ -593,6 +828,7 @@ impl<T: Transport> Client<T> {
             centre: centre.to_vec(),
             eps,
             budget: budget.unwrap_or(u32::MAX),
+            ctx: self.trace,
         })? {
             Message::QueryAck {
                 items,
@@ -626,6 +862,7 @@ impl<T: Transport> Client<T> {
             level,
             replicate,
             object,
+            ctx: self.trace,
         })? {
             Message::PublishAck {
                 replicas, targets, ..
@@ -640,6 +877,7 @@ impl<T: Transport> Client<T> {
             peer,
             centre: centre.to_vec(),
             eps,
+            ctx: self.trace,
         })? {
             Message::FetchAck { indices, .. } => Ok(indices),
             _ => Err(TransportError::Rejected("unexpected reply")),
@@ -650,6 +888,14 @@ impl<T: Transport> Client<T> {
     pub fn monitor(&self) -> Result<String, TransportError> {
         match self.request(&Message::Monitor)? {
             Message::MonitorAck { json } => Ok(json),
+            _ => Err(TransportError::Rejected("unexpected reply")),
+        }
+    }
+
+    /// The node's sliding-window metrics snapshot as JSON.
+    pub fn stats(&self) -> Result<String, TransportError> {
+        match self.request(&Message::Stats)? {
+            Message::StatsAck { json } => Ok(json),
             _ => Err(TransportError::Rejected("unexpected reply")),
         }
     }

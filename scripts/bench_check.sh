@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Bench artifact guard: validate every BENCH_*.json in the repo root
+# against its schema and headline bounds (see crates/bench/src/bin/
+# bench_check.rs for the exact rules). CI runs this after regenerating
+# the artifacts; run locally from the repo root:
+#
+#   bash scripts/bench_check.sh [DIR]
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+DIR=${1:-.}
+
+if [ -x "$BIN/bench_check" ]; then
+  "$BIN/bench_check" "$DIR"
+else
+  cargo run --release -q -p hyperm-bench --bin bench_check -- "$DIR"
+fi

@@ -3,17 +3,21 @@
 //! ```text
 //! hyperm-client put      --node ADDR --peer P --item V1,V2,... [--republish]
 //! hyperm-client get      --node ADDR --level L --key V1,V2,...
-//! hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B]
+//! hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B] [--trace T]
 //! hyperm-client fetch    --node ADDR --peer P --centre V1,V2,... --eps E
 //! hyperm-client route    --node ADDR --level L --key V1,V2,...
+//! hyperm-client stats    --node ADDR
 //! hyperm-client shutdown --node ADDR
 //! hyperm-client help
 //! ```
 //!
 //! Every subcommand prints a single JSON object, so output is scriptable
-//! (the CI transport smoke job parses it).
+//! (the CI transport smoke job parses it). `query --trace T` stamps the
+//! request frame with trace id `T` so nodes running with `--trace PATH`
+//! parent their serve spans into one cross-process trace; `stats` dumps
+//! the node's sliding-window metrics snapshot verbatim.
 
-use hyperm::telemetry::JsonObj;
+use hyperm::telemetry::{JsonObj, TraceCtx};
 use hyperm::transport::{Client, TcpEndpoint};
 use std::collections::HashMap;
 
@@ -35,6 +39,16 @@ fn main() {
         "query" => query(&client, &opts),
         "fetch" => fetch(&client, &opts),
         "route" => route(&client, &opts),
+        "stats" => {
+            // The snapshot is already one JSON document: print verbatim.
+            match client.stats() {
+                Ok(json) => {
+                    println!("{json}");
+                    return;
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        }
         "shutdown" => client
             .shutdown()
             .map(|()| JsonObj::new().b("ok", true))
@@ -94,7 +108,14 @@ fn connect(opts: &HashMap<String, String>) -> Result<Client<TcpEndpoint>, String
     endpoint
         .connect(0, addr)
         .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
-    Ok(Client::new(endpoint, 0))
+    let mut client = Client::new(endpoint, 0);
+    if let Some(trace_id) = opts.get("trace").and_then(|v| v.parse().ok()) {
+        client = client.with_trace(TraceCtx {
+            trace_id,
+            parent_span: 0,
+        });
+    }
+    Ok(client)
 }
 
 fn vector(opts: &HashMap<String, String>, key: &str) -> Result<Vec<f64>, String> {
@@ -205,11 +226,14 @@ fn help() {
 USAGE:
   hyperm-client put      --node ADDR --peer P --item V1,V2,... [--republish]
   hyperm-client get      --node ADDR --level L --key V1,V2,...
-  hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B]
+  hyperm-client query    --node ADDR --centre V1,V2,... --eps E [--budget B] [--trace T]
   hyperm-client fetch    --node ADDR --peer P --centre V1,V2,... --eps E
   hyperm-client route    --node ADDR --level L --key V1,V2,...
+  hyperm-client stats    --node ADDR
   hyperm-client shutdown --node ADDR
 
-Output is one JSON object per invocation."
+Output is one JSON object per invocation. `--trace T` stamps request
+frames with trace id T for cross-process trace stitching; `stats` dumps
+the node's sliding-window metrics snapshot."
     );
 }

@@ -1,52 +1,201 @@
-//! `hyperm-monitor` — dump a running node's live overlay state as JSON.
+//! `hyperm-monitor` — inspect a running cluster: one-shot state dumps
+//! and a live scrape/SLO watch loop.
 //!
 //! ```text
 //! hyperm-monitor --node ADDR
+//! hyperm-monitor --watch --nodes ADDR1,ADDR2,... [--interval MS]
+//!                [--count N] [--slo "RULES"]
 //! ```
 //!
-//! Heads report membership, per-level zones, neighbour lists and summary
-//! counts — plus a `load` array with live per-peer counters (served
-//! queries, flood relays, answered fetches, bytes, retries) whenever a
-//! `hyperm-load` ledger is installed on the head. Members report their
-//! role and head address. Output is the node's `MonitorAck` JSON
-//! document, printed verbatim.
+//! **One-shot** (`--node`): prints the node's `MonitorAck` JSON document
+//! verbatim. Heads report membership, per-level zones, neighbour lists
+//! and summary counts — plus a `load` array with live per-peer counters
+//! whenever a `hyperm-load` ledger is installed. Members report their
+//! role and head address. Every document carries the node's transport
+//! id, frame clock and monotone scrape sequence.
+//!
+//! **Watch** (`--watch`): polls every listed node's `Stats` endpoint,
+//! printing one JSON line per node scrape (the node's sliding-window
+//! [`WindowSnapshot`]) and one `"kind": "cluster"` line per round with
+//! the merged cluster-wide aggregate. With `--slo` the aggregate is
+//! checked against declarative rules (e.g. `"p99_ms < 50, rejected ==
+//! 0"`) each round; the process exits non-zero with a structured breach
+//! report if any round violated a rule. `--count N` stops after N
+//! rounds (0 = run until interrupted), which is how CI bounds the loop.
 
-use hyperm::telemetry::JsonObj;
+use hyperm::telemetry::{JsonObj, JsonValue, SloReport, SloRule, WindowSnapshot};
 use hyperm::transport::{Client, TcpEndpoint};
+use std::process::ExitCode;
+use std::time::Duration;
 
-fn main() {
+fn main() -> ExitCode {
     let mut node = None;
+    let mut nodes = None;
+    let mut watch = false;
+    let mut interval_ms: u64 = 500;
+    let mut count: u64 = 0;
+    let mut slo = String::new();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--node" => node = args.next(),
+            "--nodes" => nodes = args.next(),
+            "--watch" => watch = true,
+            "--interval" => interval_ms = num_arg(args.next(), "--interval"),
+            "--count" => count = num_arg(args.next(), "--count"),
+            "--slo" => slo = args.next().unwrap_or_default(),
             "help" | "--help" => {
-                println!("hyperm-monitor — dump live overlay state\n\nUSAGE:\n  hyperm-monitor --node ADDR");
-                return;
+                help();
+                return ExitCode::SUCCESS;
             }
             other => eprintln!("ignoring stray argument {other:?}"),
         }
     }
-    let Some(node) = node else {
-        eprintln!("hyperm-monitor: --node ADDR is required");
-        return;
-    };
-    match run(&node) {
-        Ok(json) => print!("{json}"),
-        Err(e) => println!("{}", JsonObj::new().b("ok", false).s("error", &e).render()),
+
+    if watch {
+        let list: Vec<String> = nodes
+            .or(node)
+            .unwrap_or_default()
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if list.is_empty() {
+            eprintln!("hyperm-monitor: --watch needs --nodes ADDR1,ADDR2,...");
+            return ExitCode::FAILURE;
+        }
+        let rules = match SloRule::parse_list(&slo) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hyperm-monitor: bad --slo rules: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match watch_loop(&list, Duration::from_millis(interval_ms), count, &rules) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                println!("{}", JsonObj::new().b("ok", false).s("error", &e).render());
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let Some(node) = node else {
+            eprintln!("hyperm-monitor: --node ADDR is required");
+            return ExitCode::FAILURE;
+        };
+        match connect(&node).and_then(|c| c.monitor().map_err(|e| e.to_string())) {
+            Ok(json) => {
+                print!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("{}", JsonObj::new().b("ok", false).s("error", &e).render());
+                ExitCode::FAILURE
+            }
+        }
     }
 }
 
-fn run(node: &str) -> Result<String, String> {
+fn num_arg(v: Option<String>, flag: &str) -> u64 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("hyperm-monitor: {flag} needs a number, using 0");
+        0
+    })
+}
+
+fn connect(node: &str) -> Result<Client<TcpEndpoint>, String> {
     let addr = node
         .parse()
-        .map_err(|e| format!("bad --node address {node}: {e}"))?;
+        .map_err(|e| format!("bad node address {node}: {e}"))?;
     let id = 2_000_000 + u64::from(std::process::id());
     let endpoint = TcpEndpoint::bind(id, "127.0.0.1:0").map_err(|e| e.to_string())?;
     endpoint
         .connect(0, addr)
         .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
-    Client::new(endpoint, 0)
-        .monitor()
-        .map_err(|e| e.to_string())
+    Ok(Client::new(endpoint, 0))
+}
+
+/// Scrape every node `count` times (0 = forever), printing windowed
+/// series and evaluating `rules` against the cluster aggregate. Returns
+/// `Ok(true)` when no round breached.
+fn watch_loop(
+    nodes: &[String],
+    interval: Duration,
+    count: u64,
+    rules: &[SloRule],
+) -> Result<bool, String> {
+    let clients: Vec<Client<TcpEndpoint>> = nodes
+        .iter()
+        .map(|addr| connect(addr))
+        .collect::<Result<_, _>>()?;
+    let mut clean = true;
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let mut snaps = Vec::new();
+        for (addr, client) in nodes.iter().zip(&clients) {
+            let json = client
+                .stats()
+                .map_err(|e| format!("stats from {addr}: {e}"))?;
+            let value = JsonValue::parse(&json)
+                .map_err(|e| format!("unparseable stats from {addr}: {e:?}"))?;
+            let snap = WindowSnapshot::from_json(&value)
+                .ok_or_else(|| format!("stats from {addr}: missing snapshot fields"))?;
+            println!(
+                "{}",
+                JsonObj::new()
+                    .u("scrape", round)
+                    .s("kind", "node")
+                    .s("addr", addr)
+                    .raw("window", snap.to_json())
+                    .render()
+            );
+            snaps.push(snap);
+        }
+        let cluster = WindowSnapshot::merge(&snaps);
+        let mut line = JsonObj::new()
+            .u("scrape", round)
+            .s("kind", "cluster")
+            .u("nodes", snaps.len() as u64)
+            .raw("window", cluster.to_json());
+        if !rules.is_empty() {
+            let report = SloReport::evaluate(rules, &cluster);
+            if !report.ok() {
+                clean = false;
+            }
+            line = line.raw("slo", report.to_json());
+        }
+        println!("{}", line.render());
+        if count != 0 && round >= count {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    println!(
+        "{}",
+        JsonObj::new()
+            .b("ok", clean)
+            .s("kind", "watch_done")
+            .u("scrapes", round)
+            .u("nodes", nodes.len() as u64)
+            .u("rules", rules.len() as u64)
+            .render()
+    );
+    Ok(clean)
+}
+
+fn help() {
+    println!(
+        "hyperm-monitor — dump live overlay state / watch cluster metrics
+
+USAGE:
+  hyperm-monitor --node ADDR
+  hyperm-monitor --watch --nodes ADDR1,ADDR2,... [--interval MS] [--count N] [--slo \"RULES\"]
+
+Watch mode polls every node's sliding-window Stats endpoint, prints one
+JSON line per node scrape plus a merged cluster line per round, and
+(with --slo) exits non-zero if any round breaches a rule, e.g.
+  --slo \"p99_ms < 50, rejected == 0, failed_routes == 0\""
+    );
 }

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! hyperm-node head   --listen ADDR [--peers N] [--items M] [--dim D]
-//!                    [--levels L] [--clusters K] [--seed S]
-//! hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D] [--seed S]
+//!                    [--levels L] [--clusters K] [--seed S] [--trace PATH]
+//! hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D]
+//!                    [--seed S] [--trace PATH]
 //! hyperm-node help
 //! ```
 //!
@@ -17,8 +18,15 @@
 //! peer 0 by convention; members pick a unique `--id` ≥ 1.
 //!
 //! All workloads are seeded, so a restarted cluster is bit-identical.
+//!
+//! `--trace PATH` turns on telemetry and streams the node's event log as
+//! JSONL to `PATH`. The node runtime and the overlay network share one
+//! recorder, so transport serve spans and overlay query spans land in a
+//! single stream with one span-id space — `trace_query --stitch` can
+//! merge the per-node files into one cross-process route tree.
 
 use hyperm::datagen::{generate_aloi_like, AloiConfig};
+use hyperm::telemetry::Recorder;
 use hyperm::transport::{NodeRuntime, Role, TcpEndpoint};
 use hyperm::{Dataset, HypermConfig, HypermNetwork};
 use std::collections::HashMap;
@@ -58,6 +66,24 @@ fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default:
         .unwrap_or(default)
 }
 
+/// The node's recorder: JSONL-backed when `--trace PATH` is given,
+/// otherwise the free disabled default.
+fn recorder(opts: &HashMap<String, String>) -> Option<Recorder> {
+    match opts.get("trace") {
+        Some(path) => match Recorder::jsonl(path) {
+            Ok(rec) => {
+                println!("hyperm-node: tracing to {path}");
+                Some(rec)
+            }
+            Err(e) => {
+                eprintln!("hyperm-node: cannot open trace file {path}: {e}");
+                None
+            }
+        },
+        None => Some(Recorder::disabled()),
+    }
+}
+
 /// A peer collection: `items` rows of the deterministic histogram-style
 /// corpus, disjoint per (seed, slot) so every node brings distinct data.
 fn collection(slot: usize, items: usize, dim: usize, seed: u64) -> Dataset {
@@ -82,6 +108,7 @@ fn head(opts: &HashMap<String, String>) {
     let levels: usize = get(opts, "levels", 3);
     let clusters: usize = get(opts, "clusters", 4);
     let seed: u64 = get(opts, "seed", 7);
+    let Some(rec) = recorder(opts) else { return };
 
     let data: Vec<Dataset> = (0..peers)
         .map(|p| collection(p, items, dim, seed))
@@ -90,7 +117,7 @@ fn head(opts: &HashMap<String, String>) {
         .with_levels(levels)
         .with_clusters_per_peer(clusters)
         .with_seed(seed);
-    let (net, report) = match HypermNetwork::build(data, cfg) {
+    let (net, report) = match HypermNetwork::build_traced(data, cfg, rec.clone()) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("hyperm-node: build failed: {e}");
@@ -111,11 +138,13 @@ fn head(opts: &HashMap<String, String>) {
         report.clusters_published,
         endpoint.local_addr()
     );
-    let mut runtime = NodeRuntime::new(endpoint, Role::Head(Box::new(net)));
+    let mut runtime =
+        NodeRuntime::new(endpoint, Role::Head(Box::new(net))).with_recorder(rec.clone());
     if let Err(e) = runtime.serve_until_shutdown() {
         eprintln!("hyperm-node: serve loop failed: {e}");
         return;
     }
+    rec.flush();
     println!("hyperm-node head: shut down cleanly");
 }
 
@@ -136,6 +165,7 @@ fn member(opts: &HashMap<String, String>) {
         eprintln!("hyperm-node member: --id must be ≥ 1 (0 is the head)");
         return;
     }
+    let Some(rec) = recorder(opts) else { return };
 
     let endpoint = match TcpEndpoint::bind(id, &listen) {
         Ok(ep) => ep,
@@ -169,7 +199,8 @@ fn member(opts: &HashMap<String, String>) {
             head: 0,
             peer: None,
         },
-    );
+    )
+    .with_recorder(rec.clone());
     match runtime.join_network(&data, Duration::from_secs(30)) {
         Ok(peer) => println!("hyperm-node member {id}: joined as overlay peer {peer}"),
         Err(e) => {
@@ -181,6 +212,7 @@ fn member(opts: &HashMap<String, String>) {
         eprintln!("hyperm-node: serve loop failed: {e}");
         return;
     }
+    rec.flush();
     println!("hyperm-node member {id}: shut down cleanly");
 }
 
@@ -190,10 +222,13 @@ fn help() {
 
 USAGE:
   hyperm-node head   --listen ADDR [--peers N] [--items M] [--dim D] \\
-                     [--levels L] [--clusters K] [--seed S]
-  hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D] [--seed S]
+                     [--levels L] [--clusters K] [--seed S] [--trace PATH]
+  hyperm-node member --listen ADDR --head ADDR --id I [--items M] [--dim D] \\
+                     [--seed S] [--trace PATH]
 
 The head owns the overlay network; members join it over the wire and
-relay client requests. Stop any node with `hyperm-client --node ADDR shutdown`."
+relay client requests. `--trace PATH` streams the node's telemetry as
+JSONL to PATH (transport + overlay share one recorder). Stop any node
+with `hyperm-client --node ADDR shutdown`."
     );
 }

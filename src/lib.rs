@@ -77,7 +77,9 @@ pub use hyperm_sim::{
     Backoff, EnergyModel, FaultConfig, FaultReport, LatencySummary, LoadLedger, NetStats, NodeId,
     OpKind, OpStats, PartitionPlan, PeerLoad,
 };
-pub use hyperm_telemetry::{MetricsSnapshot, Recorder, SpanId, Trace};
+pub use hyperm_telemetry::{
+    MetricsSnapshot, Recorder, SloReport, SpanId, Trace, TraceCtx, WindowSnapshot,
+};
 pub use hyperm_transport::{
     Client, Envelope, MemEndpoint, MemHub, NodeRuntime, PeerId, Role, ServeOutcome, SimEndpoint,
     SimHub, TcpEndpoint, Transport, TransportError,

@@ -10,7 +10,7 @@
 //! caller uses, and its own tracing goes to a *separate* recorder.
 
 use hyperm::datagen::{generate_aloi_like, AloiConfig};
-use hyperm::telemetry::{Event, Recorder};
+use hyperm::telemetry::{Event, Recorder, TraceCtx};
 use hyperm::transport::{NodeRuntime, Role, ServeOutcome, SimEndpoint, SimHub, Transport};
 use hyperm::{Dataset, HypermConfig, HypermNetwork, InsertPolicy, Message, StoredObject};
 use std::time::Duration;
@@ -162,6 +162,13 @@ fn transported_run(seed: u64) -> RunOut {
                 centre: q.clone(),
                 eps: 0.2,
                 budget: u32::MAX,
+                // A live trace context on the wire: the serving network's
+                // recorder is what's under comparison, and a traced frame
+                // must not perturb its stream.
+                ctx: TraceCtx {
+                    trace_id: 0xFEED,
+                    parent_span: 42,
+                },
             },
         );
         queries.push(unpack(reply));
@@ -188,6 +195,10 @@ fn transported_run(seed: u64) -> RunOut {
             centre: item.clone(),
             eps: 0.1,
             budget: u32::MAX,
+            ctx: TraceCtx {
+                trace_id: 0xFEED,
+                parent_span: 43,
+            },
         },
     );
     queries.push(unpack(reply));
@@ -268,6 +279,7 @@ fn head_rejects_invalid_requests_without_perturbing_state() {
             centre: vec![0.1; DIM - 1], // wrong dimensionality
             eps: 0.2,
             budget: u32::MAX,
+            ctx: TraceCtx::NONE,
         },
         Message::Put {
             peer: 10_000, // no such peer
@@ -300,6 +312,7 @@ fn head_rejects_invalid_requests_without_perturbing_state() {
             centre: q,
             eps: 0.2,
             budget: u32::MAX,
+            ctx: TraceCtx::NONE,
         },
     );
     assert!(matches!(reply, Message::QueryAck { .. }));
