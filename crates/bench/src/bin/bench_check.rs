@@ -23,7 +23,10 @@
 //!   after the heal round in every cell;
 //! * `BENCH_load.json` — `s12_improvement >= 2.0` (the headline
 //!   hot-spot-relief win), relief never worse than no relief, per-cell
-//!   `recall >= 0.99` and a sane Gini coefficient.
+//!   `recall >= 0.99` and a sane Gini coefficient;
+//! * `BENCH_chaos.json` — non-empty live-cluster chaos scenarios, each
+//!   recovering `recall_final = 1.0` with no exhausted retry budgets,
+//!   and not a single stale (mis-correlated) reply ever returned.
 //!
 //! Output is one JSON verdict line per file plus a summary; the process
 //! exits non-zero if any check failed.
@@ -36,11 +39,12 @@ type Check = fn(&JsonValue, &mut Errors);
 
 fn main() -> ExitCode {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
-    let checks: [(&str, Check); 4] = [
+    let checks: [(&str, Check); 5] = [
         ("BENCH_query.json", check_query),
         ("BENCH_churn.json", check_churn),
         ("BENCH_faults.json", check_faults),
         ("BENCH_load.json", check_load),
+        ("BENCH_chaos.json", check_chaos),
     ];
 
     let mut failed = 0usize;
@@ -275,4 +279,37 @@ fn check_load(v: &JsonValue, errs: &mut Errors) {
             None => errs.push(format!("{ctx}: missing \"load\" object")),
         }
     }
+}
+
+fn check_chaos(v: &JsonValue, errs: &mut Errors) {
+    check_workload(v, &["nodes", "dim", "items_per_peer"], errs);
+    let Some(scenarios) = v.get("scenarios").and_then(JsonValue::as_arr) else {
+        errs.push("missing \"scenarios\" array".into());
+        return;
+    };
+    errs.require(!scenarios.is_empty(), "scenarios must not be empty");
+    for (i, s) in scenarios.iter().enumerate() {
+        let ctx = format!("scenarios[{i}]");
+        let queries = need(s, "queries", &ctx, errs);
+        errs.require(queries > 0.0, &format!("{ctx}: queries must be positive"));
+        // The fault-tolerance headline: retry/reconnect/rejoin always
+        // recover exact answers, whatever the chaos schedule did.
+        let recall_final = need(s, "recall_final", &ctx, errs);
+        errs.require(
+            recall_final >= 1.0,
+            &format!("{ctx}: recall_final must recover to 1.0 under chaos"),
+        );
+        let gave_up = need(s, "gave_up", &ctx, errs);
+        errs.require(
+            gave_up == 0.0,
+            &format!("{ctx}: no request may exhaust its retry budget"),
+        );
+    }
+    // Correlation-safety headline: a late reply to a timed-out attempt
+    // is only ever discarded, never handed to a later request.
+    let returned = need(v, "stale_replies_returned", "top level", errs);
+    errs.require(
+        returned == 0.0,
+        "stale_replies_returned must be 0 (mis-correlation)",
+    );
 }

@@ -326,6 +326,10 @@ pub mod kind {
     pub const STATS: u8 = 19;
     /// [`super::Message::StatsAck`].
     pub const STATS_ACK: u8 = 20;
+    /// [`super::Message::Ping`].
+    pub const PING: u8 = 21;
+    /// [`super::Message::Pong`].
+    pub const PONG: u8 = 22;
 }
 
 /// Every message the transport layer frames between peers.
@@ -488,6 +492,16 @@ pub enum Message {
         /// JSON document (one [`hyperm_telemetry::WindowSnapshot`]).
         json: String,
     },
+    /// Wire heartbeat: is the peer alive and serving?
+    Ping {
+        /// Sender-local heartbeat sequence number, echoed by the pong.
+        seq: u64,
+    },
+    /// Heartbeat answer.
+    Pong {
+        /// The ping's sequence number, echoed.
+        seq: u64,
+    },
 }
 
 impl Message {
@@ -515,6 +529,8 @@ impl Message {
             Message::PutAck { .. } => kind::PUT_ACK,
             Message::Stats => kind::STATS,
             Message::StatsAck { .. } => kind::STATS_ACK,
+            Message::Ping { .. } => kind::PING,
+            Message::Pong { .. } => kind::PONG,
         }
     }
 
@@ -542,6 +558,8 @@ impl Message {
             Message::PutAck { .. } => "put_ack",
             Message::Stats => "stats",
             Message::StatsAck { .. } => "stats_ack",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
         }
     }
 
@@ -558,6 +576,7 @@ impl Message {
             kind::SHUTDOWN => Some(kind::ACK),
             kind::PUT => Some(kind::PUT_ACK),
             kind::STATS => Some(kind::STATS_ACK),
+            kind::PING => Some(kind::PONG),
             _ => None,
         }
     }
@@ -712,6 +731,9 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, CodecError> {
         Message::PutAck { peer, index } => {
             out.extend_from_slice(&peer.to_le_bytes());
             out.extend_from_slice(&index.to_le_bytes());
+        }
+        Message::Ping { seq } | Message::Pong { seq } => {
+            out.extend_from_slice(&seq.to_le_bytes());
         }
     }
     Ok(out)
@@ -878,6 +900,8 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, CodecError> {
             peer: r.u64()?,
             index: r.u64()?,
         },
+        kind::PING => Message::Ping { seq: r.u64()? },
+        kind::PONG => Message::Pong { seq: r.u64()? },
         kind::STATS => Message::Stats,
         kind::STATS_ACK => {
             let len = r.u32()? as usize;
@@ -1100,6 +1124,8 @@ mod tests {
             Message::StatsAck {
                 json: "{\"ops\": 9}".to_string(),
             },
+            Message::Ping { seq: 11 },
+            Message::Pong { seq: 11 },
         ]
     }
 

@@ -101,6 +101,21 @@ pub mod names {
     pub const VNODE_MIGRATE: &str = "vnode_migrate";
     /// A node runtime served a window-stats scrape request.
     pub const STATS: &str = "stats";
+    /// A wire heartbeat request was served.
+    pub const PING: &str = "ping";
+    /// A wire heartbeat answer was received.
+    pub const PONG: &str = "pong";
+    /// A peer exceeded its missed-ping threshold and was marked dead.
+    pub const PEER_DOWN: &str = "peer_down";
+    /// A previously-joined peer re-joined (crash-restart resync) or a
+    /// degraded link to the head recovered.
+    pub const REJOIN: &str = "rejoin";
+    /// A reply to an already-timed-out request arrived and was discarded.
+    pub const STALE_REPLY: &str = "stale_reply";
+    /// A dropped transport connection was re-established.
+    pub const RECONNECT: &str = "reconnect";
+    /// A request exhausted its retry budget and failed for good.
+    pub const GAVE_UP: &str = "gave_up";
 
     /// Every canonical name. `hyperm-lint` loads this slice at run time,
     /// so an emit site can only name events listed here.
@@ -145,6 +160,13 @@ pub mod names {
         ZONE_MERGE,
         VNODE_MIGRATE,
         STATS,
+        PING,
+        PONG,
+        PEER_DOWN,
+        REJOIN,
+        STALE_REPLY,
+        RECONNECT,
+        GAVE_UP,
     ];
 
     /// The span subset of [`ALL`] (everything else is an instant).
@@ -225,6 +247,6 @@ mod tests {
         }
         assert_eq!(names::OVERLAY_LOOKUP, "overlay_lookup");
         assert_eq!(names::PUBLISH_ABANDONED, "publish_abandoned");
-        assert_eq!(names::ALL.len(), 40);
+        assert_eq!(names::ALL.len(), 47);
     }
 }

@@ -1,14 +1,24 @@
 //! Length-prefixed framing of [`Message`] bodies over byte streams.
 //!
 //! ```text
-//! frame: len u32 (little-endian, body length) | body (kind u8 | payload)
+//! frame: len u32 (little-endian, body length) | req_id u64 | body (kind u8 | payload)
 //! ```
+//!
+//! The `req_id` word is the transport-level request-correlation tag: a
+//! requester stamps each attempt with a fresh non-zero id and the
+//! responder echoes it on the reply, so a late reply from a timed-out
+//! attempt can never be mistaken for the answer to the next request.
+//! It lives in the frame header (not the codec body) so the message
+//! layout — including the `TraceCtx` tail of query/fetch/publish — is
+//! untouched. `0` means untagged (handshakes, fire-and-forget frames).
 //!
 //! The length prefix is wire-derived and therefore untrusted: it is
 //! checked against [`MAX_FRAME`] *before* the body buffer is allocated,
 //! mirroring the codec's own pre-validation discipline. Everything past
-//! the prefix is `hyperm_can::codec`'s message encoding, so corrupt
+//! the header is `hyperm_can::codec`'s message encoding, so corrupt
 //! bodies surface as typed [`CodecError`]s, never panics.
+//!
+//! [`CodecError`]: hyperm_can::codec::CodecError
 
 use hyperm_can::codec::{decode_message, encode_message};
 use hyperm_can::Message;
@@ -22,8 +32,16 @@ use std::io::{Read, Write};
 /// make a reader allocate.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// Encode `msg` and write it as one length-prefixed frame.
-pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<usize, TransportError> {
+/// Frame header bytes preceding the body: `len u32 | req_id u64`.
+pub const HEADER_LEN: usize = 4 + 8;
+
+/// Encode `msg` and write it as one length-prefixed frame tagged with
+/// `req_id` (`0` = untagged).
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    req_id: u64,
+    msg: &Message,
+) -> Result<usize, TransportError> {
     let body = encode_message(msg).map_err(TransportError::Codec)?;
     if body.len() > MAX_FRAME {
         return Err(TransportError::FrameTooLarge(body.len()));
@@ -31,32 +49,37 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<usize, Transpor
     let len = u32::try_from(body.len()).map_err(|_| TransportError::FrameTooLarge(body.len()))?;
     w.write_all(&len.to_le_bytes())
         .map_err(|e| TransportError::Io(e.to_string()))?;
+    w.write_all(&req_id.to_le_bytes())
+        .map_err(|e| TransportError::Io(e.to_string()))?;
     w.write_all(&body)
         .map_err(|e| TransportError::Io(e.to_string()))?;
     w.flush().map_err(|e| TransportError::Io(e.to_string()))?;
-    Ok(4 + body.len())
+    Ok(HEADER_LEN + body.len())
 }
 
-/// Read one length-prefixed frame and decode its body.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Message, TransportError> {
-    let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)
+/// Read one length-prefixed frame and decode its body. Returns the
+/// header's correlation tag alongside the message.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, Message), TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
         .map_err(|e| TransportError::Io(e.to_string()))?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let req_id = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
     if len > MAX_FRAME {
         return Err(TransportError::FrameTooLarge(len));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)
         .map_err(|e| TransportError::Io(e.to_string()))?;
-    decode_message(&body).map_err(TransportError::Codec)
+    let msg = decode_message(&body).map_err(TransportError::Codec)?;
+    Ok((req_id, msg))
 }
 
-/// Encoded frame length (prefix + body) of a message, for byte
+/// Encoded frame length (header + body) of a message, for byte
 /// accounting. Errors if the message is unencodable.
 pub fn frame_len(msg: &Message) -> Result<u64, TransportError> {
     let body = encode_message(msg).map_err(TransportError::Codec)?;
-    Ok(4 + body.len() as u64)
+    Ok(HEADER_LEN as u64 + body.len() as u64)
 }
 
 #[cfg(test)]
@@ -75,18 +98,36 @@ mod tests {
             },
         };
         let mut buf = Vec::new();
-        let n = write_frame(&mut buf, &msg).unwrap();
+        let n = write_frame(&mut buf, 0xFEED_F00D, &msg).unwrap();
         assert_eq!(n, buf.len());
         assert_eq!(n as u64, frame_len(&msg).unwrap());
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+        let (req_id, back) = read_frame(&mut cursor).unwrap();
+        assert_eq!(req_id, 0xFEED_F00D);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn req_id_rides_the_header_not_the_body() {
+        // Two frames of the same message with different tags differ only
+        // in the 8 header bytes after the length prefix — the codec body
+        // (and therefore every body-layout test) is untouched.
+        let msg = Message::Monitor;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_frame(&mut a, 0, &msg).unwrap();
+        write_frame(&mut b, u64::MAX, &msg).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[..4], b[..4]);
+        assert_ne!(a[4..12], b[4..12]);
+        assert_eq!(a[12..], b[12..]);
     }
 
     #[test]
     fn hostile_length_prefix_rejected_before_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
-        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&[0u8; 24]);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(
             read_frame(&mut cursor).unwrap_err(),
@@ -98,7 +139,7 @@ mod tests {
     fn truncated_stream_is_io_error() {
         let msg = Message::Monitor;
         let mut buf = Vec::new();
-        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, 1, &msg).unwrap();
         buf.pop();
         buf[0] = 2; // still claims 2-byte body, stream has 1
         let mut cursor = std::io::Cursor::new(buf);
@@ -112,6 +153,7 @@ mod tests {
     fn corrupt_body_is_codec_error() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         buf.push(250); // unknown kind
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod frame;
 pub mod mailbox;
 pub mod mem;
@@ -42,9 +43,10 @@ pub mod runtime;
 pub mod sim;
 pub mod tcp;
 
-pub use frame::{frame_len, read_frame, write_frame, MAX_FRAME};
+pub use chaos::{ChaosConfig, ChaosEndpoint, ChaosStats};
+pub use frame::{frame_len, read_frame, write_frame, HEADER_LEN, MAX_FRAME};
 pub use mem::{MemEndpoint, MemHub};
-pub use runtime::{Client, NodeRuntime, Role, ServeOutcome};
+pub use runtime::{Client, ClientConfig, NodeRuntime, Role, ServeOutcome};
 pub use sim::{SimEndpoint, SimHub};
 pub use tcp::TcpEndpoint;
 
@@ -56,11 +58,14 @@ use std::time::Duration;
 /// client has a `PeerId` but no overlay zone.
 pub type PeerId = u64;
 
-/// A received message, stamped with its sender.
+/// A received message, stamped with its sender and the frame header's
+/// request-correlation tag (`0` = untagged).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Transport peer that sent the message.
     pub from: PeerId,
+    /// Request-correlation tag echoed from the frame header.
+    pub req_id: u64,
     /// The decoded message.
     pub msg: Message,
 }
@@ -103,6 +108,24 @@ impl std::fmt::Display for TransportError {
     }
 }
 
+impl TransportError {
+    /// Stable machine-readable name of this error's kind, for typed JSON
+    /// error objects in the CLI binaries (the human-readable `Display`
+    /// string is free to change; this is not).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TransportError::Closed => "closed",
+            TransportError::Backpressure => "backpressure",
+            TransportError::Timeout => "timeout",
+            TransportError::UnknownPeer(_) => "unknown_peer",
+            TransportError::Io(_) => "io",
+            TransportError::Codec(_) => "codec",
+            TransportError::FrameTooLarge(_) => "frame_too_large",
+            TransportError::Rejected(_) => "rejected",
+        }
+    }
+}
+
 impl std::error::Error for TransportError {}
 
 /// Addressed, framed message exchange between peers.
@@ -120,8 +143,15 @@ pub trait Transport: Send {
     /// This endpoint's peer id.
     fn local(&self) -> PeerId;
 
-    /// Send one message to `to`.
-    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError>;
+    /// Send one message to `to`, untagged (`req_id` 0).
+    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError> {
+        self.send_tagged(to, 0, msg)
+    }
+
+    /// Send one message to `to` with a request-correlation tag stamped
+    /// into the frame header. Requesters use a fresh non-zero `req_id`
+    /// per attempt; responders echo the request's tag on the reply.
+    fn send_tagged(&self, to: PeerId, req_id: u64, msg: &Message) -> Result<(), TransportError>;
 
     /// Receive the next message, waiting up to `timeout`.
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError>;

@@ -256,4 +256,54 @@ mod tests {
         mb.close();
         assert_eq!(t.join().unwrap(), Err(SendError::Closed));
     }
+
+    #[test]
+    fn send_timeout_blocked_on_full_queue_woken_by_close() {
+        // The close/backpressure race: a sender parked in `send_timeout`
+        // against a full queue must be woken by `close()` with a clean
+        // `Closed` — not left to run out its timeout — and the item that
+        // was already queued must still drain loss-free afterwards.
+        let mb = Mailbox::bounded(1);
+        mb.try_send(10u64).unwrap();
+        let mb2 = mb.clone();
+        let t = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let out = mb2.send_timeout(11, Duration::from_secs(30));
+            (out, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        let (out, waited) = t.join().unwrap();
+        assert_eq!(out, Err(SendError::Closed));
+        assert!(
+            waited < Duration::from_secs(5),
+            "close must wake the blocked sender, not let it time out ({waited:?})"
+        );
+        assert_eq!(mb.try_recv(), Ok(10), "queued item survives the close");
+        assert_eq!(mb.try_recv(), Err(RecvError::Closed));
+    }
+
+    #[test]
+    fn recv_timeout_drains_everything_queued_at_close() {
+        // Close with multiple items queued: every one of them must come
+        // out before `Closed` surfaces, regardless of receive pacing.
+        let mb = Mailbox::bounded(8);
+        for v in 0..5u64 {
+            mb.try_send(v).unwrap();
+        }
+        let mb2 = mb.clone();
+        let t = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match mb2.recv_timeout(Duration::from_secs(5)) {
+                    Ok(v) => got.push(v),
+                    Err(RecvError::Closed) => return got,
+                    Err(RecvError::Timeout) => panic!("drain must not time out"),
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert_eq!(t.join().unwrap(), vec![0, 1, 2, 3, 4], "drain is loss-free");
+    }
 }

@@ -104,7 +104,7 @@ impl Transport for MemEndpoint {
         self.id
     }
 
-    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError> {
+    fn send_tagged(&self, to: PeerId, req_id: u64, msg: &Message) -> Result<(), TransportError> {
         if self.inbox.is_closed() {
             return Err(TransportError::Closed);
         }
@@ -120,13 +120,23 @@ impl Transport for MemEndpoint {
             .get(&to)
             .cloned()
             .ok_or(TransportError::UnknownPeer(to))?;
-        let env = Envelope { from: self.id, msg };
+        let env = Envelope {
+            from: self.id,
+            req_id,
+            msg,
+        };
         match target.send_timeout(env, self.hub.send_timeout) {
             Ok(()) => {
                 self.recorder.event(
                     self.span,
                     names::FRAME_TX,
-                    vec![("to", to.into()), ("bytes", (4 + body.len() as u64).into())],
+                    vec![
+                        ("to", to.into()),
+                        (
+                            "bytes",
+                            (crate::frame::HEADER_LEN as u64 + body.len() as u64).into(),
+                        ),
+                    ],
                 );
                 Ok(())
             }

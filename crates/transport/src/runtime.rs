@@ -24,12 +24,48 @@ use hyperm_can::codec::kind;
 use hyperm_can::{Message, StoredObject};
 use hyperm_cluster::Dataset;
 use hyperm_core::{HypermNetwork, InsertPolicy};
-use hyperm_sim::OpStats;
+use hyperm_sim::{Backoff, OpStats};
 use hyperm_telemetry::{
     counters, names, JsonObj, Recorder, SpanId, TraceCtx, Window, WindowConfig,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Smallest effective reply timeout. A literal `Duration::ZERO` would
+/// make the deadline check fail before the first receive even when the
+/// reply is already queued; clamping to one tick keeps zero-timeout
+/// configs live (mirrors the `FaultInjector` `retry_timeout = 0` clamp).
+pub const MIN_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Whether a request kind is safe to resend after a timeout
+/// (idempotent at the head). Reads, scrapes and heartbeats always are;
+/// `Join` is because the head's rejoin map resolves a duplicate join to
+/// the peer's existing overlay id. `Put` and `Publish` mutate (a resend
+/// whose first copy actually landed would double-apply) and `Shutdown`
+/// races its own effect, so those get exactly one attempt.
+fn is_resendable(k: u8) -> bool {
+    matches!(
+        k,
+        kind::QUERY
+            | kind::GET
+            | kind::ROUTE
+            | kind::FETCH
+            | kind::MONITOR
+            | kind::STATS
+            | kind::PING
+            | kind::JOIN
+    )
+}
+
+/// Liveness bookkeeping for one peer, maintained by [`NodeRuntime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerLiveness {
+    /// Frame-clock value when this peer was last heard from.
+    pub last_heard_frame: u64,
+    /// Heartbeats sent since, with no frame heard back.
+    pub outstanding_pings: u32,
+}
 
 /// What one [`NodeRuntime::serve_one`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,9 +106,33 @@ pub struct NodeRuntime<T: Transport> {
     frames: u64,
     /// Monotone scrape sequence stamped into monitor/stats JSON.
     scrape_seq: u64,
+    /// Fresh request-correlation tags for frames this runtime originates
+    /// (joins, head-forwards, heartbeats).
+    req_seq: u64,
+    /// Heartbeat sequence for member→head pings.
+    ping_seq: u64,
+    /// Per-peer liveness: last-heard frame and missed-ping count.
+    liveness: BTreeMap<PeerId, PeerLiveness>,
+    /// Member-side: the head has missed too many pings and is presumed
+    /// dead; forwarded requests fail fast until it is heard again.
+    degraded: bool,
+    /// Head-side: transport peer → overlay peer for every member that
+    /// joined, so a crash-restarted member's repeat `Join` resyncs to
+    /// its existing overlay id instead of admitting a duplicate.
+    joined: BTreeMap<PeerId, u64>,
     /// How long a member waits for the head to answer a forwarded
-    /// request before failing the client with `Ack { ok: false }`.
+    /// request before retrying or failing the client ([`MIN_TIMEOUT`]-
+    /// clamped).
     pub forward_timeout: Duration,
+    /// Attempts a member makes per resendable forwarded request.
+    pub forward_attempts: u32,
+    /// Backoff schedule (in ticks) between forward attempts.
+    pub forward_backoff: Backoff,
+    /// Wall-clock length of one backoff tick.
+    pub retry_tick: Duration,
+    /// Member-side: consecutive unanswered pings before the head is
+    /// declared down and the runtime reports itself degraded.
+    pub missed_ping_threshold: u32,
 }
 
 impl<T: Transport> NodeRuntime<T> {
@@ -94,8 +154,29 @@ impl<T: Transport> NodeRuntime<T> {
             window,
             frames: 0,
             scrape_seq: 0,
+            req_seq: 0,
+            ping_seq: 0,
+            liveness: BTreeMap::new(),
+            degraded: false,
+            joined: BTreeMap::new(),
             forward_timeout: Duration::from_secs(30),
+            forward_attempts: 2,
+            forward_backoff: Backoff::exponential(1, 4),
+            retry_tick: Duration::from_millis(25),
+            missed_ping_threshold: 3,
         }
+    }
+
+    /// Member-side: whether the head is presumed dead (missed-ping
+    /// threshold exceeded with nothing heard since). Heads are never
+    /// degraded.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Per-peer liveness table (last-heard frame, outstanding pings).
+    pub fn liveness(&self) -> &BTreeMap<PeerId, PeerLiveness> {
+        &self.liveness
     }
 
     /// The runtime's sliding-window metrics.
@@ -151,15 +232,18 @@ impl<T: Transport> NodeRuntime<T> {
         for i in 0..items.len() {
             rows.extend_from_slice(items.row(i));
         }
-        self.transport.send(
+        self.req_seq += 1;
+        let req_id = self.req_seq;
+        self.transport.send_tagged(
             head,
+            req_id,
             &Message::Join {
                 peer: self.transport.local(),
                 dim,
                 rows,
             },
         )?;
-        let reply = self.await_reply(head, kind::JOIN_ACK, timeout)?;
+        let reply = self.await_reply(head, kind::JOIN_ACK, req_id, timeout)?;
         match reply {
             Message::JoinAck { peer, .. } => {
                 if let Role::Member { peer: slot, .. } = &mut self.role {
@@ -171,30 +255,50 @@ impl<T: Transport> NodeRuntime<T> {
         }
     }
 
-    /// Wait for a `want`-kind (or failure-`Ack`) message from `from`,
-    /// parking unrelated traffic in the backlog for the serve loop.
+    /// Wait for a `want`-kind (or failure-`Ack`) message from `from`
+    /// carrying the request-correlation tag `req_id`, parking unrelated
+    /// traffic in the backlog for the serve loop. Replies from `from`
+    /// with the right shape but a *stale* tag — answers to an attempt
+    /// that already timed out — are discarded (never backlogged: the
+    /// backlog would replay them into the next await and mis-correlate).
     fn await_reply(
         &mut self,
         from: PeerId,
         want: u8,
+        req_id: u64,
         timeout: Duration,
     ) -> Result<Message, TransportError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + timeout.max(MIN_TIMEOUT);
         loop {
             let now = Instant::now();
             if now >= deadline {
                 return Err(TransportError::Timeout);
             }
             let env = self.transport.recv_timeout(deadline - now)?;
-            if env.from == from && env.msg.kind() == want {
-                return Ok(env.msg);
+            let is_reply = env.from == from
+                && (env.msg.kind() == want || matches!(env.msg, Message::Ack { ok: false, .. }));
+            if !is_reply {
+                self.backlog.push_back(env);
+                continue;
             }
-            if env.from == from {
-                if let Message::Ack { ok: false, .. } = env.msg {
-                    return Err(TransportError::Rejected("request refused by peer"));
+            if env.req_id != req_id {
+                self.recorder.event(
+                    self.span,
+                    names::STALE_REPLY,
+                    vec![
+                        ("from", env.from.into()),
+                        ("kind", env.msg.kind_name().into()),
+                    ],
+                );
+                if let Some(m) = self.recorder.metrics() {
+                    m.add(names::STALE_REPLY, 1);
                 }
+                continue;
             }
-            self.backlog.push_back(env);
+            if let Message::Ack { ok: false, .. } = env.msg {
+                return Err(TransportError::Rejected("request refused by peer"));
+            }
+            return Ok(env.msg);
         }
     }
 
@@ -216,7 +320,10 @@ impl<T: Transport> NodeRuntime<T> {
             Some(env) => env,
             None => match self.transport.recv_timeout(timeout) {
                 Ok(env) => env,
-                Err(TransportError::Timeout) => return Ok(ServeOutcome::Idle),
+                Err(TransportError::Timeout) => {
+                    self.idle_tick();
+                    return Ok(ServeOutcome::Idle);
+                }
                 Err(e) => return Err(e),
             },
         };
@@ -225,6 +332,7 @@ impl<T: Transport> NodeRuntime<T> {
         self.frames += 1;
         self.window.advance(self.frames);
         self.recorder.set_time(self.frames);
+        self.note_heard(env.from);
         let ctx = msg_ctx(&env.msg);
         let mut fields = vec![
             ("from", env.from.into()),
@@ -243,18 +351,101 @@ impl<T: Transport> NodeRuntime<T> {
         outcome
     }
 
+    /// Any frame from a peer proves it alive: reset its missed-ping
+    /// count, and clear the member's degraded state if the frame came
+    /// from a head previously declared down.
+    fn note_heard(&mut self, from: PeerId) {
+        let frame = self.frames;
+        let live = self.liveness.entry(from).or_default();
+        live.last_heard_frame = frame;
+        live.outstanding_pings = 0;
+        if let Role::Member { head, .. } = &self.role {
+            if from == *head && self.degraded {
+                self.degraded = false;
+                self.recorder
+                    .event(self.span, names::REJOIN, vec![("peer", from.into())]);
+                if let Some(m) = self.recorder.metrics() {
+                    m.add(names::REJOIN, 1);
+                }
+            }
+        }
+    }
+
+    /// An idle serve tick: members heartbeat the head. Each tick sends
+    /// one `Ping` and counts it outstanding; any frame heard from the
+    /// head (the `Pong`, usually) resets the count, so it only climbs
+    /// while the head is actually silent. Crossing the threshold marks
+    /// the runtime degraded: forwarded requests fail fast instead of
+    /// each stalling a full forward timeout against a dead head.
+    fn idle_tick(&mut self) {
+        let Role::Member { head, .. } = &self.role else {
+            return;
+        };
+        let head = *head;
+        self.ping_seq += 1;
+        self.req_seq += 1;
+        let _ =
+            self.transport
+                .send_tagged(head, self.req_seq, &Message::Ping { seq: self.ping_seq });
+        let threshold = self.missed_ping_threshold;
+        let live = self.liveness.entry(head).or_default();
+        live.outstanding_pings = live.outstanding_pings.saturating_add(1);
+        let missed = live.outstanding_pings;
+        if missed > threshold && !self.degraded {
+            self.degraded = true;
+            self.recorder.event(
+                self.span,
+                names::PEER_DOWN,
+                vec![("peer", head.into()), ("missed", u64::from(missed).into())],
+            );
+            if let Some(m) = self.recorder.metrics() {
+                m.add(names::PEER_DOWN, 1);
+            }
+        }
+    }
+
     fn dispatch(
         &mut self,
         env: Envelope,
         serve_span: SpanId,
     ) -> Result<ServeOutcome, TransportError> {
-        let Envelope { from, msg } = env;
+        let Envelope { from, req_id, msg } = env;
         if matches!(msg, Message::Hello { .. }) {
             return Ok(ServeOutcome::Handled);
         }
+        if let Message::Ping { seq } = msg {
+            // Wire heartbeat: every role answers, echoing the
+            // requester's correlation tag.
+            self.recorder.event(
+                serve_span,
+                names::PING,
+                vec![("from", from.into()), ("seq", seq.into())],
+            );
+            if let Some(m) = self.recorder.metrics() {
+                m.add(names::PING, 1);
+            }
+            let _ = self
+                .transport
+                .send_tagged(from, req_id, &Message::Pong { seq });
+            return Ok(ServeOutcome::Handled);
+        }
+        if let Message::Pong { seq } = msg {
+            // Liveness bookkeeping already happened in `serve_one` (any
+            // frame from a peer proves it alive); just make it visible.
+            self.recorder.event(
+                serve_span,
+                names::PONG,
+                vec![("from", from.into()), ("seq", seq.into())],
+            );
+            if let Some(m) = self.recorder.metrics() {
+                m.add(names::PONG, 1);
+            }
+            return Ok(ServeOutcome::Handled);
+        }
         if matches!(msg, Message::Shutdown) {
-            let _ = self.transport.send(
+            let _ = self.transport.send_tagged(
                 from,
+                req_id,
                 &Message::Ack {
                     seq: u64::from(kind::SHUTDOWN),
                     ok: true,
@@ -266,7 +457,9 @@ impl<T: Transport> NodeRuntime<T> {
         if matches!(msg, Message::Monitor) {
             self.scrape_seq += 1;
             let json = self.monitor_json();
-            let _ = self.transport.send(from, &Message::MonitorAck { json });
+            let _ = self
+                .transport
+                .send_tagged(from, req_id, &Message::MonitorAck { json });
             return Ok(ServeOutcome::Handled);
         }
         if matches!(msg, Message::Stats) {
@@ -282,7 +475,9 @@ impl<T: Transport> NodeRuntime<T> {
                 names::STATS,
                 vec![("seq", self.scrape_seq.into())],
             );
-            let _ = self.transport.send(from, &Message::StatsAck { json });
+            let _ = self
+                .transport
+                .send_tagged(from, req_id, &Message::StatsAck { json });
             return Ok(ServeOutcome::Handled);
         }
         let request_kind = msg.kind();
@@ -290,6 +485,50 @@ impl<T: Transport> NodeRuntime<T> {
             Role::Head(net) => {
                 match Message::reply_kind_of(request_kind) {
                     Some(expected) => {
+                        // Crash-rejoin: a transport peer that already
+                        // joined presents `Join` again after restarting.
+                        // The head owns every item, so rejoining is pure
+                        // resync — answer with the peer's existing
+                        // overlay id and republish its summaries instead
+                        // of admitting a duplicate member.
+                        if let Message::Join {
+                            peer: wire_peer, ..
+                        } = &msg
+                        {
+                            if let Some(&overlay) = self.joined.get(wire_peer) {
+                                let t0 = Instant::now();
+                                if let Some(p) =
+                                    usize::try_from(overlay).ok().filter(|&p| p < net.len())
+                                {
+                                    let stats = net.refresh_peer_summaries(p);
+                                    self.window.record_op(&stats, elapsed_us(t0));
+                                }
+                                self.recorder.event(
+                                    serve_span,
+                                    names::REJOIN,
+                                    vec![
+                                        ("peer", (*wire_peer).into()),
+                                        ("overlay_peer", overlay.into()),
+                                    ],
+                                );
+                                if let Some(m) = self.recorder.metrics() {
+                                    m.add(names::REJOIN, 1);
+                                }
+                                let _ = self.transport.send_tagged(
+                                    from,
+                                    req_id,
+                                    &Message::JoinAck {
+                                        peer: overlay,
+                                        members: net.len() as u64,
+                                    },
+                                );
+                                return Ok(ServeOutcome::Handled);
+                            }
+                        }
+                        let join_wire_peer = match &msg {
+                            Message::Join { peer, .. } => Some(*peer),
+                            _ => None,
+                        };
                         record_heat(&self.window, &msg, net.levels());
                         let t0 = Instant::now();
                         // Scope the network's recorder to this serve span
@@ -315,7 +554,12 @@ impl<T: Transport> NodeRuntime<T> {
                                 }
                             }
                         };
-                        let _ = self.transport.send(from, &reply);
+                        if let (Some(wire), Message::JoinAck { peer, .. }) =
+                            (join_wire_peer, &reply)
+                        {
+                            self.joined.insert(wire, *peer);
+                        }
+                        let _ = self.transport.send_tagged(from, req_id, &reply);
                     }
                     // A reply or unsolicited ack landed at the head:
                     // nothing awaits it, drop it visibly.
@@ -340,6 +584,21 @@ impl<T: Transport> NodeRuntime<T> {
                             names::FORWARD,
                             vec![("from", from.into()), ("kind", msg.kind_name().into())],
                         );
+                        if self.degraded {
+                            // The head is presumed dead: fail fast
+                            // rather than stall each client request for
+                            // a full forward timeout.
+                            self.window.record_rejected();
+                            let _ = self.transport.send_tagged(
+                                from,
+                                req_id,
+                                &Message::Ack {
+                                    seq: u64::from(expected),
+                                    ok: false,
+                                },
+                            );
+                            return Ok(ServeOutcome::Handled);
+                        }
                         // Re-parent the frame's trace context under this
                         // relay's serve span — but ONLY when this runtime
                         // is tracing. Untraced relays forward the frame
@@ -351,17 +610,71 @@ impl<T: Transport> NodeRuntime<T> {
                         } else {
                             msg
                         };
+                        let attempts = if is_resendable(request_kind) {
+                            self.forward_attempts.max(1)
+                        } else {
+                            1
+                        };
                         let t0 = Instant::now();
-                        let reply = self
-                            .transport
-                            .send(head, &msg)
-                            .and_then(|()| self.await_reply(head, expected, self.forward_timeout))
-                            .unwrap_or(Message::Ack {
-                                seq: u64::from(expected),
-                                ok: false,
-                            });
+                        let mut reply = None;
+                        for attempt in 0..attempts {
+                            if attempt > 0 {
+                                let gap = self.forward_backoff.gap(attempt - 1);
+                                std::thread::sleep(
+                                    self.retry_tick
+                                        .saturating_mul(u32::try_from(gap).unwrap_or(u32::MAX)),
+                                );
+                                self.recorder.event(
+                                    serve_span,
+                                    names::RETRY,
+                                    vec![
+                                        ("attempt", u64::from(attempt).into()),
+                                        ("kind", msg.kind_name().into()),
+                                    ],
+                                );
+                                if let Some(m) = self.recorder.metrics() {
+                                    m.add(names::RETRY, 1);
+                                }
+                            }
+                            // Fresh tag per attempt: a late answer to an
+                            // earlier attempt must not satisfy this one.
+                            self.req_seq += 1;
+                            let fwd_id = self.req_seq;
+                            match self
+                                .transport
+                                .send_tagged(head, fwd_id, &msg)
+                                .and_then(|()| {
+                                    self.await_reply(head, expected, fwd_id, self.forward_timeout)
+                                }) {
+                                Ok(m) => {
+                                    reply = Some(m);
+                                    break;
+                                }
+                                // The head answered and refused:
+                                // authoritative, do not resend.
+                                Err(TransportError::Rejected(_)) => break,
+                                Err(_) => {}
+                            }
+                        }
+                        if reply.is_none() && attempts > 1 {
+                            self.recorder.event(
+                                serve_span,
+                                names::GAVE_UP,
+                                vec![
+                                    ("kind", msg.kind_name().into()),
+                                    ("attempts", u64::from(attempts).into()),
+                                ],
+                            );
+                            if let Some(m) = self.recorder.metrics() {
+                                m.add(names::GAVE_UP, 1);
+                            }
+                        }
+                        let reply = reply.unwrap_or(Message::Ack {
+                            seq: u64::from(expected),
+                            ok: false,
+                        });
                         record_reply(&self.window, &reply, elapsed_us(t0));
-                        let _ = self.transport.send(from, &reply);
+                        let _ = self.transport.send_tagged(from, req_id, &reply);
                     }
                     _ => {
                         self.recorder.event(
@@ -380,9 +693,15 @@ impl<T: Transport> NodeRuntime<T> {
     /// stamped with the transport peer id, the monotone scrape sequence
     /// and the frame clock for joinability with monitor output.
     pub fn stats_json(&self) -> String {
-        self.window
+        let snap = self
+            .window
             .snapshot(self.transport.local(), self.scrape_seq)
-            .to_json()
+            .to_json();
+        // Splice the liveness verdict into the snapshot object;
+        // `WindowSnapshot::from_json` ignores unknown keys, so merge
+        // tooling stays compatible.
+        let body = snap.strip_suffix('}').unwrap_or(&snap);
+        format!("{body},\"degraded\":{}}}", self.degraded)
     }
 
     /// Live overlay state as JSON: role, membership, and per-level zones,
@@ -393,7 +712,20 @@ impl<T: Transport> NodeRuntime<T> {
             .u("transport_peer", self.transport.local())
             .u("node", self.transport.local())
             .u("seq", self.scrape_seq)
-            .u("frame", self.frames);
+            .u("frame", self.frames)
+            .b("degraded", self.degraded);
+        let live: Vec<String> = self
+            .liveness
+            .iter()
+            .map(|(p, l)| {
+                JsonObj::new()
+                    .u("peer", *p)
+                    .u("last_heard_frame", l.last_heard_frame)
+                    .u("outstanding_pings", u64::from(l.outstanding_pings))
+                    .render()
+            })
+            .collect();
+        obj = obj.arr("liveness", &live);
         match &self.role {
             Role::Member { head, peer } => {
                 obj = obj.s("role", "member").u("head", *head);
@@ -732,18 +1064,53 @@ fn handle_on_network(net: &mut HypermNetwork, msg: Message) -> Option<(Message, 
     }
 }
 
+/// Retry and timeout policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-attempt reply timeout ([`MIN_TIMEOUT`]-clamped at use).
+    pub timeout: Duration,
+    /// Total attempts for resendable (idempotent) request kinds.
+    /// Non-resendable kinds (`Put`, `Publish`, `Shutdown`) always get
+    /// exactly one attempt regardless.
+    pub attempts: u32,
+    /// Backoff schedule between attempts, in ticks.
+    pub backoff: Backoff,
+    /// Wall-clock length of one backoff tick.
+    pub retry_tick: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(30),
+            attempts: 3,
+            backoff: Backoff::exponential(1, 8),
+            retry_tick: Duration::from_millis(25),
+        }
+    }
+}
+
 /// Request/response wrapper over a [`Transport`]: what `hyperm-client`
 /// and `hyperm-monitor` (and the integration tests) speak.
+///
+/// Every attempt is stamped with a fresh non-zero request-correlation
+/// tag, and only a reply echoing the *current* attempt's tag is
+/// returned: an answer to an attempt that already timed out is discarded
+/// (`stale_reply` telemetry), never mis-returned to a later request.
+/// Resendable kinds are retried under the configured [`Backoff`];
+/// exhausting the budget emits `gave_up` and surfaces the last error.
 pub struct Client<T: Transport> {
     transport: T,
     node: PeerId,
-    /// Per-request timeout.
-    pub timeout: Duration,
+    /// Timeout/retry policy.
+    pub config: ClientConfig,
     /// Trace context stamped into query/fetch/publish frames. Default
     /// [`TraceCtx::NONE`] (untraced — frames carry zeroes); set a
     /// non-zero `trace_id` to tag a distributed operation so the nodes'
     /// streams stitch into one tree.
     pub trace: TraceCtx,
+    recorder: Recorder,
+    req_seq: AtomicU64,
 }
 
 impl<T: Transport> Client<T> {
@@ -752,14 +1119,30 @@ impl<T: Transport> Client<T> {
         Self {
             transport,
             node,
-            timeout: Duration::from_secs(30),
+            config: ClientConfig::default(),
             trace: TraceCtx::NONE,
+            recorder: Recorder::disabled(),
+            req_seq: AtomicU64::new(0),
         }
     }
 
     /// This client with `trace` stamped into every traceable request.
     pub fn with_trace(mut self, trace: TraceCtx) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// This client with a timeout/retry policy.
+    pub fn with_config(mut self, config: ClientConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// This client with a telemetry recorder: retries, exhausted retry
+    /// budgets and discarded stale replies become `retry` / `gave_up` /
+    /// `stale_reply` events and metrics counters.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -771,8 +1154,71 @@ impl<T: Transport> Client<T> {
     fn request(&self, msg: &Message) -> Result<Message, TransportError> {
         let expected = Message::reply_kind_of(msg.kind())
             .ok_or(TransportError::Rejected("not a request message"))?;
-        self.transport.send(self.node, msg)?;
-        let deadline = Instant::now() + self.timeout;
+        let attempts = if is_resendable(msg.kind()) {
+            self.config.attempts.max(1)
+        } else {
+            1
+        };
+        let mut last = TransportError::Timeout;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let gap = self.config.backoff.gap(attempt - 1);
+                std::thread::sleep(
+                    self.config
+                        .retry_tick
+                        .saturating_mul(u32::try_from(gap).unwrap_or(u32::MAX)),
+                );
+                self.recorder.event(
+                    SpanId::NONE,
+                    names::RETRY,
+                    vec![
+                        ("attempt", u64::from(attempt).into()),
+                        ("kind", msg.kind_name().into()),
+                    ],
+                );
+                if let Some(m) = self.recorder.metrics() {
+                    m.add(names::RETRY, 1);
+                }
+            }
+            // Fresh non-zero tag per attempt: the transport may deliver
+            // a late reply to an earlier attempt, and it must not be
+            // mistaken for this one's.
+            let req_id = self.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Err(e) = self.transport.send_tagged(self.node, req_id, msg) {
+                match e {
+                    TransportError::Closed => return Err(e),
+                    _ => {
+                        last = e;
+                        continue;
+                    }
+                }
+            }
+            match self.await_reply(req_id, expected) {
+                Ok(reply) => return Ok(reply),
+                // An explicit refusal is authoritative, and a closed
+                // endpoint cannot recover by resending.
+                Err(e @ (TransportError::Rejected(_) | TransportError::Closed)) => return Err(e),
+                Err(e) => last = e,
+            }
+        }
+        if attempts > 1 {
+            self.recorder.event(
+                SpanId::NONE,
+                names::GAVE_UP,
+                vec![
+                    ("kind", msg.kind_name().into()),
+                    ("attempts", u64::from(attempts).into()),
+                ],
+            );
+            if let Some(m) = self.recorder.metrics() {
+                m.add(names::GAVE_UP, 1);
+            }
+        }
+        Err(last)
+    }
+
+    fn await_reply(&self, req_id: u64, expected: u8) -> Result<Message, TransportError> {
+        let deadline = Instant::now() + self.config.timeout.max(MIN_TIMEOUT);
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -782,12 +1228,30 @@ impl<T: Transport> Client<T> {
             if env.from != self.node {
                 continue;
             }
-            if env.msg.kind() == expected {
-                return Ok(env.msg);
+            let is_failure = matches!(env.msg, Message::Ack { ok: false, .. });
+            if env.msg.kind() != expected && !is_failure {
+                continue;
             }
-            if let Message::Ack { ok: false, .. } = env.msg {
+            if env.req_id != req_id {
+                // A reply to an attempt that already timed out:
+                // returning it would answer the wrong request.
+                self.recorder.event(
+                    SpanId::NONE,
+                    names::STALE_REPLY,
+                    vec![
+                        ("from", env.from.into()),
+                        ("kind", env.msg.kind_name().into()),
+                    ],
+                );
+                if let Some(m) = self.recorder.metrics() {
+                    m.add(names::STALE_REPLY, 1);
+                }
+                continue;
+            }
+            if is_failure {
                 return Err(TransportError::Rejected("request refused by node"));
             }
+            return Ok(env.msg);
         }
     }
 

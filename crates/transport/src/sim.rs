@@ -91,7 +91,7 @@ impl Transport for SimEndpoint {
         self.id
     }
 
-    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError> {
+    fn send_tagged(&self, to: PeerId, req_id: u64, msg: &Message) -> Result<(), TransportError> {
         let body = encode_message(msg).map_err(TransportError::Codec)?;
         let msg = decode_message(&body).map_err(TransportError::Codec)?;
         let mut state = self.hub.lock();
@@ -111,9 +111,13 @@ impl Transport for SimEndpoint {
             // cannot drain "while we wait": fail immediately.
             return Err(TransportError::Backpressure);
         }
-        inbox.push_back(Envelope { from: self.id, msg });
+        inbox.push_back(Envelope {
+            from: self.id,
+            req_id,
+            msg,
+        });
         state.stats.messages += 1;
-        state.stats.bytes += 4 + body.len() as u64;
+        state.stats.bytes += crate::frame::HEADER_LEN as u64 + body.len() as u64;
         state.stats.hops += hops;
         Ok(())
     }
@@ -160,8 +164,8 @@ mod tests {
         let stats = hub.stats();
         assert_eq!(stats.messages, 2);
         assert_eq!(stats.hops, 2);
-        // 4-byte prefix + 1-byte kind, twice.
-        assert_eq!(stats.bytes, 10);
+        // 12-byte header (len + req_id) + 1-byte kind, twice.
+        assert_eq!(stats.bytes, 26);
     }
 
     #[test]

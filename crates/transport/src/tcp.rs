@@ -18,8 +18,9 @@ use crate::frame::{read_frame, write_frame};
 use crate::mailbox::{Mailbox, RecvError};
 use crate::{Envelope, PeerId, Transport, TransportError};
 use hyperm_can::Message;
+use hyperm_sim::Backoff;
 use hyperm_telemetry::{names, Recorder, SpanId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,6 +30,12 @@ use std::time::Duration;
 /// Default inbox bound (frames, not bytes).
 pub const DEFAULT_INBOX: usize = 256;
 
+/// Default dial attempts per `ensure_conn` (first try + redials).
+pub const DEFAULT_DIAL_ATTEMPTS: u32 = 3;
+
+/// Default wall-clock length of one backoff tick between dial attempts.
+pub const DEFAULT_DIAL_TICK: Duration = Duration::from_millis(25);
+
 struct Shared {
     id: PeerId,
     inbox: Mailbox<Envelope>,
@@ -36,6 +43,9 @@ struct Shared {
     conns: Mutex<BTreeMap<PeerId, TcpStream>>,
     /// Dial addresses for peers we may need to connect to.
     routes: Mutex<BTreeMap<PeerId, SocketAddr>>,
+    /// Peers we held a connection to at some point: a fresh dial to one
+    /// of these is a *re*connect, reported as such.
+    known: Mutex<BTreeSet<PeerId>>,
     closed: AtomicBool,
     recorder: Recorder,
     span: SpanId,
@@ -56,6 +66,13 @@ impl Shared {
         }
     }
 
+    fn lock_known(&self) -> std::sync::MutexGuard<'_, BTreeSet<PeerId>> {
+        match self.known.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
     /// Serve one accepted or dialed connection: handshake (inbound only),
     /// then pump frames into the inbox until EOF/close.
     fn run_reader(self: &Arc<Self>, stream: TcpStream, announced: Option<PeerId>) {
@@ -68,7 +85,7 @@ impl Shared {
                     Err(_) => return,
                 });
                 match read_frame(&mut r) {
-                    Ok(Message::Hello { peer }) => {
+                    Ok((_, Message::Hello { peer })) => {
                         self.register(peer, &stream);
                         self.pump(peer, r);
                         return;
@@ -95,8 +112,13 @@ impl Shared {
     fn register(&self, peer: PeerId, stream: &TcpStream) {
         if let Ok(write_half) = stream.try_clone() {
             self.lock_conns().insert(peer, write_half);
+            let rejoined = !self.lock_known().insert(peer);
             self.recorder
                 .event(self.span, names::CONNECT, vec![("peer", peer.into())]);
+            if rejoined {
+                self.recorder
+                    .event(self.span, names::RECONNECT, vec![("peer", peer.into())]);
+            }
         }
     }
 
@@ -106,7 +128,7 @@ impl Shared {
                 break;
             }
             match read_frame(&mut r) {
-                Ok(msg) => {
+                Ok((req_id, msg)) => {
                     self.recorder
                         .event(self.span, names::FRAME_RX, vec![("from", peer.into())]);
                     // Blocking push: a full inbox stops this reader, the
@@ -114,7 +136,11 @@ impl Shared {
                     // back on the remote writer.
                     if self
                         .inbox
-                        .send_blocking(Envelope { from: peer, msg })
+                        .send_blocking(Envelope {
+                            from: peer,
+                            req_id,
+                            msg,
+                        })
                         .is_err()
                     {
                         break;
@@ -139,6 +165,12 @@ impl Shared {
 pub struct TcpEndpoint {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
+    /// Dial attempts per [`TcpEndpoint::connect`]/`send` (≥ 1).
+    dial_attempts: u32,
+    /// Gap schedule (in ticks) between dial attempts.
+    dial_backoff: Backoff,
+    /// Wall-clock length of one backoff tick.
+    dial_tick: Duration,
 }
 
 impl TcpEndpoint {
@@ -165,6 +197,7 @@ impl TcpEndpoint {
             inbox: Mailbox::bounded(inbox_capacity),
             conns: Mutex::new(BTreeMap::new()),
             routes: Mutex::new(BTreeMap::new()),
+            known: Mutex::new(BTreeSet::new()),
             closed: AtomicBool::new(false),
             recorder,
             span,
@@ -180,7 +213,23 @@ impl TcpEndpoint {
                 std::thread::spawn(move || conn_shared.run_reader(stream, None));
             }
         });
-        Ok(Self { shared, local_addr })
+        Ok(Self {
+            shared,
+            local_addr,
+            dial_attempts: DEFAULT_DIAL_ATTEMPTS,
+            dial_backoff: Backoff::exponential(1, 8),
+            dial_tick: DEFAULT_DIAL_TICK,
+        })
+    }
+
+    /// Override the dial-retry policy: `attempts` total tries per
+    /// connection establishment (clamped to ≥ 1), spaced by `backoff`
+    /// gaps of `tick` each. `attempts = 1` restores fail-fast dialing.
+    pub fn with_dial_retry(mut self, attempts: u32, backoff: Backoff, tick: Duration) -> Self {
+        self.dial_attempts = attempts.max(1);
+        self.dial_backoff = backoff;
+        self.dial_tick = tick;
+        self
     }
 
     /// The bound address (useful with port 0).
@@ -201,6 +250,10 @@ impl TcpEndpoint {
         Ok(())
     }
 
+    /// A live write half to `peer`: the pooled connection when one
+    /// exists, otherwise a fresh dial — retried up to `dial_attempts`
+    /// times with backoff, because an evicted connection usually means
+    /// the peer is restarting, not gone.
     fn ensure_conn(&self, peer: PeerId) -> Result<TcpStream, TransportError> {
         if let Some(s) = self.shared.lock_conns().get(&peer) {
             if let Ok(clone) = s.try_clone() {
@@ -213,9 +266,38 @@ impl TcpEndpoint {
             .get(&peer)
             .copied()
             .ok_or(TransportError::UnknownPeer(peer))?;
+        let mut last = TransportError::UnknownPeer(peer);
+        for attempt in 0..self.dial_attempts.max(1) {
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return Err(TransportError::Closed);
+            }
+            if attempt > 0 {
+                let gap = u32::try_from(self.dial_backoff.gap(attempt - 1)).unwrap_or(u32::MAX);
+                std::thread::sleep(self.dial_tick.saturating_mul(gap));
+                self.shared.recorder.event(
+                    self.shared.span,
+                    names::RETRY,
+                    vec![
+                        ("peer", peer.into()),
+                        ("attempt", u64::from(attempt).into()),
+                    ],
+                );
+            }
+            match self.dial(peer, addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One dial + `Hello` handshake to `peer` at `addr`, registering the
+    /// pooled write half and its reader thread.
+    fn dial(&self, peer: PeerId, addr: SocketAddr) -> Result<TcpStream, TransportError> {
         let mut stream = TcpStream::connect(addr).map_err(|e| TransportError::Io(e.to_string()))?;
         write_frame(
             &mut stream,
+            0,
             &Message::Hello {
                 peer: self.shared.id,
             },
@@ -229,11 +311,19 @@ impl TcpEndpoint {
             .try_clone()
             .map_err(|e| TransportError::Io(e.to_string()))?;
         self.shared.lock_conns().insert(peer, stream);
+        let rejoined = !self.shared.lock_known().insert(peer);
         self.shared.recorder.event(
             self.shared.span,
             names::CONNECT,
             vec![("peer", peer.into())],
         );
+        if rejoined {
+            self.shared.recorder.event(
+                self.shared.span,
+                names::RECONNECT,
+                vec![("peer", peer.into())],
+            );
+        }
         Ok(clone)
     }
 }
@@ -243,27 +333,34 @@ impl Transport for TcpEndpoint {
         self.shared.id
     }
 
-    fn send(&self, to: PeerId, msg: &Message) -> Result<(), TransportError> {
+    fn send_tagged(&self, to: PeerId, req_id: u64, msg: &Message) -> Result<(), TransportError> {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(TransportError::Closed);
         }
-        let mut stream = self.ensure_conn(to)?;
-        match write_frame(&mut stream, msg) {
-            Ok(n) => {
-                self.shared.recorder.event(
-                    self.shared.span,
-                    names::FRAME_TX,
-                    vec![("to", to.into()), ("bytes", (n as u64).into())],
-                );
-                Ok(())
-            }
-            Err(e) => {
-                // The pooled connection died; drop it so the next send
-                // redials.
-                self.shared.lock_conns().remove(&to);
-                Err(e)
+        // Two passes: if the pooled connection turns out to be dead at
+        // write time, evict it and redial once (with ensure_conn's own
+        // backoff) before giving up.
+        let mut last = TransportError::UnknownPeer(to);
+        for _pass in 0..2 {
+            let mut stream = self.ensure_conn(to)?;
+            match write_frame(&mut stream, req_id, msg) {
+                Ok(n) => {
+                    self.shared.recorder.event(
+                        self.shared.span,
+                        names::FRAME_TX,
+                        vec![("to", to.into()), ("bytes", (n as u64).into())],
+                    );
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The pooled connection died; drop it so the retry
+                    // (and any later send) redials.
+                    self.shared.lock_conns().remove(&to);
+                    last = e;
+                }
             }
         }
+        Err(last)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, TransportError> {

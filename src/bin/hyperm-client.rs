@@ -18,8 +18,29 @@
 //! the node's sliding-window metrics snapshot verbatim.
 
 use hyperm::telemetry::{JsonObj, TraceCtx};
-use hyperm::transport::{Client, TcpEndpoint};
+use hyperm::transport::{Client, TcpEndpoint, TransportError};
 use std::collections::HashMap;
+
+/// Why a subcommand failed: bad flags, or a transport-layer error. The
+/// distinction survives into the output as a typed error object, so a
+/// script can tell a mid-request peer disconnect (`closed`) from a
+/// timeout or its own bad arguments without parsing prose.
+enum CmdError {
+    Usage(String),
+    Transport(TransportError),
+}
+
+impl From<String> for CmdError {
+    fn from(msg: String) -> Self {
+        CmdError::Usage(msg)
+    }
+}
+
+impl From<TransportError> for CmdError {
+    fn from(err: TransportError) -> Self {
+        CmdError::Transport(err)
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -46,13 +67,13 @@ fn main() {
                     println!("{json}");
                     return;
                 }
-                Err(e) => Err(e.to_string()),
+                Err(e) => Err(CmdError::Transport(e)),
             }
         }
         "shutdown" => client
             .shutdown()
             .map(|()| JsonObj::new().b("ok", true))
-            .map_err(|e| e.to_string()),
+            .map_err(CmdError::Transport),
         _ => {
             help();
             return;
@@ -65,14 +86,24 @@ fn main() {
 }
 
 /// Failures are still one parseable JSON object (exit code stays 0; the
-/// smoke scripts branch on the `ok` field).
-fn fail(cmd: &str, err: &str) {
+/// smoke scripts branch on the `ok` field). The `error` field is itself
+/// an object: `kind` is a stable machine-readable name
+/// ([`TransportError::kind_name`], or `"usage"`), `detail` the
+/// human-readable message.
+fn fail(cmd: &str, err: &CmdError) {
+    let (kind, detail) = match err {
+        CmdError::Usage(msg) => ("usage", msg.clone()),
+        CmdError::Transport(e) => (e.kind_name(), e.to_string()),
+    };
     println!(
         "{}",
         JsonObj::new()
             .b("ok", false)
             .s("cmd", cmd)
-            .s("error", err)
+            .raw(
+                "error",
+                JsonObj::new().s("kind", kind).s("detail", &detail).render()
+            )
             .render()
     );
 }
@@ -94,7 +125,7 @@ fn parse_flags(raw: Vec<String>) -> HashMap<String, String> {
     opts
 }
 
-fn connect(opts: &HashMap<String, String>) -> Result<Client<TcpEndpoint>, String> {
+fn connect(opts: &HashMap<String, String>) -> Result<Client<TcpEndpoint>, CmdError> {
     let node = opts
         .get("node")
         .ok_or_else(|| "--node ADDR is required".to_string())?;
@@ -104,10 +135,8 @@ fn connect(opts: &HashMap<String, String>) -> Result<Client<TcpEndpoint>, String
     // Client transport ids live far above node ids; uniqueness per
     // process is enough for reply routing.
     let id = 1_000_000 + u64::from(std::process::id());
-    let endpoint = TcpEndpoint::bind(id, "127.0.0.1:0").map_err(|e| e.to_string())?;
-    endpoint
-        .connect(0, addr)
-        .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
+    let endpoint = TcpEndpoint::bind(id, "127.0.0.1:0")?;
+    endpoint.connect(0, addr)?;
     let mut client = Client::new(endpoint, 0);
     if let Some(trace_id) = opts.get("trace").and_then(|v| v.parse().ok()) {
         client = client.with_trace(TraceCtx {
@@ -138,13 +167,11 @@ fn num<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Resul
         .map_err(|_| format!("bad --{key} value"))
 }
 
-fn put(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+fn put(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, CmdError> {
     let peer: u64 = num(opts, "peer")?;
     let item = vector(opts, "item")?;
     let republish = opts.contains_key("republish");
-    let index = client
-        .put(peer, &item, republish)
-        .map_err(|e| e.to_string())?;
+    let index = client.put(peer, &item, republish)?;
     Ok(JsonObj::new()
         .b("ok", true)
         .u("peer", peer)
@@ -155,10 +182,10 @@ fn put(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<J
 fn get_cmd(
     client: &Client<TcpEndpoint>,
     opts: &HashMap<String, String>,
-) -> Result<JsonObj, String> {
+) -> Result<JsonObj, CmdError> {
     let level: u16 = num(opts, "level")?;
     let key = vector(opts, "key")?;
-    let objects = client.get(level, &key).map_err(|e| e.to_string())?;
+    let objects = client.get(level, &key)?;
     let rendered: Vec<String> = objects
         .iter()
         .map(|o| {
@@ -177,13 +204,14 @@ fn get_cmd(
         .arr("objects", &rendered))
 }
 
-fn query(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+fn query(
+    client: &Client<TcpEndpoint>,
+    opts: &HashMap<String, String>,
+) -> Result<JsonObj, CmdError> {
     let centre = vector(opts, "centre")?;
     let eps: f64 = num(opts, "eps")?;
     let budget: Option<u32> = opts.get("budget").and_then(|v| v.parse().ok());
-    let (items, (hops, messages, bytes)) = client
-        .query(&centre, eps, budget)
-        .map_err(|e| e.to_string())?;
+    let (items, (hops, messages, bytes)) = client.query(&centre, eps, budget)?;
     let rendered: Vec<String> = items.iter().map(|&(p, i)| format!("[{p},{i}]")).collect();
     Ok(JsonObj::new()
         .b("ok", true)
@@ -194,13 +222,14 @@ fn query(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result
         .arr("items", &rendered))
 }
 
-fn fetch(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+fn fetch(
+    client: &Client<TcpEndpoint>,
+    opts: &HashMap<String, String>,
+) -> Result<JsonObj, CmdError> {
     let peer: u64 = num(opts, "peer")?;
     let centre = vector(opts, "centre")?;
     let eps: f64 = num(opts, "eps")?;
-    let indices = client
-        .fetch(peer, &centre, eps)
-        .map_err(|e| e.to_string())?;
+    let indices = client.fetch(peer, &centre, eps)?;
     let rendered: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
     Ok(JsonObj::new()
         .b("ok", true)
@@ -209,10 +238,13 @@ fn fetch(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result
         .arr("indices", &rendered))
 }
 
-fn route(client: &Client<TcpEndpoint>, opts: &HashMap<String, String>) -> Result<JsonObj, String> {
+fn route(
+    client: &Client<TcpEndpoint>,
+    opts: &HashMap<String, String>,
+) -> Result<JsonObj, CmdError> {
     let level: u16 = num(opts, "level")?;
     let key = vector(opts, "key")?;
-    let owner = client.route(level, &key).map_err(|e| e.to_string())?;
+    let owner = client.route(level, &key)?;
     Ok(JsonObj::new()
         .b("ok", true)
         .u("level", u64::from(level))

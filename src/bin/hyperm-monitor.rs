@@ -24,7 +24,7 @@
 //! rounds (0 = run until interrupted), which is how CI bounds the loop.
 
 use hyperm::telemetry::{JsonObj, JsonValue, SloReport, SloRule, WindowSnapshot};
-use hyperm::transport::{Client, TcpEndpoint};
+use hyperm::transport::{Client, ClientConfig, TcpEndpoint};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -113,31 +113,62 @@ fn connect(node: &str) -> Result<Client<TcpEndpoint>, String> {
     endpoint
         .connect(0, addr)
         .map_err(|e| format!("cannot reach node at {node}: {e}"))?;
-    Ok(Client::new(endpoint, 0))
+    // Scrapes are cheap and periodic: keep per-attempt waits short so a
+    // dead node costs a watch round fractions of the default timeout.
+    Ok(Client::new(endpoint, 0).with_config(ClientConfig {
+        timeout: Duration::from_secs(5),
+        ..ClientConfig::default()
+    }))
 }
 
 /// Scrape every node `count` times (0 = forever), printing windowed
 /// series and evaluating `rules` against the cluster aggregate. Returns
 /// `Ok(true)` when no round breached.
+///
+/// An unreachable node does not abort the round: it is reported as a
+/// `"status": "down"` node line (with a typed error kind), skipped from
+/// the merge, and re-polled next round — crashed nodes coming back (the
+/// transport redials with backoff, and a node that never answered at
+/// start is re-connected here) rejoin the aggregate on their own.
 fn watch_loop(
     nodes: &[String],
     interval: Duration,
     count: u64,
     rules: &[SloRule],
 ) -> Result<bool, String> {
-    let clients: Vec<Client<TcpEndpoint>> = nodes
-        .iter()
-        .map(|addr| connect(addr))
-        .collect::<Result<_, _>>()?;
+    let mut clients: Vec<Option<Client<TcpEndpoint>>> =
+        nodes.iter().map(|addr| connect(addr).ok()).collect();
     let mut clean = true;
     let mut round = 0u64;
     loop {
         round += 1;
         let mut snaps = Vec::new();
-        for (addr, client) in nodes.iter().zip(&clients) {
-            let json = client
-                .stats()
-                .map_err(|e| format!("stats from {addr}: {e}"))?;
+        let mut down = 0u64;
+        for (addr, slot) in nodes.iter().zip(clients.iter_mut()) {
+            if slot.is_none() {
+                *slot = connect(addr).ok();
+            }
+            let scraped = match slot {
+                Some(client) => client.stats().map_err(|e| e.kind_name().to_string()),
+                None => Err("unreachable".to_string()),
+            };
+            let json = match scraped {
+                Ok(json) => json,
+                Err(kind) => {
+                    down += 1;
+                    println!(
+                        "{}",
+                        JsonObj::new()
+                            .u("scrape", round)
+                            .s("kind", "node")
+                            .s("addr", addr)
+                            .s("status", "down")
+                            .s("error", &kind)
+                            .render()
+                    );
+                    continue;
+                }
+            };
             let value = JsonValue::parse(&json)
                 .map_err(|e| format!("unparseable stats from {addr}: {e:?}"))?;
             let snap = WindowSnapshot::from_json(&value)
@@ -148,6 +179,7 @@ fn watch_loop(
                     .u("scrape", round)
                     .s("kind", "node")
                     .s("addr", addr)
+                    .s("status", "up")
                     .raw("window", snap.to_json())
                     .render()
             );
@@ -158,6 +190,7 @@ fn watch_loop(
             .u("scrape", round)
             .s("kind", "cluster")
             .u("nodes", snaps.len() as u64)
+            .u("down", down)
             .raw("window", cluster.to_json());
         if !rules.is_empty() {
             let report = SloReport::evaluate(rules, &cluster);

@@ -81,7 +81,8 @@ pub use hyperm_telemetry::{
     MetricsSnapshot, Recorder, SloReport, SpanId, Trace, TraceCtx, WindowSnapshot,
 };
 pub use hyperm_transport::{
-    Client, Envelope, MemEndpoint, MemHub, NodeRuntime, PeerId, Role, ServeOutcome, SimEndpoint,
-    SimHub, TcpEndpoint, Transport, TransportError,
+    ChaosConfig, ChaosEndpoint, ChaosStats, Client, ClientConfig, Envelope, MemEndpoint, MemHub,
+    NodeRuntime, PeerId, Role, ServeOutcome, SimEndpoint, SimHub, TcpEndpoint, Transport,
+    TransportError,
 };
 pub use hyperm_wavelet::{Decomposition, Normalization, Subspace, WaveletError};

@@ -1,0 +1,560 @@
+//! Live-cluster fault tolerance under a chaos transport: the ISSUE 9
+//! acceptance bar.
+//!
+//! A seeded [`ChaosEndpoint`] perturbs the client↔head link (drops,
+//! forced disconnects) while the retry/correlation machinery keeps the
+//! cluster's answers exact:
+//!
+//! * head-side request drops: the client retries under backoff and range
+//!   recall returns to 1.0;
+//! * a member crash + restart re-`Join`s through the normal join path
+//!   and resolves to its **same** overlay peer id (idempotent rejoin),
+//!   with its keys still fully retrievable;
+//! * a forced-disconnect storm (every other frame errors) is absorbed by
+//!   resends — recall stays 1.0;
+//! * a late reply to a timed-out attempt is **discarded** (`stale_reply`
+//!   telemetry), never returned to the next request — asserted on raw
+//!   `req_id`s;
+//! * `Duration::ZERO` timeouts clamp to a minimum tick instead of
+//!   refusing replies that are already queued.
+//!
+//! The three chaos scenarios are emitted as `BENCH_chaos.json`
+//! (validated by `bench_check`).
+
+use hyperm::datagen::{generate_aloi_like, AloiConfig};
+use hyperm::telemetry::{names, Recorder, TraceCtx};
+use hyperm::transport::{MemEndpoint, ServeOutcome, Transport, TransportError};
+use hyperm::{
+    Backoff, ChaosConfig, ChaosEndpoint, Client, ClientConfig, Dataset, HypermConfig,
+    HypermNetwork, MemHub, Message, NodeRuntime, Role,
+};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const DIM: usize = 16;
+const ITEMS: usize = 20;
+const SEED: u64 = 11;
+const EPS: f64 = 0.25;
+
+fn collection(slot: u64) -> Dataset {
+    let corpus = generate_aloi_like(&AloiConfig {
+        classes: 1,
+        views_per_class: ITEMS,
+        bins: DIM,
+        view_jitter: 0.15,
+        seed: SEED.wrapping_add(slot),
+    });
+    corpus.data
+}
+
+fn config() -> HypermConfig {
+    HypermConfig::new(DIM)
+        .with_levels(3)
+        .with_clusters_per_peer(4)
+        .with_seed(SEED)
+        .with_parallel_query(false)
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Brute-force `(peer, index)` truth within `eps` of `q`.
+fn truth(collections: &[&Dataset], q: &[f64], eps: f64) -> BTreeSet<(u64, u64)> {
+    let e2 = eps * eps;
+    let mut out = BTreeSet::new();
+    for (p, ds) in collections.iter().enumerate() {
+        for i in 0..ds.len() {
+            if sq_dist(ds.row(i), q) <= e2 {
+                out.insert((p as u64, i as u64));
+            }
+        }
+    }
+    out
+}
+
+/// Recall of `got` against `want` (1.0 when nothing is missing).
+fn recall(got: &[(u64, u64)], want: &BTreeSet<(u64, u64)>) -> f64 {
+    if want.is_empty() {
+        return 1.0;
+    }
+    let got: BTreeSet<(u64, u64)> = got.iter().copied().collect();
+    let hit = want.iter().filter(|t| got.contains(t)).count();
+    hit as f64 / want.len() as f64
+}
+
+/// A retrying client with telemetry, short per-attempt timeouts tuned
+/// for chaos scenarios.
+fn chaos_client(
+    transport: ChaosEndpoint<MemEndpoint>,
+    rec: Recorder,
+) -> Client<ChaosEndpoint<MemEndpoint>> {
+    Client::new(transport, 0)
+        .with_config(ClientConfig {
+            timeout: Duration::from_millis(150),
+            attempts: 6,
+            backoff: Backoff::exponential(1, 4),
+            retry_tick: Duration::from_millis(5),
+        })
+        .with_recorder(rec)
+}
+
+struct ScenarioOutcome {
+    name: &'static str,
+    recall_final: f64,
+    queries: u64,
+    retries: u64,
+    gave_up: u64,
+}
+
+/// Head-side drop chaos: 40% of client→head frames vanish; retries must
+/// bring recall back to exactly 1.0.
+fn scenario_head_drops() -> ScenarioOutcome {
+    let data: Vec<Dataset> = (0..4).map(collection).collect();
+    let (net, _) = HypermNetwork::build(data.clone(), config()).unwrap();
+    let hub = MemHub::new(256);
+    let mut head_rt = NodeRuntime::new(hub.endpoint(0), Role::Head(Box::new(net)));
+    let head = std::thread::spawn(move || head_rt.serve_until_shutdown());
+
+    let (rec, _ring) = Recorder::ring(1 << 12);
+    let chaos = ChaosEndpoint::new(hub.endpoint(50), ChaosConfig::quiet(42).with_drop(400));
+    let client = chaos_client(chaos, rec.clone());
+
+    let refs: Vec<&Dataset> = data.iter().collect();
+    let mut total_recall = 0.0;
+    let probes = [
+        (0usize, 0usize),
+        (1, 5),
+        (2, 9),
+        (3, ITEMS - 1),
+        (0, 7),
+        (2, 3),
+    ];
+    for (peer, row) in probes {
+        let q = data[peer].row(row).to_vec();
+        let (items, _) = client.query(&q, EPS, None).unwrap();
+        total_recall += recall(&items, &truth(&refs, &q, EPS));
+    }
+    let metrics = rec.metrics().unwrap();
+    let retries = metrics.counter(names::RETRY);
+    let gave_up = metrics.counter(names::GAVE_UP);
+    assert!(
+        retries > 0,
+        "a 40% seeded drop rate over {} requests must force at least one retry",
+        probes.len()
+    );
+    assert_eq!(gave_up, 0, "no query may exhaust its retry budget");
+    assert!(
+        client.stats().is_ok(),
+        "the cluster stays scrapeable under drop chaos"
+    );
+
+    // Shut down over a clean (unchaosed) control endpoint: `Shutdown`
+    // is not resendable, so it must not race the drop schedule.
+    Client::new(hub.endpoint(60), 0).shutdown().unwrap();
+    head.join().unwrap().unwrap();
+    ScenarioOutcome {
+        name: "head_drops",
+        recall_final: total_recall / probes.len() as f64,
+        queries: probes.len() as u64,
+        retries,
+        gave_up,
+    }
+}
+
+/// Member crash + restart: the repeat `Join` from the same transport
+/// peer resolves to the same overlay id and its keys stay retrievable.
+fn scenario_member_crash_rejoin() -> ScenarioOutcome {
+    let data: Vec<Dataset> = (0..4).map(collection).collect();
+    let (net, _) = HypermNetwork::build(data.clone(), config()).unwrap();
+    let hub = MemHub::new(256);
+    let mut head_rt = NodeRuntime::new(hub.endpoint(0), Role::Head(Box::new(net)));
+    let head = std::thread::spawn(move || head_rt.serve_until_shutdown());
+
+    let member_data = collection(1000);
+    let mut member = NodeRuntime::new(
+        hub.endpoint(1),
+        Role::Member {
+            head: 0,
+            peer: None,
+        },
+    );
+    let joined = member
+        .join_network(&member_data, Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(joined, 4, "member becomes overlay peer 4");
+
+    let client = Client::new(hub.endpoint(50), 0);
+    let q = member_data.row(3).to_vec();
+    let (items, _) = client.query(&q, 0.05, None).unwrap();
+    assert!(items.contains(&(4, 3)), "member item reachable pre-crash");
+
+    // Crash: the runtime dies without any goodbye (kill -9 shape); its
+    // inbox is orphaned on the hub.
+    drop(member);
+
+    // Restart under the same transport id and rejoin through the normal
+    // join path: same overlay peer comes back, no duplicate admission.
+    let mut reborn = NodeRuntime::new(
+        hub.endpoint(1),
+        Role::Member {
+            head: 0,
+            peer: None,
+        },
+    );
+    let rejoined = reborn
+        .join_network(&member_data, Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(
+        rejoined, joined,
+        "crash-rejoin must resolve to the same overlay peer"
+    );
+    let monitor = client.monitor().unwrap();
+    assert!(
+        monitor.contains("\"members\": 5"),
+        "rejoin must not admit a duplicate member: {monitor}"
+    );
+
+    let refs: Vec<&Dataset> = data.iter().chain([&member_data]).collect();
+    let mut total_recall = 0.0;
+    let probes = [(4usize, 3usize), (4, ITEMS - 1), (0, 0), (3, 2)];
+    for (peer, row) in probes {
+        let q = refs[peer].row(row).to_vec();
+        let (items, _) = client.query(&q, EPS, None).unwrap();
+        total_recall += recall(&items, &truth(&refs, &q, EPS));
+    }
+
+    client.shutdown().unwrap();
+    head.join().unwrap().unwrap();
+    ScenarioOutcome {
+        name: "member_crash_rejoin",
+        recall_final: total_recall / probes.len() as f64,
+        queries: probes.len() as u64,
+        retries: 0,
+        gave_up: 0,
+    }
+}
+
+/// Forced-disconnect storm: every other client→head frame fails with a
+/// truncate-disconnect error; resends absorb all of it.
+fn scenario_disconnect_storm() -> (ScenarioOutcome, u64) {
+    let data: Vec<Dataset> = (0..4).map(collection).collect();
+    let (net, _) = HypermNetwork::build(data.clone(), config()).unwrap();
+    let hub = MemHub::new(256);
+    let mut head_rt = NodeRuntime::new(hub.endpoint(0), Role::Head(Box::new(net)));
+    let head = std::thread::spawn(move || head_rt.serve_until_shutdown());
+
+    let (rec, _ring) = Recorder::ring(1 << 12);
+    let chaos = ChaosEndpoint::new(
+        hub.endpoint(50),
+        ChaosConfig::quiet(7).with_disconnect_every(2),
+    );
+    let client = chaos_client(chaos, rec.clone());
+
+    let refs: Vec<&Dataset> = data.iter().collect();
+    let mut total_recall = 0.0;
+    let probes = [(0usize, 1usize), (1, 8), (2, 15), (3, 4), (1, 0), (3, 19)];
+    for (peer, row) in probes {
+        let q = data[peer].row(row).to_vec();
+        let (items, _) = client.query(&q, EPS, None).unwrap();
+        total_recall += recall(&items, &truth(&refs, &q, EPS));
+    }
+    let disconnects = client.transport().stats().disconnects;
+    assert!(disconnects > 0, "the storm must actually fire");
+    let metrics = rec.metrics().unwrap();
+    let retries = metrics.counter(names::RETRY);
+    assert!(retries > 0, "disconnected sends must be retried");
+
+    Client::new(hub.endpoint(60), 0).shutdown().unwrap();
+    head.join().unwrap().unwrap();
+    (
+        ScenarioOutcome {
+            name: "disconnect_storm",
+            recall_final: total_recall / probes.len() as f64,
+            queries: probes.len() as u64,
+            retries,
+            gave_up: metrics.counter(names::GAVE_UP),
+        },
+        disconnects,
+    )
+}
+
+/// Drive the timed-out-then-answered race with a scripted responder and
+/// return `(stale_discarded, stale_returned)`: the late reply to attempt
+/// one must be counted and dropped, never handed to attempt two.
+fn stale_reply_probe() -> (u64, u64) {
+    let hub = MemHub::new(64);
+    let node = hub.endpoint(0);
+    let (rec, _ring) = Recorder::ring(1 << 10);
+    let client = Client::new(hub.endpoint(77), 0)
+        .with_config(ClientConfig {
+            timeout: Duration::from_millis(60),
+            attempts: 3,
+            backoff: Backoff::exponential(1, 1),
+            retry_tick: Duration::from_millis(1),
+        })
+        .with_recorder(rec.clone());
+
+    let responder = std::thread::spawn(move || {
+        // Attempt one arrives; stay silent so the client times it out.
+        let first = node.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Attempt two is the resend, under a fresh correlation tag.
+        let second = node.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Now answer attempt ONE (late — the client gave up on it), with
+        // a poisoned payload, then attempt two with the real one.
+        node.send_tagged(
+            77,
+            first.req_id,
+            &Message::QueryAck {
+                items: vec![(9, 9)],
+                hops: 1,
+                messages: 1,
+                bytes: 1,
+            },
+        )
+        .unwrap();
+        node.send_tagged(
+            77,
+            second.req_id,
+            &Message::QueryAck {
+                items: vec![(1, 1)],
+                hops: 1,
+                messages: 1,
+                bytes: 1,
+            },
+        )
+        .unwrap();
+        (first.req_id, second.req_id, first.msg, second.msg)
+    });
+
+    let (items, _) = client.query(&[0.5; 4], 0.1, None).unwrap();
+    let (id1, id2, msg1, msg2) = responder.join().unwrap();
+    assert_ne!(id1, 0, "request attempts must carry a non-zero req_id");
+    assert_ne!(id2, 0, "request attempts must carry a non-zero req_id");
+    assert_ne!(id1, id2, "each attempt must get a fresh req_id");
+    assert_eq!(msg1, msg2, "a resend is the identical idempotent request");
+
+    let stale_returned = u64::from(items == vec![(9, 9)]);
+    assert_eq!(
+        items,
+        vec![(1, 1)],
+        "the late reply to a timed-out attempt must never be returned"
+    );
+    let metrics = rec.metrics().unwrap();
+    assert!(
+        metrics.counter(names::STALE_REPLY) >= 1,
+        "the discarded late reply must be counted as stale_reply"
+    );
+    assert_eq!(metrics.counter(names::RETRY), 1, "exactly one resend");
+    (metrics.counter(names::STALE_REPLY), stale_returned)
+}
+
+/// The three chaos scenarios, plus the stale-reply probe, emitted as the
+/// `BENCH_chaos.json` artifact `bench_check` validates.
+#[test]
+fn chaos_scenarios_recover_full_recall_and_emit_bench() {
+    let drops = scenario_head_drops();
+    let rejoin = scenario_member_crash_rejoin();
+    let (storm, disconnects) = scenario_disconnect_storm();
+    let (stale_discarded, stale_returned) = stale_reply_probe();
+
+    let mut scenarios = Vec::new();
+    for s in [&drops, &rejoin, &storm] {
+        assert_eq!(
+            s.recall_final, 1.0,
+            "scenario {} must recover full recall",
+            s.name
+        );
+        let extra = if s.name == "disconnect_storm" {
+            format!(", \"disconnects\": {disconnects}")
+        } else {
+            String::new()
+        };
+        scenarios.push(format!(
+            "    {{\"name\": \"{}\", \"recall_final\": {:.4}, \"queries\": {}, \"retries\": {}, \"gave_up\": {}{}}}",
+            s.name, s.recall_final, s.queries, s.retries, s.gave_up, extra
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": {{\"nodes\": 4, \"dim\": {DIM}, \"items_per_peer\": {ITEMS}, \"seed\": {SEED}, \"transport\": \"mem+chaos\"}},\n  \"scenarios\": [\n{}\n  ],\n  \"stale_replies_discarded\": {stale_discarded},\n  \"stale_replies_returned\": {stale_returned}\n}}\n",
+        scenarios.join(",\n")
+    );
+    std::fs::write("BENCH_chaos.json", json).unwrap();
+}
+
+/// Satellite regression: the reply mis-correlation race in isolation.
+#[test]
+fn late_reply_to_timed_out_request_is_discarded() {
+    let (discarded, returned) = stale_reply_probe();
+    assert!(discarded >= 1);
+    assert_eq!(returned, 0);
+}
+
+/// Satellite regression: a `ClientConfig::timeout` of zero is clamped to
+/// a minimum tick — a reply that is already queued must still be
+/// returned, not refused by an instantly-expired deadline.
+#[test]
+fn zero_client_timeout_is_clamped_to_a_live_tick() {
+    let hub = MemHub::new(16);
+    let node = hub.endpoint(0);
+    let client = Client::new(hub.endpoint(9), 0).with_config(ClientConfig {
+        timeout: Duration::ZERO,
+        attempts: 1,
+        ..ClientConfig::default()
+    });
+    // A fresh client's first attempt is req_id 1: pre-queue its answer.
+    node.send_tagged(9, 1, &Message::StatsAck { json: "{}".into() })
+        .unwrap();
+    assert_eq!(
+        client.stats().unwrap(),
+        "{}",
+        "zero timeout must still drain an already-queued reply"
+    );
+}
+
+/// Satellite regression: same clamp on the member's `forward_timeout`.
+#[test]
+fn zero_forward_timeout_is_clamped_to_a_live_tick() {
+    let hub = MemHub::new(64);
+    let head_ep = hub.endpoint(0);
+    let client_ep = hub.endpoint(7);
+    let mut member = NodeRuntime::new(
+        hub.endpoint(1),
+        Role::Member {
+            head: 0,
+            peer: Some(4),
+        },
+    );
+    member.forward_timeout = Duration::ZERO;
+    // The client's request arrives first; the head's answer (for the
+    // member's first forward tag, 1) is already queued behind it.
+    client_ep
+        .send_tagged(
+            1,
+            99,
+            &Message::Query {
+                centre: vec![0.0; DIM],
+                eps: 0.1,
+                budget: u32::MAX,
+                ctx: TraceCtx::NONE,
+            },
+        )
+        .unwrap();
+    head_ep
+        .send_tagged(
+            1,
+            1,
+            &Message::QueryAck {
+                items: vec![(2, 3)],
+                hops: 1,
+                messages: 1,
+                bytes: 1,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        member.serve_one(Duration::from_secs(1)).unwrap(),
+        ServeOutcome::Handled
+    );
+    let env = client_ep.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(env.req_id, 99, "reply echoes the client's correlation tag");
+    assert_eq!(
+        env.msg,
+        Message::QueryAck {
+            items: vec![(2, 3)],
+            hops: 1,
+            messages: 1,
+            bytes: 1,
+        },
+        "zero forward_timeout must still relay the queued head answer"
+    );
+}
+
+/// Wire heartbeats: a member whose head goes silent crosses the
+/// missed-ping threshold, reports itself degraded (Stats JSON + fast
+/// client failure), and recovers the moment the head is heard again.
+#[test]
+fn member_detects_dead_head_degrades_and_recovers() {
+    let hub = MemHub::new(64);
+    let (rec, _ring) = Recorder::ring(1 << 10);
+    let mut member = NodeRuntime::new(
+        hub.endpoint(1),
+        Role::Member {
+            head: 0,
+            peer: Some(4),
+        },
+    )
+    .with_recorder(rec.clone());
+    member.missed_ping_threshold = 2;
+
+    // No head endpoint exists: every idle tick's ping goes unanswered.
+    for _ in 0..3 {
+        assert_eq!(
+            member.serve_one(Duration::ZERO).unwrap(),
+            ServeOutcome::Idle
+        );
+    }
+    assert!(member.degraded(), "3 missed pings over threshold 2");
+    assert!(
+        member.stats_json().contains("\"degraded\":true"),
+        "stats must carry the liveness verdict: {}",
+        member.stats_json()
+    );
+    let metrics = rec.metrics().unwrap();
+    assert_eq!(metrics.counter(names::PEER_DOWN), 1);
+
+    // A client request against a degraded member fails fast with a
+    // refusal ack instead of stalling a forward timeout.
+    let client_ep = hub.endpoint(7);
+    client_ep
+        .send_tagged(
+            1,
+            5,
+            &Message::Query {
+                centre: vec![0.0; DIM],
+                eps: 0.1,
+                budget: u32::MAX,
+                ctx: TraceCtx::NONE,
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        member.serve_one(Duration::from_secs(1)).unwrap(),
+        ServeOutcome::Handled
+    );
+    let env = client_ep.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(env.req_id, 5);
+    assert!(
+        matches!(env.msg, Message::Ack { ok: false, .. }),
+        "degraded member fast-fails: {:?}",
+        env.msg
+    );
+
+    // The head comes back: one frame clears the degraded state.
+    let head_ep = hub.endpoint(0);
+    head_ep
+        .send_tagged(1, 0, &Message::Pong { seq: 0 })
+        .unwrap();
+    assert_eq!(
+        member.serve_one(Duration::from_secs(1)).unwrap(),
+        ServeOutcome::Handled
+    );
+    assert!(!member.degraded(), "hearing the head heals the member");
+    assert!(member.stats_json().contains("\"degraded\":false"));
+    assert_eq!(metrics.counter(names::REJOIN), 1, "recovery is visible");
+    assert!(
+        member.monitor_json().contains("\"liveness\""),
+        "monitor exposes the liveness table"
+    );
+
+    // And pings are answered by any runtime: the member replies Pong
+    // echoing the correlation tag.
+    head_ep
+        .send_tagged(1, 31, &Message::Ping { seq: 8 })
+        .unwrap();
+    member.serve_one(Duration::from_secs(1)).unwrap();
+    let env = head_ep.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(env.req_id, 31);
+    assert_eq!(env.msg, Message::Pong { seq: 8 });
+    let _ = TransportError::Timeout; // silence unused-import on some cfgs
+}
