@@ -116,16 +116,24 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Fixed-width read as an owned array. `take(N)` already guarantees
+    /// the slice is exactly `N` bytes, but the conversion returns a
+    /// typed error rather than unwrapping so no decode path can panic
+    /// even if that invariant is ever broken.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| CodecError::Truncated { needed: N, got: 0 })
+    }
+
     fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// A peer/node index: `u64` on the wire, checked into `usize` (a
@@ -135,7 +143,7 @@ impl<'a> Reader<'a> {
     }
 
     fn f64(&mut self, field: &'static str) -> Result<f64, CodecError> {
-        let v = f64::from_le_bytes(self.take(8)?.try_into().unwrap());
+        let v = f64::from_le_bytes(self.array()?);
         if v.is_finite() {
             Ok(v)
         } else {
@@ -330,6 +338,46 @@ pub mod kind {
     pub const PING: u8 = 21;
     /// [`super::Message::Pong`].
     pub const PONG: u8 = 22;
+
+    /// Every kind byte paired with its [`super::Message`] variant name.
+    /// This is the protocol's source of truth for exhaustiveness
+    /// checks: `hyperm-lint`'s protocol-consistency pass cross-checks
+    /// it against the constants above, the reply pairing table, and the
+    /// `NodeRuntime` dispatch at build time. Adding a kind without
+    /// extending this table fails the lint.
+    pub const ALL: &[(u8, &str)] = &[
+        (HELLO, "Hello"),
+        (JOIN, "Join"),
+        (JOIN_ACK, "JoinAck"),
+        (ROUTE, "Route"),
+        (ROUTE_ACK, "RouteAck"),
+        (PUBLISH, "Publish"),
+        (PUBLISH_ACK, "PublishAck"),
+        (QUERY, "Query"),
+        (QUERY_ACK, "QueryAck"),
+        (GET, "Get"),
+        (GET_ACK, "GetAck"),
+        (FETCH, "Fetch"),
+        (FETCH_ACK, "FetchAck"),
+        (ACK, "Ack"),
+        (MONITOR, "Monitor"),
+        (MONITOR_ACK, "MonitorAck"),
+        (SHUTDOWN, "Shutdown"),
+        (PUT, "Put"),
+        (PUT_ACK, "PutAck"),
+        (STATS, "Stats"),
+        (STATS_ACK, "StatsAck"),
+        (PING, "Ping"),
+        (PONG, "Pong"),
+    ];
+
+    /// Request kinds whose effect is idempotent at the receiver: a
+    /// duplicate delivery (from a resend racing a slow reply) is
+    /// indistinguishable from a single one. The transport's retry set
+    /// must be a subset of this list — enforced by `hyperm-lint`'s
+    /// `proto-retry-set` rule. `PUT`/`PUBLISH` mutate and `SHUTDOWN`
+    /// races its own effect, so they are deliberately absent.
+    pub const IDEMPOTENT: &[u8] = &[JOIN, ROUTE, QUERY, GET, FETCH, MONITOR, STATS, PING];
 }
 
 /// Every message the transport layer frames between peers.
@@ -1140,6 +1188,40 @@ mod tests {
             assert_eq!(bytes[0], msg.kind());
             let back = decode_message(&bytes).unwrap();
             assert_eq!(back, msg, "{}", msg.kind_name());
+        }
+    }
+
+    #[test]
+    fn kind_table_is_total_and_collision_free() {
+        // `kind::ALL` is the protocol's source of truth (the lint's
+        // protocol pass builds on it): it must cover every sample
+        // message's kind byte exactly once, with no byte collisions.
+        let mut bytes: Vec<u8> = kind::ALL.iter().map(|&(b, _)| b).collect();
+        bytes.sort_unstable();
+        let n = bytes.len();
+        bytes.dedup();
+        assert_eq!(bytes.len(), n, "kind byte collision in kind::ALL");
+        for msg in sample_messages() {
+            let k = msg.kind();
+            let (_, variant) = kind::ALL
+                .iter()
+                .find(|&&(b, _)| b == k)
+                .unwrap_or_else(|| panic!("kind {k} missing from kind::ALL"));
+            // The table's variant name must agree with the wire name
+            // modulo case convention (JoinAck vs join_ack).
+            let squashed: String = variant.to_ascii_lowercase();
+            let wire: String = msg.kind_name().replace('_', "");
+            assert_eq!(squashed, wire, "kind::ALL name drifted for byte {k}");
+        }
+    }
+
+    #[test]
+    fn idempotent_kinds_are_requests() {
+        for &k in kind::IDEMPOTENT {
+            assert!(
+                Message::reply_kind_of(k).is_some(),
+                "kind::IDEMPOTENT lists {k}, which is not a request kind"
+            );
         }
     }
 

@@ -18,8 +18,9 @@ pub enum Tok {
     Str(String),
     /// Character or byte literal (content ignored by the passes).
     Char,
-    /// Numeric literal.
-    Num,
+    /// Numeric literal, raw digits as written (`0x1F`, `1_000`, `2.5`) —
+    /// the protocol pass reads kind-const values out of these.
+    Num(String),
     /// Lifetime such as `'a` (passes ignore these, but they must not be
     /// confused with char literals).
     Lifetime,
@@ -202,7 +203,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.tokens.push(Token {
                     line,
-                    tok: Tok::Num,
+                    tok: Tok::Num(src[i..j].to_string()),
                 });
                 i = j;
             }

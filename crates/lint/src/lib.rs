@@ -24,7 +24,18 @@
 //!   must come from `hyperm_telemetry::names::ALL` (`tel-taxonomy`);
 //! * **facade** ([`passes::facade`]) — root public types of core crates
 //!   are re-exported from `hyperm` or excluded in
-//!   `crates/lint/facade.allow` (`facade-export`).
+//!   `crates/lint/facade.allow` (`facade-export`);
+//! * **concurrency** ([`passes::concurrency`]) — lock-acquisition-order
+//!   cycles over a workspace-wide graph (`conc-lock-order`), blocking
+//!   calls while a guard is live (`conc-blocking-hold`), and guards
+//!   crossing `spawn`/closure boundaries (`conc-guard-across-spawn`);
+//! * **wire-taint** ([`passes::wiretaint`]) — frame-derived values
+//!   reaching allocations, indexes or unchecked casts without
+//!   validation in the wire-decode files (`wire-taint`);
+//! * **protocol** ([`passes::protocol`]) — kind table, reply pairing,
+//!   dispatch and retry set must agree (`proto-exhaustive`,
+//!   `proto-pairing`, `proto-retry-set`), checked against the real
+//!   `hyperm-can`/`hyperm-transport` constants linked in at build time.
 //!
 //! Suppressions: `// hyperm-lint: allow(<rule>) — <reason>` on the
 //! flagged line or the line above; `allow-file(<rule>) — <reason>`
@@ -41,11 +52,13 @@ pub mod lexer;
 pub mod passes;
 pub mod report;
 
+use passes::concurrency::LockEdge;
 use passes::FileCtx;
 use report::{apply_suppressions, parse_directives, Report, Suppressed, Violation};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-/// Every rule slug the tool can emit.
+/// Every rule slug the tool can emit, in stable report order.
 pub const RULES: &[&str] = &[
     "det-unordered-iter",
     "det-wall-clock",
@@ -55,16 +68,81 @@ pub const RULES: &[&str] = &[
     "panic-index",
     "tel-taxonomy",
     "facade-export",
+    "conc-lock-order",
+    "conc-blocking-hold",
+    "conc-guard-across-spawn",
+    "wire-taint",
+    "proto-exhaustive",
+    "proto-pairing",
+    "proto-retry-set",
     "lint-directive",
 ];
+
+/// Pass names, in the order `timings_ms` reports them.
+pub const PASSES: &[&str] = &[
+    "determinism",
+    "panics",
+    "taxonomy",
+    "concurrency",
+    "wiretaint",
+    "facade",
+    "protocol",
+];
+
+/// Per-pass wall-time accumulator (the lint itself is not a
+/// result-affecting crate, so `Instant` is fair game here).
+#[derive(Debug, Default)]
+struct PassClock {
+    spent: std::collections::BTreeMap<&'static str, Duration>,
+}
+
+impl PassClock {
+    fn time<T>(&mut self, pass: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        *self.spent.entry(pass).or_default() += t0.elapsed();
+        out
+    }
+
+    fn timings(&self) -> Vec<(String, f64)> {
+        PASSES
+            .iter()
+            .map(|&p| {
+                let ms = self
+                    .spent
+                    .get(p)
+                    .map(|d| d.as_secs_f64() * 1000.0)
+                    .unwrap_or(0.0);
+                (p.to_string(), ms)
+            })
+            .collect()
+    }
+}
 
 /// Directory names never scanned: generated output, vendored stand-ins,
 /// test code (integration tests may do anything), and lint fixtures.
 const SKIP_DIRS: &[&str] = &["target", "vendor", "tests", "benches", "fixtures", ".git"];
 
+/// Run the per-file passes over one prepared token stream: raw
+/// violations plus the file's lock-order edges. Shared by
+/// [`lint_source`] (which resolves cycles locally) and
+/// [`run_workspace`] (which resolves them globally, once).
+fn analyze(ctx: &FileCtx<'_>, clock: &mut PassClock) -> (Vec<Violation>, Vec<LockEdge>) {
+    let mut raw = Vec::new();
+    raw.extend(clock.time("determinism", || passes::determinism::run(ctx)));
+    raw.extend(clock.time("panics", || passes::panics::run(ctx)));
+    raw.extend(clock.time("taxonomy", || passes::taxonomy::run(ctx)));
+    let (conc, edges) = clock.time("concurrency", || passes::concurrency::run(ctx));
+    raw.extend(conc);
+    raw.extend(clock.time("wiretaint", || passes::wiretaint::run(ctx)));
+    (raw, edges)
+}
+
 /// Lint one source text as if it lived at `rel_path` in crate
 /// `crate_name`. Returns surviving violations and applied suppressions.
-/// This is the unit the fixture tests drive.
+/// This is the unit the fixture tests drive. Lock-order cycles are
+/// resolved over this file's edges alone; the workspace driver merges
+/// edges across files instead, so cross-file inversions surface there.
 pub fn lint_source(
     rel_path: &str,
     crate_name: &str,
@@ -78,10 +156,9 @@ pub fn lint_source(
         tokens: &lexed.tokens,
         in_test: &mask,
     };
-    let mut raw = Vec::new();
-    raw.extend(passes::determinism::run(&ctx));
-    raw.extend(passes::panics::run(&ctx));
-    raw.extend(passes::taxonomy::run(&ctx));
+    let mut clock = PassClock::default();
+    let (mut raw, edges) = analyze(&ctx, &mut clock);
+    raw.extend(passes::concurrency::order_cycles(&edges));
     raw.sort();
     let directives = parse_directives(&lexed.comments);
     apply_suppressions(rel_path, raw, &directives)
@@ -128,20 +205,55 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
 }
 
 /// Run every pass over the workspace at `root`.
+///
+/// Per-file passes run first, accumulating every file's lock-order
+/// edges; cycle detection then runs once over the merged graph so
+/// inversions *between* files are caught, and each cycle violation is
+/// attributed (and suppressible) at its acquisition site. The
+/// workspace-level passes (facade, protocol) append after suppression —
+/// their findings are structural and are fixed at the source of truth,
+/// not allowed away.
 pub fn run_workspace(root: &Path) -> Report {
     let mut report = Report::default();
+    let mut clock = PassClock::default();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut pending = Vec::new();
     for rel in workspace_sources(root) {
         let rel_str = rel.to_string_lossy().replace('\\', "/");
         let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
             continue;
         };
         report.files_scanned += 1;
-        let (mut viol, mut supp) = lint_source(&rel_str, crate_of(&rel_str), &src);
+        let lexed = lexer::lex(&src);
+        let mask = lexer::test_module_mask(&lexed.tokens);
+        let ctx = FileCtx {
+            path: &rel_str,
+            crate_name: crate_of(&rel_str),
+            tokens: &lexed.tokens,
+            in_test: &mask,
+        };
+        let (raw, mut file_edges) = analyze(&ctx, &mut clock);
+        edges.append(&mut file_edges);
+        pending.push((rel_str, raw, parse_directives(&lexed.comments)));
+    }
+    let mut cycles = clock.time("concurrency", || passes::concurrency::order_cycles(&edges));
+    for (rel_str, mut raw, directives) in pending {
+        let (mine, rest): (Vec<_>, Vec<_>) = cycles.into_iter().partition(|v| v.file == rel_str);
+        cycles = rest;
+        raw.extend(mine);
+        raw.sort();
+        let (mut viol, mut supp) = apply_suppressions(&rel_str, raw, &directives);
         report.violations.append(&mut viol);
         report.suppressed.append(&mut supp);
     }
-    report.violations.extend(passes::facade::run(root));
+    report
+        .violations
+        .extend(clock.time("facade", || passes::facade::run(root)));
+    report
+        .violations
+        .extend(clock.time("protocol", || passes::protocol::run(root)));
     report.violations.sort();
+    report.timings_ms = clock.timings();
     report
 }
 

@@ -4,32 +4,67 @@
 //! Usage: `cargo run -p hyperm-lint --release [-- --root <dir>]`
 //! (default root: the nearest ancestor of the current directory that
 //! holds a `Cargo.toml` with a `[workspace]` table).
+//!
+//! * `--rule <name>` — restrict the run's output (and exit status) to
+//!   one rule, so CI or a developer can bisect a single pass;
+//! * `--check-baseline <file>` — CI gate mode: instead of writing a
+//!   report, compare the run against the committed baseline. Fails
+//!   (exit 3) if any violation survives or if the suppression set
+//!   differs from the baseline in any way — growing the suppression
+//!   list requires committing the matching `LINT_report.json` diff.
 
 #![forbid(unsafe_code)]
 
+use hyperm_telemetry::json::JsonValue;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_path: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--json" => json_path = args.next().map(PathBuf::from),
+            "--rule" => rule = args.next(),
+            "--check-baseline" => baseline = args.next().map(PathBuf::from),
             other => {
-                eprintln!("unknown argument {other:?} (expected --root <dir> / --json <file>)");
+                eprintln!(
+                    "unknown argument {other:?} (expected --root <dir> / --json <file> / \
+                     --rule <name> / --check-baseline <file>)"
+                );
                 return ExitCode::from(2);
             }
         }
     }
+    if let Some(r) = &rule {
+        if !hyperm_lint::RULES.contains(&r.as_str()) {
+            eprintln!(
+                "unknown rule {r:?}; known rules: {}",
+                hyperm_lint::RULES.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
     let root = root.unwrap_or_else(find_workspace_root);
-    let report = hyperm_lint::run_workspace(&root);
+    let mut report = hyperm_lint::run_workspace(&root);
+    if let Some(r) = &rule {
+        report.violations.retain(|v| v.rule == r.as_str());
+        report.suppressed.retain(|s| s.violation.rule == r.as_str());
+    }
 
     for v in &report.violations {
         println!("{}", v.render());
     }
+
+    if let Some(baseline) = baseline {
+        return check_baseline(&report, &baseline);
+    }
+
     let json = report.to_json(hyperm_lint::RULES);
     let json_path = json_path.unwrap_or_else(|| root.join("LINT_report.json"));
     if let Err(e) = std::fs::write(&json_path, json) {
@@ -48,6 +83,91 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Gate mode: the run must be violation-free and its suppression set
+/// must match the committed baseline exactly (as a multiset of
+/// (file, line, rule, reason)). Timings and rule lists are ignored —
+/// the comparison is semantic, not byte-for-byte.
+fn check_baseline(report: &hyperm_lint::report::Report, baseline: &PathBuf) -> ExitCode {
+    if !report.violations.is_empty() {
+        eprintln!(
+            "baseline check FAILED: {} violation(s) (baseline requires 0)",
+            report.violations.len()
+        );
+        return ExitCode::from(3);
+    }
+    let text = match std::fs::read_to_string(baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let parsed = match JsonValue::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("baseline {} is not valid JSON: {e:?}", baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut want: BTreeMap<(String, u64, String, String), i64> = BTreeMap::new();
+    for s in parsed
+        .get("suppressed")
+        .and_then(|v| v.as_arr())
+        .unwrap_or(&[])
+    {
+        let key = (
+            s.get("file")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            s.get("line").and_then(|v| v.as_u64()).unwrap_or(0),
+            s.get("rule")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+            s.get("reason")
+                .and_then(|v| v.as_str())
+                .unwrap_or("")
+                .to_string(),
+        );
+        *want.entry(key).or_insert(0) += 1;
+    }
+    let mut diff = want;
+    for s in &report.suppressed {
+        let key = (
+            s.violation.file.clone(),
+            s.violation.line as u64,
+            s.violation.rule.to_string(),
+            s.reason.clone(),
+        );
+        *diff.entry(key).or_insert(0) -= 1;
+    }
+    let mut drifted = false;
+    for ((file, line, rule, _), n) in diff.iter().filter(|(_, &n)| n != 0) {
+        drifted = true;
+        let what = if *n < 0 {
+            "NEW suppression (not in baseline)"
+        } else {
+            "baseline suppression gone"
+        };
+        eprintln!("baseline check: {what}: {file}:{line}: {rule}");
+    }
+    if drifted {
+        eprintln!(
+            "baseline check FAILED: suppression set differs from {}; regenerate the \
+             report (`cargo run -p hyperm-lint --release`) and commit the diff",
+            baseline.display()
+        );
+        return ExitCode::from(3);
+    }
+    println!(
+        "baseline check OK: 0 violations, {} suppression(s) match {}",
+        report.suppressed.len(),
+        baseline.display()
+    );
+    ExitCode::SUCCESS
 }
 
 /// Nearest ancestor (including cwd) with a `[workspace]` Cargo.toml.

@@ -1,10 +1,13 @@
 //! The pass pipeline: each pass scans one file's token stream and
 //! reports raw violations (suppressions are applied by the driver).
 
+pub mod concurrency;
 pub mod determinism;
 pub mod facade;
 pub mod panics;
+pub mod protocol;
 pub mod taxonomy;
+pub mod wiretaint;
 
 use crate::lexer::{Tok, Token};
 use crate::report::Violation;

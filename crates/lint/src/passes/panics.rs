@@ -108,7 +108,7 @@ fn is_index_receiver(prev: &Tok) -> bool {
                 | "const"
                 | "static"
         ),
-        Tok::Str(_) | Tok::Num => true,
+        Tok::Str(_) | Tok::Num(_) => true,
         Tok::Punct(c) => matches!(c, ')' | ']'),
         _ => false,
     }

@@ -1,0 +1,303 @@
+//! Wire-taint pass: every byte of a frame body is attacker-controlled.
+//!
+//! PR 6 hand-fixed the decode paths so no length read off the wire
+//! reaches an allocation before `Reader::need` (or an explicit bound
+//! check) has vouched for it. This pass locks that discipline in as an
+//! enforced invariant over the two wire-facing files
+//! ([`WIRE_PATHS`]): a value produced by a frame read
+//! (`Reader::take`/`u8`/`u16`/`u32`/`u64`, `from_le_bytes`) is
+//! *tainted*; a tainted value flowing into
+//!
+//! * `Vec::with_capacity(x)` / `vec![_; x]` (allocation sized by the
+//!   attacker),
+//! * a slice index `buf[x]`,
+//! * a 64-bit read cast straight through `as usize`,
+//!
+//! without first passing a recognised validator is a `wire-taint`
+//! violation. Validators — the operations that bound a value before it
+//! is trusted — are `need(x)` (the codec's pre-validation),
+//! `try_from(x)`, `checked_mul`/`checked_add`/`checked_sub`, `.min(…)`,
+//! and appearing in a `<`/`>`/`<=`/`>=` comparison (the `len >
+//! MAX_FRAME` guard in frame.rs).
+//!
+//! The pass also flags `.unwrap()`/`.expect(…)` in non-test wire code:
+//! a decode helper that can panic on truncated input is a remote crash,
+//! whatever the panics pass thinks about hot paths. Taint state is
+//! per-function (reset at each `fn`): the tracker is flow-insensitive
+//! within a body — once validated anywhere in the function, a name is
+//! trusted — which matches the codec's straight-line decode style.
+
+use super::FileCtx;
+use crate::lexer::Tok;
+use crate::report::Violation;
+use std::collections::BTreeMap;
+
+/// Exact workspace-relative paths the pass runs on: where bytes enter
+/// from the network.
+pub const WIRE_PATHS: &[&str] = &["crates/can/src/codec.rs", "crates/transport/src/frame.rs"];
+
+/// Frame-read methods whose results are tainted. `u64` (and
+/// `from_le_bytes` on 8 bytes) additionally mark the value *wide*: an
+/// `as usize` cast of a wide value is flagged even outside a sink,
+/// because on 32-bit targets it truncates silently.
+const SOURCES: &[(&str, bool)] = &[
+    ("take", false),
+    ("u8", false),
+    ("u16", false),
+    ("u32", false),
+    ("u64", true),
+    ("f64", false),
+    ("from_le_bytes", false),
+];
+
+const VALIDATORS: &[&str] = &[
+    "need",
+    "try_from",
+    "checked_mul",
+    "checked_add",
+    "checked_sub",
+    "min",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Taint {
+    wide: bool,
+    validated: bool,
+}
+
+/// Run the pass over one file (no-op off [`WIRE_PATHS`]).
+pub fn run(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !WIRE_PATHS.contains(&ctx.path) {
+        return Vec::new();
+    }
+    let toks = ctx.tokens;
+    let mut out = Vec::new();
+    // name -> taint, current function only.
+    let mut tainted: BTreeMap<String, Taint> = BTreeMap::new();
+    for ix in 0..toks.len() {
+        if ctx.in_test[ix] {
+            continue;
+        }
+        let Tok::Ident(id) = &toks[ix].tok else {
+            continue;
+        };
+        match id.as_str() {
+            "fn" => tainted.clear(),
+            // `let [mut] name = <init…>;` — taint the binding when the
+            // initialiser contains a source call; inherit validation
+            // when it also contains a validator (e.g.
+            // `usize::try_from(r.u64()?)`).
+            "let" => {
+                let mut jx = ix + 1;
+                if ctx.ident(jx) == Some("mut") {
+                    jx += 1;
+                }
+                let Some(name) = ctx.ident(jx) else { continue };
+                if !ctx.punct(jx + 1, '=') || ctx.punct(jx + 2, '=') {
+                    continue;
+                }
+                let mut source = None;
+                let mut validated = false;
+                let mut kx = jx + 2;
+                let mut d = 0i32;
+                while kx < toks.len() {
+                    match &toks[kx].tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => d += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => d -= 1,
+                        Tok::Punct(';') if d <= 0 => break,
+                        Tok::Ident(m) if ctx.punct(kx + 1, '(') => {
+                            if let Some(&(_, wide)) = SOURCES.iter().find(|(s, _)| s == m) {
+                                source = Some(source.unwrap_or(false) || wide);
+                            }
+                            if VALIDATORS.contains(&m.as_str()) {
+                                validated = true;
+                            }
+                            // Propagation: initialiser mentions an
+                            // already-tainted name.
+                        }
+                        Tok::Ident(m) => {
+                            if let Some(t) = tainted.get(m.as_str()).copied() {
+                                source = Some(source.unwrap_or(false) || t.wide);
+                                validated |= t.validated;
+                            }
+                        }
+                        _ => {}
+                    }
+                    kx += 1;
+                }
+                if let Some(wide) = source {
+                    tainted.insert(name.to_string(), Taint { wide, validated });
+                }
+            }
+            // Validator call: every tainted name among the arguments (or
+            // the receiver, for `.min(…)`/`.checked_mul(…)`) becomes
+            // trusted.
+            m if VALIDATORS.contains(&m) && ctx.punct(ix + 1, '(') => {
+                if let Some(args) = super::call_args(toks, ix + 1) {
+                    for (from, to) in args {
+                        for j in from..to {
+                            if let Some(w) = ctx.ident(j) {
+                                if let Some(t) = tainted.get_mut(w) {
+                                    t.validated = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if ix >= 2 && ctx.punct(ix - 1, '.') {
+                    if let Some(recv) = ctx.ident(ix - 2) {
+                        if let Some(t) = tainted.get_mut(recv) {
+                            t.validated = true;
+                        }
+                    }
+                }
+            }
+            // Sink: attacker-sized allocation.
+            "with_capacity" if ctx.punct(ix + 1, '(') => {
+                check_sink_args(ctx, ix, &tainted, "Vec::with_capacity", &mut out);
+            }
+            "vec" if ctx.punct(ix + 1, '!') => {
+                // `vec![_; x]` — taint check on the repeat count.
+                if let Some(name) = repeat_count_ident(ctx, ix + 2) {
+                    if let Some(t) = tainted.get(name) {
+                        if !t.validated {
+                            out.push(ctx.violation(
+                                ix,
+                                "wire-taint",
+                                format!(
+                                    "`vec![_; {name}]` sizes an allocation with the \
+                                     unvalidated wire value `{name}`; call `need()` or \
+                                     bound-check it first"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            "unwrap" | "expect" if ix > 0 && ctx.punct(ix - 1, '.') && ctx.punct(ix + 1, '(') => {
+                out.push(ctx.violation(
+                    ix,
+                    "wire-taint",
+                    format!(
+                        "`.{id}()` in wire-decode code can panic on hostile input; \
+                         return a typed `CodecError` instead"
+                    ),
+                ));
+            }
+            "as" => {
+                // `x as usize` where x is a tainted wide (u64) read.
+                if ctx.ident(ix + 1) == Some("usize") {
+                    if let Some(name) = ctx.ident(ix.wrapping_sub(1)) {
+                        if let Some(t) = tainted.get(name) {
+                            if t.wide && !t.validated {
+                                out.push(ctx.violation(
+                                    ix,
+                                    "wire-taint",
+                                    format!(
+                                        "`{name} as usize` truncates a 64-bit wire value \
+                                         on 32-bit targets; use `usize::try_from` or \
+                                         validate the range first"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Slice-index sink: `buf[x]` with x tainted-unvalidated.
+                if ctx.punct(ix + 1, '[') {
+                    if let Some(name) = ctx.ident(ix + 2) {
+                        if ctx.punct(ix + 3, ']') {
+                            if let Some(t) = tainted.get(name) {
+                                if !t.validated {
+                                    out.push(ctx.violation(
+                                        ix + 2,
+                                        "wire-taint",
+                                        format!(
+                                            "`[{name}]` indexes with the unvalidated wire \
+                                             value `{name}`; bound-check it first"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Comparison counts as validation: `if len > MAX { … }`.
+                let compared = ctx.punct(ix + 1, '<')
+                    || ctx.punct(ix + 1, '>')
+                    || (ix > 0 && (ctx.punct(ix - 1, '<') || ctx.punct(ix - 1, '>')));
+                if compared {
+                    if let Some(t) = tainted.get_mut(id.as_str()) {
+                        t.validated = true;
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+    out
+}
+
+/// Flag tainted-unvalidated idents among a sink call's arguments.
+fn check_sink_args(
+    ctx: &FileCtx<'_>,
+    ix: usize,
+    tainted: &BTreeMap<String, Taint>,
+    sink: &str,
+    out: &mut Vec<Violation>,
+) {
+    let Some(args) = super::call_args(ctx.tokens, ix + 1) else {
+        return;
+    };
+    for (from, to) in args {
+        for j in from..to {
+            let Some(name) = ctx.ident(j) else { continue };
+            let Some(t) = tainted.get(name) else { continue };
+            if !t.validated {
+                out.push(ctx.violation(
+                    ix,
+                    "wire-taint",
+                    format!(
+                        "`{sink}({name})` sizes an allocation with the unvalidated wire \
+                         value `{name}`; call `need()` or bound-check it first"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// For `vec![` at `open` (`[` index), return the repeat-count ident of a
+/// `vec![expr; count]` form, if the count is a bare ident.
+fn repeat_count_ident<'t>(ctx: &'t FileCtx<'_>, open: usize) -> Option<&'t str> {
+    if !ctx.punct(open, '[') {
+        return None;
+    }
+    let toks = ctx.tokens;
+    let mut d = 0i32;
+    let mut semi = None;
+    let mut jx = open;
+    while jx < toks.len() {
+        match &toks[jx].tok {
+            Tok::Punct('[') | Tok::Punct('(') | Tok::Punct('{') => d += 1,
+            Tok::Punct(']') | Tok::Punct(')') | Tok::Punct('}') => {
+                d -= 1;
+                if d == 0 {
+                    let s = semi?;
+                    // Count must be the single token between `;` and `]`.
+                    if jx == s + 2 {
+                        return ctx.ident(s + 1);
+                    }
+                    return None;
+                }
+            }
+            Tok::Punct(';') if d == 1 => semi = Some(jx),
+            _ => {}
+        }
+        jx += 1;
+    }
+    None
+}

@@ -183,6 +183,9 @@ pub struct Report {
     pub suppressed: Vec<Suppressed>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Per-pass wall time, (pass name, milliseconds), in fixed pass
+    /// order. Informational: the baseline gate ignores this field.
+    pub timings_ms: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -218,12 +221,17 @@ impl Report {
             })
             .collect();
         let rule_list: Vec<String> = rules.iter().map(|r| format!("\"{r}\"")).collect();
+        let mut timings = JsonObj::new();
+        for (pass, ms) in &self.timings_ms {
+            timings = timings.f(pass, *ms, 3);
+        }
         JsonObj::new()
             .s("tool", "hyperm-lint")
             .u("files_scanned", self.files_scanned as u64)
             .b("clean", self.is_clean())
             .u("violation_count", self.violations.len() as u64)
             .u("suppressed_count", self.suppressed.len() as u64)
+            .obj("timings_ms", timings)
             .arr("rules", &rule_list)
             .arr("violations", &viols)
             .arr("suppressed", &supp)

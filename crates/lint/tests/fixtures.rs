@@ -1,8 +1,8 @@
 //! Fixture tests: one deliberately bad snippet per rule, asserted at the
 //! exact line; a clean fixture; a justified-suppression fixture; a facade
-//! fixture workspace; an injection test that plants a `HashMap` iteration
-//! into a real hot-path source; and a self-run asserting the workspace
-//! itself is lint-clean.
+//! fixture workspace; injection tests that plant a `HashMap` iteration
+//! into a real hot-path source and a lock-order inversion into the real
+//! TCP pool; and a self-run asserting the workspace itself is lint-clean.
 
 use hyperm_lint::{lint_source, passes, run_workspace};
 use std::path::{Path, PathBuf};
@@ -171,6 +171,261 @@ fn injected_hashmap_iteration_in_query_engine_is_caught() {
     assert_eq!(det[0].line, loop_line, "wrong line for the planted loop");
 }
 
+/// Lint a fixture at an arbitrary path (the concurrency pass is
+/// path-agnostic; the wire-taint pass keys on the wire files).
+fn lint_at(
+    path: &str,
+    crate_name: &str,
+    name: &str,
+) -> (Vec<hyperm_lint::report::Violation>, usize) {
+    let src = fixture(name);
+    let (violations, suppressed) = lint_source(path, crate_name, &src);
+    (violations, suppressed.len())
+}
+
+#[test]
+fn conc_lock_order_fixture() {
+    // Both halves of the inversion are reported, each at its inner
+    // acquisition line.
+    let (violations, _) = lint_at(
+        "crates/transport/src/fixture.rs",
+        "transport",
+        "conc_lock_order.rs",
+    );
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(
+        violations.iter().all(|v| v.rule == "conc-lock-order"),
+        "{violations:?}"
+    );
+    assert_eq!(violations[0].line, 12, "forward inversion line");
+    assert_eq!(violations[1].line, 19, "backward inversion line");
+}
+
+#[test]
+fn conc_blocking_hold_fixture() {
+    let (violations, _) = lint_at(
+        "crates/transport/src/fixture.rs",
+        "transport",
+        "conc_blocking_hold.rs",
+    );
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "conc-blocking-hold");
+    assert_eq!(violations[0].line, 11);
+}
+
+#[test]
+fn conc_guard_across_spawn_fixture() {
+    let (violations, _) = lint_at(
+        "crates/transport/src/fixture.rs",
+        "transport",
+        "conc_guard_across_spawn.rs",
+    );
+    assert!(!violations.is_empty(), "spawn capture not caught");
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.rule == "conc-guard-across-spawn" && v.line == 10),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn conc_clean_fixture_is_clean() {
+    let (violations, suppressed) = lint_at(
+        "crates/transport/src/fixture.rs",
+        "transport",
+        "conc_clean.rs",
+    );
+    assert!(
+        violations.is_empty(),
+        "clean conc fixture flagged: {violations:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn conc_suppression_is_honoured() {
+    let (violations, suppressed) = lint_at(
+        "crates/transport/src/fixture.rs",
+        "transport",
+        "conc_suppressed.rs",
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(
+        suppressed, 1,
+        "the conc suppression must be recorded as used"
+    );
+}
+
+#[test]
+fn wire_taint_fixture() {
+    // Linted as the real codec path so the pass is active: the
+    // unvalidated `with_capacity` and the wide `as usize` cast.
+    let (violations, _) = lint_at("crates/can/src/codec.rs", "can", "wire_taint.rs");
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(
+        violations.iter().all(|v| v.rule == "wire-taint"),
+        "{violations:?}"
+    );
+    assert_eq!(violations[0].line, 3, "with_capacity sink line");
+    assert_eq!(violations[1].line, 10, "wide-cast line");
+}
+
+#[test]
+fn wire_clean_fixture_is_clean() {
+    let (violations, suppressed) = lint_at("crates/can/src/codec.rs", "can", "wire_clean.rs");
+    assert!(
+        violations.is_empty(),
+        "validated decode flagged: {violations:?}"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn wire_suppression_is_honoured() {
+    let (violations, suppressed) = lint_at("crates/can/src/codec.rs", "can", "wire_suppressed.rs");
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn wire_taint_pass_is_scoped_to_wire_files() {
+    // The same tainted source anywhere else is not the wire boundary.
+    let (violations, _) = lint_at("crates/core/src/score.rs", "core", "wire_taint.rs");
+    assert!(
+        violations.is_empty(),
+        "wire-taint leaked off the wire files: {violations:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-consistency: synthetic tables against doctored sources.
+// ---------------------------------------------------------------------------
+
+fn proto_tables() -> passes::protocol::ProtoTables {
+    passes::protocol::ProtoTables {
+        all: vec![
+            (0, "Hello".into()),
+            (1, "Join".into()),
+            (2, "JoinAck".into()),
+        ],
+        idempotent: vec![1],
+        resendable: vec![1],
+        reply: vec![(1, 2)],
+        unpaired_ok: vec![0],
+    }
+}
+
+fn toks(src: &str) -> Vec<hyperm_lint::lexer::Token> {
+    hyperm_lint::lexer::lex(src).tokens
+}
+
+const GOOD_CODEC: &str = "pub mod kind {\n    pub const HELLO: u8 = 0;\n    pub const JOIN: u8 = 1;\n    pub const JOIN_ACK: u8 = 2;\n}\n";
+const GOOD_RUNTIME: &str = "pub const RESENDABLE_KINDS: &[u8] = &[1];\nfn serve() {\n    match msg {\n        Message::Hello { .. } => {}\n        Message::Join { .. } => {}\n        Message::JoinAck { .. } => {}\n    }\n}\n";
+
+#[test]
+fn proto_consistent_tables_are_clean() {
+    let v = passes::protocol::check(&proto_tables(), &toks(GOOD_CODEC), &toks(GOOD_RUNTIME));
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn proto_pairing_catches_const_drift() {
+    // Source says JOIN = 9, the linked table says 1.
+    let drifted = GOOD_CODEC.replace("JOIN: u8 = 1", "JOIN: u8 = 9");
+    let v = passes::protocol::check(&proto_tables(), &toks(&drifted), &toks(GOOD_RUNTIME));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "proto-pairing");
+    assert_eq!(v[0].line, 3, "must point at the drifted const");
+}
+
+#[test]
+fn proto_pairing_catches_byte_collision() {
+    let mut t = proto_tables();
+    t.all.push((2, "Rogue".into()));
+    t.reply.push((2, 2));
+    let v = passes::protocol::check(&t, &toks(GOOD_CODEC), &toks(GOOD_RUNTIME));
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "proto-pairing" && v.message.contains("claimed by")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn proto_exhaustive_catches_missing_dispatch_arm() {
+    let gutted = GOOD_RUNTIME.replace("        Message::JoinAck { .. } => {}\n", "");
+    let v = passes::protocol::check(&proto_tables(), &toks(GOOD_CODEC), &toks(&gutted));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "proto-exhaustive");
+    assert!(v[0].message.contains("JoinAck"), "{v:?}");
+}
+
+#[test]
+fn proto_retry_set_must_be_subset_of_idempotent() {
+    let mut t = proto_tables();
+    t.resendable = vec![1, 2];
+    let v = passes::protocol::check(&t, &toks(GOOD_CODEC), &toks(GOOD_RUNTIME));
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert_eq!(v[0].rule, "proto-retry-set");
+    assert_eq!(v[0].line, 1, "must point at the RESENDABLE_KINDS const");
+}
+
+#[test]
+fn proto_real_workspace_tables_are_consistent() {
+    let v = passes::protocol::run(&workspace_root());
+    assert!(v.is_empty(), "protocol drift in the real workspace: {v:?}");
+}
+
+/// Acceptance criterion: a lock-order inversion planted into the real
+/// TCP pool source is caught at the planted lines, and the pristine
+/// source carries no concurrency findings.
+#[test]
+fn injected_lock_order_inversion_in_tcp_pool_is_caught() {
+    let repo_root = workspace_root();
+    let rel = "crates/transport/src/tcp.rs";
+    let original = std::fs::read_to_string(repo_root.join(rel)).expect("read tcp.rs");
+
+    let (violations, _) = lint_source(rel, "transport", &original);
+    let conc: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule.starts_with("conc-"))
+        .collect();
+    assert!(
+        conc.is_empty(),
+        "tcp.rs already has conc findings: {conc:?}"
+    );
+
+    // Plant both halves of an inversion against the pool's real
+    // guard-returning helpers.
+    let planted = format!(
+        "{original}\nimpl Shared {{\n    fn planted_forward(&self) {{\n        let a = \
+         self.lock_conns();\n        let b = self.lock_routes(); // planted-inner-forward\n        \
+         drop(b);\n        drop(a);\n    }}\n    fn planted_backward(&self) {{\n        let b = \
+         self.lock_routes();\n        let a = self.lock_conns(); // planted-inner-backward\n        \
+         drop(a);\n        drop(b);\n    }}\n}}\n"
+    );
+    let line_of = |marker: &str| {
+        planted
+            .lines()
+            .position(|l| l.contains(marker))
+            .expect("marker present") as u32
+            + 1
+    };
+    let (violations, _) = lint_source(rel, "transport", &planted);
+    let conc: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "conc-lock-order")
+        .collect();
+    assert_eq!(
+        conc.len(),
+        2,
+        "planted inversion not caught: {violations:?}"
+    );
+    assert_eq!(conc[0].line, line_of("planted-inner-forward"));
+    assert_eq!(conc[1].line, line_of("planted-inner-backward"));
+}
+
 /// The workspace itself must be lint-clean — the same invariant CI
 /// enforces by running the binary.
 #[test]
@@ -190,6 +445,12 @@ fn workspace_is_lint_clean() {
     assert!(
         !report.suppressed.is_empty(),
         "expected the workspace's justified suppressions to be recorded"
+    );
+    let timed: Vec<&str> = report.timings_ms.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(
+        timed,
+        hyperm_lint::PASSES,
+        "per-pass timings must cover every pass in order"
     );
 }
 

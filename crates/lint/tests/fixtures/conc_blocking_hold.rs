@@ -1,0 +1,14 @@
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Slot {
+    state: Mutex<u32>,
+}
+
+impl Slot {
+    pub fn slow(&self) {
+        let g = self.state.lock().unwrap();
+        std::thread::sleep(Duration::from_millis(1)); // blocks with g live
+        drop(g);
+    }
+}

@@ -1,0 +1,34 @@
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Pool {
+    conns: Mutex<BTreeMap<u32, u32>>,
+    routes: Mutex<BTreeMap<u32, u32>>,
+}
+
+impl Pool {
+    /// Same order everywhere: edges conns->routes only, no cycle.
+    pub fn forward_a(&self) {
+        let a = self.conns.lock().unwrap();
+        let b = self.routes.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn forward_b(&self) {
+        let a = self.conns.lock().unwrap();
+        let b = self.routes.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    /// Guard scoped to the block; the sleep runs lock-free.
+    pub fn nap(&self) {
+        let n = {
+            let g = self.conns.lock().unwrap();
+            g.len() as u64
+        };
+        std::thread::sleep(Duration::from_millis(n));
+    }
+}

@@ -1,0 +1,12 @@
+use std::sync::Mutex;
+
+pub struct Slot {
+    state: Mutex<u32>,
+}
+
+impl Slot {
+    pub fn bad(&self) {
+        let g = self.state.lock().unwrap();
+        std::thread::spawn(move || println!("{}", *g)); // guard crosses spawn
+    }
+}

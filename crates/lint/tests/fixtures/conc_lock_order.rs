@@ -1,0 +1,23 @@
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub struct Pool {
+    conns: Mutex<BTreeMap<u32, u32>>,
+    routes: Mutex<BTreeMap<u32, u32>>,
+}
+
+impl Pool {
+    pub fn forward(&self) {
+        let a = self.conns.lock().unwrap();
+        let b = self.routes.lock().unwrap(); // inner: conns -> routes
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.routes.lock().unwrap();
+        let a = self.conns.lock().unwrap(); // inner: routes -> conns
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,15 @@
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Slot {
+    state: Mutex<u32>,
+}
+
+impl Slot {
+    pub fn justified(&self) {
+        let g = self.state.lock().unwrap();
+        // hyperm-lint: allow(conc-blocking-hold) — fixture: the hold is the point of the test
+        std::thread::sleep(Duration::from_millis(1));
+        drop(g);
+    }
+}

@@ -1,0 +1,12 @@
+pub fn decode(r: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let n = r.u32()? as usize;
+    r.need(n)?;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(r.take(n)?);
+    Ok(out)
+}
+
+pub fn offset(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+    let off = r.u64()?;
+    usize::try_from(off).map_err(|_| CodecError::CorruptField("offset"))
+}

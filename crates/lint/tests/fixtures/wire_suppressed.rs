@@ -1,0 +1,7 @@
+pub fn decode(r: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let n = r.u32()? as usize;
+    // hyperm-lint: allow(wire-taint) — fixture: n is bounded by the framing layer's MAX_FRAME check
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(r.take(n)?);
+    Ok(out)
+}

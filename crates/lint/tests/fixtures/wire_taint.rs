@@ -1,0 +1,11 @@
+pub fn decode(r: &mut Reader<'_>) -> Result<Vec<u8>, CodecError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n); // attacker-sized allocation
+    out.extend_from_slice(r.take(n)?);
+    Ok(out)
+}
+
+pub fn offset(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+    let off = r.u64()?;
+    Ok(off as usize) // 64-bit wire value truncated on 32-bit hosts
+}

@@ -339,6 +339,7 @@ impl Recorder {
     /// Flush the sink (file sinks buffer).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
+            // hyperm-lint: allow(conc-blocking-hold) — the sink lock exists precisely to serialize sink IO; flush must run under it or it races concurrent record() writes
             inner.sink.lock().expect("sink poisoned").flush();
         }
     }

@@ -60,11 +60,18 @@ pub fn write_frame<W: Write>(
 /// Read one length-prefixed frame and decode its body. Returns the
 /// header's correlation tag alongside the message.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, Message), TransportError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)
+    // Two fixed-width reads instead of one 12-byte buffer split: the
+    // arrays carry their lengths in the type, so no slice conversion
+    // (and no panic path) is left in the decode; the byte layout on the
+    // wire is unchanged.
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
         .map_err(|e| TransportError::Io(e.to_string()))?;
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
-    let req_id = u64::from_le_bytes(header[4..].try_into().expect("8-byte slice"));
+    let mut req_id_bytes = [0u8; HEADER_LEN - 4];
+    r.read_exact(&mut req_id_bytes)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let req_id = u64::from_le_bytes(req_id_bytes);
     if len > MAX_FRAME {
         return Err(TransportError::FrameTooLarge(len));
     }
@@ -121,6 +128,21 @@ mod tests {
         assert_eq!(a[..4], b[..4]);
         assert_ne!(a[4..12], b[4..12]);
         assert_eq!(a[12..], b[12..]);
+    }
+
+    #[test]
+    fn header_truncated_mid_header_is_io_error() {
+        // Six bytes: a full length prefix but only half the req_id tag.
+        // Must surface as an Io error from the second fixed-width read,
+        // never a slice-conversion panic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 2]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap_err(),
+            TransportError::Io(_)
+        ));
     }
 
     #[test]

@@ -38,24 +38,29 @@ use std::time::{Duration, Instant};
 /// configs live (mirrors the `FaultInjector` `retry_timeout = 0` clamp).
 pub const MIN_TIMEOUT: Duration = Duration::from_millis(10);
 
-/// Whether a request kind is safe to resend after a timeout
-/// (idempotent at the head). Reads, scrapes and heartbeats always are;
-/// `Join` is because the head's rejoin map resolves a duplicate join to
-/// the peer's existing overlay id. `Put` and `Publish` mutate (a resend
-/// whose first copy actually landed would double-apply) and `Shutdown`
-/// races its own effect, so those get exactly one attempt.
+/// Request kinds safe to resend after a timeout (idempotent at the
+/// head). Reads, scrapes and heartbeats always are; `Join` is because
+/// the head's rejoin map resolves a duplicate join to the peer's
+/// existing overlay id. `Put` and `Publish` mutate (a resend whose
+/// first copy actually landed would double-apply) and `Shutdown` races
+/// its own effect, so those get exactly one attempt.
+///
+/// `hyperm-lint`'s `proto-retry-set` rule asserts this stays a subset
+/// of [`kind::IDEMPOTENT`]: growing the retry set requires declaring
+/// the kind idempotent at the protocol layer first.
+pub const RESENDABLE_KINDS: &[u8] = &[
+    kind::QUERY,
+    kind::GET,
+    kind::ROUTE,
+    kind::FETCH,
+    kind::MONITOR,
+    kind::STATS,
+    kind::PING,
+    kind::JOIN,
+];
+
 fn is_resendable(k: u8) -> bool {
-    matches!(
-        k,
-        kind::QUERY
-            | kind::GET
-            | kind::ROUTE
-            | kind::FETCH
-            | kind::MONITOR
-            | kind::STATS
-            | kind::PING
-            | kind::JOIN
-    )
+    RESENDABLE_KINDS.contains(&k)
 }
 
 /// Liveness bookkeeping for one peer, maintained by [`NodeRuntime`].

@@ -212,3 +212,19 @@ fn tcp_cluster_member_joins_after_failure_with_full_recall() {
     monitor.shutdown().unwrap();
     head.join().unwrap().unwrap();
 }
+
+#[test]
+fn retry_set_is_subset_of_idempotent_kinds() {
+    // The protocol layer declares which requests tolerate duplicate
+    // delivery; the client may only auto-resend those. hyperm-lint's
+    // proto-retry-set rule enforces this statically — this is the
+    // runtime twin so a local `cargo test` catches the drift too.
+    use hyperm_can::codec::kind;
+    for &k in hyperm_transport::runtime::RESENDABLE_KINDS {
+        assert!(
+            kind::IDEMPOTENT.contains(&k),
+            "RESENDABLE_KINDS contains non-idempotent kind {k}"
+        );
+    }
+    assert!(!hyperm_transport::runtime::RESENDABLE_KINDS.is_empty());
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Findings-baseline gate: re-run hyperm-lint in check mode against the
+# committed LINT_report.json. Fails (exit 3) when any violation survives
+# or when the suppression set (file, line, rule, reason) differs from
+# the baseline in any direction — growing the suppression list without
+# committing the matching report diff is exactly the silent-creep this
+# gate exists to stop. Regenerate the baseline with:
+#
+#   cargo run -p hyperm-lint --release
+#
+# and commit the LINT_report.json diff alongside the suppression.
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+BASELINE=${1:-LINT_report.json}
+
+if [ ! -f "$BASELINE" ]; then
+  echo "lint_gate: baseline $BASELINE not found (run hyperm-lint once and commit it)" >&2
+  exit 2
+fi
+
+if [ -x "$BIN/hyperm-lint" ]; then
+  "$BIN/hyperm-lint" --check-baseline "$BASELINE"
+else
+  cargo run --release -q -p hyperm-lint -- --check-baseline "$BASELINE"
+fi
